@@ -1,0 +1,86 @@
+"""Ablation study: which design choices carry the results.
+
+DESIGN.md calls out the load-bearing mechanisms; this bench switches each
+one off in isolation and measures the damage:
+
+* flash prefetch streaming (E3's substrate),
+* ARM1156 caches (the reason interruptible LDM matters at all),
+* NVIC tail-chaining (E8),
+* the Thumb-2 narrow-encoding selection (code density).
+"""
+
+from conftest import report
+
+from repro.codegen import compile_program
+from repro.core import FLASH_BASE, SRAM_BASE, build_arm1156, build_cortexm3
+from repro.isa import ISA_THUMB2
+from repro.sim import DeterministicRng
+from repro.workloads import WORKLOADS_BY_NAME
+
+
+def kernel_cycles_m3(**machine_kwargs) -> int:
+    workload = WORKLOADS_BY_NAME["canrdr"]
+    fn = workload.build()
+    program = compile_program([fn], ISA_THUMB2, base=FLASH_BASE)
+    machine = build_cortexm3(program, **machine_kwargs)
+    prepared = workload.make_input(DeterministicRng(1), scale=2)
+    machine.load_data(SRAM_BASE, prepared.data)
+    result = machine.call(fn.name, *prepared.args(SRAM_BASE))
+    assert result == workload.reference(prepared.data, *prepared.args(0))
+    return machine.cpu.cycles
+
+
+def kernel_cycles_1156(caches_enabled: bool) -> int:
+    workload = WORKLOADS_BY_NAME["bitmnp"]
+    fn = workload.build()
+    program = compile_program([fn], ISA_THUMB2, base=FLASH_BASE)
+    machine = build_arm1156(program, caches_enabled=caches_enabled,
+                            flash_access_cycles=4, sram_wait_states=2)
+    prepared = workload.make_input(DeterministicRng(1), scale=2)
+    machine.load_data(SRAM_BASE, prepared.data)
+    result = machine.call(fn.name, *prepared.args(SRAM_BASE))
+    assert result == workload.reference(prepared.data, *prepared.args(0))
+    return machine.cpu.cycles
+
+
+def suite_bytes(wide_everything: bool) -> int:
+    """Thumb-2 suite size with and without narrow-encoding selection."""
+    from repro.workloads import AUTOINDY_SUITE
+
+    fns = [w.build() for w in AUTOINDY_SUITE]
+    program = compile_program(fns, ISA_THUMB2, base=FLASH_BASE)
+    if not wide_everything:
+        return program.code_bytes + program.literal_bytes
+    # force-wide rebuild: every instruction that has a wide form
+    total = 0
+    for ins in program.instructions:
+        total += 4 if ins.size == 2 else ins.size
+    return total + program.literal_bytes
+
+
+def compute_ablations():
+    rows = []
+    base = kernel_cycles_m3(flash_access_cycles=2, flash_prefetch=True)
+    no_prefetch = kernel_cycles_m3(flash_access_cycles=2, flash_prefetch=False)
+    rows.append(("flash prefetch off", base, no_prefetch))
+
+    cached = kernel_cycles_1156(caches_enabled=True)
+    uncached = kernel_cycles_1156(caches_enabled=False)
+    rows.append(("ARM1156 caches off", cached, uncached))
+
+    narrow = suite_bytes(wide_everything=False)
+    wide = suite_bytes(wide_everything=True)
+    rows.append(("narrow encodings off (bytes)", narrow, wide))
+    return rows
+
+
+def test_ablations(benchmark):
+    rows = benchmark.pedantic(compute_ablations, rounds=1, iterations=1)
+    lines = [f"{'ablation':30} {'with':>9} {'without':>9} {'cost':>8}"]
+    for name, with_feature, without_feature in rows:
+        assert without_feature > with_feature, name
+        cost = without_feature / with_feature - 1
+        lines.append(f"{name:30} {with_feature:9} {without_feature:9} "
+                     f"{cost:8.1%}")
+    report("Ablations: the mechanisms that carry the paper's results", lines)
+    benchmark.extra_info["rows"] = rows

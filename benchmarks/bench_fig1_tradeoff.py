@@ -1,0 +1,47 @@
+"""E2 / Figure 1: per-kernel Thumb-2 performance and code-size series.
+
+Figure 1 plots the same data as Table 1 broken out per benchmark: for
+every kernel, Thumb-2's performance relative to ARM and its code size
+relative to Thumb.  The reproduced series must show Thumb-2 at
+ARM-or-better performance and at-Thumb-or-better size for (nearly) every
+kernel, which is the figure's visual message.
+"""
+
+from conftest import report
+
+from repro.workloads import table1
+
+
+def compute_series():
+    arm, thumb, thumb2 = table1(seed=2005)
+    series = []
+    for run_arm, run_thumb, run_t2 in zip(arm.runs, thumb.runs, thumb2.runs):
+        series.append({
+            "kernel": run_arm.workload,
+            "perf_vs_arm": run_t2.iterations_per_mcycle / run_arm.iterations_per_mcycle,
+            "perf_thumb_vs_arm": run_thumb.iterations_per_mcycle / run_arm.iterations_per_mcycle,
+            "size_vs_arm": run_t2.total_bytes / run_arm.total_bytes,
+            "size_thumb_vs_arm": run_thumb.total_bytes / run_arm.total_bytes,
+        })
+    return series
+
+
+def test_fig1_per_kernel_series(benchmark):
+    series = benchmark.pedantic(compute_series, rounds=1, iterations=1)
+
+    # Thumb-2 at ARM-or-better performance on every kernel
+    assert all(row["perf_vs_arm"] >= 1.0 for row in series), series
+    # Thumb-2 no bigger than ARM anywhere; smaller than Thumb on average
+    assert all(row["size_vs_arm"] <= 1.0 for row in series)
+    mean_t2 = sum(r["size_vs_arm"] for r in series) / len(series)
+    mean_thumb = sum(r["size_thumb_vs_arm"] for r in series) / len(series)
+    assert mean_t2 <= mean_thumb + 0.05
+
+    lines = [f"{'kernel':8} {'T2 perf/ARM':>12} {'Thumb perf/ARM':>15} "
+             f"{'T2 size/ARM':>12} {'Thumb size/ARM':>15}"]
+    for row in series:
+        lines.append(f"{row['kernel']:8} {row['perf_vs_arm']:12.2f} "
+                     f"{row['perf_thumb_vs_arm']:15.2f} "
+                     f"{row['size_vs_arm']:12.2f} {row['size_thumb_vs_arm']:15.2f}")
+    report("E2 / Figure 1: per-kernel Thumb-2 performance & code size", lines)
+    benchmark.extra_info["series"] = series

@@ -1,0 +1,59 @@
+"""E10 / section 3.2.2, figure 3: single-wire debug and the flash patch.
+
+The claims: SWD reaches JTAG-class debug over one data wire (vs five
+pins), and eight flash-patch comparators give breakpoints/calibration
+writes on otherwise read-only flash.
+"""
+
+from conftest import report
+
+from repro.debug import FlashPatchUnit, FpbError, JtagProbe, SwdProbe
+
+TRANSACTIONS = 64
+
+
+def compute_experiment():
+    jtag = JtagProbe()
+    jtag_clocks = 0
+    for i in range(TRANSACTIONS):
+        jtag_clocks += jtag.write_register(instruction=0x8, value=i * 7)
+    swd = SwdProbe()
+    for i in range(TRANSACTIONS):
+        swd.write("ap", 0x4, i * 7)
+
+    fpb = FlashPatchUnit()
+    patched = 0
+    try:
+        while True:
+            fpb.patch(0x0800_0000 + 4 * patched, patched)
+            patched += 1
+    except FpbError:
+        pass
+
+    return {
+        "jtag_pins": jtag.tap.pin_count,
+        "swd_pins": swd.pin_count,
+        "jtag_bits_per_write": jtag_clocks / TRANSACTIONS,
+        "swd_bits_per_write": swd.bits_per_transaction(),
+        "fpb_comparators": patched,
+    }
+
+
+def test_fig3_debug_access(benchmark):
+    result = benchmark.pedantic(compute_experiment, rounds=1, iterations=1)
+
+    assert result["swd_pins"] < result["jtag_pins"]   # 2 wires vs 5 pins
+    assert result["jtag_pins"] == 5
+    assert result["fpb_comparators"] == 8             # "equivalent of eight breakpoints"
+    # SWD also spends fewer wire clocks per 32-bit write (no TAP walking)
+    assert result["swd_bits_per_write"] < result["jtag_bits_per_write"]
+
+    lines = [
+        f"JTAG: {result['jtag_pins']} pins, "
+        f"{result['jtag_bits_per_write']:.1f} clocks per 32-bit write",
+        f"SWD : {result['swd_pins']} pins (one data wire), "
+        f"{result['swd_bits_per_write']:.1f} bits per 32-bit write",
+        f"flash patch comparators available: {result['fpb_comparators']} (paper: 8)",
+    ]
+    report("E10 / section 3.2.2: debug port cost, JTAG vs single-wire", lines)
+    benchmark.extra_info.update(result)

@@ -1,0 +1,44 @@
+"""E1 / Table 1: Thumb-2 performance and code density vs Thumb and ARM.
+
+Paper's numbers (preliminary EEMBC AutoIndy, 6-kernel geometric mean):
+
+    ARM7 (ARM)            28453.8 GM/MHz  (100%)     21168 bytes (100%)
+    ARM7 (Thumb)          22527.8         ( 79%)     12106 bytes ( 57%)
+    Cortex-M3 (Thumb-2)   38899.2         (137%)     12106 bytes ( 57%)
+
+Reproduced shape: Thumb trades ~10-25% performance for ~40% size;
+Thumb-2 matches-or-beats ARM performance at Thumb-like size.  Our suite
+stresses the new Thumb-2 instructions harder than EEMBC's originals, so
+the Thumb-2 advantage overshoots the paper's 137% - see EXPERIMENTS.md.
+"""
+
+from conftest import report
+
+from repro.workloads import format_table1, table1
+
+
+def compute_table1():
+    results = table1(seed=2005)
+    assert all(s.all_verified for s in results), "kernel mis-execution"
+    return results
+
+
+def test_table1_reproduction(benchmark):
+    results = benchmark.pedantic(compute_table1, rounds=1, iterations=1)
+    arm, thumb, thumb2 = results
+
+    # the paper's qualitative claims, as assertions
+    assert thumb.geometric_mean < arm.geometric_mean          # Thumb slower
+    assert thumb2.geometric_mean > arm.geometric_mean         # Thumb-2 faster
+    assert thumb.code_size < 0.75 * arm.code_size             # Thumb denser
+    assert thumb2.code_size < 0.75 * arm.code_size            # Thumb-2 denser
+
+    benchmark.extra_info["perf_pct"] = {
+        s.label: round(100 * s.geometric_mean / arm.geometric_mean, 1)
+        for s in results
+    }
+    benchmark.extra_info["size_pct"] = {
+        s.label: round(100 * s.code_size / arm.code_size, 1) for s in results
+    }
+    report("E1 / Table 1: AutoIndy suite, GM performance and code size",
+           format_table1(results).splitlines())

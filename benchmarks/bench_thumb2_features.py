@@ -1,0 +1,132 @@
+"""E4 / sections 2.1 & 2.3: what each new Thumb-2 instruction buys.
+
+Four micro-kernels isolate the features the paper calls out: the hardware
+divide (sensor scaling), bitfield insert/extract (port I/O), IT blocks
+(predication without branches), and the table branch (switch dispatch).
+Each is measured on 16-bit Thumb (expansion sequences / helper calls) and
+Thumb-2 (native), on the matching cores.
+"""
+
+from conftest import report
+
+from repro.codegen import IrBuilder, compile_program
+from repro.core import FLASH_BASE, build_arm7, build_cortexm3
+
+
+def divide_kernel():
+    b = IrBuilder("scale_sensors", num_params=2)
+    raw, count = b.params
+    acc = b.const(0, "acc")
+    b.label("loop")
+    scaled = b.udiv(raw, count)
+    b.assign(acc, b.add(acc, scaled))
+    b.assign(count, b.sub(count, 1))
+    b.brcond("ne", count, 0, "loop")
+    b.ret(acc)
+    return b.build(), (48_000, 24)
+
+
+def bitfield_kernel():
+    b = IrBuilder("pack_io", num_params=2)
+    port, count = b.params
+    acc = b.const(0, "acc")
+    b.label("loop")
+    field = b.ubfx(port, 3, 7)
+    b.bfi(acc, field, 8, 7)
+    b.assign(acc, b.add(b.ror(acc, 7), 1))
+    b.assign(count, b.sub(count, 1))
+    b.brcond("ne", count, 0, "loop")
+    b.ret(acc)
+    return b.build(), (0xDEADBEEF, 32)
+
+
+def predication_kernel():
+    b = IrBuilder("clamp_chain", num_params=2)
+    x, count = b.params
+    acc = b.const(0, "acc")
+    b.label("loop")
+    clamped = b.select("hi", x, 100, 100, x)
+    step = b.select("lo", clamped, 50, 1, 2)
+    b.assign(acc, b.add(acc, step))
+    b.assign(x, b.add(x, 7))
+    b.assign(count, b.sub(count, 1))
+    b.brcond("ne", count, 0, "loop")
+    b.ret(acc)
+    return b.build(), (3, 64)
+
+
+def switch_kernel():
+    b = IrBuilder("mode_dispatch", num_params=2)
+    x, count = b.params
+    acc = b.const(0, "acc")
+    b.label("loop")
+    mode = b.and_(x, 3)
+    b.switch(mode, ["m0", "m1", "m2"])
+    b.assign(acc, b.add(acc, 7))
+    b.br("next")
+    b.label("m0")
+    b.assign(acc, b.add(acc, 1))
+    b.br("next")
+    b.label("m1")
+    b.assign(acc, b.add(acc, 3))
+    b.br("next")
+    b.label("m2")
+    b.assign(acc, b.add(acc, 5))
+    b.label("next")
+    b.assign(x, b.add(x, 1))
+    b.assign(count, b.sub(count, 1))
+    b.brcond("ne", count, 0, "loop")
+    b.ret(acc)
+    return b.build(), (0, 64)
+
+
+FEATURES = [
+    ("hw divide", divide_kernel),
+    ("bitfield ops", bitfield_kernel),
+    ("IT predication", predication_kernel),
+    ("table branch", switch_kernel),
+]
+
+
+def measure(fn, args, isa):
+    program = compile_program([fn], isa, base=FLASH_BASE)
+    machine = build_cortexm3(program) if isa == "thumb2" else build_arm7(program)
+    result = machine.call(fn.name, *args)
+    return result, machine.cpu.cycles, program.code_bytes + program.literal_bytes
+
+
+def compute_features():
+    rows = []
+    for label, builder in FEATURES:
+        fn, args = builder()
+        r_thumb, cycles_thumb, bytes_thumb = measure(fn, args, "thumb")
+        fn2, _ = builder()
+        r_t2, cycles_t2, bytes_t2 = measure(fn2, args, "thumb2")
+        assert r_thumb == r_t2, label
+        rows.append({
+            "feature": label,
+            "thumb_cycles": cycles_thumb, "t2_cycles": cycles_t2,
+            "thumb_bytes": bytes_thumb, "t2_bytes": bytes_t2,
+            "speedup": cycles_thumb / cycles_t2,
+        })
+    return rows
+
+
+def test_thumb2_feature_wins(benchmark):
+    rows = benchmark.pedantic(compute_features, rounds=1, iterations=1)
+    for row in rows:
+        assert row["speedup"] > 1.0, row         # every feature must pay off
+        # size: no worse than Thumb plus a rounding word (IT blocks trade
+        # a couple of bytes for straight-line execution)
+        assert row["t2_bytes"] <= row["thumb_bytes"] + 4, row
+    divide = next(r for r in rows if r["feature"] == "hw divide")
+    assert divide["speedup"] > 2.0               # SDIV/UDIV is the big one
+
+    lines = [f"{'feature':16} {'Thumb cyc':>10} {'T2 cyc':>8} "
+             f"{'speedup':>8} {'Thumb B':>8} {'T2 B':>6}"]
+    for row in rows:
+        lines.append(f"{row['feature']:16} {row['thumb_cycles']:10} "
+                     f"{row['t2_cycles']:8} {row['speedup']:8.2f} "
+                     f"{row['thumb_bytes']:8} {row['t2_bytes']:6}")
+    report("E4 / section 2.1-2.3: new Thumb-2 instruction wins", lines)
+    benchmark.extra_info["rows"] = rows

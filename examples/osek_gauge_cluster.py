@@ -1,0 +1,91 @@
+"""An OSEK gauge-cluster application: tasks, resources, alarms, analysis.
+
+A small instrument-cluster ECU: a 10 ms speed task and a 40 ms fuel task
+share the sensor bus under the priority ceiling protocol, a 100 ms lamp
+task blinks indicators, and a button-press event wakes an extended task.
+WCETs come from kernels measured on the Cortex-M3 model, and the
+response-time analysis is cross-checked against the simulated kernel.
+
+Run:  python examples/osek_gauge_cluster.py
+"""
+
+from repro.rtos import (
+    AnalysedTask,
+    Compute,
+    GetResource,
+    OsekKernel,
+    ReleaseResource,
+    SetEvent,
+    WaitEvent,
+    response_time_analysis,
+)
+from repro.rtos.wcet import measure_wcet
+from repro.workloads import WORKLOADS_BY_NAME
+
+CPU_MHZ = 72
+
+
+def main() -> None:
+    # WCETs measured on the core model, converted to microseconds @72 MHz
+    speed_wcet = measure_wcet(WORKLOADS_BY_NAME["rspeed"], samples=5).wcet // CPU_MHZ + 1
+    fuel_wcet = measure_wcet(WORKLOADS_BY_NAME["tblook"], samples=5).wcet // CPU_MHZ + 1
+    lamp_wcet = measure_wcet(WORKLOADS_BY_NAME["bitmnp"], samples=5).wcet // CPU_MHZ + 1
+    print(f"measured WCETs @72 MHz: speed={speed_wcet}us fuel={fuel_wcet}us "
+          f"lamp={lamp_wcet}us")
+
+    kernel = OsekKernel(context_switch_cost=3)
+
+    def speed_task(api):
+        yield GetResource("sensor_bus")
+        yield Compute(speed_wcet)
+        yield ReleaseResource("sensor_bus")
+
+    def fuel_task(api):
+        yield GetResource("sensor_bus")
+        yield Compute(fuel_wcet)
+        yield ReleaseResource("sensor_bus")
+        if api.scheduler.now > 50_000:
+            yield SetEvent("display", 0b1)
+
+    def lamp_task(api):
+        yield Compute(lamp_wcet)
+
+    def display_task(api):
+        while True:
+            yield WaitEvent(0b1)
+            yield Compute(40)
+
+    kernel.add_task("speed", priority=3, body_factory=speed_task)
+    kernel.add_task("fuel", priority=2, body_factory=fuel_task)
+    kernel.add_task("lamp", priority=1, body_factory=lamp_task)
+    kernel.add_task("display", priority=4, body_factory=display_task,
+                    extended=True, autostart=True)
+    kernel.add_resource("sensor_bus", users=["speed", "fuel"])
+    kernel.add_alarm("speed_alarm", "speed", offset=0, period=10_000)
+    kernel.add_alarm("fuel_alarm", "fuel", offset=2_000, period=40_000)
+    kernel.add_alarm("lamp_alarm", "lamp", offset=5_000, period=100_000)
+    kernel.run(until=400_000)
+
+    specs = [
+        AnalysedTask("speed", wcet=speed_wcet, period=10_000, priority=3,
+                     critical_sections=(("sensor_bus", speed_wcet),)),
+        AnalysedTask("fuel", wcet=fuel_wcet, period=40_000, priority=2,
+                     critical_sections=(("sensor_bus", fuel_wcet),)),
+        AnalysedTask("lamp", wcet=lamp_wcet, period=100_000, priority=1),
+    ]
+    analysis = response_time_analysis(specs, context_switch=3)
+
+    print(f"\n{'task':8} {'activations':>12} {'worst sim us':>13} {'RTA bound us':>13}")
+    for spec in specs:
+        task = kernel.tasks[spec.name]
+        bound = analysis.response_of(spec.name).response
+        print(f"{spec.name:8} {task.terminations:>12} "
+              f"{task.worst_response():>13} {bound:>13}")
+        assert task.worst_response() <= bound
+    print(f"\nschedulable: {analysis.schedulable} "
+          f"(utilisation {analysis.utilisation:.1%}); "
+          f"display woken {kernel.tasks['display'].activations and 'yes' or 'no'}")
+
+
+if __name__ == "__main__":
+    main()

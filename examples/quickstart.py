@@ -1,0 +1,63 @@
+"""Quickstart: assemble a routine, run it on all three cores, compare.
+
+This walks the library's core loop in ~40 lines: write assembly (or IR),
+build a simulated MCU around it, execute, and read cycles/size back.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import FLASH_BASE, build_arm7, build_cortexm3
+from repro.isa import ISA_ARM, ISA_THUMB, ISA_THUMB2, assemble
+
+CHECKSUM = {
+    # the same routine in each instruction set's idiom
+    ISA_ARM: """
+checksum:                  ; r0 = words ptr, r1 = count
+    mov r2, #0
+loop:
+    ldr r3, [r0], #4       ; post-indexed walk
+    eor r2, r2, r3
+    subs r1, r1, #1
+    bne loop
+    mov r0, r2
+    bx lr
+""",
+    ISA_THUMB: """
+checksum:
+    movs r2, #0
+loop:
+    ldr r3, [r0]
+    adds r0, r0, #4
+    eors r2, r2, r3
+    subs r1, r1, #1
+    bne loop
+    movs r0, r2
+    bx lr
+""",
+}
+CHECKSUM[ISA_THUMB2] = CHECKSUM[ISA_THUMB]  # narrow encodings throughout
+
+
+def main() -> None:
+    words = [0xDEADBEEF, 0x12345678, 0xA5A5A5A5, 0x0F0F0F0F]
+    payload = b"".join(w.to_bytes(4, "little") for w in words)
+    expected = 0
+    for word in words:
+        expected ^= word
+
+    print(f"{'config':22} {'result':>10} {'cycles':>7} {'code bytes':>11}")
+    for isa, core_builder in ((ISA_ARM, build_arm7), (ISA_THUMB, build_arm7),
+                              (ISA_THUMB2, build_cortexm3)):
+        program = assemble(CHECKSUM[isa], isa, base=FLASH_BASE)
+        machine = core_builder(program)
+        machine.load_data(0x2000_0000, payload)
+        result = machine.call("checksum", 0x2000_0000, len(words))
+        assert result == expected, hex(result)
+        label = f"{machine.cpu.name} ({isa})"
+        print(f"{label:22} {result:>10x} {machine.cpu.cycles:>7} "
+              f"{program.code_bytes:>11}")
+    print(f"\nexpected checksum: {expected:#x} - all configurations agree")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Soft-error campaign: fault-tolerant memories keeping a kernel honest.
+
+Injects cosmic-ray-style bit flips into an ECC-protected TCM holding live
+calibration data while the tblook kernel interpolates from it, and shows
+the ARM1156's hold-and-repair keeping every answer correct - then repeats
+with protection off to show silent corruption.
+
+Run:  python examples/soft_error_recovery.py
+"""
+
+from repro.memory import Tcm
+from repro.sim import DeterministicRng
+from repro.workloads import WORKLOADS_BY_NAME
+
+
+def campaign(fault_tolerant: bool, upsets: int = 200) -> dict:
+    rng = DeterministicRng(2005)
+    workload = WORKLOADS_BY_NAME["tblook"]
+    prepared = workload.make_input(rng, scale=1)
+
+    tcm = Tcm(base=0, size=1024, fault_tolerant=fault_tolerant)
+    tcm.write_raw(0, prepared.data)
+    golden = workload.reference(prepared.data, *prepared.args(0))
+
+    wrong_answers = 0
+    for _ in range(upsets):
+        tcm.flip_random_bit(rng)
+        # re-read the (possibly repaired) table and recompute
+        flat = b"".join(
+            tcm.read(off, 1)[0].to_bytes(1, "little")
+            for off in range(len(prepared.data)))
+        result = workload.reference(flat, *prepared.args(0))
+        if result != golden:
+            wrong_answers += 1
+    return {
+        "fault_tolerant": fault_tolerant,
+        "upsets": upsets,
+        "corrected": tcm.corrected_errors,
+        "hold_cycles": tcm.hold_cycles,
+        "wrong_answers": wrong_answers,
+    }
+
+
+def main() -> None:
+    print("soft-error campaign on the interpolation table (tblook kernel)")
+    for fault_tolerant in (True, False):
+        stats = campaign(fault_tolerant)
+        mode = "ECC hold-and-repair" if fault_tolerant else "unprotected RAM   "
+        print(f"  {mode}: {stats['upsets']} upsets -> "
+              f"{stats['corrected']} corrected, "
+              f"{stats['hold_cycles']} stall cycles, "
+              f"{stats['wrong_answers']} wrong interpolations")
+    print("with protection on, every upset is repaired before it can reach")
+    print("a computation; without it, corruption accumulates silently.")
+
+
+if __name__ == "__main__":
+    main()

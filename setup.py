@@ -1,0 +1,6 @@
+"""Legacy setup shim: lets ``pip install -e . --no-use-pep517`` work on
+environments whose setuptools predates PEP 660 editable installs."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,21 @@
+"""repro: reproduction of "Meeting the Embedded Design Needs of Automotive
+Applications" (Lyons, DATE 2005).
+
+The library models the full stack the paper's claims rest on:
+
+* :mod:`repro.isa` - ARM / Thumb / Thumb-2 instruction sets with bit-exact
+  encoders, an assembler, and execution semantics.
+* :mod:`repro.memory` - flash with streaming prefetch, SRAM, caches with
+  parity, TCM with ECC, bit-band aliasing, MPUs, and soft-error injection.
+* :mod:`repro.core` - ARM7-like, ARM1156-like, and Cortex-M3-like core
+  models with per-microarchitecture cycle accounting and interrupt schemes.
+* :mod:`repro.codegen` - a small kernel IR lowered to all three ISAs, used
+  to regenerate the paper's performance/code-density comparisons.
+* :mod:`repro.workloads` - the six AutoIndy-style automotive kernels.
+* :mod:`repro.rtos` - an OSEK-like kernel and response-time analysis.
+* :mod:`repro.network` - CAN bus simulation and the distributed
+  "virtual multi-core" ECU allocation the paper's vision describes.
+* :mod:`repro.debug` - JTAG vs single-wire debug and the flash patch unit.
+"""
+
+__version__ = "1.0.0"

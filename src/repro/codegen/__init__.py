@@ -1,0 +1,31 @@
+"""Kernel code generation: one IR, three instruction sets.
+
+This subpackage regenerates the paper's Table 1/Figure 1 comparison from
+first principles: each workload kernel is written once in a small IR
+(:mod:`repro.codegen.ir`), cross-checked by a reference interpreter
+(:mod:`repro.codegen.interp`), and lowered by three backends
+(:mod:`repro.codegen.lower`) whose instruction-selection differences *are*
+the ISA differences the paper discusses.
+"""
+
+from repro.codegen.interp import IrInterpreter, IrMemory
+from repro.codegen.ir import Function, IrBuilder, Op, VReg
+from repro.codegen.lower import (
+    ArmBackend,
+    Backend,
+    LoweringError,
+    Thumb2Backend,
+    ThumbBackend,
+    compile_functions,
+    compile_program,
+    make_backend,
+)
+from repro.codegen.regalloc import Allocation, AllocationError, allocate, live_ranges
+
+__all__ = [
+    "IrInterpreter", "IrMemory",
+    "Function", "IrBuilder", "Op", "VReg",
+    "ArmBackend", "Backend", "LoweringError", "Thumb2Backend", "ThumbBackend",
+    "compile_functions", "compile_program", "make_backend",
+    "Allocation", "AllocationError", "allocate", "live_ranges",
+]

@@ -1,0 +1,214 @@
+"""Reference interpreter for the kernel IR.
+
+The interpreter is the semantic oracle: every backend's generated code is
+cross-checked against it (and against the pure-Python workload references)
+in the integration tests.
+"""
+
+from __future__ import annotations
+
+from repro.codegen.ir import Function, Op, VReg
+
+MASK32 = 0xFFFFFFFF
+
+
+def _signed(value: int) -> int:
+    value &= MASK32
+    return value - (1 << 32) if value & 0x8000_0000 else value
+
+
+class IrMemory:
+    """Flat little-endian memory for the interpreter."""
+
+    def __init__(self, size: int = 0x10000, base: int = 0) -> None:
+        self.base = base
+        self.data = bytearray(size)
+
+    def read(self, addr: int, size: int) -> int:
+        offset = addr - self.base
+        return int.from_bytes(self.data[offset:offset + size], "little")
+
+    def write(self, addr: int, size: int, value: int) -> None:
+        offset = addr - self.base
+        self.data[offset:offset + size] = (value & ((1 << (8 * size)) - 1)).to_bytes(size, "little")
+
+    def load_bytes(self, addr: int, payload: bytes) -> None:
+        offset = addr - self.base
+        self.data[offset:offset + len(payload)] = payload
+
+    def dump(self, addr: int, length: int) -> bytes:
+        offset = addr - self.base
+        return bytes(self.data[offset:offset + length])
+
+
+def _compare(cond: str, a: int, b: int) -> bool:
+    sa, sb = _signed(a), _signed(b)
+    ua, ub = a & MASK32, b & MASK32
+    return {
+        "eq": ua == ub, "ne": ua != ub,
+        "lt": sa < sb, "le": sa <= sb, "gt": sa > sb, "ge": sa >= sb,
+        "lo": ua < ub, "ls": ua <= ub, "hi": ua > ub, "hs": ua >= ub,
+    }[cond]
+
+
+class IrInterpreter:
+    """Executes a :class:`Function` over an :class:`IrMemory`."""
+
+    def __init__(self, memory: IrMemory | None = None, max_steps: int = 2_000_000) -> None:
+        self.memory = memory or IrMemory()
+        self.max_steps = max_steps
+        self.steps = 0
+
+    def run(self, fn: Function, *args: int) -> int:
+        if len(args) != len(fn.params):
+            raise ValueError(f"{fn.name} takes {len(fn.params)} args, got {len(args)}")
+        regs: dict[int, int] = {p.index: a & MASK32 for p, a in zip(fn.params, args)}
+        labels = fn.labels()
+        pc = 0
+        while pc < len(fn.ops):
+            self.steps += 1
+            if self.steps > self.max_steps:
+                raise RuntimeError(f"{fn.name}: interpreter step budget exhausted")
+            op = fn.ops[pc]
+            pc += 1
+            result = self._execute(op, regs, labels)
+            if result is None:
+                continue
+            kind, value = result
+            if kind == "ret":
+                return value & MASK32
+            pc = value  # branch
+        raise RuntimeError(f"{fn.name}: fell off the end without ret")
+
+    # ------------------------------------------------------------------
+    def _value(self, regs: dict[int, int], operand) -> int:
+        if isinstance(operand, VReg):
+            return regs[operand.index]
+        return operand & MASK32
+
+    def _execute(self, op: Op, regs: dict[int, int], labels: dict[str, int]):
+        kind = op.kind
+        value = lambda operand: self._value(regs, operand)  # noqa: E731
+
+        if kind == "label":
+            return None
+        if kind == "const":
+            regs[op.dst.index] = op.a & MASK32
+            return None
+        if kind == "mov":
+            regs[op.dst.index] = value(op.a)
+            return None
+        if kind == "mvn":
+            regs[op.dst.index] = (~value(op.a)) & MASK32
+            return None
+        if kind == "neg":
+            regs[op.dst.index] = (-value(op.a)) & MASK32
+            return None
+        if kind == "clz":
+            regs[op.dst.index] = 32 - value(op.a).bit_length()
+            return None
+        if kind == "rbit":
+            regs[op.dst.index] = int(f"{value(op.a):032b}"[::-1], 2)
+            return None
+        if kind == "rev":
+            v = value(op.a)
+            regs[op.dst.index] = int.from_bytes(v.to_bytes(4, "little"), "big")
+            return None
+        if kind in ("sxtb", "sxth", "uxtb", "uxth"):
+            v = value(op.a)
+            bits = 8 if kind.endswith("b") else 16
+            v &= (1 << bits) - 1
+            if kind.startswith("s") and v & (1 << (bits - 1)):
+                v |= MASK32 ^ ((1 << bits) - 1)
+            regs[op.dst.index] = v
+            return None
+        if kind in ("add", "sub", "mul", "and", "orr", "eor", "bic",
+                    "lsl", "lsr", "asr", "ror", "udiv", "sdiv"):
+            a, b = value(op.a), value(op.b)
+            regs[op.dst.index] = self._binary(kind, a, b)
+            return None
+        if kind == "bfi":
+            mask = ((1 << op.width) - 1) << op.lsb
+            current = regs[op.dst.index]
+            regs[op.dst.index] = (current & ~mask) | ((value(op.a) << op.lsb) & mask)
+            return None
+        if kind in ("ubfx", "sbfx"):
+            field = (value(op.a) >> op.lsb) & ((1 << op.width) - 1)
+            if kind == "sbfx" and field & (1 << (op.width - 1)):
+                field |= MASK32 ^ ((1 << op.width) - 1)
+            regs[op.dst.index] = field
+            return None
+        if kind in ("load", "load_idx"):
+            if kind == "load":
+                addr = value(op.a) + op.offset
+            else:
+                addr = value(op.a) + (value(op.b) << op.shift)
+            nbytes = abs(op.size)
+            v = self.memory.read(addr, nbytes)
+            if op.size < 0 and v & (1 << (8 * nbytes - 1)):
+                v |= MASK32 ^ ((1 << (8 * nbytes)) - 1)
+            regs[op.dst.index] = v & MASK32
+            return None
+        if kind == "store":
+            self.memory.write(value(op.a) + op.offset, op.size, value(op.b))
+            return None
+        if kind == "store_idx":
+            addr = value(op.a) + (value(op.b) << op.shift)
+            self.memory.write(addr, op.size, regs[op.dst.index])
+            return None
+        if kind == "br":
+            return ("br", labels[op.target])
+        if kind == "brcond":
+            if _compare(op.cond, value(op.a), value(op.b)):
+                return ("br", labels[op.target])
+            return None
+        if kind == "select":
+            chosen = op.t if _compare(op.cond, value(op.a), value(op.b)) else op.f
+            regs[op.dst.index] = value(chosen)
+            return None
+        if kind == "switch":
+            index = value(op.a)
+            if index < len(op.targets):
+                return ("br", labels[op.targets[index]])
+            return None
+        if kind == "ret":
+            return ("ret", value(op.a))
+        raise ValueError(f"unknown IR op {kind!r}")
+
+    @staticmethod
+    def _binary(kind: str, a: int, b: int) -> int:
+        if kind == "add":
+            return (a + b) & MASK32
+        if kind == "sub":
+            return (a - b) & MASK32
+        if kind == "mul":
+            return (a * b) & MASK32
+        if kind == "and":
+            return a & b
+        if kind == "orr":
+            return a | b
+        if kind == "eor":
+            return a ^ b
+        if kind == "bic":
+            return a & ~b & MASK32
+        if kind == "lsl":
+            return (a << (b & 0xFF)) & MASK32 if (b & 0xFF) < 32 else 0
+        if kind == "lsr":
+            return (a >> (b & 0xFF)) if (b & 0xFF) < 32 else 0
+        if kind == "asr":
+            amount = min(b & 0xFF, 31)
+            return (_signed(a) >> amount) & MASK32
+        if kind == "ror":
+            amount = (b & 0xFF) % 32
+            return ((a >> amount) | (a << (32 - amount))) & MASK32 if amount else a
+        if kind == "udiv":
+            return (a // b) & MASK32 if b else 0
+        if kind == "sdiv":
+            if b == 0:
+                return 0
+            sa, sb = _signed(a), _signed(b)
+            quotient = abs(sa) // abs(sb)
+            if (sa < 0) != (sb < 0):
+                quotient = -quotient
+            return quotient & MASK32
+        raise ValueError(kind)

@@ -1,0 +1,309 @@
+"""A small typed IR for the benchmark kernels.
+
+Kernels are written once against :class:`IrBuilder` and lowered to all
+three instruction sets by the backends in this package.  That is what
+makes the paper's Table 1 comparison *generated* rather than hard-coded:
+the same kernel definition produces genuinely different instruction
+sequences (and therefore code sizes and cycle counts) per ISA, with the
+ISA-specific expansions (software divide on ARM7, mask sequences instead
+of bitfield ops on Thumb, IT blocks on Thumb-2, ...) supplied by each
+backend.
+
+The IR is deliberately low-level - virtual registers, explicit loads and
+stores, structured only by labels and branches - so the lowering is an
+honest instruction-selection problem rather than a compiler project.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+BINARY_OPS = frozenset({
+    "add", "sub", "mul", "and", "orr", "eor", "bic",
+    "lsl", "lsr", "asr", "ror", "udiv", "sdiv",
+})
+UNARY_OPS = frozenset({"mov", "mvn", "neg", "clz", "rbit", "rev", "sxtb", "sxth", "uxtb", "uxth"})
+CMP_CONDS = frozenset({"eq", "ne", "lt", "le", "gt", "ge", "lo", "ls", "hi", "hs"})
+LOAD_SIZES = frozenset({1, 2, 4, -1, -2})   # negative = sign-extended
+STORE_SIZES = frozenset({1, 2, 4})
+
+
+@dataclass(frozen=True)
+class VReg:
+    """A virtual register."""
+
+    index: int
+    name: str = ""
+
+    def __repr__(self) -> str:
+        return f"%{self.name or self.index}"
+
+
+Value = VReg | int  # operands are virtual registers or immediates
+
+
+@dataclass
+class Op:
+    """One IR operation.  Field meaning depends on ``kind``:
+
+    ====================  =================================================
+    const                 dst = imm
+    mov/mvn/neg/...       dst = op(a)
+    add/sub/...           dst = a OP b
+    bfi                   dst[lsb+w-1:lsb] = a[w-1:0]   (b unused)
+    ubfx / sbfx           dst = a[lsb+w-1:lsb] (zero/sign extended)
+    load                  dst = mem[a + offset] (size bytes; <0 = signed)
+    load_idx              dst = mem[a + (b << shift)]
+    store                 mem[a + offset] = b
+    store_idx             mem[a + (b << shift)] = dst  (dst reused as src)
+    label                 name
+    br                    target
+    brcond                if (a CMP b) goto target
+    select                dst = (a CMP b) ? t : f
+    switch                jump targets[a] (dense 0..n-1; falls to next op
+                          when a out of range)
+    ret                   return a
+    ====================  =================================================
+    """
+
+    kind: str
+    dst: VReg | None = None
+    a: Value | None = None
+    b: Value | None = None
+    cond: str | None = None
+    t: Value | None = None
+    f: Value | None = None
+    offset: int = 0
+    size: int = 4
+    shift: int = 0
+    lsb: int = 0
+    width: int = 0
+    name: str = ""
+    target: str = ""
+    targets: tuple[str, ...] = ()
+
+
+@dataclass
+class Function:
+    """An IR function: name, parameters, and a linear op list."""
+
+    name: str
+    params: list[VReg]
+    ops: list[Op] = field(default_factory=list)
+    vreg_count: int = 0
+
+    def labels(self) -> dict[str, int]:
+        return {op.name: index for index, op in enumerate(self.ops) if op.kind == "label"}
+
+    def validate(self) -> None:
+        labels = self.labels()
+        defined: set[int] = {p.index for p in self.params}
+        for op in self.ops:
+            for operand in (op.a, op.b, op.t, op.f):
+                if isinstance(operand, VReg) and operand.index not in defined:
+                    raise ValueError(
+                        f"{self.name}: {operand!r} used before definition in {op.kind}")
+            if op.dst is not None and op.kind not in ("store_idx",):
+                defined.add(op.dst.index)
+            if op.kind in ("br", "brcond") and op.target not in labels:
+                raise ValueError(f"{self.name}: branch to unknown label {op.target!r}")
+            if op.kind == "switch":
+                for target in op.targets:
+                    if target not in labels:
+                        raise ValueError(f"{self.name}: switch to unknown label {target!r}")
+            if op.kind == "brcond" and op.cond not in CMP_CONDS:
+                raise ValueError(f"{self.name}: bad condition {op.cond!r}")
+
+
+class IrBuilder:
+    """Fluent construction API for :class:`Function`."""
+
+    def __init__(self, name: str, num_params: int = 0) -> None:
+        self._counter = itertools.count()
+        params = [VReg(next(self._counter), f"arg{i}") for i in range(num_params)]
+        self.fn = Function(name=name, params=params)
+
+    # ------------------------------------------------------------------
+    def _new(self, name: str = "") -> VReg:
+        return VReg(next(self._counter), name)
+
+    def _emit(self, op: Op) -> VReg | None:
+        self.fn.ops.append(op)
+        return op.dst
+
+    @property
+    def params(self) -> list[VReg]:
+        return self.fn.params
+
+    # -- constants and moves -------------------------------------------
+    def const(self, value: int, name: str = "") -> VReg:
+        dst = self._new(name)
+        self._emit(Op("const", dst=dst, a=value & 0xFFFFFFFF))
+        return dst
+
+    def mov(self, a: Value, name: str = "") -> VReg:
+        dst = self._new(name)
+        self._emit(Op("mov", dst=dst, a=a))
+        return dst
+
+    def assign(self, dst: VReg, a: Value) -> VReg:
+        """Re-assign an existing vreg (for loop-carried values)."""
+        self._emit(Op("mov", dst=dst, a=a))
+        return dst
+
+    # -- arithmetic ------------------------------------------------------
+    def _binary(self, kind: str, a: Value, b: Value, name: str = "") -> VReg:
+        dst = self._new(name)
+        self._emit(Op(kind, dst=dst, a=a, b=b))
+        return dst
+
+    def add(self, a, b, name=""):
+        return self._binary("add", a, b, name)
+
+    def sub(self, a, b, name=""):
+        return self._binary("sub", a, b, name)
+
+    def mul(self, a, b, name=""):
+        return self._binary("mul", a, b, name)
+
+    def udiv(self, a, b, name=""):
+        return self._binary("udiv", a, b, name)
+
+    def sdiv(self, a, b, name=""):
+        return self._binary("sdiv", a, b, name)
+
+    def and_(self, a, b, name=""):
+        return self._binary("and", a, b, name)
+
+    def orr(self, a, b, name=""):
+        return self._binary("orr", a, b, name)
+
+    def eor(self, a, b, name=""):
+        return self._binary("eor", a, b, name)
+
+    def bic(self, a, b, name=""):
+        return self._binary("bic", a, b, name)
+
+    def lsl(self, a, b, name=""):
+        return self._binary("lsl", a, b, name)
+
+    def lsr(self, a, b, name=""):
+        return self._binary("lsr", a, b, name)
+
+    def asr(self, a, b, name=""):
+        return self._binary("asr", a, b, name)
+
+    def ror(self, a, b, name=""):
+        return self._binary("ror", a, b, name)
+
+    def _unary(self, kind: str, a: Value, name: str = "") -> VReg:
+        dst = self._new(name)
+        self._emit(Op(kind, dst=dst, a=a))
+        return dst
+
+    def mvn(self, a, name=""):
+        return self._unary("mvn", a, name)
+
+    def neg(self, a, name=""):
+        return self._unary("neg", a, name)
+
+    def clz(self, a, name=""):
+        return self._unary("clz", a, name)
+
+    def rbit(self, a, name=""):
+        return self._unary("rbit", a, name)
+
+    def rev(self, a, name=""):
+        return self._unary("rev", a, name)
+
+    def sxtb(self, a, name=""):
+        return self._unary("sxtb", a, name)
+
+    def sxth(self, a, name=""):
+        return self._unary("sxth", a, name)
+
+    def uxtb(self, a, name=""):
+        return self._unary("uxtb", a, name)
+
+    def uxth(self, a, name=""):
+        return self._unary("uxth", a, name)
+
+    # -- bitfields (the paper's section 2.1 feature) ---------------------
+    def bfi(self, dst: VReg, src: Value, lsb: int, width: int) -> VReg:
+        self._emit(Op("bfi", dst=dst, a=src, lsb=lsb, width=width))
+        return dst
+
+    def ubfx(self, a: Value, lsb: int, width: int, name: str = "") -> VReg:
+        dst = self._new(name)
+        self._emit(Op("ubfx", dst=dst, a=a, lsb=lsb, width=width))
+        return dst
+
+    def sbfx(self, a: Value, lsb: int, width: int, name: str = "") -> VReg:
+        dst = self._new(name)
+        self._emit(Op("sbfx", dst=dst, a=a, lsb=lsb, width=width))
+        return dst
+
+    # -- memory -----------------------------------------------------------
+    def load(self, base: VReg, offset: int = 0, size: int = 4, name: str = "") -> VReg:
+        if size not in LOAD_SIZES:
+            raise ValueError(f"bad load size {size}")
+        dst = self._new(name)
+        self._emit(Op("load", dst=dst, a=base, offset=offset, size=size))
+        return dst
+
+    def load_idx(self, base: VReg, index: Value, shift: int = 0, size: int = 4,
+                 name: str = "") -> VReg:
+        if size not in LOAD_SIZES:
+            raise ValueError(f"bad load size {size}")
+        dst = self._new(name)
+        self._emit(Op("load_idx", dst=dst, a=base, b=index, shift=shift, size=size))
+        return dst
+
+    def store(self, value: Value, base: VReg, offset: int = 0, size: int = 4) -> None:
+        if size not in STORE_SIZES:
+            raise ValueError(f"bad store size {size}")
+        self._emit(Op("store", a=base, b=value, offset=offset, size=size))
+
+    def store_idx(self, value: VReg, base: VReg, index: Value, shift: int = 0,
+                  size: int = 4) -> None:
+        if size not in STORE_SIZES:
+            raise ValueError(f"bad store size {size}")
+        self._emit(Op("store_idx", dst=value, a=base, b=index, shift=shift, size=size))
+
+    # -- control flow -----------------------------------------------------
+    def label(self, name: str) -> None:
+        self._emit(Op("label", name=name))
+
+    def br(self, target: str) -> None:
+        self._emit(Op("br", target=target))
+
+    def brcond(self, cond: str, a: Value, b: Value, target: str) -> None:
+        if cond not in CMP_CONDS:
+            raise ValueError(f"bad condition {cond!r}")
+        self._emit(Op("brcond", cond=cond, a=a, b=b, target=target))
+
+    def select(self, cond: str, a: Value, b: Value, t: Value, f: Value,
+               name: str = "") -> VReg:
+        if cond not in CMP_CONDS:
+            raise ValueError(f"bad condition {cond!r}")
+        for operand in (t, f):
+            if isinstance(operand, int) and not 0 <= operand <= 255:
+                raise ValueError(
+                    "select arms must be vregs or 0..255 immediates; "
+                    "hoist larger constants with const()")
+        dst = self._new(name)
+        self._emit(Op("select", dst=dst, cond=cond, a=a, b=b, t=t, f=f))
+        return dst
+
+    def switch(self, index: Value, targets: list[str]) -> None:
+        self._emit(Op("switch", a=index, targets=tuple(targets)))
+
+    def ret(self, value: Value) -> None:
+        self._emit(Op("ret", a=value))
+
+    # ------------------------------------------------------------------
+    def build(self) -> Function:
+        self.fn.vreg_count = next(self._counter)
+        self.fn.validate()
+        return self.fn

@@ -1,0 +1,1003 @@
+"""Instruction selection: IR -> ARM / Thumb / Thumb-2 assembly items.
+
+Each backend captures its instruction set's character:
+
+* :class:`ArmBackend` - classic 32-bit ARM: 3-address everything,
+  conditional execution, rotated immediates, **no** divide/bitfield/MOVW
+  (all expanded: software divide helpers, shift-mask sequences, literal
+  pools for large constants).
+* :class:`ThumbBackend` - 16-bit Thumb: low registers, 2-address ALU ops,
+  8-bit immediates, branch diamonds instead of conditional execution, and
+  the same expansions as ARM - this is where the extra instructions that
+  cost Thumb its 21 % in Table 1 come from.
+* :class:`Thumb2Backend` - the paper's contribution: narrow encodings
+  where possible, plus MOVW/MOVT, IT blocks, TBB tables, BFI/UBFX/RBIT,
+  and hardware SDIV/UDIV.  Its ``const_policy`` knob switches between
+  MOVW/MOVT and literal pools for experiment E3.
+
+Helper routines (software divide) are emitted once per program by
+:func:`compile_program`.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.codegen.ir import Function, Op, VReg
+from repro.codegen.regalloc import Allocation, allocate
+from repro.isa.arm32 import encode_arm_immediate
+from repro.isa.assembler import (
+    AsmItem,
+    DeltaDirective,
+    Directive,
+    Label,
+    LiteralRef,
+    assemble_items,
+    parse_line,
+)
+from repro.isa.conditions import Condition
+from repro.isa.instructions import ISA_ARM, ISA_THUMB, ISA_THUMB2, Instruction, Mem, Shift, instr
+from repro.isa.registers import LR, PC, SP
+from repro.isa.thumb import encode_thumb2_imm
+
+_COND = {
+    "eq": Condition.EQ, "ne": Condition.NE,
+    "lt": Condition.LT, "le": Condition.LE,
+    "gt": Condition.GT, "ge": Condition.GE,
+    "lo": Condition.CC, "ls": Condition.LS,
+    "hi": Condition.HI, "hs": Condition.CS,
+}
+
+_BINARY_MNEMONIC = {
+    "add": "ADD", "sub": "SUB", "mul": "MUL", "and": "AND",
+    "orr": "ORR", "eor": "EOR", "bic": "BIC",
+    "lsl": "LSL", "lsr": "LSR", "asr": "ASR", "ror": "ROR",
+}
+
+_LOAD_MNEMONIC = {4: "LDR", 2: "LDRH", 1: "LDRB", -1: "LDRSB", -2: "LDRSH"}
+_STORE_MNEMONIC = {4: "STR", 2: "STRH", 1: "STRB"}
+
+
+class LoweringError(Exception):
+    """The backend cannot lower this IR construct."""
+
+
+def _parse_asm(text: str) -> list[AsmItem]:
+    items: list[AsmItem] = []
+    for line in text.splitlines():
+        items.extend(parse_line(line))
+    return items
+
+
+class Backend:
+    """Shared lowering machinery (3-address flavoured; Thumb overrides)."""
+
+    isa: str = ""
+    pool: list[int] = []
+    param_regs = [0, 1, 2, 3]
+    scratch: int = 12
+
+    def __init__(self) -> None:
+        self._label_counter = itertools.count()
+        self.helpers_needed: set[str] = set()
+
+    # ------------------------------------------------------------------
+    # per-function state
+    # ------------------------------------------------------------------
+    def lower_function(self, fn: Function) -> list[AsmItem]:
+        self.fn = fn
+        self.alloc: Allocation = allocate(fn, list(self.pool), self.param_regs)
+        self.items: list[AsmItem] = []
+        self.needs_lr = False
+        self.exit_label = f"{fn.name}__exit"
+        for op in fn.ops:
+            self._lower_op(op)
+        body = self.items
+        saved = self.alloc.callee_saved_used()
+        prologue: list[AsmItem] = [Label(fn.name)]
+        epilogue: list[AsmItem] = [Label(self.exit_label)]
+        if self.needs_lr or saved:
+            push_list = tuple(saved + ([LR] if self.needs_lr or saved else []))
+            prologue.append(instr("PUSH", reglist=push_list))
+            pop_list = tuple(saved + [PC])
+            epilogue.append(instr("POP", reglist=pop_list))
+        else:
+            epilogue.append(instr("BX", rm=LR))
+        return prologue + body + epilogue
+
+    # ------------------------------------------------------------------
+    # emission helpers
+    # ------------------------------------------------------------------
+    def emit(self, item: AsmItem) -> None:
+        self.items.append(item)
+
+    def local(self, name: str) -> str:
+        return f"{self.fn.name}__{name}"
+
+    def fresh_label(self, hint: str) -> str:
+        return f"{self.fn.name}__{hint}_{next(self._label_counter)}"
+
+    def reg(self, operand: VReg) -> int:
+        return self.alloc.reg(operand)
+
+    def value_reg(self, operand, preferred: int | None = None) -> int:
+        """Physical register holding ``operand`` (materializing ints)."""
+        if isinstance(operand, VReg):
+            return self.reg(operand)
+        target = self.scratch if preferred is None else preferred
+        self.materialize(target, operand)
+        return target
+
+    def temp_reg(self, exclude: set[int]) -> int:
+        """A register safe to use after push (caller must emit the pop)."""
+        for candidate in self.pool:
+            if candidate not in exclude:
+                return candidate
+        raise LoweringError("no temp register available")
+
+    # -- ISA-specific hooks ---------------------------------------------
+    def materialize(self, reg: int, value: int) -> None:
+        raise NotImplementedError
+
+    def imm_ok(self, kind: str, value: int) -> bool:
+        raise NotImplementedError
+
+    def setflags_default(self) -> bool:
+        return False
+
+    # ------------------------------------------------------------------
+    # op dispatch
+    # ------------------------------------------------------------------
+    def _lower_op(self, op: Op) -> None:
+        handler = getattr(self, f"_op_{op.kind}", None)
+        if handler is None:
+            raise LoweringError(f"{self.isa}: no lowering for {op.kind!r}")
+        handler(op)
+
+    # -- trivia -----------------------------------------------------------
+    def _op_label(self, op: Op) -> None:
+        self.emit(Label(self.local(op.name)))
+
+    def _op_br(self, op: Op) -> None:
+        self.emit(instr("B", label=self.local(op.target)))
+
+    def _op_const(self, op: Op) -> None:
+        self.materialize(self.reg(op.dst), op.a)
+
+    def _op_mov(self, op: Op) -> None:
+        if isinstance(op.a, VReg):
+            src = self.reg(op.a)
+            dst = self.reg(op.dst)
+            if src != dst:
+                self.emit(instr("MOV", rd=dst, rm=src))
+        else:
+            self.materialize(self.reg(op.dst), op.a)
+
+    def _op_ret(self, op: Op) -> None:
+        if isinstance(op.a, VReg):
+            src = self.reg(op.a)
+            if src != 0:
+                self.emit(instr("MOV", rd=0, rm=src))
+        else:
+            self.materialize(0, op.a)
+        self.emit(instr("B", label=self.exit_label))
+
+    # -- data processing ---------------------------------------------------
+    def _emit_binary(self, mnemonic: str, dst: int, a: int, b, setflags: bool) -> None:
+        """3-address form; ``b`` is an int immediate or a register number."""
+        if isinstance(b, tuple) and b[0] == "imm":
+            self.emit(instr(mnemonic, rd=dst, rn=a, imm=b[1], setflags=setflags))
+        else:
+            self.emit(instr(mnemonic, rd=dst, rn=a, rm=b, setflags=setflags))
+
+    def _binary_operand(self, kind: str, operand):
+        """('imm', v) when directly encodable, else a register number."""
+        if isinstance(operand, VReg):
+            return self.reg(operand)
+        if self.imm_ok(kind, operand):
+            return ("imm", operand)
+        self.materialize(self.scratch, operand)
+        return self.scratch
+
+    def _op_binary_generic(self, op: Op) -> None:
+        mnemonic = _BINARY_MNEMONIC[op.kind]
+        dst = self.reg(op.dst)
+        a = self.value_reg(op.a)
+        if op.kind == "mul":
+            b = self.value_reg(op.b, preferred=self.scratch)
+            self.emit(instr("MUL", rd=dst, rn=a, rm=b))
+            return
+        b = self._binary_operand(op.kind, op.b)
+        self._emit_binary(mnemonic, dst, a, b, self.setflags_default())
+
+    _op_add = _op_sub = _op_mul = _op_and = _op_orr = _op_eor = _op_bic = \
+        _op_lsl = _op_lsr = _op_asr = _op_ror = _op_binary_generic
+
+    def _op_neg(self, op: Op) -> None:
+        self.emit(instr("RSB", rd=self.reg(op.dst), rn=self.value_reg(op.a),
+                        imm=0, setflags=self.setflags_default()))
+
+    def _op_mvn(self, op: Op) -> None:
+        self.emit(instr("MVN", rd=self.reg(op.dst), rm=self.value_reg(op.a),
+                        setflags=self.setflags_default()))
+
+    # -- division: native on Thumb-2, helpers elsewhere ---------------------
+    def _op_udiv(self, op: Op) -> None:
+        self._divide_helper(op, "__udiv")
+
+    def _op_sdiv(self, op: Op) -> None:
+        self._divide_helper(op, "__sdiv")
+
+    def _divide_helper(self, op: Op, helper: str) -> None:
+        """AAPCS-ish call: args r0/r1, result r0, r2+ preserved by helper."""
+        self.helpers_needed.add(helper)
+        self.needs_lr = True
+        a = self.value_reg(op.a, preferred=self.scratch)
+        self.emit(instr("PUSH", reglist=(0, 1)))
+        if a != self.scratch:
+            self.emit(instr("MOV", rd=self.scratch, rm=a))
+        b = op.b
+        if isinstance(b, VReg):
+            breg = self.reg(b)
+            if breg != 1:
+                self.emit(instr("MOV", rd=1, rm=breg))
+        else:
+            self.materialize(1, b)
+        self.emit(instr("MOV", rd=0, rm=self.scratch))
+        self.emit(instr("BL", label=helper))
+        self.emit(instr("MOV", rd=self.scratch, rm=0))
+        self.emit(instr("POP", reglist=(0, 1)))
+        dst = self.reg(op.dst)
+        if dst != self.scratch:
+            self.emit(instr("MOV", rd=dst, rm=self.scratch))
+
+    # -- extends -----------------------------------------------------------
+    def _op_uxtb(self, op: Op) -> None:
+        self.emit(instr("UXTB", rd=self.reg(op.dst), rm=self.value_reg(op.a)))
+
+    def _op_uxth(self, op: Op) -> None:
+        self.emit(instr("UXTH", rd=self.reg(op.dst), rm=self.value_reg(op.a)))
+
+    def _op_sxtb(self, op: Op) -> None:
+        self.emit(instr("SXTB", rd=self.reg(op.dst), rm=self.value_reg(op.a)))
+
+    def _op_sxth(self, op: Op) -> None:
+        self.emit(instr("SXTH", rd=self.reg(op.dst), rm=self.value_reg(op.a)))
+
+    def _op_rev(self, op: Op) -> None:
+        self.emit(instr("REV", rd=self.reg(op.dst), rm=self.value_reg(op.a)))
+
+    # -- memory -------------------------------------------------------------
+    def load_offset_ok(self, size: int, offset: int) -> bool:
+        raise NotImplementedError
+
+    def _op_load(self, op: Op) -> None:
+        mnemonic = _LOAD_MNEMONIC[op.size]
+        dst = self.reg(op.dst)
+        base = self.reg(op.a)
+        if self.load_offset_ok(op.size, op.offset):
+            self.emit(instr(mnemonic, rd=dst, mem=Mem(rn=base, offset=op.offset)))
+        else:
+            self.materialize(self.scratch, op.offset)
+            self.emit(instr(mnemonic, rd=dst, mem=Mem(rn=base, rm=self.scratch)))
+
+    def _op_store(self, op: Op) -> None:
+        mnemonic = _STORE_MNEMONIC[op.size]
+        base = self.reg(op.a)
+        if self.load_offset_ok(op.size, op.offset):
+            src = self.value_reg(op.b, preferred=self.scratch)
+            self.emit(instr(mnemonic, rd=src, mem=Mem(rn=base, offset=op.offset)))
+            return
+        if not isinstance(op.b, VReg):
+            raise LoweringError(
+                f"{self.isa}: store of a constant at out-of-range offset "
+                f"{op.offset}; hoist the value into a vreg")
+        self.materialize(self.scratch, op.offset)
+        self.emit(instr(mnemonic, rd=self.reg(op.b), mem=Mem(rn=base, rm=self.scratch)))
+
+    def _op_load_idx(self, op: Op) -> None:
+        mnemonic = _LOAD_MNEMONIC[op.size]
+        dst = self.reg(op.dst)
+        base = self.reg(op.a)
+        index = self.value_reg(op.b, preferred=self.scratch)
+        self.emit(instr(mnemonic, rd=dst, mem=Mem(rn=base, rm=index, shift=op.shift)))
+
+    def _op_store_idx(self, op: Op) -> None:
+        mnemonic = _STORE_MNEMONIC[op.size]
+        base = self.reg(op.a)
+        index = self.value_reg(op.b, preferred=self.scratch)
+        src = self.reg(op.dst)
+        self.emit(instr(mnemonic, rd=src, mem=Mem(rn=base, rm=index, shift=op.shift)))
+
+    # -- compare-and-branch ---------------------------------------------------
+    def _emit_compare(self, a, b) -> None:
+        areg = self.value_reg(a)
+        if isinstance(b, int) and self.imm_ok("cmp", b):
+            self.emit(instr("CMP", rn=areg, imm=b))
+        else:
+            breg = self.value_reg(b, preferred=self.scratch)
+            self.emit(instr("CMP", rn=areg, rm=breg))
+
+    def _op_brcond(self, op: Op) -> None:
+        self._emit_compare(op.a, op.b)
+        self.emit(instr("B", cond=_COND[op.cond], label=self.local(op.target)))
+
+
+# ======================================================================
+# ARM backend
+# ======================================================================
+
+class ArmBackend(Backend):
+    """Classic 32-bit ARM lowering."""
+
+    isa = ISA_ARM
+    pool = list(range(0, 12))  # r0-r11; r12 (IP) is the scratch
+    scratch = 12
+
+    def materialize(self, reg: int, value: int) -> None:
+        value &= 0xFFFFFFFF
+        if encode_arm_immediate(value) is not None:
+            self.emit(instr("MOV", rd=reg, imm=value))
+        elif encode_arm_immediate(~value & 0xFFFFFFFF) is not None:
+            self.emit(instr("MVN", rd=reg, imm=~value & 0xFFFFFFFF))
+        else:
+            # classic ARM: constants come from the literal pool
+            self.emit(LiteralRef(instr("LDR", rd=reg), value))
+
+    def imm_ok(self, kind: str, value: int) -> bool:
+        if kind in ("lsl", "lsr", "asr", "ror"):
+            return 0 <= value <= 31 or (kind in ("lsr", "asr") and value == 32)
+        return encode_arm_immediate(value & 0xFFFFFFFF) is not None
+
+    def load_offset_ok(self, size: int, offset: int) -> bool:
+        if abs(size) == 4 or size == 1:
+            return -4095 <= offset <= 4095
+        return -255 <= offset <= 255
+
+    _NO_SHIFTED_INDEX = frozenset({2, -1, -2})  # LDRH/LDRSB/LDRSH/STRH forms
+
+    def _op_load_idx(self, op: Op) -> None:
+        if op.shift and op.size in self._NO_SHIFTED_INDEX:
+            index = self.value_reg(op.b, preferred=self.scratch)
+            self.emit(instr("LSL", rd=self.scratch, rn=index, imm=op.shift))
+            self.emit(instr(_LOAD_MNEMONIC[op.size], rd=self.reg(op.dst),
+                            mem=Mem(rn=self.reg(op.a), rm=self.scratch)))
+            return
+        super()._op_load_idx(op)
+
+    def _op_store_idx(self, op: Op) -> None:
+        if op.shift and op.size in self._NO_SHIFTED_INDEX:
+            index = self.value_reg(op.b, preferred=self.scratch)
+            self.emit(instr("LSL", rd=self.scratch, rn=index, imm=op.shift))
+            self.emit(instr(_STORE_MNEMONIC[op.size], rd=self.reg(op.dst),
+                            mem=Mem(rn=self.reg(op.a), rm=self.scratch)))
+            return
+        super()._op_store_idx(op)
+
+    # conditional execution: the ARM way to do select
+    def _op_select(self, op: Op) -> None:
+        dst = self.reg(op.dst)
+        cond = _COND[op.cond]
+        self._emit_compare(op.a, op.b)
+        for arm_cond, value in ((cond, op.t), (cond.inverse, op.f)):
+            if isinstance(value, VReg):
+                self.emit(instr("MOV", cond=arm_cond, rd=dst, rm=self.reg(value)))
+            else:
+                self.emit(instr("MOV", cond=arm_cond, rd=dst, imm=value))
+
+    def _op_switch(self, op: Op) -> None:
+        index = self.value_reg(op.a)
+        count = len(op.targets)
+        after = self.fresh_label("swafter")
+        self.emit(instr("CMP", rn=index, imm=count - 1))
+        self.emit(instr("B", cond=Condition.HI, label=after))
+        # ADD pc, pc, index, LSL #2 reads pc as .+8, landing on the table
+        self.emit(instr("ADD", rd=PC, rn=PC, rm=index, shift=Shift("LSL", 2)))
+        self.emit(instr("NOP"))
+        for target in op.targets:
+            self.emit(instr("B", label=self.local(target)))
+        self.emit(Label(after))
+
+    def _op_clz(self, op: Op) -> None:
+        self.emit(instr("CLZ", rd=self.reg(op.dst), rm=self.value_reg(op.a)))
+
+    def _op_rev(self, op: Op) -> None:
+        # ARMv4/v5 has no REV: the classic EOR/BIC/ROR byte-swap
+        dst = self.reg(op.dst)
+        src = self.value_reg(op.a)
+        exclude = {dst, src, self.scratch}
+        temp = self.temp_reg(exclude)
+        self.emit(instr("PUSH", reglist=(temp,)))
+        self.emit(instr("EOR", rd=temp, rn=src, rm=src, shift=Shift("ROR", 16)))
+        self.emit(instr("BIC", rd=temp, rn=temp, imm=0x00FF0000))
+        if dst != src:
+            self.emit(instr("MOV", rd=dst, rm=src))
+        self.emit(instr("MOV", rd=dst, rm=dst, shift=Shift("ROR", 8)))
+        self.emit(instr("EOR", rd=dst, rn=dst, rm=temp, shift=Shift("LSR", 8)))
+        self.emit(instr("POP", reglist=(temp,)))
+
+    def _op_rbit(self, op: Op) -> None:
+        # three swap stages (masks from the literal pool) + byte reverse
+        dst = self.reg(op.dst)
+        src = self.value_reg(op.a)
+        exclude = {dst, src, self.scratch}
+        temp = self.temp_reg(exclude)
+        self.emit(instr("PUSH", reglist=(temp,)))
+        if dst != src:
+            self.emit(instr("MOV", rd=dst, rm=src))
+        for mask, shift in ((0x55555555, 1), (0x33333333, 2), (0x0F0F0F0F, 4)):
+            self.materialize(self.scratch, mask)
+            # temp = (x >> shift) & mask ; x = (x & mask) << shift ; x |= temp
+            self.emit(instr("AND", rd=temp, rn=self.scratch, rm=dst,
+                            shift=Shift("LSR", shift)))
+            self.emit(instr("AND", rd=dst, rn=dst, rm=self.scratch))
+            self.emit(instr("ORR", rd=dst, rn=temp, rm=dst, shift=Shift("LSL", shift)))
+        # byte reverse (same trick as _op_rev, reusing temp)
+        self.emit(instr("EOR", rd=temp, rn=dst, rm=dst, shift=Shift("ROR", 16)))
+        self.emit(instr("BIC", rd=temp, rn=temp, imm=0x00FF0000))
+        self.emit(instr("MOV", rd=dst, rm=dst, shift=Shift("ROR", 8)))
+        self.emit(instr("EOR", rd=dst, rn=dst, rm=temp, shift=Shift("LSR", 8)))
+        self.emit(instr("POP", reglist=(temp,)))
+
+    # extends: expanded (pre-ARMv6 ARM state has no SXTB/UXTH...)
+    def _op_uxtb(self, op: Op) -> None:
+        self.emit(instr("AND", rd=self.reg(op.dst), rn=self.value_reg(op.a), imm=0xFF))
+
+    def _op_uxth(self, op: Op) -> None:
+        dst, src = self.reg(op.dst), self.value_reg(op.a)
+        self.emit(instr("LSL", rd=dst, rn=src, imm=16))
+        self.emit(instr("LSR", rd=dst, rn=dst, imm=16))
+
+    def _op_sxtb(self, op: Op) -> None:
+        dst, src = self.reg(op.dst), self.value_reg(op.a)
+        self.emit(instr("LSL", rd=dst, rn=src, imm=24))
+        self.emit(instr("ASR", rd=dst, rn=dst, imm=24))
+
+    def _op_sxth(self, op: Op) -> None:
+        dst, src = self.reg(op.dst), self.value_reg(op.a)
+        self.emit(instr("LSL", rd=dst, rn=src, imm=16))
+        self.emit(instr("ASR", rd=dst, rn=dst, imm=16))
+
+    # bitfields: shift-mask expansions (the pre-Thumb-2 cost, section 2.1)
+    def _op_ubfx(self, op: Op) -> None:
+        dst, src = self.reg(op.dst), self.value_reg(op.a)
+        self.emit(instr("LSL", rd=dst, rn=src, imm=32 - op.lsb - op.width))
+        self.emit(instr("LSR", rd=dst, rn=dst, imm=32 - op.width))
+
+    def _op_sbfx(self, op: Op) -> None:
+        dst, src = self.reg(op.dst), self.value_reg(op.a)
+        self.emit(instr("LSL", rd=dst, rn=src, imm=32 - op.lsb - op.width))
+        self.emit(instr("ASR", rd=dst, rn=dst, imm=32 - op.width))
+
+    def _op_bfi(self, op: Op) -> None:
+        dst = self.reg(op.dst)
+        src = self.value_reg(op.a)
+        mask = ((1 << op.width) - 1) << op.lsb
+        exclude = {dst, src, self.scratch}
+        temp = self.temp_reg(exclude)
+        self.emit(instr("PUSH", reglist=(temp,)))
+        self.emit(instr("LSL", rd=temp, rn=src, imm=32 - op.width))
+        self.emit(instr("LSR", rd=temp, rn=temp, imm=32 - op.width - op.lsb))
+        self.materialize(self.scratch, mask)
+        self.emit(instr("BIC", rd=dst, rn=dst, rm=self.scratch))
+        self.emit(instr("ORR", rd=dst, rn=dst, rm=temp))
+        self.emit(instr("POP", reglist=(temp,)))
+
+
+# ======================================================================
+# Thumb (16-bit) backend
+# ======================================================================
+
+class ThumbBackend(Backend):
+    """16-bit Thumb lowering: low registers, 2-address ALU, no predication."""
+
+    isa = ISA_THUMB
+    pool = [0, 1, 2, 3, 4, 5, 6]  # low registers; r7 is the scratch
+    scratch = 7
+
+    def setflags_default(self) -> bool:
+        return True  # 16-bit ALU encodings all set flags
+
+    def materialize(self, reg: int, value: int) -> None:
+        value &= 0xFFFFFFFF
+        if value <= 0xFF:
+            self.emit(instr("MOV", rd=reg, imm=value, setflags=True))
+            return
+        inverted = ~value & 0xFFFFFFFF
+        if inverted <= 0xFF:
+            self.emit(instr("MOV", rd=reg, imm=inverted, setflags=True))
+            self.emit(instr("MVN", rd=reg, rm=reg, setflags=True))
+            return
+        shift = (value & -value).bit_length() - 1  # trailing zeros
+        if value >> shift <= 0xFF:
+            self.emit(instr("MOV", rd=reg, imm=value >> shift, setflags=True))
+            self.emit(instr("LSL", rd=reg, rn=reg, imm=shift, setflags=True))
+            return
+        self.emit(LiteralRef(instr("LDR", rd=reg), value))
+
+    def imm_ok(self, kind: str, value: int) -> bool:
+        if kind in ("lsl", "lsr", "asr"):
+            return 0 <= value <= 31 or (kind in ("lsr", "asr") and value == 32)
+        if kind == "ror":
+            return False  # no immediate ROR in 16-bit Thumb
+        if kind in ("add", "sub"):
+            return 0 <= value <= 255
+        if kind == "cmp":
+            return 0 <= value <= 255
+        return False  # AND/ORR/EOR/BIC have no immediate forms
+
+    def load_offset_ok(self, size: int, offset: int) -> bool:
+        if size == 4:
+            return 0 <= offset <= 124 and offset % 4 == 0
+        if size == 2:
+            return 0 <= offset <= 62 and offset % 2 == 0
+        if size == 1:
+            return 0 <= offset <= 31
+        return False  # signed loads have no immediate form
+
+    # -- 2-address ALU handling -----------------------------------------
+    _TWO_ADDRESS = frozenset({"and", "orr", "eor", "bic", "ror"})
+
+    def _op_binary_generic(self, op: Op) -> None:
+        kind = op.kind
+        dst = self.reg(op.dst)
+        a = self.value_reg(op.a)
+
+        if kind == "mul":
+            b = self.value_reg(op.b, preferred=self.scratch)
+            if dst == b:
+                self.emit(instr("MUL", rd=dst, rn=a, rm=b, setflags=True))
+            else:
+                if dst != a:
+                    self.emit(instr("MOV", rd=dst, rm=a))
+                    a = dst
+                self.emit(instr("MUL", rd=dst, rn=b, rm=dst, setflags=True))
+            return
+
+        if kind in ("add", "sub"):
+            if isinstance(op.b, int):
+                if 0 <= op.b <= 7:
+                    self.emit(instr(kind.upper(), rd=dst, rn=a, imm=op.b, setflags=True))
+                    return
+                if dst == a and 0 <= op.b <= 255:
+                    self.emit(instr(kind.upper(), rd=dst, rn=a, imm=op.b, setflags=True))
+                    return
+                if 0 <= op.b <= 255:
+                    if dst != a:
+                        self.emit(instr("MOV", rd=dst, rm=a))
+                    self.emit(instr(kind.upper(), rd=dst, rn=dst, imm=op.b, setflags=True))
+                    return
+                self.materialize(self.scratch, op.b)
+                self.emit(instr(kind.upper(), rd=dst, rn=a, rm=self.scratch, setflags=True))
+                return
+            self.emit(instr(kind.upper(), rd=dst, rn=a,
+                            rm=self.reg(op.b), setflags=True))
+            return
+
+        if kind in ("lsl", "lsr", "asr") and isinstance(op.b, int):
+            self.emit(instr(kind.upper(), rd=dst, rn=a, imm=op.b, setflags=True))
+            return
+
+        # two-address ALU ops (and register-amount shifts): dst op= b
+        b = self.value_reg(op.b, preferred=self.scratch)
+        mnemonic = _BINARY_MNEMONIC[kind]
+        commutative = kind in ("and", "orr", "eor")
+        if dst == a:
+            self.emit(instr(mnemonic, rd=dst, rn=dst, rm=b, setflags=True))
+            return
+        if dst == b:
+            if commutative:
+                self.emit(instr(mnemonic, rd=dst, rn=dst, rm=a, setflags=True))
+                return
+            # dst aliases the right operand: stage it in the scratch
+            if b != self.scratch:
+                self.emit(instr("MOV", rd=self.scratch, rm=b))
+                b = self.scratch
+            self.emit(instr("MOV", rd=dst, rm=a))
+            self.emit(instr(mnemonic, rd=dst, rn=dst, rm=b, setflags=True))
+            return
+        self.emit(instr("MOV", rd=dst, rm=a))
+        self.emit(instr(mnemonic, rd=dst, rn=dst, rm=b, setflags=True))
+
+    _op_add = _op_sub = _op_mul = _op_and = _op_orr = _op_eor = _op_bic = \
+        _op_lsl = _op_lsr = _op_asr = _op_ror = _op_binary_generic
+
+    def _op_mvn(self, op: Op) -> None:
+        self.emit(instr("MVN", rd=self.reg(op.dst), rm=self.value_reg(op.a),
+                        setflags=True))
+
+    def _op_load(self, op: Op) -> None:
+        dst = self.reg(op.dst)
+        base = self.reg(op.a)
+        if op.size in (-1, -2):
+            # no immediate form for LDRSB/LDRSH: zero-extending load + extend
+            unsigned = {-1: 1, -2: 2}[op.size]
+            extend = {-1: "SXTB", -2: "SXTH"}[op.size]
+            if self.load_offset_ok(unsigned, op.offset):
+                self.emit(instr(_LOAD_MNEMONIC[unsigned], rd=dst,
+                                mem=Mem(rn=base, offset=op.offset)))
+                self.emit(instr(extend, rd=dst, rm=dst))
+                return
+        super()._op_load(op)
+
+    def _op_load_idx(self, op: Op) -> None:
+        # no shifted index in 16-bit Thumb: pre-scale into the scratch
+        mnemonic = _LOAD_MNEMONIC[op.size]
+        dst = self.reg(op.dst)
+        base = self.reg(op.a)
+        index = self.value_reg(op.b, preferred=self.scratch)
+        if op.shift:
+            self.emit(instr("LSL", rd=self.scratch, rn=index, imm=op.shift,
+                            setflags=True))
+            index = self.scratch
+        self.emit(instr(mnemonic, rd=dst, mem=Mem(rn=base, rm=index)))
+
+    def _op_store_idx(self, op: Op) -> None:
+        mnemonic = _STORE_MNEMONIC[op.size]
+        base = self.reg(op.a)
+        index = self.value_reg(op.b, preferred=self.scratch)
+        if op.shift:
+            self.emit(instr("LSL", rd=self.scratch, rn=index, imm=op.shift,
+                            setflags=True))
+            index = self.scratch
+        self.emit(instr(mnemonic, rd=self.reg(op.dst), mem=Mem(rn=base, rm=index)))
+
+    def _op_select(self, op: Op) -> None:
+        # no conditional execution: branch diamond
+        dst = self.reg(op.dst)
+        take = self.fresh_label("selt")
+        done = self.fresh_label("seld")
+        t_reg = self.value_reg(op.t, preferred=self.scratch) if isinstance(op.t, VReg) else None
+        f_reg = self.reg(op.f) if isinstance(op.f, VReg) else None
+        self._emit_compare(op.a, op.b)
+        self.emit(instr("B", cond=_COND[op.cond], label=take))
+        if f_reg is not None:
+            self.emit(instr("MOV", rd=dst, rm=f_reg))
+        else:
+            self.materialize(dst, op.f)
+        self.emit(instr("B", label=done))
+        self.emit(Label(take))
+        if t_reg is not None:
+            self.emit(instr("MOV", rd=dst, rm=t_reg))
+        else:
+            self.materialize(dst, op.t)
+        self.emit(Label(done))
+
+    def _op_switch(self, op: Op) -> None:
+        index = self.value_reg(op.a)
+        for case, target in enumerate(op.targets):
+            self.emit(instr("CMP", rn=index, imm=case))
+            self.emit(instr("B", cond=Condition.EQ, label=self.local(target)))
+
+    def _op_clz(self, op: Op) -> None:
+        # no CLZ in 16-bit Thumb: count by shifting left until the MSB set
+        dst = self.reg(op.dst)
+        src = self.value_reg(op.a)
+        loop = self.fresh_label("clzl")
+        done = self.fresh_label("clzd")
+        self.emit(instr("MOV", rd=self.scratch, rm=src))
+        self.emit(instr("MOV", rd=dst, imm=0, setflags=True))
+        self.emit(instr("CMP", rn=self.scratch, imm=0))
+        self.emit(instr("B", cond=Condition.NE, label=loop))
+        self.emit(instr("MOV", rd=dst, imm=32, setflags=True))
+        self.emit(instr("B", label=done))
+        self.emit(Label(loop))
+        self.emit(instr("CMP", rn=self.scratch, imm=0))
+        self.emit(instr("B", cond=Condition.MI, label=done))
+        self.emit(instr("LSL", rd=self.scratch, rn=self.scratch, imm=1, setflags=True))
+        self.emit(instr("ADD", rd=dst, rn=dst, imm=1, setflags=True))
+        self.emit(instr("B", label=loop))
+        self.emit(Label(done))
+
+    def _op_rbit(self, op: Op) -> None:
+        dst = self.reg(op.dst)
+        src = self.value_reg(op.a)
+        exclude = {dst, src, self.scratch}
+        temp = self.temp_reg(exclude)
+        self.emit(instr("PUSH", reglist=(temp,)))
+        if dst != src:
+            self.emit(instr("MOV", rd=dst, rm=src))
+        for mask, shift in ((0x55555555, 1), (0x33333333, 2), (0x0F0F0F0F, 4)):
+            self.materialize(self.scratch, mask)
+            # temp = (x >> shift) & mask
+            self.emit(instr("MOV", rd=temp, rm=dst))
+            self.emit(instr("LSR", rd=temp, rn=temp, imm=shift, setflags=True))
+            self.emit(instr("AND", rd=temp, rn=temp, rm=self.scratch, setflags=True))
+            # x = (x & mask) << shift
+            self.emit(instr("AND", rd=dst, rn=dst, rm=self.scratch, setflags=True))
+            self.emit(instr("LSL", rd=dst, rn=dst, imm=shift, setflags=True))
+            # x |= temp
+            self.emit(instr("ORR", rd=dst, rn=dst, rm=temp, setflags=True))
+        self.emit(instr("REV", rd=dst, rm=dst))
+        self.emit(instr("POP", reglist=(temp,)))
+
+    def _op_ubfx(self, op: Op) -> None:
+        dst, src = self.reg(op.dst), self.value_reg(op.a)
+        self.emit(instr("LSL", rd=dst, rn=src, imm=32 - op.lsb - op.width, setflags=True))
+        self.emit(instr("LSR", rd=dst, rn=dst, imm=32 - op.width, setflags=True))
+
+    def _op_sbfx(self, op: Op) -> None:
+        dst, src = self.reg(op.dst), self.value_reg(op.a)
+        self.emit(instr("LSL", rd=dst, rn=src, imm=32 - op.lsb - op.width, setflags=True))
+        self.emit(instr("ASR", rd=dst, rn=dst, imm=32 - op.width, setflags=True))
+
+    def _op_bfi(self, op: Op) -> None:
+        dst = self.reg(op.dst)
+        src = self.value_reg(op.a)
+        mask = ((1 << op.width) - 1) << op.lsb
+        exclude = {dst, src, self.scratch}
+        temp = self.temp_reg(exclude)
+        self.emit(instr("PUSH", reglist=(temp,)))
+        self.emit(instr("MOV", rd=temp, rm=src))
+        self.emit(instr("LSL", rd=temp, rn=temp, imm=32 - op.width, setflags=True))
+        self.emit(instr("LSR", rd=temp, rn=temp, imm=32 - op.width - op.lsb, setflags=True))
+        self.materialize(self.scratch, mask)
+        self.emit(instr("BIC", rd=dst, rn=dst, rm=self.scratch, setflags=True))
+        self.emit(instr("ORR", rd=dst, rn=dst, rm=temp, setflags=True))
+        self.emit(instr("POP", reglist=(temp,)))
+
+
+# ======================================================================
+# Thumb-2 backend
+# ======================================================================
+
+class Thumb2Backend(Backend):
+    """Blended 16/32-bit lowering with the paper's new instructions.
+
+    ``const_policy``:
+      * ``'movw'`` (default) - build constants with MOVW/MOVT, keeping the
+        instruction stream sequential (paper section 2.2);
+      * ``'literal'`` - force large constants through the literal pool,
+        modelling pre-Thumb-2 code for experiment E3.
+    """
+
+    isa = ISA_THUMB2
+    pool = list(range(0, 12))
+    scratch = 12
+
+    def __init__(self, const_policy: str = "movw") -> None:
+        super().__init__()
+        if const_policy not in ("movw", "literal"):
+            raise ValueError(f"bad const_policy {const_policy!r}")
+        self.const_policy = const_policy
+
+    def setflags_default(self) -> bool:
+        return True  # flag-setting forms get the narrow encodings
+
+    def materialize(self, reg: int, value: int) -> None:
+        value &= 0xFFFFFFFF
+        if value <= 0xFF:
+            self.emit(instr("MOV", rd=reg, imm=value, setflags=True))
+            return
+        if self.const_policy == "literal":
+            self.emit(LiteralRef(instr("LDR", rd=reg), value))
+            return
+        if encode_thumb2_imm(value) is not None:
+            self.emit(instr("MOV", rd=reg, imm=value))
+            return
+        self.emit(instr("MOVW", rd=reg, imm=value & 0xFFFF))
+        if value >> 16:
+            self.emit(instr("MOVT", rd=reg, imm=value >> 16))
+
+    def imm_ok(self, kind: str, value: int) -> bool:
+        if kind in ("lsl", "lsr", "asr", "ror"):
+            return 0 <= value <= 31 or (kind in ("lsr", "asr") and value == 32)
+        return encode_thumb2_imm(value & 0xFFFFFFFF) is not None
+
+    def load_offset_ok(self, size: int, offset: int) -> bool:
+        return -255 <= offset <= 4095
+
+    def _op_binary_generic(self, op: Op) -> None:
+        # flags must not be set inside an IT block; selects emit their own
+        # instructions, so the generic path always may set flags
+        super()._op_binary_generic(op)
+
+    _op_add = _op_sub = _op_mul = _op_and = _op_orr = _op_eor = _op_bic = \
+        _op_lsl = _op_lsr = _op_asr = _op_ror = _op_binary_generic
+
+    def _op_mul(self, op: Op) -> None:
+        dst = self.reg(op.dst)
+        a = self.value_reg(op.a)
+        b = self.value_reg(op.b, preferred=self.scratch)
+        # narrow MULS needs dst == one operand; the encoder picks width
+        self.emit(instr("MUL", rd=dst, rn=a, rm=b,
+                        setflags=(dst in (a, b) and dst < 8 and a < 8 and b < 8)))
+
+    def _op_udiv(self, op: Op) -> None:
+        self.emit(instr("UDIV", rd=self.reg(op.dst), rn=self.value_reg(op.a),
+                        rm=self.value_reg(op.b, preferred=self.scratch)))
+
+    def _op_sdiv(self, op: Op) -> None:
+        self.emit(instr("SDIV", rd=self.reg(op.dst), rn=self.value_reg(op.a),
+                        rm=self.value_reg(op.b, preferred=self.scratch)))
+
+    def _op_clz(self, op: Op) -> None:
+        self.emit(instr("CLZ", rd=self.reg(op.dst), rm=self.value_reg(op.a)))
+
+    def _op_rbit(self, op: Op) -> None:
+        self.emit(instr("RBIT", rd=self.reg(op.dst), rm=self.value_reg(op.a)))
+
+    def _op_ubfx(self, op: Op) -> None:
+        self.emit(instr("UBFX", rd=self.reg(op.dst), rn=self.value_reg(op.a),
+                        bf_lsb=op.lsb, bf_width=op.width))
+
+    def _op_sbfx(self, op: Op) -> None:
+        self.emit(instr("SBFX", rd=self.reg(op.dst), rn=self.value_reg(op.a),
+                        bf_lsb=op.lsb, bf_width=op.width))
+
+    def _op_bfi(self, op: Op) -> None:
+        self.emit(instr("BFI", rd=self.reg(op.dst), rn=self.value_reg(op.a),
+                        bf_lsb=op.lsb, bf_width=op.width))
+
+    def _op_select(self, op: Op) -> None:
+        # the paper's IT instruction: predicated straight-line code
+        dst = self.reg(op.dst)
+        cond = _COND[op.cond]
+        self._emit_compare(op.a, op.b)
+        self.emit(instr("IT", cond=cond, it_mask="TE"))
+        for arm_cond, value in ((cond, op.t), (cond.inverse, op.f)):
+            if isinstance(value, VReg):
+                self.emit(instr("MOV", cond=arm_cond, rd=dst, rm=self.reg(value)))
+            else:
+                self.emit(instr("MOV", cond=arm_cond, rd=dst, imm=value))
+
+    def _op_switch(self, op: Op) -> None:
+        # the paper's table branch instruction
+        index = self.value_reg(op.a)
+        table = self.fresh_label("tbb")
+        after = self.fresh_label("swafter")
+        self.emit(instr("CMP", rn=index, imm=len(op.targets)))
+        self.emit(instr("B", cond=Condition.CS, label=after))
+        self.emit(instr("TBB", rn=PC, rm=index))
+        self.emit(Label(table))
+        for target in op.targets:
+            self.emit(DeltaDirective(target=self.local(target), base=table, scale=2))
+        self.emit(Directive("align", 2))
+        self.emit(Label(after))
+
+
+# ======================================================================
+# helper routines (software divide for ARM and Thumb)
+# ======================================================================
+
+_ARM_HELPERS = {
+    # Shift-up / shift-down restoring division, as in __aeabi_uidiv: the
+    # iteration count tracks the quotient's bit length instead of always
+    # running 32 steps.
+    "__udiv": """
+__udiv:
+    cmp r1, #0
+    moveq r0, #0
+    bxeq lr
+    push {r2, r3, r4, lr}
+    mov r3, #0
+    mov r4, #0
+__udiv_up:
+    cmp r1, r0
+    bhs __udiv_down
+    cmp r1, #0x80000000
+    bhs __udiv_down
+    mov r1, r1, lsl #1
+    add r4, r4, #1
+    b __udiv_up
+__udiv_down:
+    mov r3, r3, lsl #1
+    cmp r0, r1
+    subhs r0, r0, r1
+    orrhs r3, r3, #1
+    mov r1, r1, lsr #1
+    subs r4, r4, #1
+    bge __udiv_down
+    mov r0, r3
+    pop {r2, r3, r4, pc}
+""",
+    "__sdiv": """
+__sdiv:
+    push {r2, lr}
+    eor r2, r0, r1
+    cmp r0, #0
+    rsblt r0, r0, #0
+    cmp r1, #0
+    rsblt r1, r1, #0
+    bl __udiv
+    cmp r2, #0
+    rsblt r0, r0, #0
+    pop {r2, pc}
+""",
+}
+
+_THUMB_HELPERS = {
+    "__udiv": """
+__udiv:
+    cmp r1, #0
+    bne __udiv_go
+    movs r0, #0
+    bx lr
+__udiv_go:
+    push {r2, r3, r4, lr}
+    movs r3, #0
+    movs r4, #0
+__udiv_up:
+    cmp r1, r0
+    bhs __udiv_down
+    cmp r1, #0
+    blt __udiv_down
+    lsls r1, r1, #1
+    adds r4, r4, #1
+    b __udiv_up
+__udiv_down:
+    lsls r3, r3, #1
+    cmp r0, r1
+    blo __udiv_next
+    subs r0, r0, r1
+    adds r3, r3, #1
+__udiv_next:
+    lsrs r1, r1, #1
+    subs r4, r4, #1
+    bge __udiv_down
+    movs r0, r3
+    pop {r2, r3, r4, pc}
+""",
+    "__sdiv": """
+__sdiv:
+    push {r2, lr}
+    movs r2, #0
+    cmp r0, #0
+    bge __sdiv_apos
+    rsbs r0, r0, #0
+    adds r2, r2, #1
+__sdiv_apos:
+    cmp r1, #0
+    bge __sdiv_bpos
+    rsbs r1, r1, #0
+    adds r2, r2, #1
+__sdiv_bpos:
+    bl __udiv
+    lsls r2, r2, #31
+    beq __sdiv_done
+    rsbs r0, r0, #0
+__sdiv_done:
+    pop {r2, pc}
+""",
+}
+
+
+def helper_items(isa: str, name: str) -> list[AsmItem]:
+    if isa == ISA_ARM:
+        table = _ARM_HELPERS
+    elif isa == ISA_THUMB:
+        table = _THUMB_HELPERS
+    else:
+        raise LoweringError(f"no helpers needed for {isa}")
+    if name not in table:
+        raise LoweringError(f"unknown helper {name!r}")
+    return _parse_asm(table[name])
+
+
+def make_backend(isa: str, **options) -> Backend:
+    if isa == ISA_ARM:
+        return ArmBackend(**options)
+    if isa == ISA_THUMB:
+        return ThumbBackend(**options)
+    if isa == ISA_THUMB2:
+        return Thumb2Backend(**options)
+    raise ValueError(f"unknown ISA {isa!r}")
+
+
+def compile_functions(functions: list[Function], isa: str, **options) -> list[AsmItem]:
+    """Lower several IR functions plus any helpers they need."""
+    backend = make_backend(isa, **options)
+    items: list[AsmItem] = []
+    for fn in functions:
+        items.extend(backend.lower_function(fn))
+    helpers = set(backend.helpers_needed)
+    if "__sdiv" in helpers:
+        helpers.add("__udiv")
+    for name in sorted(helpers):
+        items.extend(helper_items(isa, name))
+    return items
+
+
+def compile_program(functions: list[Function], isa: str, base: int = 0, **options):
+    """Lower and assemble into a ready-to-run Program."""
+    return assemble_items(compile_functions(functions, isa, **options), isa, base)

@@ -1,0 +1,143 @@
+"""Linear-scan register allocation for kernel lowering.
+
+Live ranges are computed textually and then extended across loop back
+edges (a value read inside a loop body stays live for the whole loop, or
+the next iteration would read a clobbered register).  There is no
+spilling: kernels are written to fit the target's register budget, and the
+allocator raises :class:`AllocationError` if one does not - a loud failure
+beats silently wrong code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.codegen.ir import Function, VReg
+
+
+class AllocationError(Exception):
+    """Register pressure exceeded the ISA's allocatable set."""
+
+
+@dataclass
+class Allocation:
+    """vreg index -> physical register, plus prologue bookkeeping."""
+
+    mapping: dict[int, int]
+    used_registers: set[int]
+
+    def reg(self, operand: VReg) -> int:
+        return self.mapping[operand.index]
+
+    def callee_saved_used(self, callee_saved: tuple[int, ...] = (4, 5, 6, 7, 8, 9, 10, 11)) -> list[int]:
+        return sorted(r for r in self.used_registers if r in callee_saved)
+
+
+def _operands_of(op) -> list[VReg]:
+    regs = [v for v in (op.a, op.b, op.t, op.f) if isinstance(v, VReg)]
+    if op.kind == "store_idx" and op.dst is not None:
+        regs.append(op.dst)  # dst is a *source* for store_idx
+    return regs
+
+
+def live_ranges(fn: Function) -> dict[int, tuple[int, int]]:
+    """(first_def, last_use) per vreg, extended across loop back edges."""
+    ranges: dict[int, list[int]] = {}
+
+    def touch(index: int, position: int) -> None:
+        if index not in ranges:
+            ranges[index] = [position, position]
+        ranges[index][0] = min(ranges[index][0], position)
+        ranges[index][1] = max(ranges[index][1], position)
+
+    for param in fn.params:
+        touch(param.index, 0)
+    for position, op in enumerate(fn.ops):
+        for operand in _operands_of(op):
+            touch(operand.index, position)
+        if op.dst is not None and op.kind != "store_idx":
+            touch(op.dst.index, position)
+
+    # loop extension: for each backward branch, ranges overlapping the loop
+    # body stretch to cover the whole body
+    labels = fn.labels()
+    loops: list[tuple[int, int]] = []
+    for position, op in enumerate(fn.ops):
+        if op.kind in ("br", "brcond") and labels[op.target] < position:
+            loops.append((labels[op.target], position))
+        if op.kind == "switch":
+            for target in op.targets:
+                if labels[target] < position:
+                    loops.append((labels[target], position))
+    # A value defined before a loop and still used inside it must stay
+    # allocated until the loop's back edge (the next iteration reads it).
+    # Values defined inside the loop are always re-defined before use
+    # (the builder's SSA-with-assign discipline), so their starts never
+    # move - only ends grow.
+    changed = True
+    while changed:
+        changed = False
+        for start, end in loops:
+            for bounds in ranges.values():
+                if bounds[0] < start and start <= bounds[1] < end:
+                    bounds[1] = end
+                    changed = True
+    return {index: (b[0], b[1]) for index, b in ranges.items()}
+
+
+def allocate(fn: Function, pool: list[int], param_registers: list[int]) -> Allocation:
+    """Assign physical registers.
+
+    ``pool`` is the ordered free list (prefer-low-first for Thumb density).
+    Parameters are pinned to ``param_registers`` (AAPCS r0-r3).
+    """
+    ranges = live_ranges(fn)
+    mapping: dict[int, int] = {}
+    used: set[int] = set()
+    free = [r for r in pool]
+    # pin parameters
+    for param, reg in zip(fn.params, param_registers):
+        mapping[param.index] = reg
+        used.add(reg)
+        if reg in free:
+            free.remove(reg)
+    if len(fn.params) > len(param_registers):
+        raise AllocationError(f"{fn.name}: more than {len(param_registers)} parameters")
+
+    # events: allocate at range start, free after range end
+    starts: dict[int, list[int]] = {}
+    ends: dict[int, list[int]] = {}
+    for index, (start, end) in ranges.items():
+        if index in mapping:
+            ends.setdefault(end, []).append(index)
+            continue
+        starts.setdefault(start, []).append(index)
+        ends.setdefault(end, []).append(index)
+
+    active: dict[int, int] = {index: mapping[index] for index in mapping}
+
+    def release(index: int) -> None:
+        reg = active.pop(index, None)
+        if reg is not None:
+            free.append(reg)
+            free.sort()
+
+    for position in range(len(fn.ops) + 1):
+        # a value's destination may alias a source dying at the same op:
+        # every backend handles read-before-write, so free ends first
+        for index in ends.get(position, ()):
+            release(index)
+        for index in starts.get(position, ()):
+            if not free:
+                raise AllocationError(
+                    f"{fn.name}: out of registers at op {position} "
+                    f"(pool size {len(pool)}); simplify the kernel or "
+                    f"widen the pool")
+            reg = free.pop(0)
+            mapping[index] = reg
+            active[index] = reg
+            used.add(reg)
+        for index in starts.get(position, ()):
+            if ranges[index][1] == position:  # defined and never used
+                release(index)
+    return Allocation(mapping=mapping, used_registers=used)

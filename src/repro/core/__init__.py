@@ -1,0 +1,46 @@
+"""Core models: the paper's two Thumb-2 implementations plus the ARM7 baseline.
+
+* :class:`~repro.core.arm7.Arm7Core` - the incumbent: 3-stage von Neumann,
+  software interrupt entry.  Runs ARM and Thumb programs (Table 1 rows 1-2).
+* :class:`~repro.core.cortexm3.CortexM3Core` - the low end (paper 3.2):
+  Harvard, NVIC hardware stacking + tail-chaining, hardware divide,
+  bit-banding.  Runs Thumb-2 (Table 1 row 3).
+* :class:`~repro.core.arm1156.Arm1156Core` - the high end (paper 3.1):
+  cached, fine-grained MPU, interruptible/restartable LDM/STM,
+  fault-tolerant memories, NMI.
+"""
+
+from repro.core.arm7 import Arm7Core
+from repro.core.arm1156 import Arm1156Core
+from repro.core.cortexm3 import EXC_RETURN, CortexM3Core
+from repro.core.cpu import HALT_ADDRESS, BaseCpu
+from repro.core.exceptions import (
+    DataAbort,
+    ExecutionError,
+    InterruptRecord,
+    InterruptRequest,
+    InterruptStats,
+    PrefetchAbort,
+)
+from repro.core.machines import (
+    BITBAND_ALIAS_BASE,
+    FLASH_BASE,
+    SRAM_BASE,
+    Machine,
+    build_arm7,
+    build_arm1156,
+    build_cortexm3,
+    build_machine,
+)
+from repro.core.nvic import TAIL_CHAIN_CYCLES, NvicController
+from repro.core.vic import VicController
+
+__all__ = [
+    "Arm7Core", "Arm1156Core", "CortexM3Core", "EXC_RETURN",
+    "HALT_ADDRESS", "BaseCpu",
+    "DataAbort", "ExecutionError", "InterruptRecord", "InterruptRequest",
+    "InterruptStats", "PrefetchAbort",
+    "BITBAND_ALIAS_BASE", "FLASH_BASE", "SRAM_BASE", "Machine",
+    "build_arm7", "build_arm1156", "build_cortexm3", "build_machine",
+    "TAIL_CHAIN_CYCLES", "NvicController", "VicController",
+]

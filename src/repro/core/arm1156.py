@@ -1,0 +1,198 @@
+"""ARM1156T2(F)-S-like core model (paper section 3.1).
+
+A high-end cached core intended for >200 MHz operation.  Features
+reproduced for the experiments:
+
+* **caches** on both sides with parity protection
+  (:class:`~repro.memory.cache.Cache`), including fault-tolerant recovery
+  (section 3.1.3 / experiment E7);
+* **fine-grained MPU** consulted on every data access
+  (section 3.1.1 / experiment E5);
+* **interruptible, re-startable LDM/STM** (section 3.1.2 / experiment E6):
+  when an interrupt arrives while a multiple transfer is mid-flight
+  (potentially dragging in several cache-line misses), the transfer is
+  abandoned, the interrupt is taken, and the instruction re-executes from
+  scratch after return.  Loads and ascending stores are idempotent, so
+  restart is architecturally safe;
+* **non-maskable FIQ** via :class:`~repro.core.vic.VicController` NMI
+  requests (section 3.1.2);
+* low-latency exception entry (new instructions for exception entry/exit).
+"""
+
+from __future__ import annotations
+
+from repro.core.cpu import BaseCpu
+from repro.core.exceptions import DataAbort, InterruptRecord
+from repro.core.vic import VicController
+from repro.isa.assembler import Program
+from repro.isa.instructions import Instruction
+from repro.isa.semantics import Outcome, execute
+from repro.memory.cache import Cache
+from repro.memory.mpu import Mpu, MpuFault
+from repro.memory.bus import SystemBus
+from repro.sim.trace import TraceRecorder
+
+_BLOCK_OPS = frozenset({"LDM", "STM", "PUSH", "POP"})
+
+
+class Arm1156Core(BaseCpu):
+    """ARM1156-style timing with caches, MPU, and restartable LDM/STM."""
+
+    name = "arm1156"
+
+    #: low-latency exception entry (the new entry/exit instructions)
+    ENTRY_OVERHEAD = 5
+    #: cycles charged when a block transfer is abandoned for an interrupt
+    ABANDON_PENALTY = 1
+
+    def __init__(self, program: Program, bus: SystemBus,
+                 icache: Cache | None = None, dcache: Cache | None = None,
+                 vic: VicController | None = None, mpu: Mpu | None = None,
+                 interruptible_ldm: bool = True,
+                 trace: TraceRecorder | None = None) -> None:
+        super().__init__(program, trace)
+        self.bus = bus
+        self.icache = icache
+        self.dcache = dcache
+        self.vic = vic or VicController()
+        self.mpu = mpu
+        self.interruptible_ldm = interruptible_ldm
+        self.abandoned_transfers = 0
+        self._return_stack: list[tuple[InterruptRecord, int, int]] = []
+
+    # ------------------------------------------------------------------
+    # memory paths (through the caches when present)
+    # ------------------------------------------------------------------
+    def fetch_stalls(self, addr: int, size: int) -> int:
+        port = self.icache if self.icache is not None else self.bus
+        _, stalls = port.read(addr, size, "I")
+        return stalls
+
+    def data_read(self, addr: int, size: int) -> tuple[int, int]:
+        self._mpu_check(addr, size, is_write=False)
+        port = self.dcache if self.dcache is not None else self.bus
+        return port.read(addr, size, "D")
+
+    def data_write(self, addr: int, size: int, value: int) -> int:
+        self._mpu_check(addr, size, is_write=True)
+        port = self.dcache if self.dcache is not None else self.bus
+        return port.write(addr, size, value, "D")
+
+    def _mpu_check(self, addr: int, size: int, is_write: bool) -> None:
+        if self.mpu is None:
+            return
+        try:
+            self.mpu.check(addr, size, is_write)
+        except MpuFault as fault:
+            raise DataAbort(fault.address, "MPU violation") from fault
+
+    # ------------------------------------------------------------------
+    # cycle model: 9-stage, 64-bit datapath, static prediction
+    # ------------------------------------------------------------------
+    def instruction_cycles(self, ins: Instruction, outcome: Outcome) -> int:
+        if outcome.skipped:
+            return 1
+        m = ins.mnemonic
+        cycles = 1
+        if outcome.taken:
+            cycles += 2  # mispredict/refill on the deeper pipeline
+        if m in ("LDR", "LDRB", "LDRH", "LDRSB", "LDRSH"):
+            cycles += 1
+        elif m in ("LDM", "POP", "STM", "PUSH"):
+            # 64-bit datapath moves two registers per cycle
+            cycles += (outcome.regs_transferred + 1) // 2
+        elif m == "MUL":
+            cycles += 1
+        elif m in ("MLA", "MLS", "UMULL", "SMULL"):
+            cycles += 2
+        elif m in ("SDIV", "UDIV"):
+            cycles += min(11, 1 + (outcome.div_early_exit + 3) // 4)
+        return cycles
+
+    # ------------------------------------------------------------------
+    # interrupts: classic vectored scheme + NMI + restartable LDM/STM
+    # ------------------------------------------------------------------
+    def check_interrupts(self) -> bool:
+        request = self.vic.pending_at(self.cycles, masked=not self.interrupts_enabled)
+        if request is None:
+            return False
+        self.vic.acknowledge(request)
+        self.sleeping = False
+        return_addr = self.regs.pc
+        banked_lr = self.regs.lr           # LR banks per mode
+        self.regs.lr = return_addr
+        self.cycles += self.ENTRY_OVERHEAD
+        record = InterruptRecord(number=request.number,
+                                 assert_cycle=request.assert_cycle,
+                                 entry_cycle=self.cycles)
+        self.vic.stats.records.append(record)
+        self._return_stack.append((record, return_addr, banked_lr))
+        self.interrupts_enabled = False
+        self.regs.pc = request.handler
+        self.trace.emit(self.cycles, "irq", "enter", number=request.number,
+                        latency=record.latency)
+        return True
+
+    def branch(self, target: int) -> None:
+        super().branch(target)
+        if self._return_stack and target == self._return_stack[-1][1]:
+            record, _, banked_lr = self._return_stack.pop()
+            record.exit_cycle = self.cycles
+            self.regs.lr = banked_lr
+            self.interrupts_enabled = True
+            self.trace.emit(self.cycles, "irq", "exit", number=record.number)
+
+    # ------------------------------------------------------------------
+    # restartable block transfers (experiment E6)
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        if (self.interruptible_ldm and not self.halted and not self.sleeping
+                and self.vic.has_pending()):
+            ins = self.program.instruction_at(self.regs.pc)
+            if ins is not None and ins.mnemonic in _BLOCK_OPS:
+                return self._step_restartable()
+        return super().step()
+
+    def _step_restartable(self) -> bool:
+        # service anything already pending first (as the base loop would)
+        self.check_interrupts()
+        if self.halted:
+            return False
+        pc = self.regs.pc
+        ins = self.program.instruction_at(pc)
+        if ins is None or ins.mnemonic not in _BLOCK_OPS:
+            return super().step()
+        # snapshot architectural state so the transfer can be abandoned
+        regs_snapshot = self.regs.snapshot()
+        apsr_snapshot = self.apsr.copy()
+        it_snapshot = list(self._it_queue)
+        halted_snapshot = self.halted
+        self.current_address = pc
+        self.current_size = ins.size
+        fetch = self.fetch_stalls(pc, ins.size)
+        self._data_stalls = 0
+        condition = self._next_condition(ins)
+        outcome = execute(self, ins, condition)
+        cost = self.instruction_cycles(ins, outcome) + fetch + self._data_stalls
+        start = self.cycles
+        arrival = self.vic.earliest_assert_in(start, start + cost,
+                                              masked=not self.interrupts_enabled)
+        if arrival is None:
+            # no interrupt landed mid-transfer: commit normally
+            self.cycles += cost
+            self.instructions_executed += 1
+            if outcome.taken:
+                self.branches_taken += 1
+            if not outcome.taken and not self.halted:
+                self.regs.pc = pc + ins.size
+            return not self.halted
+        # abandon: roll back and leave PC pointing at the transfer so it
+        # restarts from scratch after the interrupt returns
+        self.regs.values[:] = list(regs_snapshot)
+        self.apsr = apsr_snapshot
+        self._it_queue = it_snapshot
+        self.halted = halted_snapshot
+        self.abandoned_transfers += 1
+        self.cycles = arrival + self.ABANDON_PENALTY
+        self.trace.emit(self.cycles, "ldm", "abandoned", pc=pc, cost=cost)
+        return True

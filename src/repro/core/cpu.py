@@ -1,0 +1,214 @@
+"""Base CPU executor: fetch / predicate / execute / account cycles.
+
+Concrete cores (:class:`~repro.core.arm7.Arm7Core`,
+:class:`~repro.core.arm1156.Arm1156Core`,
+:class:`~repro.core.cortexm3.CortexM3Core`) subclass this and provide
+
+* ``fetch_stalls(addr, size)`` - instruction-side memory timing,
+* ``data_read`` / ``data_write`` - data-side memory path,
+* ``instruction_cycles(ins, outcome)`` - microarchitectural base cost,
+* ``check_interrupts()`` - their interrupt scheme.
+
+Execution semantics are shared (:mod:`repro.isa.semantics`); only *timing*
+and *interrupt architecture* differ between cores, which is precisely the
+contrast the paper draws between its two implementations.
+"""
+
+from __future__ import annotations
+
+from repro.isa.assembler import Program
+from repro.isa.conditions import Condition
+from repro.isa.instructions import Instruction
+from repro.isa.registers import LR, MASK32, Apsr, RegisterFile
+from repro.isa.semantics import Outcome, execute
+from repro.core.exceptions import ExecutionError
+from repro.sim.trace import TraceRecorder
+
+#: Branching here halts the simulation (the reset value of LR).
+HALT_ADDRESS = 0xFFFFFFFE
+
+
+class BaseCpu:
+    """Shared machinery for the three core models."""
+
+    #: human-readable core name, overridden by subclasses
+    name = "base"
+
+    def __init__(self, program: Program, trace: TraceRecorder | None = None) -> None:
+        self.program = program
+        self.trace = trace or TraceRecorder(enabled=False)
+        self.regs = RegisterFile()
+        self.apsr = Apsr()
+        self.cycles = 0
+        self.instructions_executed = 0
+        self.instructions_skipped = 0
+        self.branches_taken = 0
+        self.halted = False
+        self.sleeping = False
+        self.interrupts_enabled = True
+        self.regs.lr = HALT_ADDRESS
+        self.regs.pc = program.base
+        self._it_queue: list[Condition] = []
+        self._data_stalls = 0
+        self.current_address = 0
+        self.current_size = 4
+        self.svc_log: list[int] = []
+
+    # ------------------------------------------------------------------
+    # hooks for subclasses
+    # ------------------------------------------------------------------
+    def fetch_stalls(self, addr: int, size: int) -> int:
+        raise NotImplementedError
+
+    def data_read(self, addr: int, size: int) -> tuple[int, int]:
+        raise NotImplementedError
+
+    def data_write(self, addr: int, size: int, value: int) -> int:
+        raise NotImplementedError
+
+    def instruction_cycles(self, ins: Instruction, outcome: Outcome) -> int:
+        raise NotImplementedError
+
+    def check_interrupts(self) -> bool:
+        """Service a pending interrupt if any; True when one was taken."""
+        return False
+
+    # ------------------------------------------------------------------
+    # ExecutionContext protocol
+    # ------------------------------------------------------------------
+    def read(self, addr: int, size: int) -> int:
+        value, stalls = self.data_read(addr, size)
+        self._data_stalls += stalls
+        return value
+
+    def write(self, addr: int, size: int, value: int) -> None:
+        self._data_stalls += self.data_write(addr, size, value)
+
+    def branch(self, target: int) -> None:
+        target &= MASK32
+        if target == HALT_ADDRESS:
+            self.halted = True
+            return
+        if self._exception_return_hook(target):
+            return
+        self.regs.pc = target
+
+    def _exception_return_hook(self, target: int) -> bool:
+        """Cores with hardware exception return (M3) override this."""
+        return False
+
+    def pc_read_value(self) -> int:
+        return self.current_address + (8 if self.program.isa == "arm" else 4)
+
+    def set_interrupts_enabled(self, enabled: bool) -> None:
+        self.interrupts_enabled = enabled
+
+    def begin_it_block(self, firstcond: Condition, mask: str) -> None:
+        if self._it_queue:
+            raise ExecutionError("IT inside an IT block")
+        conditions = [firstcond]
+        for ch in mask[1:]:
+            conditions.append(firstcond if ch == "T" else firstcond.inverse)
+        self._it_queue = conditions
+
+    def software_interrupt(self, number: int) -> None:
+        self.svc_log.append(number)
+
+    def wait_for_interrupt(self) -> None:
+        self.sleeping = True
+
+    # ------------------------------------------------------------------
+    # execution loop
+    # ------------------------------------------------------------------
+    def _next_condition(self, ins: Instruction) -> Condition | None:
+        if ins.mnemonic == "IT":
+            return None
+        if self._it_queue:
+            return self._it_queue.pop(0)
+        return None
+
+    def in_it_block(self) -> bool:
+        return bool(self._it_queue)
+
+    def step(self) -> bool:
+        """Execute one instruction; False when halted."""
+        if self.halted:
+            return False
+        if self.sleeping:
+            # only an interrupt can resume us; charge one idle cycle
+            self.cycles += 1
+            self.check_interrupts()
+            return not self.halted
+        self.check_interrupts()
+        if self.halted:
+            return False
+        pc = self.regs.pc
+        ins = self.program.instruction_at(pc)
+        if ins is None:
+            raise ExecutionError(f"no instruction at pc={pc:#010x} ({self.name})")
+        self.current_address = pc
+        self.current_size = ins.size
+        fetch = self.fetch_stalls(pc, ins.size)
+        self._data_stalls = 0
+        condition = self._next_condition(ins)
+        outcome = self._execute(ins, condition)
+        base = self.instruction_cycles(ins, outcome)
+        self.cycles += base + fetch + self._data_stalls
+        self.instructions_executed += 1
+        if outcome.skipped:
+            self.instructions_skipped += 1
+        if outcome.taken:
+            self.branches_taken += 1
+        if not outcome.taken and not self.halted:
+            self.regs.pc = pc + ins.size
+        return not self.halted
+
+    def _execute(self, ins: Instruction, condition: Condition | None) -> Outcome:
+        return execute(self, ins, condition)
+
+    def run(self, max_instructions: int = 1_000_000) -> int:
+        """Run until halt; returns instructions executed.  Raises if the
+        instruction budget is exhausted (runaway program guard)."""
+        start = self.instructions_executed
+        while not self.halted:
+            if self.instructions_executed - start >= max_instructions:
+                raise ExecutionError(
+                    f"exceeded {max_instructions} instructions without halting")
+            self.step()
+        return self.instructions_executed - start
+
+    def run_cycles(self, budget: int) -> None:
+        """Run until at least ``budget`` cycles have elapsed (or halt)."""
+        target = self.cycles + budget
+        while not self.halted and self.cycles < target:
+            self.step()
+
+    # ------------------------------------------------------------------
+    # conveniences for tests / harnesses
+    # ------------------------------------------------------------------
+    def call(self, symbol: str, *args: int, max_instructions: int = 1_000_000,
+             sp: int | None = None) -> int:
+        """Call a labelled routine with up to four register arguments.
+
+        Sets up AAPCS-style r0-r3, points LR at the halt address, runs to
+        completion, and returns r0.
+        """
+        if symbol not in self.program.symbols:
+            raise KeyError(f"no symbol {symbol!r} in program")
+        if len(args) > 4:
+            raise ValueError("only r0-r3 argument passing is supported")
+        for index, value in enumerate(args):
+            self.regs.write(index, value & MASK32)
+        if sp is not None:
+            self.regs.sp = sp
+        self.regs.lr = HALT_ADDRESS
+        self.regs.pc = self.program.symbols[symbol]
+        self.halted = False
+        self.run(max_instructions=max_instructions)
+        return self.regs.read(0)
+
+    def cpi(self) -> float:
+        """Cycles per instruction so far."""
+        if self.instructions_executed == 0:
+            return 0.0
+        return self.cycles / self.instructions_executed

@@ -1,0 +1,69 @@
+"""Exception and interrupt model shared by the core implementations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class ExecutionError(Exception):
+    """The simulator reached an unexecutable state (bad PC, bad opcode)."""
+
+
+class DataAbort(Exception):
+    """Precise data abort (MPU violation or unrecoverable memory error)."""
+
+    def __init__(self, address: int, reason: str) -> None:
+        super().__init__(f"data abort at {address:#010x}: {reason}")
+        self.address = address
+        self.reason = reason
+
+
+class PrefetchAbort(Exception):
+    """Instruction-side abort (fetch parity error, MPU execute violation)."""
+
+    def __init__(self, address: int, reason: str) -> None:
+        super().__init__(f"prefetch abort at {address:#010x}: {reason}")
+        self.address = address
+        self.reason = reason
+
+
+@dataclass
+class InterruptRequest:
+    """One pending interrupt line."""
+
+    number: int
+    priority: int = 0
+    nmi: bool = False
+    assert_cycle: int = 0        # when the line went high (core cycles)
+    handler: int | None = None   # vector target; None = use vector table
+
+
+@dataclass
+class InterruptRecord:
+    """Measurement record for one serviced interrupt (experiments E6/E8)."""
+
+    number: int
+    assert_cycle: int
+    entry_cycle: int             # first handler instruction issues here
+    exit_cycle: int | None = None
+    tail_chained: bool = False
+    preempted_instruction: str | None = None
+
+    @property
+    def latency(self) -> int:
+        return self.entry_cycle - self.assert_cycle
+
+
+@dataclass
+class InterruptStats:
+    """Aggregated controller statistics."""
+
+    serviced: int = 0
+    tail_chained: int = 0
+    records: list[InterruptRecord] = field(default_factory=list)
+
+    def latencies(self) -> list[int]:
+        return [r.latency for r in self.records]
+
+    def worst_latency(self) -> int:
+        return max(self.latencies(), default=0)

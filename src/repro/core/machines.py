@@ -1,0 +1,166 @@
+"""Factory helpers that wire a core, memory map, and program together.
+
+Standard automotive-MCU memory map used throughout the experiments:
+
+====================  ==========================================
+``0x0800_0000``       embedded flash (code + literal pools)
+``0x2000_0000``       on-chip SRAM (data, stacks)
+``0x2200_0000``       bit-band alias of the SRAM (Cortex-M3 only)
+====================  ==========================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.arm7 import Arm7Core
+from repro.core.arm1156 import Arm1156Core
+from repro.core.cortexm3 import CortexM3Core
+from repro.core.nvic import NvicController
+from repro.core.vic import VicController
+from repro.isa.assembler import Program
+from repro.memory.bitband import BitBandAlias
+from repro.memory.bus import SystemBus
+from repro.memory.cache import Cache
+from repro.memory.flash import Flash
+from repro.memory.mpu import Mpu
+from repro.memory.sram import Sram
+from repro.sim.trace import TraceRecorder
+
+FLASH_BASE = 0x0800_0000
+SRAM_BASE = 0x2000_0000
+BITBAND_ALIAS_BASE = 0x2200_0000
+DEFAULT_FLASH_SIZE = 0x10_0000
+DEFAULT_SRAM_SIZE = 0x2_0000
+
+
+@dataclass
+class Machine:
+    """A complete simulated MCU: core + memory system + program."""
+
+    cpu: object
+    bus: SystemBus
+    flash: Flash
+    sram: Sram
+    bitband: BitBandAlias | None = None
+    icache: Cache | None = None
+    dcache: Cache | None = None
+
+    @property
+    def stack_top(self) -> int:
+        return self.sram.base + self.sram.size
+
+    def load_program(self, program: Program) -> None:
+        self.bus.load_image(program.base, program.image())
+
+    def load_data(self, addr: int, payload: bytes) -> None:
+        self.bus.load_image(addr, payload)
+
+    def reset_stack(self) -> None:
+        self.cpu.regs.sp = self.stack_top
+
+    def call(self, symbol: str, *args: int, max_instructions: int = 2_000_000) -> int:
+        """Run a labelled routine to completion; returns r0."""
+        return self.cpu.call(symbol, *args, sp=self.stack_top,
+                             max_instructions=max_instructions)
+
+
+def _common_bus(program: Program, flash_access_cycles: int, flash_line_bytes: int,
+                flash_prefetch: bool, sram_wait_states: int,
+                flash_size: int, sram_size: int) -> tuple[SystemBus, Flash, Sram]:
+    bus = SystemBus()
+    flash = Flash(base=FLASH_BASE, size=flash_size,
+                  access_cycles=flash_access_cycles,
+                  line_bytes=flash_line_bytes, prefetch=flash_prefetch)
+    sram = Sram(base=SRAM_BASE, size=sram_size, wait_states=sram_wait_states)
+    bus.attach(flash)
+    bus.attach(sram)
+    bus.load_image(program.base, program.image())
+    return bus, flash, sram
+
+
+def build_arm7(program: Program, flash_access_cycles: int = 0,
+               flash_line_bytes: int = 16, flash_prefetch: bool = True,
+               sram_wait_states: int = 0, flash_size: int = DEFAULT_FLASH_SIZE,
+               sram_size: int = DEFAULT_SRAM_SIZE,
+               trace: TraceRecorder | None = None) -> Machine:
+    """An ARM7TDMI-style MCU (runs ARM or Thumb programs)."""
+    if program.base < FLASH_BASE or program.base >= FLASH_BASE + flash_size:
+        raise ValueError("program must be linked into flash")
+    bus, flash, sram = _common_bus(program, flash_access_cycles, flash_line_bytes,
+                                   flash_prefetch, sram_wait_states,
+                                   flash_size, sram_size)
+    cpu = Arm7Core(program, bus, vic=VicController(), trace=trace)
+    machine = Machine(cpu=cpu, bus=bus, flash=flash, sram=sram)
+    machine.reset_stack()
+    return machine
+
+
+def build_cortexm3(program: Program, flash_access_cycles: int = 0,
+                   flash_line_bytes: int = 16, flash_prefetch: bool = True,
+                   sram_wait_states: int = 0, flash_size: int = DEFAULT_FLASH_SIZE,
+                   sram_size: int = DEFAULT_SRAM_SIZE,
+                   tail_chaining: bool = True, mpu: Mpu | None = None,
+                   trace: TraceRecorder | None = None) -> Machine:
+    """A Cortex-M3-style MCU (Thumb-2 programs) with bit-band alias."""
+    if program.isa != "thumb2":
+        raise ValueError("the Cortex-M3 model executes Thumb-2 programs only")
+    bus, flash, sram = _common_bus(program, flash_access_cycles, flash_line_bytes,
+                                   flash_prefetch, sram_wait_states,
+                                   flash_size, sram_size)
+    bitband = BitBandAlias(base=BITBAND_ALIAS_BASE, target=sram,
+                           target_base=SRAM_BASE, target_bytes=sram.size)
+    bus.attach(bitband)
+    nvic = NvicController(tail_chaining=tail_chaining)
+    cpu = CortexM3Core(program, bus, nvic=nvic, mpu=mpu, trace=trace)
+    machine = Machine(cpu=cpu, bus=bus, flash=flash, sram=sram, bitband=bitband)
+    machine.reset_stack()
+    return machine
+
+
+def build_arm1156(program: Program, flash_access_cycles: int = 4,
+                  flash_line_bytes: int = 32, flash_prefetch: bool = True,
+                  sram_wait_states: int = 1, flash_size: int = DEFAULT_FLASH_SIZE,
+                  sram_size: int = DEFAULT_SRAM_SIZE,
+                  cache_sets: int = 64, cache_ways: int = 4,
+                  cache_line_bytes: int = 32, caches_enabled: bool = True,
+                  fault_tolerant_caches: bool = True,
+                  interruptible_ldm: bool = True, mpu: Mpu | None = None,
+                  trace: TraceRecorder | None = None) -> Machine:
+    """An ARM1156T2-S-style high-end core with I/D caches and MPU.
+
+    Default memory timing reflects a >200 MHz core on slow backing
+    memory, which is why the caches (and their miss behaviour, experiment
+    E6) matter.
+    """
+    bus, flash, sram = _common_bus(program, flash_access_cycles, flash_line_bytes,
+                                   flash_prefetch, sram_wait_states,
+                                   flash_size, sram_size)
+    icache = dcache = None
+    if caches_enabled:
+        icache = Cache(bus, sets=cache_sets, ways=cache_ways,
+                       line_bytes=cache_line_bytes,
+                       fault_tolerant=fault_tolerant_caches)
+        dcache = Cache(bus, sets=cache_sets, ways=cache_ways,
+                       line_bytes=cache_line_bytes,
+                       fault_tolerant=fault_tolerant_caches)
+    cpu = Arm1156Core(program, bus, icache=icache, dcache=dcache,
+                      vic=VicController(), mpu=mpu,
+                      interruptible_ldm=interruptible_ldm, trace=trace)
+    machine = Machine(cpu=cpu, bus=bus, flash=flash, sram=sram,
+                      icache=icache, dcache=dcache)
+    machine.reset_stack()
+    return machine
+
+
+def build_machine(core: str, program: Program, **kwargs) -> Machine:
+    """Dispatch by core name: 'arm7', 'cortex-m3', or 'arm1156'."""
+    builders = {
+        "arm7": build_arm7,
+        "cortex-m3": build_cortexm3,
+        "m3": build_cortexm3,
+        "arm1156": build_arm1156,
+    }
+    if core not in builders:
+        raise ValueError(f"unknown core {core!r}; pick from {sorted(builders)}")
+    return builders[core](program, **kwargs)

@@ -1,0 +1,18 @@
+"""Debug access substrate: 5-pin JTAG vs single-wire debug, flash patch."""
+
+from repro.debug.fpb import (
+    NUM_COMPARATORS,
+    Comparator,
+    FlashPatchUnit,
+    FpbError,
+    PatchedFlash,
+)
+from repro.debug.jtag import JtagProbe, JtagTap
+from repro.debug.swd import SwdProbe, SwdTarget
+
+__all__ = [
+    "NUM_COMPARATORS", "Comparator", "FlashPatchUnit", "FpbError",
+    "PatchedFlash",
+    "JtagProbe", "JtagTap",
+    "SwdProbe", "SwdTarget",
+]

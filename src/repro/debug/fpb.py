@@ -1,0 +1,108 @@
+"""Flash patch and breakpoint unit (paper section 3.2.2).
+
+Eight comparators watch flash addresses.  Each can either *remap* a
+matching word to a RAM-resident replacement (the "on-the-fly flash memory
+patch" used during calibration) or flag a breakpoint.  The
+:class:`PatchedFlash` wrapper splices the unit into a memory hierarchy in
+front of a flash device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+NUM_COMPARATORS = 8
+
+
+class FpbError(Exception):
+    pass
+
+
+@dataclass
+class Comparator:
+    address: int
+    remap_value: int = 0
+    breakpoint: bool = False
+    enabled: bool = True
+    hits: int = 0
+
+
+@dataclass
+class FlashPatchUnit:
+    """Eight word-granular comparators over code addresses."""
+
+    comparators: list[Comparator | None] = field(
+        default_factory=lambda: [None] * NUM_COMPARATORS)
+    breakpoints_hit: list[int] = field(default_factory=list)
+
+    def free_slot(self) -> int:
+        for index, slot in enumerate(self.comparators):
+            if slot is None:
+                return index
+        raise FpbError("all eight comparators are in use")
+
+    def patch(self, address: int, value: int) -> int:
+        """Remap the word at ``address`` to ``value``; returns the slot."""
+        if address % 4:
+            raise FpbError("patches are word-granular")
+        slot = self.free_slot()
+        self.comparators[slot] = Comparator(address=address, remap_value=value)
+        return slot
+
+    def set_breakpoint(self, address: int) -> int:
+        slot = self.free_slot()
+        self.comparators[slot] = Comparator(address=address, breakpoint=True)
+        return slot
+
+    def clear(self, slot: int) -> None:
+        self.comparators[slot] = None
+
+    def active_count(self) -> int:
+        return sum(1 for c in self.comparators if c is not None)
+
+    # ------------------------------------------------------------------
+    def match(self, address: int) -> Comparator | None:
+        word = address & ~3
+        for comparator in self.comparators:
+            if comparator is not None and comparator.enabled and comparator.address == word:
+                return comparator
+        return None
+
+    def intercept_read(self, address: int, size: int) -> int | None:
+        """Remapped value for a read, or None to pass through."""
+        comparator = self.match(address)
+        if comparator is None:
+            return None
+        comparator.hits += 1
+        if comparator.breakpoint:
+            self.breakpoints_hit.append(address & ~3)
+            return None
+        shift = (address & 3) * 8
+        mask = (1 << (8 * size)) - 1
+        return (comparator.remap_value >> shift) & mask
+
+
+class PatchedFlash:
+    """A flash device wrapped by a flash patch unit."""
+
+    def __init__(self, flash, fpb: FlashPatchUnit | None = None) -> None:
+        self.flash = flash
+        self.fpb = fpb or FlashPatchUnit()
+        self.base = flash.base
+        self.size = flash.size
+
+    def read(self, addr: int, size: int, side: str = "D") -> tuple[int, int]:
+        value, stalls = self.flash.read(addr, size, side)
+        patched = self.fpb.intercept_read(addr, size)
+        if patched is not None:
+            return patched, stalls
+        return value, stalls
+
+    def write(self, addr: int, size: int, value: int, side: str = "D") -> int:
+        return self.flash.write(addr, size, value, side)
+
+    def read_raw(self, addr: int, size: int) -> bytes:
+        return self.flash.read_raw(addr, size)
+
+    def write_raw(self, addr: int, payload: bytes) -> None:
+        self.flash.write_raw(addr, payload)

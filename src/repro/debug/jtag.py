@@ -1,0 +1,136 @@
+"""IEEE 1149.1 JTAG TAP model: the 5-pin baseline of paper section 3.2.2.
+
+A real TAP state machine is driven by TMS on each TCK edge; register
+accesses walk IR-scan and DR-scan paths.  The model counts clocks and pin
+usage so experiment E10 can compare the wire cost of a debug transaction
+against the single-wire protocol in :mod:`repro.debug.swd`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+PIN_COUNT = 5  # TCK, TMS, TDI, TDO, TRST
+
+# TAP controller state transition table: state -> (tms=0, tms=1)
+_TAP_TRANSITIONS = {
+    "test-logic-reset": ("run-test-idle", "test-logic-reset"),
+    "run-test-idle": ("run-test-idle", "select-dr-scan"),
+    "select-dr-scan": ("capture-dr", "select-ir-scan"),
+    "capture-dr": ("shift-dr", "exit1-dr"),
+    "shift-dr": ("shift-dr", "exit1-dr"),
+    "exit1-dr": ("pause-dr", "update-dr"),
+    "pause-dr": ("pause-dr", "exit2-dr"),
+    "exit2-dr": ("shift-dr", "update-dr"),
+    "update-dr": ("run-test-idle", "select-dr-scan"),
+    "select-ir-scan": ("capture-ir", "test-logic-reset"),
+    "capture-ir": ("shift-ir", "exit1-ir"),
+    "shift-ir": ("shift-ir", "exit1-ir"),
+    "exit1-ir": ("pause-ir", "update-ir"),
+    "pause-ir": ("pause-ir", "exit2-ir"),
+    "exit2-ir": ("shift-ir", "update-ir"),
+    "update-ir": ("run-test-idle", "select-dr-scan"),
+}
+
+
+@dataclass
+class JtagTap:
+    """A TAP with a 4-bit instruction register and 32-bit data registers."""
+
+    ir_length: int = 4
+    state: str = "test-logic-reset"
+    ir: int = 0
+    registers: dict[int, int] = field(default_factory=dict)
+    clocks: int = 0
+    _shift: int = 0
+    _shift_bits: int = 0
+
+    @property
+    def pin_count(self) -> int:
+        return PIN_COUNT
+
+    # ------------------------------------------------------------------
+    def clock(self, tms: int, tdi: int = 0) -> int:
+        """One TCK cycle; returns TDO."""
+        self.clocks += 1
+        tdo = self._shift & 1
+        if self.state in ("shift-dr", "shift-ir"):
+            self._shift = (self._shift >> 1) | (tdi << (self._shift_bits - 1))
+        previous = self.state
+        self.state = _TAP_TRANSITIONS[self.state][tms]
+        if previous == "capture-dr":
+            pass
+        if self.state == "capture-ir":
+            self._shift = 0b0101  # mandated capture pattern (LSBs 01)
+            self._shift_bits = self.ir_length
+        elif self.state == "capture-dr":
+            self._shift = self.registers.get(self.ir, 0)
+            self._shift_bits = 32
+        elif self.state == "update-ir":
+            self.ir = self._shift & ((1 << self.ir_length) - 1)
+        elif self.state == "update-dr":
+            self.registers[self.ir] = self._shift & 0xFFFFFFFF
+        return tdo
+
+    def reset(self) -> None:
+        """Five TMS-high clocks reach test-logic-reset from any state."""
+        for _ in range(5):
+            self.clock(tms=1)
+
+
+class JtagProbe:
+    """Drives a :class:`JtagTap` through complete IR/DR transactions."""
+
+    def __init__(self, tap: JtagTap | None = None) -> None:
+        self.tap = tap or JtagTap()
+        self.tap.reset()
+        self.tap.clock(tms=0)  # settle in run-test-idle
+
+    def _walk(self, tms_bits: str, data: int = 0, capture: bool = False) -> int:
+        out = 0
+        position = 0
+        for tms in tms_bits:
+            tdo = self.tap.clock(tms=int(tms), tdi=(data >> position) & 1)
+            if capture:
+                out |= tdo << position
+            position += 1
+        return out
+
+    def write_ir(self, instruction: int) -> None:
+        self._walk("1100")  # idle -> select-dr -> select-ir -> capture -> shift
+        bits = self.tap.ir_length
+        # shift bits; last shift happens while leaving to exit1
+        for index in range(bits):
+            tms = 1 if index == bits - 1 else 0
+            self.tap.clock(tms=tms, tdi=(instruction >> index) & 1)
+        self._walk("10")  # update-ir -> run-test-idle
+
+    def access_dr(self, value: int = 0) -> int:
+        self._walk("100")  # select-dr -> capture-dr -> shift-dr
+        out = 0
+        for index in range(32):
+            tms = 1 if index == 31 else 0
+            tdo = self.tap.clock(tms=tms, tdi=(value >> index) & 1)
+            out |= tdo << index
+        self._walk("10")  # update-dr -> idle
+        return out
+
+    def write_register(self, instruction: int, value: int) -> int:
+        """Complete transaction: IR scan + DR scan.  Returns clocks used."""
+        before = self.tap.clocks
+        self.write_ir(instruction)
+        self.access_dr(value)
+        return self.tap.clocks - before
+
+    def read_register(self, instruction: int) -> tuple[int, int]:
+        """Returns (value, clocks used).
+
+        A DR scan is destructive (Update-DR latches whatever was shifted
+        in), so the probe captures on the first scan and restores the
+        register with a second - the naive-but-correct probe behaviour.
+        """
+        before = self.tap.clocks
+        self.write_ir(instruction)
+        value = self.access_dr(0)
+        self.access_dr(value)  # put the old contents back
+        return value, self.tap.clocks - before

@@ -1,0 +1,401 @@
+"""Bit-level encoder/decoder for the classic ARM 32-bit instruction set.
+
+The supported subset is exactly what :mod:`repro.codegen.lower_arm` emits
+plus what the hand-written test programs use; see ``SUPPORTED`` below.  The
+decoder understands everything the encoder can produce, which is what the
+round-trip property tests exercise.
+"""
+
+from __future__ import annotations
+
+from repro.isa.conditions import Condition
+from repro.isa.instructions import Instruction, Mem, Shift
+from repro.isa.registers import MASK32, PC, SP
+
+_DP_OPCODES = {
+    "AND": 0x0, "EOR": 0x1, "SUB": 0x2, "RSB": 0x3,
+    "ADD": 0x4, "ADC": 0x5, "SBC": 0x6,
+    "TST": 0x8, "TEQ": 0x9, "CMP": 0xA, "CMN": 0xB,
+    "ORR": 0xC, "MOV": 0xD, "BIC": 0xE, "MVN": 0xF,
+}
+_DP_BY_OPCODE = {v: k for k, v in _DP_OPCODES.items()}
+_SHIFT_TYPES = {"LSL": 0, "LSR": 1, "ASR": 2, "ROR": 3}
+_SHIFT_BY_TYPE = {v: k for k, v in _SHIFT_TYPES.items()}
+
+SUPPORTED = frozenset(_DP_OPCODES) | frozenset(
+    {"LSL", "LSR", "ASR", "ROR", "MUL", "MLA", "UMULL", "SMULL", "CLZ",
+     "LDR", "LDRB", "LDRH", "LDRSB", "LDRSH", "STR", "STRB", "STRH",
+     "LDM", "STM", "PUSH", "POP", "B", "BL", "BX", "SVC", "NOP",
+     "CPSID", "CPSIE"}
+)
+
+
+class EncodingError(Exception):
+    """The instruction cannot be represented in this instruction set."""
+
+
+def encode_arm_immediate(value: int) -> tuple[int, int] | None:
+    """Find (imm8, rotation) such that ROR(imm8, 2*rot) == value, or None.
+
+    This is the classic ARM data-processing immediate: an 8-bit constant
+    rotated right by an even amount.
+    """
+    value &= MASK32
+    for rot in range(16):
+        imm8 = ((value << (2 * rot)) | (value >> (32 - 2 * rot))) & MASK32 if rot else value
+        if imm8 <= 0xFF:
+            return imm8, rot
+    return None
+
+
+def arm_immediate_value(imm8: int, rot: int) -> int:
+    """Inverse of :func:`encode_arm_immediate`."""
+    amount = 2 * rot
+    if amount == 0:
+        return imm8
+    return ((imm8 >> amount) | (imm8 << (32 - amount))) & MASK32
+
+
+def _cond_bits(ins: Instruction) -> int:
+    return ins.cond.value << 28
+
+
+def _shifter_operand(ins: Instruction) -> int:
+    """Bits [11:0] plus the I bit (bit 25) for a data-processing op."""
+    if ins.rm is not None:
+        bits = ins.rm & 0xF
+        if ins.shift is not None:
+            amount = ins.shift.amount
+            stype = _SHIFT_TYPES[ins.shift.kind]
+            if amount == 32 and ins.shift.kind in ("LSR", "ASR"):
+                amount = 0  # imm5 == 0 encodes shift-by-32 for LSR/ASR
+            if not 0 <= amount <= 31:
+                raise EncodingError(f"shift amount {ins.shift.amount} not encodable")
+            bits |= (amount << 7) | (stype << 5)
+        return bits
+    if ins.imm is None:
+        raise EncodingError(f"{ins.mnemonic}: no second operand")
+    encoded = encode_arm_immediate(ins.imm)
+    if encoded is None:
+        raise EncodingError(f"immediate {ins.imm:#x} not an ARM rotated constant")
+    imm8, rot = encoded
+    return (1 << 25) | (rot << 8) | imm8
+
+
+def _encode_data_processing(ins: Instruction) -> int:
+    opcode = _DP_OPCODES[ins.mnemonic]
+    word = _cond_bits(ins) | (opcode << 21) | _shifter_operand(ins)
+    if ins.mnemonic in ("TST", "TEQ", "CMP", "CMN"):
+        word |= (1 << 20) | ((ins.rn & 0xF) << 16)
+    elif ins.mnemonic in ("MOV", "MVN"):
+        word |= ((ins.rd & 0xF) << 12)
+        if ins.setflags:
+            word |= 1 << 20
+    else:
+        word |= ((ins.rn & 0xF) << 16) | ((ins.rd & 0xF) << 12)
+        if ins.setflags:
+            word |= 1 << 20
+    return word
+
+
+def _encode_shift_mnemonic(ins: Instruction) -> int:
+    """LSL/LSR/ASR/ROR are MOV with a shifted register operand."""
+    stype = _SHIFT_TYPES[ins.mnemonic]
+    word = _cond_bits(ins) | (0xD << 21) | ((ins.rd & 0xF) << 12)
+    if ins.setflags:
+        word |= 1 << 20
+    if ins.rm is not None:  # register-controlled shift
+        word |= ((ins.rm & 0xF) << 8) | (stype << 5) | (1 << 4) | (ins.rn & 0xF)
+    else:
+        amount = ins.imm or 0
+        if amount == 32 and ins.mnemonic in ("LSR", "ASR"):
+            amount = 0
+        if not 0 <= amount <= 31:
+            raise EncodingError(f"shift amount {ins.imm}")
+        word |= (amount << 7) | (stype << 5) | (ins.rn & 0xF)
+    return word
+
+
+def _encode_multiply(ins: Instruction) -> int:
+    cond = _cond_bits(ins)
+    s_bit = (1 << 20) if ins.setflags else 0
+    rm, rs = ins.rn & 0xF, ins.rm & 0xF
+    if ins.mnemonic == "MUL":
+        return cond | s_bit | ((ins.rd & 0xF) << 16) | (rs << 8) | 0x90 | rm
+    if ins.mnemonic == "MLA":
+        return cond | (1 << 21) | s_bit | ((ins.rd & 0xF) << 16) | ((ins.ra & 0xF) << 12) | (rs << 8) | 0x90 | rm
+    if ins.mnemonic == "UMULL":
+        return cond | (0x4 << 21) | s_bit | ((ins.ra & 0xF) << 16) | ((ins.rd & 0xF) << 12) | (rs << 8) | 0x90 | rm
+    if ins.mnemonic == "SMULL":
+        return cond | (0x6 << 21) | s_bit | ((ins.ra & 0xF) << 16) | ((ins.rd & 0xF) << 12) | (rs << 8) | 0x90 | rm
+    raise EncodingError(ins.mnemonic)
+
+
+def _mem_pubw(mem: Mem) -> tuple[int, int, int, int]:
+    """(P, U, W, |offset|) bits for an addressing mode."""
+    offset = mem.offset
+    u_bit = 1 if offset >= 0 else 0
+    if mem.postindex:
+        return 0, u_bit, 0, abs(offset)
+    return 1, u_bit, (1 if mem.writeback else 0), abs(offset)
+
+
+def _encode_word_transfer(ins: Instruction) -> int:
+    mem = ins.mem
+    l_bit = 1 if ins.mnemonic.startswith("LDR") else 0
+    b_bit = 1 if ins.mnemonic.endswith("B") else 0
+    word = _cond_bits(ins) | (1 << 26) | (l_bit << 20) | (b_bit << 22)
+    word |= ((mem.rn & 0xF) << 16) | ((ins.rd & 0xF) << 12)
+    if mem.rm is not None:
+        p, u, w = 1, 1, 1 if mem.writeback else 0
+        word |= (1 << 25) | (p << 24) | (u << 23) | (w << 21)
+        word |= ((mem.shift & 0x1F) << 7) | (mem.rm & 0xF)
+    else:
+        p, u, w, offset = _mem_pubw(mem)
+        if offset > 0xFFF:
+            raise EncodingError(f"offset {mem.offset} exceeds 12 bits")
+        word |= (p << 24) | (u << 23) | (w << 21) | offset
+    return word
+
+
+def _encode_half_signed_transfer(ins: Instruction) -> int:
+    mem = ins.mem
+    sh = {"LDRH": (1, 0, 1), "STRH": (0, 0, 1), "LDRSB": (1, 1, 0), "LDRSH": (1, 1, 1)}
+    l_bit, s_bit, h_bit = sh[ins.mnemonic]
+    word = _cond_bits(ins) | (l_bit << 20)
+    word |= ((mem.rn & 0xF) << 16) | ((ins.rd & 0xF) << 12)
+    word |= 0x90 | (s_bit << 6) | (h_bit << 5)
+    if mem.rm is not None:
+        if mem.shift:
+            raise EncodingError("halfword transfers take no shifted index")
+        word |= (1 << 24) | (1 << 23) | (mem.rm & 0xF)
+    else:
+        p, u, w, offset = _mem_pubw(mem)
+        if offset > 0xFF:
+            raise EncodingError(f"offset {mem.offset} exceeds 8 bits")
+        word |= (p << 24) | (u << 23) | (1 << 22) | (w << 21)
+        word |= ((offset & 0xF0) << 4) | (offset & 0xF)
+    return word
+
+
+def _encode_block_transfer(ins: Instruction) -> int:
+    reglist = 0
+    for reg in ins.reglist:
+        reglist |= 1 << reg
+    word = _cond_bits(ins) | (1 << 27) | reglist
+    if ins.mnemonic == "PUSH":
+        return word | (1 << 24) | (1 << 21) | (SP << 16)  # STMDB sp!
+    if ins.mnemonic == "POP":
+        return word | (1 << 23) | (1 << 21) | (1 << 20) | (SP << 16)  # LDMIA sp!
+    word |= (1 << 23) | ((ins.rn & 0xF) << 16)  # IA
+    if ins.writeback:
+        word |= 1 << 21
+    if ins.mnemonic == "LDM":
+        word |= 1 << 20
+    return word
+
+
+def _encode_branch(ins: Instruction) -> int:
+    if ins.mnemonic == "BX":
+        return _cond_bits(ins) | 0x012FFF10 | (ins.rm & 0xF)
+    if ins.target is None or ins.address is None:
+        raise EncodingError("branch not resolved")
+    offset = (ins.target - ins.address - 8) >> 2
+    if not -(1 << 23) <= offset < (1 << 23):
+        raise EncodingError(f"branch offset {offset} out of range")
+    word = _cond_bits(ins) | (0x5 << 25) | (offset & 0xFFFFFF)
+    if ins.mnemonic == "BL":
+        word |= 1 << 24
+    return word
+
+
+def encode_arm(ins: Instruction) -> int:
+    """Encode one instruction as a 32-bit ARM opcode word."""
+    mnemonic = ins.mnemonic
+    if mnemonic in _DP_OPCODES:
+        return _encode_data_processing(ins)
+    if mnemonic in ("LSL", "LSR", "ASR", "ROR"):
+        return _encode_shift_mnemonic(ins)
+    if mnemonic in ("MUL", "MLA", "UMULL", "SMULL"):
+        return _encode_multiply(ins)
+    if mnemonic == "CLZ":
+        return _cond_bits(ins) | 0x016F0F10 | ((ins.rd & 0xF) << 12) | (ins.rm & 0xF)
+    if mnemonic in ("LDR", "LDRB", "STR", "STRB"):
+        return _encode_word_transfer(ins)
+    if mnemonic in ("LDRH", "STRH", "LDRSB", "LDRSH"):
+        return _encode_half_signed_transfer(ins)
+    if mnemonic in ("LDM", "STM", "PUSH", "POP"):
+        return _encode_block_transfer(ins)
+    if mnemonic in ("B", "BL", "BX"):
+        return _encode_branch(ins)
+    if mnemonic == "SVC":
+        return _cond_bits(ins) | (0xF << 24) | ((ins.imm or 0) & 0xFFFFFF)
+    if mnemonic == "NOP":
+        return 0xE1A00000  # MOV r0, r0
+    if mnemonic == "CPSID":
+        return 0xF10C0080
+    if mnemonic == "CPSIE":
+        return 0xF1080080
+    raise EncodingError(f"{mnemonic} has no ARM encoding in this subset")
+
+
+# ----------------------------------------------------------------------
+# decoder
+# ----------------------------------------------------------------------
+
+def _decode_shifter(word: int) -> tuple[int | None, Shift | None, int | None, int | None]:
+    """Decode bits[11:0] of a register-form DP op: (rm, shift, rs, None)."""
+    rm = word & 0xF
+    stype = _SHIFT_BY_TYPE[(word >> 5) & 3]
+    if word & (1 << 4):  # register-controlled shift; caller re-extracts type
+        rs = (word >> 8) & 0xF
+        return rm, None, rs, None
+    amount = (word >> 7) & 0x1F
+    if amount == 0 and stype in ("LSR", "ASR"):
+        amount = 32
+    if amount == 0 and stype == "LSL":
+        return rm, None, None, None
+    return rm, Shift(stype, amount), None, None
+
+
+def decode_arm(word: int, address: int = 0) -> Instruction:
+    """Decode a 32-bit ARM opcode produced by :func:`encode_arm`."""
+    if word == 0xE1A00000:
+        return Instruction("NOP", address=address, size=4)
+    if word == 0xF10C0080:
+        return Instruction("CPSID", address=address, size=4)
+    if word == 0xF1080080:
+        return Instruction("CPSIE", address=address, size=4)
+    cond = Condition((word >> 28) & 0xF)
+    if (word & 0x0FFFFFF0) == 0x012FFF10:
+        return Instruction("BX", cond=cond, rm=word & 0xF, address=address, size=4)
+    if (word & 0x0FFF0FF0) == 0x016F0F10:
+        return Instruction("CLZ", cond=cond, rd=(word >> 12) & 0xF, rm=word & 0xF,
+                           address=address, size=4)
+    if (word & 0x0F000000) == 0x0F000000:
+        return Instruction("SVC", cond=cond, imm=word & 0xFFFFFF, address=address, size=4)
+    if (word & 0x0E000000) == 0x0A000000:  # B/BL
+        offset = word & 0xFFFFFF
+        if offset & (1 << 23):
+            offset -= 1 << 24
+        target = (address + 8 + (offset << 2)) & MASK32
+        mnemonic = "BL" if word & (1 << 24) else "B"
+        return Instruction(mnemonic, cond=cond, target=target, address=address, size=4)
+    if (word & 0x0FC000F0) in (0x00000090, 0x00200090, 0x00800090, 0x00C00090):
+        return _decode_multiply(word, cond, address)
+    if (word & 0x0E000090) == 0x00000090 and (word & 0x60):  # halfword/signed
+        return _decode_half_signed(word, cond, address)
+    if (word & 0x0C000000) == 0x04000000 or (word & 0x0E000010) == 0x06000000:
+        return _decode_word_transfer(word, cond, address)
+    if (word & 0x0E000000) == 0x08000000:
+        return _decode_block_transfer(word, cond, address)
+    if (word & 0x0C000000) == 0x00000000:
+        return _decode_data_processing(word, cond, address)
+    raise EncodingError(f"cannot decode ARM word {word:#010x}")
+
+
+def _decode_multiply(word: int, cond: Condition, address: int) -> Instruction:
+    setflags = bool(word & (1 << 20))
+    variant = (word >> 21) & 0x7
+    rm, rs = word & 0xF, (word >> 8) & 0xF
+    hi, lo = (word >> 16) & 0xF, (word >> 12) & 0xF
+    if variant == 0:
+        return Instruction("MUL", cond=cond, setflags=setflags, rd=hi, rn=rm, rm=rs,
+                           address=address, size=4)
+    if variant == 1:
+        return Instruction("MLA", cond=cond, setflags=setflags, rd=hi, rn=rm, rm=rs,
+                           ra=lo, address=address, size=4)
+    mnemonic = "UMULL" if variant == 4 else "SMULL"
+    return Instruction(mnemonic, cond=cond, setflags=setflags, rd=lo, ra=hi, rn=rm,
+                       rm=rs, address=address, size=4)
+
+
+def _decode_data_processing(word: int, cond: Condition, address: int) -> Instruction:
+    opcode = (word >> 21) & 0xF
+    mnemonic = _DP_BY_OPCODE.get(opcode)
+    if mnemonic is None:
+        raise EncodingError(f"DP opcode {opcode:#x}")
+    setflags = bool(word & (1 << 20))
+    rn = (word >> 16) & 0xF
+    rd = (word >> 12) & 0xF
+    if word & (1 << 25):  # immediate
+        imm = arm_immediate_value(word & 0xFF, (word >> 8) & 0xF)
+        rm, shift, rs = None, None, None
+    else:
+        rm, shift, rs, _ = _decode_shifter(word)
+        imm = None
+    kwargs = dict(cond=cond, address=address, size=4)
+    if rs is not None:  # register-controlled shift => standalone shift mnemonic
+        stype = _SHIFT_BY_TYPE[(word >> 5) & 3]
+        return Instruction(stype, setflags=setflags, rd=rd, rn=rm, rm=rs, **kwargs)
+    if shift is not None and mnemonic == "MOV":
+        return Instruction(shift.kind, setflags=setflags, rd=rd, rn=rm,
+                           imm=shift.amount, **kwargs)
+    if mnemonic in ("TST", "TEQ", "CMP", "CMN"):
+        return Instruction(mnemonic, rn=rn, rm=rm, imm=imm, shift=shift, **kwargs)
+    if mnemonic in ("MOV", "MVN"):
+        return Instruction(mnemonic, setflags=setflags, rd=rd, rm=rm, imm=imm,
+                           shift=shift, **kwargs)
+    return Instruction(mnemonic, setflags=setflags, rd=rd, rn=rn, rm=rm, imm=imm,
+                       shift=shift, **kwargs)
+
+
+def _decode_word_transfer(word: int, cond: Condition, address: int) -> Instruction:
+    l_bit = bool(word & (1 << 20))
+    b_bit = bool(word & (1 << 22))
+    mnemonic = ("LDR" if l_bit else "STR") + ("B" if b_bit else "")
+    rn = (word >> 16) & 0xF
+    rd = (word >> 12) & 0xF
+    p_bit = bool(word & (1 << 24))
+    u_bit = bool(word & (1 << 23))
+    w_bit = bool(word & (1 << 21))
+    if word & (1 << 25):  # register offset
+        mem = Mem(rn=rn, rm=word & 0xF, shift=(word >> 7) & 0x1F, writeback=w_bit)
+    else:
+        offset = word & 0xFFF
+        if not u_bit:
+            offset = -offset
+        if p_bit:
+            mem = Mem(rn=rn, offset=offset, writeback=w_bit)
+        else:
+            mem = Mem(rn=rn, offset=offset, postindex=True)
+    return Instruction(mnemonic, cond=cond, rd=rd, mem=mem, address=address, size=4)
+
+
+def _decode_half_signed(word: int, cond: Condition, address: int) -> Instruction:
+    l_bit = bool(word & (1 << 20))
+    s_bit = bool(word & (1 << 6))
+    h_bit = bool(word & (1 << 5))
+    if l_bit:
+        mnemonic = {(False, True): "LDRH", (True, False): "LDRSB", (True, True): "LDRSH"}[(s_bit, h_bit)]
+    else:
+        mnemonic = "STRH"
+    rn = (word >> 16) & 0xF
+    rd = (word >> 12) & 0xF
+    p_bit = bool(word & (1 << 24))
+    u_bit = bool(word & (1 << 23))
+    w_bit = bool(word & (1 << 21))
+    if word & (1 << 22):  # immediate form
+        offset = ((word >> 4) & 0xF0) | (word & 0xF)
+        if not u_bit:
+            offset = -offset
+        mem = Mem(rn=rn, offset=offset, writeback=w_bit and p_bit, postindex=not p_bit)
+    else:
+        mem = Mem(rn=rn, rm=word & 0xF)
+    return Instruction(mnemonic, cond=cond, rd=rd, mem=mem, address=address, size=4)
+
+
+def _decode_block_transfer(word: int, cond: Condition, address: int) -> Instruction:
+    reglist = tuple(r for r in range(16) if word & (1 << r))
+    rn = (word >> 16) & 0xF
+    l_bit = bool(word & (1 << 20))
+    w_bit = bool(word & (1 << 21))
+    p_bit = bool(word & (1 << 24))
+    u_bit = bool(word & (1 << 23))
+    if rn == SP and w_bit and p_bit and not u_bit and not l_bit:
+        return Instruction("PUSH", cond=cond, reglist=reglist, address=address, size=4)
+    if rn == SP and w_bit and not p_bit and u_bit and l_bit:
+        return Instruction("POP", cond=cond, reglist=reglist, address=address, size=4)
+    mnemonic = "LDM" if l_bit else "STM"
+    return Instruction(mnemonic, cond=cond, rn=rn, reglist=reglist, writeback=w_bit,
+                       address=address, size=4)

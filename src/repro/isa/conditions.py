@@ -1,0 +1,72 @@
+"""ARM condition codes and their evaluation against the APSR flags."""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+from repro.isa.registers import Apsr
+
+
+class Condition(IntEnum):
+    """The 15 ARM condition codes (NV is not modelled)."""
+
+    EQ = 0b0000  # equal                        Z == 1
+    NE = 0b0001  # not equal                    Z == 0
+    CS = 0b0010  # carry set / unsigned >=      C == 1
+    CC = 0b0011  # carry clear / unsigned <     C == 0
+    MI = 0b0100  # minus / negative             N == 1
+    PL = 0b0101  # plus / positive or zero      N == 0
+    VS = 0b0110  # overflow                     V == 1
+    VC = 0b0111  # no overflow                  V == 0
+    HI = 0b1000  # unsigned higher              C == 1 and Z == 0
+    LS = 0b1001  # unsigned lower or same       C == 0 or Z == 1
+    GE = 0b1010  # signed >=                    N == V
+    LT = 0b1011  # signed <                     N != V
+    GT = 0b1100  # signed >                     Z == 0 and N == V
+    LE = 0b1101  # signed <=                    Z == 1 or N != V
+    AL = 0b1110  # always
+
+    @property
+    def inverse(self) -> "Condition":
+        """The logically opposite condition (EQ <-> NE, ...)."""
+        if self is Condition.AL:
+            raise ValueError("AL has no inverse")
+        return Condition(self.value ^ 1)
+
+    @classmethod
+    def parse(cls, text: str) -> "Condition":
+        key = text.strip().upper()
+        if not key:
+            return cls.AL
+        # HS/LO are the assembler aliases for CS/CC.
+        aliases = {"HS": "CS", "LO": "CC"}
+        key = aliases.get(key, key)
+        try:
+            return cls[key]
+        except KeyError:
+            raise ValueError(f"unknown condition code: {text!r}") from None
+
+
+def condition_passed(cond: Condition, apsr: Apsr) -> bool:
+    """Evaluate a condition code against the current flags."""
+    n, z, c, v = apsr.n, apsr.z, apsr.c, apsr.v
+    base = cond.value >> 1
+    if base == 0b000:
+        result = z
+    elif base == 0b001:
+        result = c
+    elif base == 0b010:
+        result = n
+    elif base == 0b011:
+        result = v
+    elif base == 0b100:
+        result = c and not z
+    elif base == 0b101:
+        result = n == v
+    elif base == 0b110:
+        result = (n == v) and not z
+    else:  # 0b111 -> AL
+        return True
+    if cond.value & 1:
+        result = not result
+    return result

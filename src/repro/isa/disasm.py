@@ -1,0 +1,67 @@
+"""Disassembler: byte images back to instruction objects and text.
+
+Round-trips the encoders in :mod:`repro.isa.arm32` and
+:mod:`repro.isa.thumb`; used for debug output and by the encode/decode
+property tests.
+"""
+
+from __future__ import annotations
+
+from repro.isa.arm32 import decode_arm
+from repro.isa.instructions import ISA_ARM, ISA_THUMB, ISA_THUMB2, Instruction
+from repro.isa.thumb import is_wide
+from repro.isa.thumb_decode import decode_thumb
+
+
+def disassemble_word(word: int, isa: str, address: int = 0) -> Instruction:
+    """Decode a single encoding (already packed; Thumb-2 wide = hw1<<16|hw2)."""
+    if isa == ISA_ARM:
+        return decode_arm(word, address)
+    if word > 0xFFFF:
+        return decode_thumb([word >> 16, word & 0xFFFF], address)
+    return decode_thumb([word], address)
+
+
+def disassemble_image(image: bytes, isa: str, base: int = 0) -> list[Instruction]:
+    """Linear-sweep disassembly of a byte image.
+
+    Stops at the first undecodable word; literal pools at the end of a
+    program typically stop the sweep, which is the desired behaviour for
+    dumping small test programs.
+    """
+    out: list[Instruction] = []
+    offset = 0
+    if isa == ISA_ARM:
+        while offset + 4 <= len(image):
+            word = int.from_bytes(image[offset:offset + 4], "little")
+            try:
+                out.append(decode_arm(word, base + offset))
+            except Exception:
+                break
+            offset += 4
+        return out
+    while offset + 2 <= len(image):
+        hw1 = int.from_bytes(image[offset:offset + 2], "little")
+        halfwords = [hw1]
+        width = 2
+        if is_wide(hw1):
+            if offset + 4 > len(image):
+                break
+            halfwords.append(int.from_bytes(image[offset + 2:offset + 4], "little"))
+            width = 4
+        try:
+            out.append(decode_thumb(halfwords, base + offset))
+        except Exception:
+            break
+        offset += width
+    return out
+
+
+def format_listing(instructions: list[Instruction]) -> str:
+    """Pretty multi-line listing with addresses and encodings."""
+    lines = []
+    for ins in instructions:
+        addr = f"{ins.address:08x}" if ins.address is not None else "????????"
+        enc = f"{ins.encoding:0{ins.size * 2}x}" if ins.encoding is not None else ""
+        lines.append(f"{addr}: {enc:<10} {ins.render()}")
+    return "\n".join(lines)

@@ -1,0 +1,201 @@
+"""The decoded-instruction model shared by all three instruction sets.
+
+A single :class:`Instruction` dataclass represents an assembled operation in
+any of the three ISAs this library models (ARM 32-bit, Thumb 16-bit, and
+Thumb-2 mixed 16/32-bit).  The instruction set an instruction belongs to is a
+property of the surrounding :class:`~repro.isa.assembler.Program`; the
+*encoding width* (2 or 4 bytes) is stored per instruction because Thumb-2
+mixes both.
+
+Keeping one concrete class (rather than a class per mnemonic) keeps the
+semantic interpreter a flat dispatch table and makes property-based testing
+of encoder/decoder round trips straightforward.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.isa.conditions import Condition
+
+#: Instruction-set identifiers.
+ISA_ARM = "arm"
+ISA_THUMB = "thumb"
+ISA_THUMB2 = "thumb2"
+
+ALL_ISAS = (ISA_ARM, ISA_THUMB, ISA_THUMB2)
+
+
+@dataclass(frozen=True)
+class Shift:
+    """A barrel-shifter operation applied to the second operand."""
+
+    kind: str  # 'LSL' | 'LSR' | 'ASR' | 'ROR'
+    amount: int
+
+    KINDS = ("LSL", "LSR", "ASR", "ROR")
+
+    def __post_init__(self) -> None:
+        if self.kind not in self.KINDS:
+            raise ValueError(f"bad shift kind {self.kind!r}")
+        if not 0 <= self.amount <= 32:
+            raise ValueError(f"bad shift amount {self.amount}")
+
+
+@dataclass(frozen=True)
+class Mem:
+    """Addressing mode for single load/store instructions.
+
+    ``rm is None`` selects immediate-offset addressing ``[rn, #offset]``;
+    otherwise register-offset ``[rn, rm, LSL #shift]``.  ``writeback`` with
+    ``postindex=False`` is pre-indexed ``[rn, #offset]!``; with
+    ``postindex=True`` the offset is applied after the access.
+    """
+
+    rn: int
+    offset: int = 0
+    rm: int | None = None
+    shift: int = 0
+    writeback: bool = False
+    postindex: bool = False
+
+
+# Mnemonics grouped by operand shape; the semantic interpreter and the
+# encoders both key off these sets.
+DATA2_OPS = frozenset({"MOV", "MVN", "CLZ", "RBIT", "REV", "REV16", "SXTB", "SXTH", "UXTB", "UXTH"})
+DATA3_OPS = frozenset(
+    {"ADD", "ADC", "SUB", "SBC", "RSB", "AND", "ORR", "EOR", "BIC", "ORN",
+     "LSL", "LSR", "ASR", "ROR", "MUL", "SDIV", "UDIV"}
+)
+COMPARE_OPS = frozenset({"CMP", "CMN", "TST", "TEQ"})
+MUL_ACC_OPS = frozenset({"MLA", "MLS"})
+LONG_MUL_OPS = frozenset({"UMULL", "SMULL"})
+LOAD_OPS = frozenset({"LDR", "LDRB", "LDRH", "LDRSB", "LDRSH"})
+STORE_OPS = frozenset({"STR", "STRB", "STRH"})
+BLOCK_OPS = frozenset({"LDM", "STM", "PUSH", "POP"})
+BRANCH_OPS = frozenset({"B", "BL", "BX", "BLX"})
+BITFIELD_OPS = frozenset({"BFI", "BFC", "UBFX", "SBFX"})
+SYSTEM_OPS = frozenset({"NOP", "CPSID", "CPSIE", "SVC", "WFI", "BKPT", "DSB", "ISB"})
+TABLE_BRANCH_OPS = frozenset({"TBB", "TBH"})
+
+ALL_MNEMONICS = (
+    DATA2_OPS | DATA3_OPS | COMPARE_OPS | MUL_ACC_OPS | LONG_MUL_OPS
+    | LOAD_OPS | STORE_OPS | BLOCK_OPS | BRANCH_OPS | BITFIELD_OPS
+    | SYSTEM_OPS | TABLE_BRANCH_OPS
+    | {"MOVW", "MOVT", "IT", "ADR"}
+)
+
+
+@dataclass
+class Instruction:
+    """One assembled instruction.
+
+    Fields are a union over all operand shapes; which ones are meaningful is
+    determined by ``mnemonic``.  ``label`` holds an unresolved branch target
+    (or literal symbol) until the assembler's link pass fills in ``target``.
+    """
+
+    mnemonic: str
+    cond: Condition = Condition.AL
+    setflags: bool = False
+    rd: int | None = None
+    rn: int | None = None
+    rm: int | None = None
+    ra: int | None = None          # accumulator (MLA) / RdHi (long multiply)
+    imm: int | None = None         # immediate operand
+    shift: Shift | None = None     # shift on rm
+    mem: Mem | None = None         # load/store addressing mode
+    reglist: tuple[int, ...] = ()  # LDM/STM/PUSH/POP
+    writeback: bool = False        # LDM/STM base writeback
+    label: str | None = None       # unresolved branch/literal symbol
+    target: int | None = None      # resolved absolute branch target
+    it_mask: str = ""              # IT block pattern, e.g. 'T', 'TE', 'TTE'
+    bf_lsb: int | None = None      # bitfield ops: least significant bit
+    bf_width: int | None = None    # bitfield ops: field width
+    wide: bool = False             # Thumb-2: force 32-bit encoding (.W)
+    size: int = 4                  # encoding width in bytes (2 or 4)
+    address: int | None = None     # assigned by the assembler layout pass
+    encoding: int | None = None    # raw opcode bits once encoded
+
+    def __post_init__(self) -> None:
+        if self.mnemonic not in ALL_MNEMONICS:
+            raise ValueError(f"unknown mnemonic {self.mnemonic!r}")
+        if self.size not in (2, 4):
+            raise ValueError(f"bad instruction size {self.size}")
+
+    # ------------------------------------------------------------------
+    def uses_immediate(self) -> bool:
+        return self.imm is not None and self.rm is None
+
+    def is_branch(self) -> bool:
+        return self.mnemonic in BRANCH_OPS or self.mnemonic in TABLE_BRANCH_OPS
+
+    def is_memory_access(self) -> bool:
+        return (
+            self.mnemonic in LOAD_OPS
+            or self.mnemonic in STORE_OPS
+            or self.mnemonic in BLOCK_OPS
+            or self.mnemonic in TABLE_BRANCH_OPS
+        )
+
+    def is_load_literal(self) -> bool:
+        """True for PC-relative loads (literal-pool fetches)."""
+        from repro.isa.registers import PC
+
+        return self.mnemonic == "LDR" and self.mem is not None and self.mem.rn == PC
+
+    def copy(self, **changes) -> "Instruction":
+        return replace(self, **changes)
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """Assembler-style text for diagnostics and the disassembler."""
+        from repro.isa.registers import register_name
+
+        mnem = self.mnemonic
+        if self.mnemonic == "IT":
+            return f"IT{self.it_mask[1:] if len(self.it_mask) > 1 else ''} {self.cond.name.lower()}"
+        suffix = ""
+        if self.setflags:
+            suffix += "S"
+        if self.cond != Condition.AL and mnem != "B":
+            suffix += self.cond.name
+        if mnem == "B" and self.cond != Condition.AL:
+            mnem = f"B{self.cond.name}"
+        ops: list[str] = []
+        for reg in (self.rd, self.rn if self.mem is None else None):
+            if reg is not None:
+                ops.append(register_name(reg))
+        if self.mem is not None:
+            base = register_name(self.mem.rn)
+            if self.mem.rm is not None:
+                inner = f"[{base}, {register_name(self.mem.rm)}"
+                if self.mem.shift:
+                    inner += f", lsl #{self.mem.shift}"
+                ops.append(inner + "]")
+            elif self.mem.postindex:
+                ops.append(f"[{base}], #{self.mem.offset}")
+            else:
+                wb = "!" if self.mem.writeback else ""
+                ops.append(f"[{base}, #{self.mem.offset}]{wb}")
+        elif self.rm is not None:
+            text = register_name(self.rm)
+            if self.shift is not None and self.shift.amount:
+                text += f", {self.shift.kind.lower()} #{self.shift.amount}"
+            ops.append(text)
+        if self.ra is not None:
+            ops.append(register_name(self.ra))
+        if self.imm is not None and self.rm is None and self.mem is None:
+            ops.append(f"#{self.imm}")
+        if self.reglist:
+            ops.append("{" + ", ".join(register_name(r) for r in self.reglist) + "}")
+        if self.label is not None and self.target is None:
+            ops.append(self.label)
+        elif self.target is not None and self.is_branch():
+            ops.append(f"0x{self.target:x}")
+        return f"{mnem}{suffix} " + ", ".join(ops) if ops else f"{mnem}{suffix}"
+
+
+def instr(mnemonic: str, **kwargs) -> Instruction:
+    """Shorthand constructor used heavily by the code generators and tests."""
+    return Instruction(mnemonic=mnemonic, **kwargs)

@@ -1,0 +1,135 @@
+"""Register file and program-status registers for the ARM-style cores."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+MASK32 = 0xFFFFFFFF
+
+# Architectural register numbers.
+R0, R1, R2, R3, R4, R5, R6, R7 = range(8)
+R8, R9, R10, R11, R12 = range(8, 13)
+SP = 13
+LR = 14
+PC = 15
+
+REGISTER_NAMES = {
+    **{i: f"r{i}" for i in range(13)},
+    SP: "sp",
+    LR: "lr",
+    PC: "pc",
+}
+
+NAME_TO_REGISTER = {name: num for num, name in REGISTER_NAMES.items()}
+NAME_TO_REGISTER.update({f"r{SP}": SP, f"r{LR}": LR, f"r{PC}": PC})
+
+
+def register_name(num: int) -> str:
+    """Human-readable name for a register number."""
+    return REGISTER_NAMES[num]
+
+
+def parse_register(name: str) -> int:
+    """Parse ``r0``..``r12``, ``sp``, ``lr``, ``pc`` (case-insensitive)."""
+    key = name.strip().lower()
+    if key not in NAME_TO_REGISTER:
+        raise ValueError(f"unknown register: {name!r}")
+    return NAME_TO_REGISTER[key]
+
+
+@dataclass
+class Apsr:
+    """Application program status register: the N/Z/C/V condition flags.
+
+    Only the flags the cores in this library use are modelled; the Q
+    saturation flag and GE lanes of the real APSR are out of scope.
+    """
+
+    n: bool = False
+    z: bool = False
+    c: bool = False
+    v: bool = False
+
+    def set_nz(self, result: int) -> None:
+        """Update N and Z from a 32-bit result, leaving C and V alone."""
+        result &= MASK32
+        self.n = bool(result >> 31)
+        self.z = result == 0
+
+    def to_word(self) -> int:
+        """Pack into the architectural xPSR[31:28] layout."""
+        return (int(self.n) << 31) | (int(self.z) << 30) | (int(self.c) << 29) | (int(self.v) << 28)
+
+    @classmethod
+    def from_word(cls, word: int) -> "Apsr":
+        return cls(
+            n=bool(word & (1 << 31)),
+            z=bool(word & (1 << 30)),
+            c=bool(word & (1 << 29)),
+            v=bool(word & (1 << 28)),
+        )
+
+    def copy(self) -> "Apsr":
+        return Apsr(self.n, self.z, self.c, self.v)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return "".join(
+            ch.upper() if flag else ch.lower()
+            for ch, flag in (("n", self.n), ("z", self.z), ("c", self.c), ("v", self.v))
+        )
+
+
+@dataclass
+class RegisterFile:
+    """Sixteen 32-bit general-purpose registers (r0-r12, sp, lr, pc).
+
+    All writes are masked to 32 bits.  The PC value visible to instructions
+    (``pc + 8`` in ARM state, ``pc + 4`` in Thumb state) is applied by the
+    executing core, not here; this class stores the raw next-fetch address.
+    """
+
+    values: list[int] = field(default_factory=lambda: [0] * 16)
+
+    def read(self, reg: int) -> int:
+        self._check(reg)
+        return self.values[reg]
+
+    def write(self, reg: int, value: int) -> None:
+        self._check(reg)
+        self.values[reg] = value & MASK32
+
+    def read_many(self, regs) -> list[int]:
+        return [self.read(r) for r in regs]
+
+    @property
+    def sp(self) -> int:
+        return self.values[SP]
+
+    @sp.setter
+    def sp(self, value: int) -> None:
+        self.values[SP] = value & MASK32
+
+    @property
+    def lr(self) -> int:
+        return self.values[LR]
+
+    @lr.setter
+    def lr(self, value: int) -> None:
+        self.values[LR] = value & MASK32
+
+    @property
+    def pc(self) -> int:
+        return self.values[PC]
+
+    @pc.setter
+    def pc(self, value: int) -> None:
+        self.values[PC] = value & MASK32
+
+    def snapshot(self) -> tuple[int, ...]:
+        """Immutable copy of the register state (for test assertions)."""
+        return tuple(self.values)
+
+    @staticmethod
+    def _check(reg: int) -> None:
+        if not 0 <= reg <= 15:
+            raise ValueError(f"register number out of range: {reg}")

@@ -1,0 +1,579 @@
+"""Execution semantics for the modelled instruction subset.
+
+The interpreter is a flat dispatch table from mnemonic to a handler.  It is
+deliberately separate from any *timing* concern: handlers mutate
+architectural state through the :class:`ExecutionContext` protocol and
+report what happened in an :class:`Outcome`; each core model then charges
+cycles for the outcome according to its own microarchitecture.
+
+The arithmetic helpers (`add_with_carry`, `shift_c`) follow the ARM
+Architecture Reference Manual pseudocode so that flag behaviour is exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.isa.conditions import Condition, condition_passed
+from repro.isa.instructions import Instruction, Mem, Shift
+from repro.isa.registers import MASK32, PC, Apsr, RegisterFile
+
+
+class ExecutionContext(Protocol):
+    """What the interpreter needs from a CPU model."""
+
+    regs: RegisterFile
+    apsr: Apsr
+
+    def read(self, addr: int, size: int) -> int: ...
+    def write(self, addr: int, size: int, value: int) -> None: ...
+    def branch(self, target: int) -> None: ...
+    def pc_read_value(self) -> int: ...
+    def set_interrupts_enabled(self, enabled: bool) -> None: ...
+    def begin_it_block(self, firstcond: Condition, mask: str) -> None: ...
+    def software_interrupt(self, number: int) -> None: ...
+    def wait_for_interrupt(self) -> None: ...
+
+
+@dataclass
+class Outcome:
+    """What an instruction did, for the benefit of the cycle model."""
+
+    taken: bool = False        # a branch was taken (PC changed)
+    skipped: bool = False      # condition failed; instruction was a NOP
+    reads: int = 0             # data-side read accesses performed
+    writes: int = 0            # data-side write accesses performed
+    regs_transferred: int = 0  # LDM/STM register count
+    div_early_exit: int = 0    # divide result bit-length (timing hint)
+
+
+class UndefinedInstruction(Exception):
+    """Raised when the interpreter has no handler for a mnemonic."""
+
+
+# ----------------------------------------------------------------------
+# ARM ARM arithmetic helpers
+# ----------------------------------------------------------------------
+
+def to_signed(value: int) -> int:
+    """Interpret a 32-bit value as signed."""
+    value &= MASK32
+    return value - (1 << 32) if value & (1 << 31) else value
+
+
+def add_with_carry(x: int, y: int, carry_in: int) -> tuple[int, bool, bool]:
+    """The ARM AddWithCarry() pseudocode: returns (result, carry, overflow)."""
+    x &= MASK32
+    y &= MASK32
+    unsigned_sum = x + y + carry_in
+    signed_sum = to_signed(x) + to_signed(y) + carry_in
+    result = unsigned_sum & MASK32
+    carry_out = result != unsigned_sum
+    overflow = to_signed(result) != signed_sum
+    return result, carry_out, overflow
+
+
+def shift_c(value: int, kind: str, amount: int, carry_in: bool) -> tuple[int, bool]:
+    """The ARM Shift_C() pseudocode: returns (result, carry_out)."""
+    value &= MASK32
+    if amount == 0:
+        return value, carry_in
+    if kind == "LSL":
+        if amount > 32:
+            return 0, False
+        extended = value << amount
+        return extended & MASK32, bool(extended & (1 << 32)) if amount <= 32 else False
+    if kind == "LSR":
+        if amount > 32:
+            return 0, False
+        if amount == 32:
+            return 0, bool(value >> 31)
+        return value >> amount, bool((value >> (amount - 1)) & 1)
+    if kind == "ASR":
+        signed = to_signed(value)
+        if amount >= 32:
+            result = MASK32 if signed < 0 else 0
+            return result, signed < 0
+        return (signed >> amount) & MASK32, bool((value >> (amount - 1)) & 1)
+    if kind == "ROR":
+        amount %= 32
+        if amount == 0:
+            return value, bool(value >> 31)
+        result = ((value >> amount) | (value << (32 - amount))) & MASK32
+        return result, bool(result >> 31)
+    raise ValueError(f"bad shift kind {kind!r}")
+
+
+def count_leading_zeros(value: int) -> int:
+    value &= MASK32
+    return 32 - value.bit_length()
+
+
+def bit_reverse32(value: int) -> int:
+    value &= MASK32
+    return int(f"{value:032b}"[::-1], 2)
+
+
+def byte_reverse32(value: int) -> int:
+    value &= MASK32
+    return (
+        ((value & 0x000000FF) << 24)
+        | ((value & 0x0000FF00) << 8)
+        | ((value & 0x00FF0000) >> 8)
+        | ((value & 0xFF000000) >> 24)
+    )
+
+
+def byte_reverse_halves(value: int) -> int:
+    value &= MASK32
+    return (
+        ((value & 0x00FF00FF) << 8) | ((value & 0xFF00FF00) >> 8)
+    ) & MASK32
+
+
+# ----------------------------------------------------------------------
+# operand helpers
+# ----------------------------------------------------------------------
+
+def _read_reg(cpu: ExecutionContext, reg: int) -> int:
+    if reg == PC:
+        return cpu.pc_read_value()
+    return cpu.regs.read(reg)
+
+
+def _write_result(cpu: ExecutionContext, reg: int, value: int, outcome: Outcome) -> None:
+    if reg == PC:
+        cpu.branch(value & ~1)
+        outcome.taken = True
+    else:
+        cpu.regs.write(reg, value)
+
+
+def _operand2(cpu: ExecutionContext, ins: Instruction) -> tuple[int, bool]:
+    """Evaluate the flexible second operand: (value, shifter_carry)."""
+    carry_in = cpu.apsr.c
+    if ins.rm is not None:
+        value = _read_reg(cpu, ins.rm)
+        if ins.shift is not None:
+            amount = ins.shift.amount
+            return shift_c(value, ins.shift.kind, amount, carry_in)
+        return value, carry_in
+    if ins.imm is None:
+        raise UndefinedInstruction(f"{ins.mnemonic} missing second operand")
+    return ins.imm & MASK32, carry_in
+
+
+def _mem_address(cpu: ExecutionContext, mem: Mem) -> tuple[int, int | None]:
+    """Compute the effective address; returns (address, new_base_or_None)."""
+    if mem.rn == PC:
+        base = cpu.pc_read_value() & ~3  # literal accesses use Align(PC, 4)
+    else:
+        base = cpu.regs.read(mem.rn)
+    if mem.rm is not None:
+        offset = (cpu.regs.read(mem.rm) << mem.shift) & MASK32
+    else:
+        offset = mem.offset
+    offset_addr = (base + offset) & MASK32
+    if mem.postindex:
+        return base, offset_addr
+    if mem.writeback:
+        return offset_addr, offset_addr
+    return offset_addr, None
+
+
+_LOAD_SIZES = {"LDR": 4, "LDRB": 1, "LDRH": 2, "LDRSB": 1, "LDRSH": 2}
+_STORE_SIZES = {"STR": 4, "STRB": 1, "STRH": 2}
+_SIGNED_LOADS = {"LDRSB": 8, "LDRSH": 16}
+
+
+def _sign_extend(value: int, bits: int) -> int:
+    if value & (1 << (bits - 1)):
+        value |= MASK32 ^ ((1 << bits) - 1)
+    return value & MASK32
+
+
+# ----------------------------------------------------------------------
+# handlers
+# ----------------------------------------------------------------------
+
+def _exec_mov(cpu, ins, outcome):
+    value, carry = _operand2(cpu, ins)
+    if ins.mnemonic == "MVN":
+        value = (~value) & MASK32
+    _write_result(cpu, ins.rd, value, outcome)
+    if ins.setflags:
+        cpu.apsr.set_nz(value)
+        cpu.apsr.c = carry
+
+
+def _exec_movw(cpu, ins, outcome):
+    cpu.regs.write(ins.rd, ins.imm & 0xFFFF)
+
+
+def _exec_movt(cpu, ins, outcome):
+    low = cpu.regs.read(ins.rd) & 0xFFFF
+    cpu.regs.write(ins.rd, ((ins.imm & 0xFFFF) << 16) | low)
+
+
+def _exec_arith(cpu, ins, outcome):
+    op = ins.mnemonic
+    x = _read_reg(cpu, ins.rn)
+    y, _ = _operand2(cpu, ins)
+    carry = cpu.apsr.c
+    if op == "ADD":
+        result, c, v = add_with_carry(x, y, 0)
+    elif op == "ADC":
+        result, c, v = add_with_carry(x, y, int(carry))
+    elif op == "SUB":
+        result, c, v = add_with_carry(x, (~y) & MASK32, 1)
+    elif op == "SBC":
+        result, c, v = add_with_carry(x, (~y) & MASK32, int(carry))
+    elif op == "RSB":
+        result, c, v = add_with_carry((~x) & MASK32, y, 1)
+    else:
+        raise UndefinedInstruction(op)
+    _write_result(cpu, ins.rd, result, outcome)
+    if ins.setflags:
+        cpu.apsr.set_nz(result)
+        cpu.apsr.c = c
+        cpu.apsr.v = v
+
+
+def _exec_logic(cpu, ins, outcome):
+    op = ins.mnemonic
+    x = _read_reg(cpu, ins.rn)
+    y, carry = _operand2(cpu, ins)
+    if op == "AND":
+        result = x & y
+    elif op == "ORR":
+        result = x | y
+    elif op == "EOR":
+        result = x ^ y
+    elif op == "BIC":
+        result = x & ~y
+    elif op == "ORN":
+        result = x | (~y & MASK32)
+    else:
+        raise UndefinedInstruction(op)
+    result &= MASK32
+    _write_result(cpu, ins.rd, result, outcome)
+    if ins.setflags:
+        cpu.apsr.set_nz(result)
+        cpu.apsr.c = carry
+
+
+def _exec_shift_op(cpu, ins, outcome):
+    """Standalone LSL/LSR/ASR/ROR: amount from imm or register."""
+    value = _read_reg(cpu, ins.rn)
+    if ins.rm is not None:
+        amount = cpu.regs.read(ins.rm) & 0xFF
+    else:
+        amount = ins.imm
+    result, carry = shift_c(value, ins.mnemonic, amount, cpu.apsr.c)
+    _write_result(cpu, ins.rd, result, outcome)
+    if ins.setflags:
+        cpu.apsr.set_nz(result)
+        cpu.apsr.c = carry
+
+
+def _exec_compare(cpu, ins, outcome):
+    op = ins.mnemonic
+    x = _read_reg(cpu, ins.rn)
+    y, shifter_carry = _operand2(cpu, ins)
+    if op == "CMP":
+        result, c, v = add_with_carry(x, (~y) & MASK32, 1)
+        cpu.apsr.c, cpu.apsr.v = c, v
+    elif op == "CMN":
+        result, c, v = add_with_carry(x, y, 0)
+        cpu.apsr.c, cpu.apsr.v = c, v
+    elif op == "TST":
+        result = x & y
+        cpu.apsr.c = shifter_carry
+    else:  # TEQ
+        result = x ^ y
+        cpu.apsr.c = shifter_carry
+    cpu.apsr.set_nz(result)
+
+
+def _exec_mul(cpu, ins, outcome):
+    result = (cpu.regs.read(ins.rn) * cpu.regs.read(ins.rm)) & MASK32
+    _write_result(cpu, ins.rd, result, outcome)
+    if ins.setflags:
+        cpu.apsr.set_nz(result)
+
+
+def _exec_mla(cpu, ins, outcome):
+    product = cpu.regs.read(ins.rn) * cpu.regs.read(ins.rm)
+    acc = cpu.regs.read(ins.ra)
+    if ins.mnemonic == "MLA":
+        result = (product + acc) & MASK32
+    else:  # MLS
+        result = (acc - product) & MASK32
+    _write_result(cpu, ins.rd, result, outcome)
+
+
+def _exec_long_mul(cpu, ins, outcome):
+    x = cpu.regs.read(ins.rn)
+    y = cpu.regs.read(ins.rm)
+    if ins.mnemonic == "SMULL":
+        product = to_signed(x) * to_signed(y)
+    else:
+        product = x * y
+    product &= (1 << 64) - 1
+    cpu.regs.write(ins.rd, product & MASK32)         # RdLo
+    cpu.regs.write(ins.ra, (product >> 32) & MASK32)  # RdHi
+
+
+def _exec_div(cpu, ins, outcome):
+    x = cpu.regs.read(ins.rn)
+    y = cpu.regs.read(ins.rm)
+    if y == 0:
+        result = 0  # ARMv7-M default (DIV_0_TRP clear): quotient is zero
+    elif ins.mnemonic == "SDIV":
+        sx, sy = to_signed(x), to_signed(y)
+        quotient = abs(sx) // abs(sy)
+        if (sx < 0) != (sy < 0):
+            quotient = -quotient
+        result = quotient & MASK32
+    else:
+        result = x // y
+    outcome.div_early_exit = max(result.bit_length(), 1)
+    _write_result(cpu, ins.rd, result, outcome)
+
+
+def _exec_unary(cpu, ins, outcome):
+    value = _read_reg(cpu, ins.rm if ins.rm is not None else ins.rn)
+    op = ins.mnemonic
+    if op == "CLZ":
+        result = count_leading_zeros(value)
+    elif op == "RBIT":
+        result = bit_reverse32(value)
+    elif op == "REV":
+        result = byte_reverse32(value)
+    elif op == "REV16":
+        result = byte_reverse_halves(value)
+    elif op == "SXTB":
+        result = _sign_extend(value & 0xFF, 8)
+    elif op == "SXTH":
+        result = _sign_extend(value & 0xFFFF, 16)
+    elif op == "UXTB":
+        result = value & 0xFF
+    elif op == "UXTH":
+        result = value & 0xFFFF
+    else:
+        raise UndefinedInstruction(op)
+    _write_result(cpu, ins.rd, result, outcome)
+
+
+def _exec_bitfield(cpu, ins, outcome):
+    op = ins.mnemonic
+    lsb, width = ins.bf_lsb, ins.bf_width
+    if lsb is None or width is None or not 0 < width <= 32 - lsb:
+        raise UndefinedInstruction(f"{op} bad bitfield [{lsb}, {width}]")
+    mask = ((1 << width) - 1) << lsb
+    if op == "BFI":
+        dest = cpu.regs.read(ins.rd)
+        src = cpu.regs.read(ins.rn)
+        result = (dest & ~mask) | ((src << lsb) & mask)
+    elif op == "BFC":
+        result = cpu.regs.read(ins.rd) & ~mask
+    elif op == "UBFX":
+        result = (cpu.regs.read(ins.rn) & mask) >> lsb
+    else:  # SBFX
+        field = (cpu.regs.read(ins.rn) & mask) >> lsb
+        result = _sign_extend(field, width)
+    cpu.regs.write(ins.rd, result & MASK32)
+
+
+def _exec_load(cpu, ins, outcome):
+    address, new_base = _mem_address(cpu, ins.mem)
+    size = _LOAD_SIZES[ins.mnemonic]
+    value = cpu.read(address, size)
+    outcome.reads += 1
+    if ins.mnemonic in _SIGNED_LOADS:
+        value = _sign_extend(value, _SIGNED_LOADS[ins.mnemonic])
+    if new_base is not None and ins.mem.rn != PC:
+        cpu.regs.write(ins.mem.rn, new_base)
+    _write_result(cpu, ins.rd, value, outcome)
+
+
+def _exec_store(cpu, ins, outcome):
+    address, new_base = _mem_address(cpu, ins.mem)
+    size = _STORE_SIZES[ins.mnemonic]
+    value = cpu.regs.read(ins.rd)
+    masks = {1: 0xFF, 2: 0xFFFF, 4: MASK32}
+    cpu.write(address, size, value & masks[size])
+    outcome.writes += 1
+    if new_base is not None:
+        cpu.regs.write(ins.mem.rn, new_base)
+
+
+def _exec_block(cpu, ins, outcome):
+    from repro.isa.registers import SP
+
+    op = ins.mnemonic
+    regs = sorted(ins.reglist)
+    count = len(regs)
+    outcome.regs_transferred = count
+    if op == "PUSH":
+        base = cpu.regs.sp - 4 * count
+        address = base
+        for reg in regs:
+            cpu.write(address, 4, cpu.regs.read(reg))
+            outcome.writes += 1
+            address += 4
+        cpu.regs.sp = base
+        return
+    if op == "POP":
+        address = cpu.regs.sp
+        branch_target = None
+        for reg in regs:
+            value = cpu.read(address, 4)
+            outcome.reads += 1
+            if reg == PC:
+                branch_target = value
+            else:
+                cpu.regs.write(reg, value)
+            address += 4
+        cpu.regs.sp = address
+        if branch_target is not None:
+            cpu.branch(branch_target & ~1)
+            outcome.taken = True
+        return
+    base = cpu.regs.read(ins.rn)
+    if op == "STM":
+        address = base
+        for reg in regs:
+            cpu.write(address, 4, cpu.regs.read(reg))
+            outcome.writes += 1
+            address += 4
+        if ins.writeback:
+            cpu.regs.write(ins.rn, address)
+        return
+    # LDM
+    address = base
+    branch_target = None
+    loaded_base = False
+    for reg in regs:
+        value = cpu.read(address, 4)
+        outcome.reads += 1
+        if reg == PC:
+            branch_target = value
+        else:
+            cpu.regs.write(reg, value)
+            if reg == ins.rn:
+                loaded_base = True
+        address += 4
+    if ins.writeback and not loaded_base:
+        cpu.regs.write(ins.rn, address)
+    if branch_target is not None:
+        cpu.branch(branch_target & ~1)
+        outcome.taken = True
+
+
+def _exec_branch(cpu, ins, outcome):
+    op = ins.mnemonic
+    if op in ("BX", "BLX") and ins.rm is not None:
+        target = cpu.regs.read(ins.rm)
+        if op == "BLX":
+            cpu.regs.lr = (ins.address + ins.size) & MASK32
+        cpu.branch(target & ~1)
+        outcome.taken = True
+        return
+    if ins.target is None:
+        raise UndefinedInstruction(f"unresolved branch {ins.label!r}")
+    if op == "BL":
+        cpu.regs.lr = (ins.address + ins.size) & MASK32
+    cpu.branch(ins.target)
+    outcome.taken = True
+
+
+def _exec_table_branch(cpu, ins, outcome):
+    base = _read_reg(cpu, ins.rn)
+    index = cpu.regs.read(ins.rm)
+    if ins.mnemonic == "TBB":
+        entry = cpu.read((base + index) & MASK32, 1)
+    else:  # TBH
+        entry = cpu.read((base + index * 2) & MASK32, 2)
+    outcome.reads += 1
+    cpu.branch((cpu.pc_read_value() + entry * 2) & MASK32)
+    outcome.taken = True
+
+
+def _exec_it(cpu, ins, outcome):
+    cpu.begin_it_block(ins.cond, ins.it_mask)
+
+
+def _exec_adr(cpu, ins, outcome):
+    base = cpu.pc_read_value() & ~3
+    cpu.regs.write(ins.rd, (base + (ins.imm or 0)) & MASK32)
+
+
+def _exec_system(cpu, ins, outcome):
+    op = ins.mnemonic
+    if op in ("NOP", "DSB", "ISB", "BKPT"):
+        return
+    if op == "CPSID":
+        cpu.set_interrupts_enabled(False)
+    elif op == "CPSIE":
+        cpu.set_interrupts_enabled(True)
+    elif op == "SVC":
+        cpu.software_interrupt(ins.imm or 0)
+    elif op == "WFI":
+        cpu.wait_for_interrupt()
+    else:
+        raise UndefinedInstruction(op)
+
+
+_DISPATCH = {
+    "MOV": _exec_mov, "MVN": _exec_mov,
+    "MOVW": _exec_movw, "MOVT": _exec_movt,
+    "ADD": _exec_arith, "ADC": _exec_arith, "SUB": _exec_arith,
+    "SBC": _exec_arith, "RSB": _exec_arith,
+    "AND": _exec_logic, "ORR": _exec_logic, "EOR": _exec_logic,
+    "BIC": _exec_logic, "ORN": _exec_logic,
+    "LSL": _exec_shift_op, "LSR": _exec_shift_op,
+    "ASR": _exec_shift_op, "ROR": _exec_shift_op,
+    "CMP": _exec_compare, "CMN": _exec_compare,
+    "TST": _exec_compare, "TEQ": _exec_compare,
+    "MUL": _exec_mul, "MLA": _exec_mla, "MLS": _exec_mla,
+    "UMULL": _exec_long_mul, "SMULL": _exec_long_mul,
+    "SDIV": _exec_div, "UDIV": _exec_div,
+    "CLZ": _exec_unary, "RBIT": _exec_unary, "REV": _exec_unary,
+    "REV16": _exec_unary, "SXTB": _exec_unary, "SXTH": _exec_unary,
+    "UXTB": _exec_unary, "UXTH": _exec_unary,
+    "BFI": _exec_bitfield, "BFC": _exec_bitfield,
+    "UBFX": _exec_bitfield, "SBFX": _exec_bitfield,
+    "LDR": _exec_load, "LDRB": _exec_load, "LDRH": _exec_load,
+    "LDRSB": _exec_load, "LDRSH": _exec_load,
+    "STR": _exec_store, "STRB": _exec_store, "STRH": _exec_store,
+    "LDM": _exec_block, "STM": _exec_block,
+    "PUSH": _exec_block, "POP": _exec_block,
+    "B": _exec_branch, "BL": _exec_branch, "BX": _exec_branch, "BLX": _exec_branch,
+    "TBB": _exec_table_branch, "TBH": _exec_table_branch,
+    "IT": _exec_it, "ADR": _exec_adr,
+    "NOP": _exec_system, "CPSID": _exec_system, "CPSIE": _exec_system,
+    "SVC": _exec_system, "WFI": _exec_system, "BKPT": _exec_system,
+    "DSB": _exec_system, "ISB": _exec_system,
+}
+
+
+def execute(cpu: ExecutionContext, ins: Instruction, condition: Condition | None = None) -> Outcome:
+    """Execute one instruction against the CPU state.
+
+    ``condition`` overrides the instruction's own condition field (used for
+    IT-block predication on Thumb-2 cores).  Returns the :class:`Outcome`
+    that cycle models consume.
+    """
+    outcome = Outcome()
+    cond = condition if condition is not None else ins.cond
+    if ins.mnemonic != "IT" and cond != Condition.AL:
+        if not condition_passed(cond, cpu.apsr):
+            outcome.skipped = True
+            return outcome
+    handler = _DISPATCH.get(ins.mnemonic)
+    if handler is None:
+        raise UndefinedInstruction(ins.mnemonic)
+    handler(cpu, ins, outcome)
+    return outcome

@@ -1,0 +1,677 @@
+"""Bit-level encoder/decoder for Thumb (16-bit) and Thumb-2 (mixed 16/32-bit).
+
+Two instruction sets share this module:
+
+* **Thumb** (``ISA_THUMB``): the original 16-bit-only compressed set, as on
+  ARM7TDMI.  Narrow encodings only; anything that does not fit raises
+  :class:`EncodingError` and the code generator must emit a sequence instead.
+* **Thumb-2** (``ISA_THUMB2``): the blended set, as on Cortex-M3 and
+  ARM1156T2-S.  :func:`encode_thumb2` picks the narrow encoding when one
+  exists (matching what a real assembler does for code density) and falls
+  back to the 32-bit encoding otherwise.
+
+Encodings follow the ARMv7-M ARM; ``BL`` uses the 25-bit T1 encoding for
+both instruction sets so the decoder does not need to know the ISA.
+"""
+
+from __future__ import annotations
+
+from repro.isa.conditions import Condition
+from repro.isa.instructions import Instruction, Mem, Shift
+from repro.isa.registers import LR, MASK32, PC, SP
+
+from repro.isa.arm32 import EncodingError
+
+_SHIFT_TYPES = {"LSL": 0, "LSR": 1, "ASR": 2, "ROR": 3}
+_SHIFT_BY_TYPE = {v: k for k, v in _SHIFT_TYPES.items()}
+
+# Thumb-2 data-processing opcodes (modified-immediate and shifted-register).
+_T2_DP_OPCODES = {
+    "AND": 0b0000, "BIC": 0b0001, "ORR": 0b0010, "ORN": 0b0011,
+    "EOR": 0b0100, "ADD": 0b1000, "ADC": 0b1010, "SBC": 0b1011,
+    "SUB": 0b1101, "RSB": 0b1110,
+}
+_T2_DP_BY_OPCODE = {v: k for k, v in _T2_DP_OPCODES.items()}
+
+_T16_ALU_OPCODES = {
+    "AND": 0b0000, "EOR": 0b0001, "LSL": 0b0010, "LSR": 0b0011,
+    "ASR": 0b0100, "ADC": 0b0101, "SBC": 0b0110, "ROR": 0b0111,
+    "TST": 0b1000, "RSB": 0b1001, "CMP": 0b1010, "CMN": 0b1011,
+    "ORR": 0b1100, "MUL": 0b1101, "BIC": 0b1110, "MVN": 0b1111,
+}
+_T16_ALU_BY_OPCODE = {v: k for k, v in _T16_ALU_OPCODES.items()}
+
+
+def _low(*regs: int | None) -> bool:
+    return all(r is not None and r < 8 for r in regs)
+
+
+def is_wide(halfword: int) -> bool:
+    """True when ``halfword`` is the first half of a 32-bit encoding."""
+    return (halfword >> 11) in (0b11101, 0b11110, 0b11111)
+
+
+# ----------------------------------------------------------------------
+# Thumb-2 modified immediates
+# ----------------------------------------------------------------------
+
+def thumb2_expand_imm(imm12: int) -> int:
+    """ThumbExpandImm() from the ARMv7-M ARM."""
+    if (imm12 >> 10) == 0:
+        imm8 = imm12 & 0xFF
+        mode = (imm12 >> 8) & 3
+        if mode == 0:
+            return imm8
+        if mode == 1:
+            return (imm8 << 16) | imm8
+        if mode == 2:
+            return ((imm8 << 24) | (imm8 << 8)) & MASK32
+        return imm8 * 0x01010101
+    rotation = (imm12 >> 7) & 0x1F
+    value = 0x80 | (imm12 & 0x7F)
+    return ((value >> rotation) | (value << (32 - rotation))) & MASK32
+
+
+def encode_thumb2_imm(value: int) -> int | None:
+    """Find the 12-bit modified-immediate encoding of ``value``, or None."""
+    value &= MASK32
+    if value <= 0xFF:
+        return value
+    byte = value & 0xFF
+    if value == (byte << 16) | byte:
+        return (1 << 8) | byte
+    byte = (value >> 8) & 0xFF
+    if value == ((byte << 24) | (byte << 8)) & MASK32 and byte:
+        return (2 << 8) | byte
+    byte = value & 0xFF
+    if value == byte * 0x01010101:
+        return (3 << 8) | byte
+    for rotation in range(8, 32):
+        candidate = ((value << rotation) | (value >> (32 - rotation))) & MASK32
+        if 0x80 <= candidate <= 0xFF:
+            return (rotation << 7) | (candidate & 0x7F)
+    return None
+
+
+# ----------------------------------------------------------------------
+# 16-bit narrow encodings
+# ----------------------------------------------------------------------
+
+def _narrow_shift_imm(ins: Instruction) -> int | None:
+    if ins.mnemonic not in ("LSL", "LSR", "ASR") or ins.rm is not None:
+        return None
+    if not _low(ins.rd, ins.rn) or not ins.setflags:
+        return None
+    amount = ins.imm or 0
+    if ins.mnemonic == "LSL" and not 0 <= amount <= 31:
+        return None
+    if ins.mnemonic in ("LSR", "ASR"):
+        if not 1 <= amount <= 32:
+            return None
+        amount &= 0x1F
+    op = {"LSL": 0, "LSR": 1, "ASR": 2}[ins.mnemonic]
+    return (op << 11) | (amount << 6) | (ins.rn << 3) | ins.rd
+
+
+def _narrow_add_sub(ins: Instruction) -> int | None:
+    if ins.mnemonic not in ("ADD", "SUB"):
+        return None
+    op = 0 if ins.mnemonic == "ADD" else 1
+    # SP-relative forms (no flags).
+    if ins.rd == SP and ins.rn == SP and ins.imm is not None and not ins.setflags:
+        if ins.imm % 4 == 0 and 0 <= ins.imm <= 508:
+            return 0xB000 | (op << 7) | (ins.imm // 4)
+        return None
+    if ins.mnemonic == "ADD" and ins.rn == SP and _low(ins.rd) and ins.imm is not None:
+        if not ins.setflags and ins.imm % 4 == 0 and 0 <= ins.imm <= 1020:
+            return 0xA800 | (ins.rd << 8) | (ins.imm // 4)
+        return None
+    # ADD Rd, Rm (hi regs allowed, no flags).
+    if (ins.mnemonic == "ADD" and ins.rm is not None and not ins.setflags
+            and ins.shift is None and ins.rd == ins.rn):
+        rd = ins.rd
+        return 0x4400 | ((rd >> 3) << 7) | (ins.rm << 3) | (rd & 7)
+    if not ins.setflags:
+        return None
+    if ins.rm is not None and ins.shift is None and _low(ins.rd, ins.rn, ins.rm):
+        return 0x1800 | (op << 9) | (ins.rm << 6) | (ins.rn << 3) | ins.rd
+    if ins.imm is not None and _low(ins.rd, ins.rn):
+        if ins.rd == ins.rn and 0 <= ins.imm <= 255:
+            return 0x3000 | (op << 11) | (ins.rd << 8) | ins.imm
+        if 0 <= ins.imm <= 7:
+            return 0x1C00 | (op << 9) | (ins.imm << 6) | (ins.rn << 3) | ins.rd
+    return None
+
+
+def _narrow_mov(ins: Instruction) -> int | None:
+    if ins.mnemonic != "MOV" or ins.shift is not None:
+        return None
+    if ins.imm is not None:
+        if ins.setflags and _low(ins.rd) and 0 <= ins.imm <= 255:
+            return 0x2000 | (ins.rd << 8) | ins.imm
+        return None
+    if ins.rm is None:
+        return None
+    if not ins.setflags:  # hi-register MOV
+        return 0x4600 | ((ins.rd >> 3) << 7) | (ins.rm << 3) | (ins.rd & 7)
+    if _low(ins.rd, ins.rm):  # MOVS Rd, Rm == LSLS Rd, Rm, #0
+        return (ins.rm << 3) | ins.rd
+    return None
+
+
+def _narrow_alu(ins: Instruction) -> int | None:
+    op = _T16_ALU_OPCODES.get(ins.mnemonic)
+    if op is None or not ins.setflags:
+        return None
+    if ins.mnemonic in ("LSL", "LSR", "ASR", "ROR"):
+        # register-controlled shift: Rdn <<= Rm
+        if ins.rm is None or ins.rd != ins.rn or not _low(ins.rd, ins.rm):
+            return None
+        return 0x4000 | (op << 6) | (ins.rm << 3) | ins.rd
+    if ins.mnemonic == "RSB":
+        if ins.imm != 0 or not _low(ins.rd, ins.rn):
+            return None
+        return 0x4000 | (op << 6) | (ins.rn << 3) | ins.rd
+    if ins.mnemonic == "MVN":
+        if ins.rm is None or not _low(ins.rd, ins.rm) or ins.shift is not None:
+            return None
+        return 0x4000 | (op << 6) | (ins.rm << 3) | ins.rd
+    if ins.mnemonic == "MUL":
+        if not _low(ins.rd, ins.rn, ins.rm):
+            return None
+        if ins.rd == ins.rm:
+            return 0x4000 | (op << 6) | (ins.rn << 3) | ins.rd
+        if ins.rd == ins.rn:
+            return 0x4000 | (op << 6) | (ins.rm << 3) | ins.rd
+        return None
+    if ins.rm is None or ins.shift is not None:
+        return None
+    if ins.rd != ins.rn or not _low(ins.rd, ins.rm):
+        return None
+    return 0x4000 | (op << 6) | (ins.rm << 3) | ins.rd
+
+
+def _narrow_compare(ins: Instruction) -> int | None:
+    if ins.mnemonic == "CMP":
+        if ins.imm is not None and _low(ins.rn) and 0 <= ins.imm <= 255:
+            return 0x2800 | (ins.rn << 8) | ins.imm
+        if ins.rm is not None and ins.shift is None:
+            if _low(ins.rn, ins.rm):
+                return 0x4280 | (ins.rm << 3) | ins.rn
+            return 0x4500 | ((ins.rn >> 3) << 7) | (ins.rm << 3) | (ins.rn & 7)
+        return None
+    if ins.mnemonic in ("TST", "CMN"):
+        if ins.rm is not None and ins.shift is None and _low(ins.rn, ins.rm):
+            op = _T16_ALU_OPCODES[ins.mnemonic]
+            return 0x4000 | (op << 6) | (ins.rm << 3) | ins.rn
+    return None
+
+
+_T16_LS_REG = {"STR": 0, "STRH": 1, "STRB": 2, "LDRSB": 3,
+               "LDR": 4, "LDRH": 5, "LDRB": 6, "LDRSH": 7}
+_T16_LS_REG_BY_OP = {v: k for k, v in _T16_LS_REG.items()}
+
+
+def _narrow_load_store(ins: Instruction) -> int | None:
+    mem = ins.mem
+    if mem is None or mem.writeback or mem.postindex:
+        return None
+    rt = ins.rd
+    if mem.rn == PC:  # LDR literal
+        if ins.mnemonic != "LDR" or not _low(rt):
+            return None
+        if mem.offset % 4 == 0 and 0 <= mem.offset <= 1020:
+            return 0x4800 | (rt << 8) | (mem.offset // 4)
+        return None
+    if mem.rn == SP:
+        if ins.mnemonic not in ("LDR", "STR") or not _low(rt):
+            return None
+        if mem.offset % 4 == 0 and 0 <= mem.offset <= 1020:
+            l_bit = 1 if ins.mnemonic == "LDR" else 0
+            return 0x9000 | (l_bit << 11) | (rt << 8) | (mem.offset // 4)
+        return None
+    if mem.rm is not None:
+        if mem.shift != 0 or not _low(rt, mem.rn, mem.rm):
+            return None
+        op = _T16_LS_REG[ins.mnemonic]
+        return 0x5000 | (op << 9) | (mem.rm << 6) | (mem.rn << 3) | rt
+    if not _low(rt, mem.rn) or mem.offset < 0:
+        return None
+    offset = mem.offset
+    if ins.mnemonic in ("LDR", "STR"):
+        if offset % 4 == 0 and offset <= 124:
+            l_bit = 1 if ins.mnemonic == "LDR" else 0
+            return 0x6000 | (l_bit << 11) | ((offset // 4) << 6) | (mem.rn << 3) | rt
+    elif ins.mnemonic in ("LDRB", "STRB"):
+        if offset <= 31:
+            l_bit = 1 if ins.mnemonic == "LDRB" else 0
+            return 0x7000 | (l_bit << 11) | (offset << 6) | (mem.rn << 3) | rt
+    elif ins.mnemonic in ("LDRH", "STRH"):
+        if offset % 2 == 0 and offset <= 62:
+            l_bit = 1 if ins.mnemonic == "LDRH" else 0
+            return 0x8000 | (l_bit << 11) | ((offset // 2) << 6) | (mem.rn << 3) | rt
+    return None
+
+
+def _narrow_block(ins: Instruction) -> int | None:
+    if ins.mnemonic == "PUSH":
+        bits = 0
+        for reg in ins.reglist:
+            if reg < 8:
+                bits |= 1 << reg
+            elif reg == LR:
+                bits |= 1 << 8
+            else:
+                return None
+        return 0xB400 | bits
+    if ins.mnemonic == "POP":
+        bits = 0
+        for reg in ins.reglist:
+            if reg < 8:
+                bits |= 1 << reg
+            elif reg == PC:
+                bits |= 1 << 8
+            else:
+                return None
+        return 0xBC00 | bits
+    if ins.mnemonic in ("LDM", "STM"):
+        if not _low(ins.rn) or not all(r < 8 for r in ins.reglist):
+            return None
+        if ins.mnemonic == "STM" and not ins.writeback:
+            return None
+        if ins.mnemonic == "LDM" and ins.writeback and ins.rn in ins.reglist:
+            return None
+        bits = 0
+        for reg in ins.reglist:
+            bits |= 1 << reg
+        l_bit = 1 if ins.mnemonic == "LDM" else 0
+        return 0xC000 | (l_bit << 11) | (ins.rn << 8) | bits
+    return None
+
+
+_T16_EXTEND = {"SXTH": 0, "SXTB": 1, "UXTH": 2, "UXTB": 3}
+_T16_EXTEND_BY_OP = {v: k for k, v in _T16_EXTEND.items()}
+_T16_REV = {"REV": 0, "REV16": 1}
+_T16_REV_BY_OP = {v: k for k, v in _T16_REV.items()}
+
+
+def _narrow_misc(ins: Instruction) -> int | None:
+    m = ins.mnemonic
+    src = ins.rm if ins.rm is not None else ins.rn
+    if m in _T16_EXTEND and _low(ins.rd, src):
+        return 0xB200 | (_T16_EXTEND[m] << 6) | (src << 3) | ins.rd
+    if m in _T16_REV and _low(ins.rd, src):
+        return 0xBA00 | (_T16_REV[m] << 6) | (src << 3) | ins.rd
+    if m == "NOP":
+        return 0xBF00
+    if m == "WFI":
+        return 0xBF30
+    if m == "BKPT":
+        return 0xBE00 | ((ins.imm or 0) & 0xFF)
+    if m == "SVC":
+        return 0xDF00 | ((ins.imm or 0) & 0xFF)
+    if m == "CPSID":
+        return 0xB672
+    if m == "CPSIE":
+        return 0xB662
+    if m == "BX":
+        return 0x4700 | (ins.rm << 3)
+    if m == "BLX" and ins.rm is not None:
+        return 0x4780 | (ins.rm << 3)
+    if m == "ADR":
+        if _low(ins.rd) and ins.imm is not None and ins.imm % 4 == 0 and 0 <= ins.imm <= 1020:
+            return 0xA000 | (ins.rd << 8) | (ins.imm // 4)
+        return None
+    if m == "IT":
+        firstcond = ins.cond.value
+        mask_bits = _it_mask_bits(ins.cond, ins.it_mask)
+        return 0xBF00 | (firstcond << 4) | mask_bits
+    return None
+
+
+def _it_mask_bits(firstcond: Condition, pattern: str) -> int:
+    """Encode an IT pattern ('T', 'TE', 'TTT', ...) into the 4-bit mask."""
+    if not 1 <= len(pattern) <= 4 or pattern[0] != "T":
+        raise EncodingError(f"bad IT pattern {pattern!r}")
+    c0 = firstcond.value & 1
+    bits = []
+    for ch in pattern[1:]:
+        if ch == "T":
+            bits.append(c0)
+        elif ch == "E":
+            bits.append(c0 ^ 1)
+        else:
+            raise EncodingError(f"bad IT pattern {pattern!r}")
+    bits.append(1)
+    while len(bits) < 4:
+        bits.append(0)
+    return (bits[0] << 3) | (bits[1] << 2) | (bits[2] << 1) | bits[3] if len(bits) == 4 else 0
+
+
+def _narrow_branch(ins: Instruction) -> int | None:
+    if ins.mnemonic != "B" or ins.target is None or ins.address is None:
+        return None
+    offset = ins.target - ins.address - 4
+    if offset % 2:
+        raise EncodingError("unaligned branch target")
+    if ins.cond == Condition.AL:
+        if -2048 <= offset <= 2046:
+            return 0xE000 | ((offset >> 1) & 0x7FF)
+        return None
+    if -256 <= offset <= 254:
+        return 0xD000 | (ins.cond.value << 8) | ((offset >> 1) & 0xFF)
+    return None
+
+
+_NARROW_ENCODERS = (
+    _narrow_shift_imm, _narrow_add_sub, _narrow_mov, _narrow_alu,
+    _narrow_compare, _narrow_load_store, _narrow_block, _narrow_misc,
+    _narrow_branch,
+)
+
+
+def encode_narrow(ins: Instruction) -> int | None:
+    """Try to produce a 16-bit encoding; None when none exists."""
+    for encoder in _NARROW_ENCODERS:
+        halfword = encoder(ins)
+        if halfword is not None:
+            return halfword
+    return None
+
+
+# ----------------------------------------------------------------------
+# 32-bit wide (Thumb-2) encodings
+# ----------------------------------------------------------------------
+
+def _wide_dp(ins: Instruction) -> int | None:
+    m = ins.mnemonic
+    s_bit = 1 if ins.setflags else 0
+    if m in ("MOV", "MVN") and ins.imm is not None:
+        op = 0b0010 if m == "MOV" else 0b0011
+        imm12 = encode_thumb2_imm(ins.imm)
+        if imm12 is None:
+            return None
+        return _pack_dp_imm(op, s_bit, 0xF, ins.rd, imm12)
+    if m in ("MOV", "MVN") and ins.rm is not None:
+        op = 0b0010 if m == "MOV" else 0b0011
+        return _pack_dp_reg(op, s_bit, 0xF, ins.rd, ins.rm, ins.shift)
+    if m in ("LSL", "LSR", "ASR", "ROR"):
+        if ins.rm is not None:  # register-controlled: LSL.W Rd, Rn, Rm
+            stype = _SHIFT_TYPES[m]
+            hw1 = 0xFA00 | (stype << 5) | (s_bit << 4) | ins.rn
+            hw2 = 0xF000 | (ins.rd << 8) | ins.rm
+            return (hw1 << 16) | hw2
+        shift = Shift(m, ins.imm or 0)
+        return _pack_dp_reg(0b0010, s_bit, 0xF, ins.rd, ins.rn, shift)
+    if m in ("CMP", "CMN", "TST", "TEQ"):
+        op = {"CMP": 0b1101, "CMN": 0b1000, "TST": 0b0000, "TEQ": 0b0100}[m]
+        if ins.imm is not None:
+            imm12 = encode_thumb2_imm(ins.imm)
+            if imm12 is None:
+                return None
+            return _pack_dp_imm(op, 1, ins.rn, 0xF, imm12)
+        return _pack_dp_reg(op, 1, ins.rn, 0xF, ins.rm, ins.shift)
+    op = _T2_DP_OPCODES.get(m)
+    if op is None:
+        return None
+    if ins.imm is not None and ins.rm is None:
+        imm12 = encode_thumb2_imm(ins.imm)
+        if imm12 is None:
+            return None
+        return _pack_dp_imm(op, s_bit, ins.rn, ins.rd, imm12)
+    return _pack_dp_reg(op, s_bit, ins.rn, ins.rd, ins.rm, ins.shift)
+
+
+def _pack_dp_imm(op: int, s_bit: int, rn: int, rd: int, imm12: int) -> int:
+    i = (imm12 >> 11) & 1
+    imm3 = (imm12 >> 8) & 7
+    imm8 = imm12 & 0xFF
+    hw1 = 0xF000 | (i << 10) | (op << 5) | (s_bit << 4) | rn
+    hw2 = (imm3 << 12) | (rd << 8) | imm8
+    return (hw1 << 16) | hw2
+
+
+def _pack_dp_reg(op: int, s_bit: int, rn: int, rd: int, rm: int, shift: Shift | None) -> int:
+    amount = 0
+    stype = 0
+    if shift is not None:
+        amount = shift.amount
+        stype = _SHIFT_TYPES[shift.kind]
+        if amount == 32 and shift.kind in ("LSR", "ASR"):
+            amount = 0
+        if not 0 <= amount <= 31:
+            raise EncodingError(f"shift amount {shift.amount}")
+    imm3 = (amount >> 2) & 7
+    imm2 = amount & 3
+    hw1 = 0xEA00 | (op << 5) | (s_bit << 4) | rn
+    hw2 = (imm3 << 12) | (rd << 8) | (imm2 << 6) | (stype << 4) | rm
+    return (hw1 << 16) | hw2
+
+
+def _wide_adr(ins: Instruction) -> int | None:
+    if ins.mnemonic != "ADR" or ins.imm is None:
+        return None
+    offset = ins.imm
+    base = 0xF20F if offset >= 0 else 0xF2AF  # ADD vs SUB from PC
+    offset = abs(offset)
+    if offset > 0xFFF:
+        raise EncodingError(f"ADR offset {ins.imm} out of range")
+    i = (offset >> 11) & 1
+    imm3 = (offset >> 8) & 7
+    imm8 = offset & 0xFF
+    hw1 = base | (i << 10)
+    hw2 = (imm3 << 12) | (ins.rd << 8) | imm8
+    return (hw1 << 16) | hw2
+
+
+def _wide_mov16(ins: Instruction) -> int | None:
+    if ins.mnemonic not in ("MOVW", "MOVT"):
+        return None
+    imm = ins.imm & 0xFFFF
+    imm4 = imm >> 12
+    i = (imm >> 11) & 1
+    imm3 = (imm >> 8) & 7
+    imm8 = imm & 0xFF
+    base = 0xF240 if ins.mnemonic == "MOVW" else 0xF2C0
+    hw1 = base | (i << 10) | imm4
+    hw2 = (imm3 << 12) | (ins.rd << 8) | imm8
+    return (hw1 << 16) | hw2
+
+
+def _wide_bitfield(ins: Instruction) -> int | None:
+    m = ins.mnemonic
+    if m not in ("BFI", "BFC", "UBFX", "SBFX"):
+        return None
+    lsb, width = ins.bf_lsb, ins.bf_width
+    imm3 = (lsb >> 2) & 7
+    imm2 = lsb & 3
+    if m in ("BFI", "BFC"):
+        msb = lsb + width - 1
+        rn = ins.rn if m == "BFI" else 0xF
+        hw1 = 0xF360 | rn
+        hw2 = (imm3 << 12) | (ins.rd << 8) | (imm2 << 6) | msb
+    else:
+        hw1 = (0xF3C0 if m == "UBFX" else 0xF340) | ins.rn
+        hw2 = (imm3 << 12) | (ins.rd << 8) | (imm2 << 6) | (width - 1)
+    return (hw1 << 16) | hw2
+
+
+def _wide_mul_div(ins: Instruction) -> int | None:
+    m = ins.mnemonic
+    if m == "MUL":
+        return (0xFB00 | ins.rn) << 16 | 0xF000 | (ins.rd << 8) | ins.rm
+    if m == "MLA":
+        return (0xFB00 | ins.rn) << 16 | (ins.ra << 12) | (ins.rd << 8) | ins.rm
+    if m == "MLS":
+        return (0xFB00 | ins.rn) << 16 | (ins.ra << 12) | (ins.rd << 8) | 0x10 | ins.rm
+    if m == "UMULL":
+        return (0xFBA0 | ins.rn) << 16 | (ins.rd << 12) | (ins.ra << 8) | ins.rm
+    if m == "SMULL":
+        return (0xFB80 | ins.rn) << 16 | (ins.rd << 12) | (ins.ra << 8) | ins.rm
+    if m == "SDIV":
+        return (0xFB90 | ins.rn) << 16 | 0xF0F0 | (ins.rd << 8) | ins.rm
+    if m == "UDIV":
+        return (0xFBB0 | ins.rn) << 16 | 0xF0F0 | (ins.rd << 8) | ins.rm
+    return None
+
+
+def _wide_unary(ins: Instruction) -> int | None:
+    m = ins.mnemonic
+    rm = ins.rm if ins.rm is not None else ins.rn
+    if m == "CLZ":
+        return (0xFAB0 | rm) << 16 | 0xF080 | (ins.rd << 8) | rm
+    if m == "RBIT":
+        return (0xFA90 | rm) << 16 | 0xF0A0 | (ins.rd << 8) | rm
+    if m == "REV":
+        return (0xFA90 | rm) << 16 | 0xF080 | (ins.rd << 8) | rm
+    if m == "REV16":
+        return (0xFA90 | rm) << 16 | 0xF090 | (ins.rd << 8) | rm
+    return None
+
+
+_T2_LS_SIZE = {"LDRB": 0, "LDRH": 1, "LDR": 2, "STRB": 0, "STRH": 1, "STR": 2}
+
+
+def _wide_load_store(ins: Instruction) -> int | None:
+    mem = ins.mem
+    if mem is None:
+        return None
+    m = ins.mnemonic
+    signed = m in ("LDRSB", "LDRSH")
+    size = {"LDRSB": 0, "LDRSH": 1}.get(m, _T2_LS_SIZE.get(m))
+    if size is None:
+        return None
+    load = m.startswith("LDR")
+    base_hw1 = 0xF800 | (1 << 8 if signed else 0) | (size << 5) | (0x10 if load else 0)
+    rt = ins.rd
+    if mem.rn == PC:
+        if not load:
+            raise EncodingError("store to literal pool")
+        offset = mem.offset
+        u_bit = 1 if offset >= 0 else 0
+        if abs(offset) > 0xFFF:
+            raise EncodingError("literal offset out of range")
+        hw1 = base_hw1 | (u_bit << 7) | 0xF
+        return (hw1 << 16) | (rt << 12) | abs(offset)
+    if mem.rm is not None:
+        if mem.writeback or mem.shift > 3:
+            raise EncodingError("bad register-offset form")
+        hw1 = base_hw1 | mem.rn
+        hw2 = (rt << 12) | (mem.shift << 4) | mem.rm
+        return (hw1 << 16) | hw2
+    offset = mem.offset
+    if offset >= 0 and not mem.writeback and not mem.postindex and offset <= 0xFFF:
+        hw1 = base_hw1 | (1 << 7) | mem.rn  # U=1 imm12 form
+        return (hw1 << 16) | (rt << 12) | offset
+    if abs(offset) > 0xFF:
+        raise EncodingError(f"offset {offset} out of range")
+    p_bit = 0 if mem.postindex else 1
+    u_bit = 1 if offset >= 0 else 0
+    w_bit = 1 if (mem.writeback or mem.postindex) else 0
+    hw1 = base_hw1 | mem.rn
+    hw2 = (rt << 12) | 0x800 | (p_bit << 10) | (u_bit << 9) | (w_bit << 8) | abs(offset)
+    return (hw1 << 16) | hw2
+
+
+def _wide_block(ins: Instruction) -> int | None:
+    m = ins.mnemonic
+    bits = 0
+    for reg in ins.reglist:
+        bits |= 1 << reg
+    if m == "PUSH":
+        return (0xE92D << 16) | bits
+    if m == "POP":
+        return (0xE8BD << 16) | bits
+    if m in ("LDM", "STM"):
+        w_bit = 1 if ins.writeback else 0
+        base = 0xE890 if m == "LDM" else 0xE880
+        return ((base | (w_bit << 5) | ins.rn) << 16) | bits
+    return None
+
+
+def _wide_branch(ins: Instruction) -> int | None:
+    m = ins.mnemonic
+    if m == "TBB" or m == "TBH":
+        h_bit = 1 if m == "TBH" else 0
+        return ((0xE8D0 | ins.rn) << 16) | 0xF000 | (h_bit << 4) | ins.rm
+    if m not in ("B", "BL") or ins.target is None or ins.address is None:
+        return None
+    offset = ins.target - ins.address - 4
+    if m == "B" and ins.cond != Condition.AL:
+        if not -(1 << 20) <= offset < (1 << 20):
+            raise EncodingError(f"conditional branch offset {offset} out of range")
+        s = (offset >> 20) & 1
+        j2 = (offset >> 19) & 1
+        j1 = (offset >> 18) & 1
+        imm6 = (offset >> 12) & 0x3F
+        imm11 = (offset >> 1) & 0x7FF
+        hw1 = 0xF000 | (s << 10) | (ins.cond.value << 6) | imm6
+        hw2 = 0x8000 | (j1 << 13) | (j2 << 11) | imm11
+        return (hw1 << 16) | hw2
+    if not -(1 << 24) <= offset < (1 << 24):
+        raise EncodingError(f"branch offset {offset} out of range")
+    s = (offset >> 24) & 1
+    i1 = (offset >> 23) & 1
+    i2 = (offset >> 22) & 1
+    j1 = (~(i1 ^ s)) & 1
+    j2 = (~(i2 ^ s)) & 1
+    imm10 = (offset >> 12) & 0x3FF
+    imm11 = (offset >> 1) & 0x7FF
+    hw1 = 0xF000 | (s << 10) | imm10
+    hw2 = (0xD000 if m == "BL" else 0x9000) | (j1 << 13) | (j2 << 11) | imm11
+    return (hw1 << 16) | hw2
+
+
+_WIDE_ENCODERS = (
+    _wide_adr, _wide_mov16, _wide_bitfield, _wide_mul_div, _wide_unary,
+    _wide_load_store, _wide_block, _wide_branch, _wide_dp,
+)
+
+
+def encode_wide(ins: Instruction) -> int | None:
+    """Try to produce a 32-bit Thumb-2 encoding; None when none exists."""
+    for encoder in _WIDE_ENCODERS:
+        word = encoder(ins)
+        if word is not None:
+            return word
+    return None
+
+
+# ----------------------------------------------------------------------
+# public encode entry points
+# ----------------------------------------------------------------------
+
+def encode_thumb(ins: Instruction) -> list[int]:
+    """Encode for the pure 16-bit Thumb ISA.  BL is the only 32-bit form."""
+    if ins.mnemonic == "BL":
+        word = _wide_branch(ins)
+        if word is None:
+            raise EncodingError("unresolved BL")
+        return [word >> 16, word & 0xFFFF]
+    if ins.mnemonic == "IT":
+        raise EncodingError("IT is not a Thumb (16-bit ISA) instruction")
+    halfword = encode_narrow(ins)
+    if halfword is None:
+        raise EncodingError(f"{ins.mnemonic} not encodable in 16-bit Thumb: {ins.render()}")
+    return [halfword]
+
+
+def encode_thumb2(ins: Instruction) -> list[int]:
+    """Encode for Thumb-2: narrow when possible, else wide."""
+    if not ins.wide and ins.mnemonic != "BL":
+        halfword = encode_narrow(ins)
+        if halfword is not None:
+            return [halfword]
+    word = encode_wide(ins)
+    if word is None:
+        raise EncodingError(f"{ins.mnemonic} not encodable in Thumb-2: {ins.render()}")
+    return [word >> 16, word & 0xFFFF]
+
+
+def thumb2_width(ins: Instruction) -> int:
+    """Encoding width in bytes that :func:`encode_thumb2` will pick."""
+    if ins.mnemonic == "BL":
+        return 4
+    if not ins.wide and encode_narrow(ins) is not None:
+        return 2
+    return 4

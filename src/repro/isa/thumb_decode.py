@@ -1,0 +1,412 @@
+"""Decoder for the Thumb/Thumb-2 encodings produced by :mod:`repro.isa.thumb`.
+
+Used by the disassembler and by the encode/decode round-trip property tests.
+Only the subset the encoder can emit is understood; anything else raises
+:class:`~repro.isa.arm32.EncodingError`.
+"""
+
+from __future__ import annotations
+
+from repro.isa.arm32 import EncodingError
+from repro.isa.conditions import Condition
+from repro.isa.instructions import Instruction, Mem, Shift
+from repro.isa.registers import LR, MASK32, PC, SP
+from repro.isa.thumb import (
+    _SHIFT_BY_TYPE,
+    _T2_DP_BY_OPCODE,
+    _T16_ALU_BY_OPCODE,
+    _T16_EXTEND_BY_OP,
+    _T16_LS_REG_BY_OP,
+    _T16_REV_BY_OP,
+    is_wide,
+    thumb2_expand_imm,
+)
+
+
+def decode_thumb(halfwords: list[int], address: int = 0) -> Instruction:
+    """Decode one instruction from one or two 16-bit halfwords."""
+    hw1 = halfwords[0]
+    if is_wide(hw1):
+        if len(halfwords) < 2:
+            raise EncodingError("truncated 32-bit encoding")
+        return _decode_wide((hw1 << 16) | halfwords[1], address)
+    return _decode_narrow(hw1, address)
+
+
+# ----------------------------------------------------------------------
+# 16-bit
+# ----------------------------------------------------------------------
+
+def _decode_narrow(hw: int, address: int) -> Instruction:
+    top = hw >> 12
+    kwargs = dict(address=address, size=2)
+
+    if hw == 0xBF00:
+        return Instruction("NOP", **kwargs)
+    if hw == 0xBF30:
+        return Instruction("WFI", **kwargs)
+    if hw == 0xB672:
+        return Instruction("CPSID", **kwargs)
+    if hw == 0xB662:
+        return Instruction("CPSIE", **kwargs)
+    if (hw & 0xFF00) == 0xBF00:  # IT
+        return _decode_it(hw, kwargs)
+    if (hw & 0xFF00) == 0xBE00:
+        return Instruction("BKPT", imm=hw & 0xFF, **kwargs)
+    if (hw & 0xFF00) == 0xDF00:
+        return Instruction("SVC", imm=hw & 0xFF, **kwargs)
+
+    if (hw & 0xF800) in (0x0000, 0x0800, 0x1000):  # shift imm
+        op = ["LSL", "LSR", "ASR"][(hw >> 11) & 3]
+        amount = (hw >> 6) & 0x1F
+        rn = (hw >> 3) & 7
+        rd = hw & 7
+        if op == "LSL" and amount == 0:
+            return Instruction("MOV", setflags=True, rd=rd, rm=rn, **kwargs)
+        if op in ("LSR", "ASR") and amount == 0:
+            amount = 32
+        return Instruction(op, setflags=True, rd=rd, rn=rn, imm=amount, **kwargs)
+    if (hw & 0xF800) == 0x1800:  # add/sub 3-reg / imm3
+        sub = bool(hw & 0x0200)
+        imm_form = bool(hw & 0x0400)
+        mnemonic = "SUB" if sub else "ADD"
+        rd, rn = hw & 7, (hw >> 3) & 7
+        third = (hw >> 6) & 7
+        if imm_form:
+            return Instruction(mnemonic, setflags=True, rd=rd, rn=rn, imm=third, **kwargs)
+        return Instruction(mnemonic, setflags=True, rd=rd, rn=rn, rm=third, **kwargs)
+    if top == 0x2 or top == 0x3:  # MOV/CMP/ADD/SUB imm8
+        op = (hw >> 11) & 3
+        reg = (hw >> 8) & 7
+        imm8 = hw & 0xFF
+        if op == 0:
+            return Instruction("MOV", setflags=True, rd=reg, imm=imm8, **kwargs)
+        if op == 1:
+            return Instruction("CMP", rn=reg, imm=imm8, **kwargs)
+        mnemonic = "ADD" if op == 2 else "SUB"
+        return Instruction(mnemonic, setflags=True, rd=reg, rn=reg, imm=imm8, **kwargs)
+    if (hw & 0xFC00) == 0x4000:  # ALU register
+        return _decode_t16_alu(hw, kwargs)
+    if (hw & 0xFC00) == 0x4400:  # hi-register ops / BX
+        return _decode_hi_reg(hw, kwargs)
+    if (hw & 0xF800) == 0x4800:  # LDR literal
+        rt = (hw >> 8) & 7
+        return Instruction("LDR", rd=rt, mem=Mem(rn=PC, offset=(hw & 0xFF) * 4), **kwargs)
+    if (hw & 0xF000) == 0x5000:  # load/store register offset
+        op = (hw >> 9) & 7
+        mnemonic = _T16_LS_REG_BY_OP[op]
+        return Instruction(mnemonic, rd=hw & 7,
+                           mem=Mem(rn=(hw >> 3) & 7, rm=(hw >> 6) & 7), **kwargs)
+    if (hw & 0xE000) == 0x6000:  # word/byte imm5
+        byte = bool(hw & 0x1000)
+        load = bool(hw & 0x0800)
+        imm5 = (hw >> 6) & 0x1F
+        offset = imm5 if byte else imm5 * 4
+        mnemonic = ("LDR" if load else "STR") + ("B" if byte else "")
+        return Instruction(mnemonic, rd=hw & 7, mem=Mem(rn=(hw >> 3) & 7, offset=offset), **kwargs)
+    if (hw & 0xF000) == 0x8000:  # halfword imm5
+        load = bool(hw & 0x0800)
+        offset = ((hw >> 6) & 0x1F) * 2
+        mnemonic = "LDRH" if load else "STRH"
+        return Instruction(mnemonic, rd=hw & 7, mem=Mem(rn=(hw >> 3) & 7, offset=offset), **kwargs)
+    if (hw & 0xF000) == 0x9000:  # SP-relative
+        load = bool(hw & 0x0800)
+        rt = (hw >> 8) & 7
+        mnemonic = "LDR" if load else "STR"
+        return Instruction(mnemonic, rd=rt, mem=Mem(rn=SP, offset=(hw & 0xFF) * 4), **kwargs)
+    if (hw & 0xF800) == 0xA000:  # ADR
+        return Instruction("ADR", rd=(hw >> 8) & 7, imm=(hw & 0xFF) * 4, **kwargs)
+    if (hw & 0xF800) == 0xA800:  # ADD Rd, SP, imm8
+        return Instruction("ADD", rd=(hw >> 8) & 7, rn=SP, imm=(hw & 0xFF) * 4, **kwargs)
+    if (hw & 0xFF00) == 0xB000:  # ADD/SUB SP imm7
+        mnemonic = "SUB" if hw & 0x80 else "ADD"
+        return Instruction(mnemonic, rd=SP, rn=SP, imm=(hw & 0x7F) * 4, **kwargs)
+    if (hw & 0xFF00) == 0xB200:  # extend
+        mnemonic = _T16_EXTEND_BY_OP[(hw >> 6) & 3]
+        return Instruction(mnemonic, rd=hw & 7, rm=(hw >> 3) & 7, **kwargs)
+    if (hw & 0xFF00) == 0xBA00:  # REV/REV16
+        mnemonic = _T16_REV_BY_OP[(hw >> 6) & 3]
+        return Instruction(mnemonic, rd=hw & 7, rm=(hw >> 3) & 7, **kwargs)
+    if (hw & 0xFE00) == 0xB400:  # PUSH
+        regs = [r for r in range(8) if hw & (1 << r)]
+        if hw & 0x100:
+            regs.append(LR)
+        return Instruction("PUSH", reglist=tuple(regs), **kwargs)
+    if (hw & 0xFE00) == 0xBC00:  # POP
+        regs = [r for r in range(8) if hw & (1 << r)]
+        if hw & 0x100:
+            regs.append(PC)
+        return Instruction("POP", reglist=tuple(regs), **kwargs)
+    if (hw & 0xF000) == 0xC000:  # LDM/STM
+        load = bool(hw & 0x0800)
+        rn = (hw >> 8) & 7
+        regs = tuple(r for r in range(8) if hw & (1 << r))
+        writeback = True
+        if load and rn in regs:
+            writeback = False
+        return Instruction("LDM" if load else "STM", rn=rn, reglist=regs,
+                           writeback=writeback, **kwargs)
+    if (hw & 0xF000) == 0xD000:  # conditional branch
+        cond = Condition((hw >> 8) & 0xF)
+        offset = hw & 0xFF
+        if offset & 0x80:
+            offset -= 0x100
+        target = (address + 4 + offset * 2) & MASK32
+        return Instruction("B", cond=cond, target=target, **kwargs)
+    if (hw & 0xF800) == 0xE000:  # unconditional branch
+        offset = hw & 0x7FF
+        if offset & 0x400:
+            offset -= 0x800
+        target = (address + 4 + offset * 2) & MASK32
+        return Instruction("B", target=target, **kwargs)
+    raise EncodingError(f"cannot decode Thumb halfword {hw:#06x}")
+
+
+def _decode_it(hw: int, kwargs) -> Instruction:
+    firstcond = Condition((hw >> 4) & 0xF)
+    mask = hw & 0xF
+    c0 = firstcond.value & 1
+    bits = [(mask >> 3) & 1, (mask >> 2) & 1, (mask >> 1) & 1, mask & 1]
+    pattern = "T"
+    seen_stop = False
+    for i, bit in enumerate(bits):
+        remaining = bits[i + 1:]
+        if bit == 1 and all(b == 0 for b in remaining):
+            seen_stop = True
+            break
+        pattern += "T" if bit == c0 else "E"
+    if not seen_stop:
+        raise EncodingError(f"bad IT mask {mask:#x}")
+    return Instruction("IT", cond=firstcond, it_mask=pattern, **kwargs)
+
+
+def _decode_t16_alu(hw: int, kwargs) -> Instruction:
+    op = (hw >> 6) & 0xF
+    rm = (hw >> 3) & 7
+    rdn = hw & 7
+    mnemonic = _T16_ALU_BY_OPCODE[op]
+    if mnemonic in ("LSL", "LSR", "ASR", "ROR"):
+        return Instruction(mnemonic, setflags=True, rd=rdn, rn=rdn, rm=rm, **kwargs)
+    if mnemonic == "RSB":
+        return Instruction("RSB", setflags=True, rd=rdn, rn=rm, imm=0, **kwargs)
+    if mnemonic in ("TST", "CMP", "CMN"):
+        return Instruction(mnemonic, rn=rdn, rm=rm, **kwargs)
+    if mnemonic == "MVN":
+        return Instruction("MVN", setflags=True, rd=rdn, rm=rm, **kwargs)
+    if mnemonic == "MUL":
+        return Instruction("MUL", setflags=True, rd=rdn, rn=rm, rm=rdn, **kwargs)
+    return Instruction(mnemonic, setflags=True, rd=rdn, rn=rdn, rm=rm, **kwargs)
+
+
+def _decode_hi_reg(hw: int, kwargs) -> Instruction:
+    op = (hw >> 8) & 3
+    rm = (hw >> 3) & 0xF
+    rdn = ((hw >> 7) & 1) << 3 | (hw & 7)
+    if op == 0:
+        return Instruction("ADD", rd=rdn, rn=rdn, rm=rm, **kwargs)
+    if op == 1:
+        return Instruction("CMP", rn=rdn, rm=rm, **kwargs)
+    if op == 2:
+        return Instruction("MOV", rd=rdn, rm=rm, **kwargs)
+    if hw & 0x80:
+        return Instruction("BLX", rm=rm, **kwargs)
+    return Instruction("BX", rm=rm, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# 32-bit
+# ----------------------------------------------------------------------
+
+def _decode_wide(word: int, address: int) -> Instruction:
+    hw1 = word >> 16
+    hw2 = word & 0xFFFF
+    kwargs = dict(address=address, size=4)
+
+    if (hw1 & 0xFFF0) == 0xE8D0 and (hw2 & 0xFFE0) == 0xF000:  # TBB/TBH
+        mnemonic = "TBH" if hw2 & 0x10 else "TBB"
+        return Instruction(mnemonic, rn=hw1 & 0xF, rm=hw2 & 0xF, **kwargs)
+    if hw1 == 0xE92D:
+        regs = tuple(r for r in range(16) if hw2 & (1 << r))
+        return Instruction("PUSH", reglist=regs, **kwargs)
+    if hw1 == 0xE8BD:
+        regs = tuple(r for r in range(16) if hw2 & (1 << r))
+        return Instruction("POP", reglist=regs, **kwargs)
+    if (hw1 & 0xFFD0) in (0xE890, 0xE880):  # LDM.W/STM.W
+        load = bool(hw1 & 0x0010)
+        writeback = bool(hw1 & 0x0020)
+        regs = tuple(r for r in range(16) if hw2 & (1 << r))
+        return Instruction("LDM" if load else "STM", rn=hw1 & 0xF, reglist=regs,
+                           writeback=writeback, **kwargs)
+    if (hw1 & 0xFE00) == 0xEA00:  # DP shifted register
+        return _decode_dp_reg(hw1, hw2, kwargs)
+    if (hw1 & 0xF800) == 0xF000 and (hw2 & 0x8000) == 0x8000:  # branches & misc
+        return _decode_branch_or_dp(hw1, hw2, address, kwargs)
+    if (hw1 & 0xF800) == 0xF000 and not hw2 & 0x8000:
+        return _decode_dp_imm(hw1, hw2, kwargs)
+    if (hw1 & 0xFE00) == 0xF800 or (hw1 & 0xFE00) == 0xF900:
+        return _decode_mem(hw1, hw2, kwargs)
+    if (hw1 & 0xFF80) == 0xFB00:  # MUL/MLA/MLS
+        ra = (hw2 >> 12) & 0xF
+        rd = (hw2 >> 8) & 0xF
+        if (hw2 & 0xF0) == 0x10:
+            return Instruction("MLS", rd=rd, rn=hw1 & 0xF, rm=hw2 & 0xF, ra=ra, **kwargs)
+        if ra == 0xF:
+            return Instruction("MUL", rd=rd, rn=hw1 & 0xF, rm=hw2 & 0xF, **kwargs)
+        return Instruction("MLA", rd=rd, rn=hw1 & 0xF, rm=hw2 & 0xF, ra=ra, **kwargs)
+    if (hw1 & 0xFFF0) == 0xFBA0:
+        return Instruction("UMULL", rd=(hw2 >> 12) & 0xF, ra=(hw2 >> 8) & 0xF,
+                           rn=hw1 & 0xF, rm=hw2 & 0xF, **kwargs)
+    if (hw1 & 0xFFF0) == 0xFB80:
+        return Instruction("SMULL", rd=(hw2 >> 12) & 0xF, ra=(hw2 >> 8) & 0xF,
+                           rn=hw1 & 0xF, rm=hw2 & 0xF, **kwargs)
+    if (hw1 & 0xFFF0) == 0xFB90:
+        return Instruction("SDIV", rd=(hw2 >> 8) & 0xF, rn=hw1 & 0xF, rm=hw2 & 0xF, **kwargs)
+    if (hw1 & 0xFFF0) == 0xFBB0:
+        return Instruction("UDIV", rd=(hw2 >> 8) & 0xF, rn=hw1 & 0xF, rm=hw2 & 0xF, **kwargs)
+    if (hw1 & 0xFFF0) == 0xFAB0:
+        return Instruction("CLZ", rd=(hw2 >> 8) & 0xF, rm=hw2 & 0xF, **kwargs)
+    if (hw1 & 0xFFF0) == 0xFA90:
+        op = (hw2 >> 4) & 0xF
+        mnemonic = {0x8: "REV", 0x9: "REV16", 0xA: "RBIT"}.get(op)
+        if mnemonic is None:
+            raise EncodingError(f"unknown FA9x op {op:#x}")
+        return Instruction(mnemonic, rd=(hw2 >> 8) & 0xF, rm=hw2 & 0xF, **kwargs)
+    if (hw1 & 0xFF80) == 0xFA00 and (hw2 & 0xF0F0) == 0xF000:  # shift reg wide
+        stype = _SHIFT_BY_TYPE[(hw1 >> 5) & 3]
+        return Instruction(stype, setflags=bool(hw1 & 0x10), rd=(hw2 >> 8) & 0xF,
+                           rn=hw1 & 0xF, rm=hw2 & 0xF, **kwargs)
+    raise EncodingError(f"cannot decode Thumb-2 word {word:#010x}")
+
+
+def _decode_dp_reg(hw1: int, hw2: int, kwargs) -> Instruction:
+    op = (hw1 >> 5) & 0xF
+    setflags = bool(hw1 & 0x10)
+    rn = hw1 & 0xF
+    rd = (hw2 >> 8) & 0xF
+    rm = hw2 & 0xF
+    amount = ((hw2 >> 12) & 7) << 2 | ((hw2 >> 6) & 3)
+    stype = _SHIFT_BY_TYPE[(hw2 >> 4) & 3]
+    if amount == 0 and stype in ("LSR", "ASR"):
+        amount = 32
+    shift = Shift(stype, amount) if (amount or stype != "LSL") and amount else None
+    if op == 0b0010 and rn == 0xF:  # MOV / shift-immediate
+        if shift is not None:
+            return Instruction(shift.kind, setflags=setflags, rd=rd, rn=rm,
+                               imm=shift.amount, **kwargs)
+        return Instruction("MOV", setflags=setflags, rd=rd, rm=rm, **kwargs)
+    if op == 0b0011 and rn == 0xF:
+        return Instruction("MVN", setflags=setflags, rd=rd, rm=rm, shift=shift, **kwargs)
+    mnemonic = _T2_DP_BY_OPCODE.get(op)
+    if mnemonic is None:
+        raise EncodingError(f"T2 DP opcode {op:#x}")
+    if rd == 0xF and setflags:
+        compare = {"SUB": "CMP", "ADD": "CMN", "AND": "TST", "EOR": "TEQ"}.get(mnemonic)
+        if compare:
+            return Instruction(compare, rn=rn, rm=rm, shift=shift, **kwargs)
+    return Instruction(mnemonic, setflags=setflags, rd=rd, rn=rn, rm=rm, shift=shift, **kwargs)
+
+
+def _decode_dp_imm(hw1: int, hw2: int, kwargs) -> Instruction:
+    if (hw1 & 0xFBFF) in (0xF20F, 0xF2AF):  # ADR.W (ADD/SUB rd, pc, imm12)
+        offset = ((((hw1 >> 10) & 1) << 11) | (((hw2 >> 12) & 7) << 8) | (hw2 & 0xFF))
+        if (hw1 & 0xFBFF) == 0xF2AF:
+            offset = -offset
+        return Instruction("ADR", rd=(hw2 >> 8) & 0xF, imm=offset, **kwargs)
+    if (hw1 & 0xFBF0) in (0xF240, 0xF2C0):  # MOVW/MOVT
+        imm4 = hw1 & 0xF
+        i = (hw1 >> 10) & 1
+        imm3 = (hw2 >> 12) & 7
+        imm8 = hw2 & 0xFF
+        imm16 = (imm4 << 12) | (i << 11) | (imm3 << 8) | imm8
+        mnemonic = "MOVW" if (hw1 & 0xFBF0) == 0xF240 else "MOVT"
+        return Instruction(mnemonic, rd=(hw2 >> 8) & 0xF, imm=imm16, **kwargs)
+    if (hw1 & 0xFFF0) in (0xF360, 0xF340, 0xF3C0):  # bitfield
+        rn = hw1 & 0xF
+        lsb = ((hw2 >> 12) & 7) << 2 | ((hw2 >> 6) & 3)
+        rd = (hw2 >> 8) & 0xF
+        low5 = hw2 & 0x1F
+        if (hw1 & 0xFFF0) == 0xF360:
+            width = low5 - lsb + 1
+            if rn == 0xF:
+                return Instruction("BFC", rd=rd, bf_lsb=lsb, bf_width=width, **kwargs)
+            return Instruction("BFI", rd=rd, rn=rn, bf_lsb=lsb, bf_width=width, **kwargs)
+        mnemonic = "UBFX" if (hw1 & 0xFFF0) == 0xF3C0 else "SBFX"
+        return Instruction(mnemonic, rd=rd, rn=rn, bf_lsb=lsb, bf_width=low5 + 1, **kwargs)
+    op = (hw1 >> 5) & 0xF
+    setflags = bool(hw1 & 0x10)
+    rn = hw1 & 0xF
+    rd = (hw2 >> 8) & 0xF
+    imm12 = (((hw1 >> 10) & 1) << 11) | (((hw2 >> 12) & 7) << 8) | (hw2 & 0xFF)
+    imm = thumb2_expand_imm(imm12)
+    if op == 0b0010 and rn == 0xF:
+        return Instruction("MOV", setflags=setflags, rd=rd, imm=imm, **kwargs)
+    if op == 0b0011 and rn == 0xF:
+        return Instruction("MVN", setflags=setflags, rd=rd, imm=imm, **kwargs)
+    mnemonic = _T2_DP_BY_OPCODE.get(op)
+    if mnemonic is None:
+        raise EncodingError(f"T2 DP imm opcode {op:#x}")
+    if rd == 0xF and setflags:
+        compare = {"SUB": "CMP", "ADD": "CMN", "AND": "TST", "EOR": "TEQ"}.get(mnemonic)
+        if compare:
+            return Instruction(compare, rn=rn, imm=imm, **kwargs)
+    return Instruction(mnemonic, setflags=setflags, rd=rd, rn=rn, imm=imm, **kwargs)
+
+
+def _decode_branch_or_dp(hw1: int, hw2: int, address: int, kwargs) -> Instruction:
+    if (hw2 & 0xD000) == 0x8000:  # conditional B.W
+        s = (hw1 >> 10) & 1
+        cond = Condition((hw1 >> 6) & 0xF)
+        imm6 = hw1 & 0x3F
+        j1 = (hw2 >> 13) & 1
+        j2 = (hw2 >> 11) & 1
+        imm11 = hw2 & 0x7FF
+        offset = (s << 20) | (j2 << 19) | (j1 << 18) | (imm6 << 12) | (imm11 << 1)
+        if offset & (1 << 20):
+            offset -= 1 << 21
+        return Instruction("B", cond=cond, target=(address + 4 + offset) & MASK32, **kwargs)
+    # unconditional B.W / BL
+    s = (hw1 >> 10) & 1
+    imm10 = hw1 & 0x3FF
+    j1 = (hw2 >> 13) & 1
+    j2 = (hw2 >> 11) & 1
+    imm11 = hw2 & 0x7FF
+    i1 = (~(j1 ^ s)) & 1
+    i2 = (~(j2 ^ s)) & 1
+    offset = (s << 24) | (i1 << 23) | (i2 << 22) | (imm10 << 12) | (imm11 << 1)
+    if offset & (1 << 24):
+        offset -= 1 << 25
+    mnemonic = "BL" if (hw2 & 0xD000) == 0xD000 else "B"
+    return Instruction(mnemonic, target=(address + 4 + offset) & MASK32, **kwargs)
+
+
+def _decode_mem(hw1: int, hw2: int, kwargs) -> Instruction:
+    signed = bool(hw1 & 0x0100)
+    load = bool(hw1 & 0x0010)
+    size = (hw1 >> 5) & 3
+    u_imm12 = bool(hw1 & 0x0080)
+    rn = hw1 & 0xF
+    rt = (hw2 >> 12) & 0xF
+    if signed:
+        mnemonic = {0: "LDRSB", 1: "LDRSH"}[size]
+    else:
+        base = {0: "B", 1: "H", 2: ""}[size]
+        mnemonic = ("LDR" if load else "STR") + base
+    if rn == 0xF:  # literal
+        offset = hw2 & 0xFFF
+        if not u_imm12:
+            offset = -offset
+        return Instruction(mnemonic, rd=rt, mem=Mem(rn=PC, offset=offset), **kwargs)
+    if u_imm12:
+        return Instruction(mnemonic, rd=rt, mem=Mem(rn=rn, offset=hw2 & 0xFFF), **kwargs)
+    if hw2 & 0x800:  # imm8 with PUW
+        p = bool(hw2 & 0x400)
+        u = bool(hw2 & 0x200)
+        w = bool(hw2 & 0x100)
+        offset = hw2 & 0xFF
+        if not u:
+            offset = -offset
+        mem = Mem(rn=rn, offset=offset, writeback=w and p, postindex=not p)
+        return Instruction(mnemonic, rd=rt, mem=mem, **kwargs)
+    # register offset
+    mem = Mem(rn=rn, rm=hw2 & 0xF, shift=(hw2 >> 4) & 3)
+    return Instruction(mnemonic, rd=rt, mem=mem, **kwargs)

@@ -1,0 +1,48 @@
+"""Memory-system substrate: bus, flash, SRAM, caches, TCM, bit-band, MPU.
+
+Every timing-relevant memory behaviour the paper leans on lives here:
+
+* :mod:`repro.memory.flash` - slow embedded flash with streaming prefetch
+  (section 2.2's literal-pool disruption mechanism).
+* :mod:`repro.memory.cache` - parity-protected set-associative cache
+  (section 3.1.3 fault tolerance, section 3.1.2 miss predictability).
+* :mod:`repro.memory.tcm` - SEC-DED ECC tightly-coupled memory with
+  hold-and-repair (section 3.1.3).
+* :mod:`repro.memory.bitband` - bit-band aliasing (section 3.2.3).
+* :mod:`repro.memory.mpu` - classic vs ARMv6 fine-grained MPU
+  (section 3.1.1).
+* :mod:`repro.memory.faults` - Poisson soft-error injection.
+"""
+
+from repro.memory.bitband import BitBandAlias
+from repro.memory.bus import AccessRecord, BusFault, RamBackedDevice, SystemBus
+from repro.memory.cache import Cache, CacheStats, ParityError, parity32
+from repro.memory.faults import SoftErrorInjector
+from repro.memory.flash import Flash
+from repro.memory.mpu import (
+    PERM_NONE,
+    PERM_RO,
+    PERM_RW,
+    IsolationPlan,
+    Mpu,
+    MpuFault,
+    MpuRegion,
+    armv6_mpu,
+    classic_mpu,
+    plan_task_isolation,
+)
+from repro.memory.sram import Sram
+from repro.memory.tcm import EccUncorrectable, Tcm, ecc_check, ecc_encode
+
+__all__ = [
+    "BitBandAlias",
+    "AccessRecord", "BusFault", "RamBackedDevice", "SystemBus",
+    "Cache", "CacheStats", "ParityError", "parity32",
+    "SoftErrorInjector",
+    "Flash",
+    "PERM_NONE", "PERM_RO", "PERM_RW",
+    "IsolationPlan", "Mpu", "MpuFault", "MpuRegion",
+    "armv6_mpu", "classic_mpu", "plan_task_isolation",
+    "Sram",
+    "EccUncorrectable", "Tcm", "ecc_check", "ecc_encode",
+]

@@ -1,0 +1,145 @@
+"""System bus: address decoding, wait-state accounting, access faults.
+
+The bus connects CPU ports to memory devices.  Every access returns the
+number of *stall* cycles the device imposed beyond the single bus cycle the
+core already charges, so core cycle models simply add the returned stalls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+
+class BusFault(Exception):
+    """Access to an unmapped address or a device-rejected access."""
+
+    def __init__(self, address: int, reason: str = "unmapped") -> None:
+        super().__init__(f"bus fault at {address:#010x}: {reason}")
+        self.address = address
+        self.reason = reason
+
+
+class MemoryDevice(Protocol):
+    """What the bus needs from a memory-mapped device."""
+
+    base: int
+    size: int
+
+    def read(self, addr: int, size: int, side: str) -> tuple[int, int]: ...
+    def write(self, addr: int, size: int, value: int, side: str) -> tuple[None, int] | int: ...
+
+
+@dataclass
+class AccessRecord:
+    """One bus transaction, for traces and tests."""
+
+    addr: int
+    size: int
+    kind: str   # 'R' or 'W'
+    side: str   # 'I' or 'D'
+    stalls: int
+
+
+class SystemBus:
+    """Decodes addresses to devices and accumulates stall statistics."""
+
+    def __init__(self, record: bool = False) -> None:
+        self._devices: list = []
+        self.record = record
+        self.accesses: list[AccessRecord] = []
+        self.total_stalls = 0
+        self.reads = 0
+        self.writes = 0
+
+    def attach(self, device) -> None:
+        """Add a device; regions must not overlap."""
+        for existing in self._devices:
+            if not (device.base + device.size <= existing.base
+                    or existing.base + existing.size <= device.base):
+                raise ValueError(
+                    f"device at {device.base:#x} overlaps one at {existing.base:#x}")
+        self._devices.append(device)
+        self._devices.sort(key=lambda d: d.base)
+
+    def device_at(self, addr: int):
+        for device in self._devices:
+            if device.base <= addr < device.base + device.size:
+                return device
+        return None
+
+    def read(self, addr: int, size: int, side: str = "D") -> tuple[int, int]:
+        """Read ``size`` bytes; returns (value, stall_cycles)."""
+        device = self.device_at(addr)
+        if device is None:
+            raise BusFault(addr)
+        value, stalls = device.read(addr, size, side)
+        self.reads += 1
+        self.total_stalls += stalls
+        if self.record:
+            self.accesses.append(AccessRecord(addr, size, "R", side, stalls))
+        return value, stalls
+
+    def write(self, addr: int, size: int, value: int, side: str = "D") -> int:
+        """Write ``size`` bytes; returns stall_cycles."""
+        device = self.device_at(addr)
+        if device is None:
+            raise BusFault(addr)
+        stalls = device.write(addr, size, value, side)
+        self.writes += 1
+        self.total_stalls += stalls
+        if self.record:
+            self.accesses.append(AccessRecord(addr, size, "W", side, stalls))
+        return stalls
+
+    # ------------------------------------------------------------------
+    # debug/loader access (no timing, no recording)
+    # ------------------------------------------------------------------
+    def load_image(self, addr: int, image: bytes) -> None:
+        offset = 0
+        while offset < len(image):
+            device = self.device_at(addr + offset)
+            if device is None:
+                raise BusFault(addr + offset, "load outside mapped memory")
+            chunk = min(len(image) - offset, device.base + device.size - (addr + offset))
+            device.write_raw(addr + offset, image[offset:offset + chunk])
+            offset += chunk
+
+    def read_raw(self, addr: int, size: int) -> int:
+        device = self.device_at(addr)
+        if device is None:
+            raise BusFault(addr)
+        return int.from_bytes(device.read_raw(addr, size), "little")
+
+
+class RamBackedDevice:
+    """Common base for byte-array-backed devices (flash, SRAM, TCM)."""
+
+    def __init__(self, base: int, size: int) -> None:
+        if size <= 0:
+            raise ValueError("device size must be positive")
+        self.base = base
+        self.size = size
+        self.data = bytearray(size)
+
+    def _offset(self, addr: int, size: int) -> int:
+        offset = addr - self.base
+        if not 0 <= offset <= self.size - size:
+            raise BusFault(addr, "access beyond device")
+        return offset
+
+    def read_raw(self, addr: int, size: int) -> bytes:
+        offset = self._offset(addr, size)
+        return bytes(self.data[offset:offset + size])
+
+    def write_raw(self, addr: int, payload: bytes) -> None:
+        offset = self._offset(addr, len(payload))
+        self.data[offset:offset + len(payload)] = payload
+
+    def _get(self, addr: int, size: int) -> int:
+        offset = self._offset(addr, size)
+        return int.from_bytes(self.data[offset:offset + size], "little")
+
+    def _set(self, addr: int, size: int, value: int) -> None:
+        offset = self._offset(addr, size)
+        self.data[offset:offset + size] = (value & ((1 << (8 * size)) - 1)).to_bytes(size, "little")

@@ -1,0 +1,80 @@
+"""Soft-error injection (paper section 3.1.3).
+
+Cosmic-ray upsets are modelled as a Poisson process over simulated time,
+with each event flipping one uniformly-random bit in one of the protected
+arrays (cache data, cache tags, TCM).  Targets are weighted by their bit
+capacity, as a real flux would be.
+
+The injector is deliberately decoupled from the memories: it only needs a
+``flip_random_bit(rng)`` (TCM) or ``flip_random_bit(rng, target=...)``
+(cache) hook, so tests can aim it at anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.rng import DeterministicRng
+
+
+@dataclass
+class InjectionTarget:
+    name: str
+    flip: object                      # callable(rng) -> None/bool
+    capacity: object                  # callable() -> int  (bits)
+
+
+@dataclass
+class InjectionLog:
+    time: int
+    target: str
+
+
+class SoftErrorInjector:
+    """Schedules bit flips at a given rate (flips per million cycles)."""
+
+    def __init__(self, rng: DeterministicRng,
+                 rate_per_mcycle: float = 1.0) -> None:
+        self.rng = rng
+        self.rate_per_mcycle = rate_per_mcycle
+        self.targets: list[InjectionTarget] = []
+        self.log: list[InjectionLog] = []
+
+    def add_target(self, name: str, flip, capacity) -> None:
+        self.targets.append(InjectionTarget(name=name, flip=flip, capacity=capacity))
+
+    # ------------------------------------------------------------------
+    def _pick_target(self) -> InjectionTarget | None:
+        weights = [max(t.capacity(), 0) for t in self.targets]
+        total = sum(weights)
+        if total == 0:
+            return None
+        point = self.rng.randint(1, total)
+        for target, weight in zip(self.targets, weights):
+            point -= weight
+            if point <= 0:
+                return target
+        return self.targets[-1]
+
+    def inject_one(self, time: int = 0) -> str | None:
+        """Flip one bit in a capacity-weighted random target."""
+        target = self._pick_target()
+        if target is None:
+            return None
+        target.flip(self.rng)
+        self.log.append(InjectionLog(time=time, target=target.name))
+        return target.name
+
+    def arrival_times(self, horizon_cycles: int) -> list[int]:
+        """Poisson upset times over [0, horizon_cycles)."""
+        rate = self.rate_per_mcycle / 1_000_000.0
+        if rate <= 0:
+            return []
+        return self.rng.poisson_arrivals(rate, horizon_cycles)
+
+    def run_over(self, horizon_cycles: int) -> int:
+        """Inject all upsets for a time window at once (batch mode)."""
+        times = self.arrival_times(horizon_cycles)
+        for time in times:
+            self.inject_one(time)
+        return len(times)

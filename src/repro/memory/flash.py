@@ -1,0 +1,98 @@
+"""Embedded flash with a streaming prefetch buffer (paper section 2.2).
+
+Flash arrays run far slower than the core (30-40 MHz vs 80-200+ MHz), so the
+interface fetches a whole line per array access and *streams*: as long as
+accesses walk forward sequentially, the prefetcher stays ahead and imposes no
+stalls.  Any non-sequential access - a taken branch, or crucially a **literal
+pool data fetch** landing in the middle of an instruction stream - throws the
+prefetcher away and pays the full array latency, and the *next* instruction
+fetch pays it again to re-establish the stream.
+
+This is exactly the ~15 % degradation mechanism the paper describes, and why
+``MOVW``/``MOVT`` (which keep constants inside the instruction stream) win on
+flash-based parts.  Experiment E3 sweeps it.
+"""
+
+from __future__ import annotations
+
+from repro.memory.bus import RamBackedDevice
+
+
+class Flash(RamBackedDevice):
+    """Single-ported flash with line buffer + optional streaming prefetch.
+
+    Parameters
+    ----------
+    access_cycles:
+        CPU cycles per flash-array access (cpu_hz / flash_hz, rounded up).
+        E.g. an 80 MHz core on 40 MHz flash -> 2.
+    line_bytes:
+        Width of one array fetch (the line buffer), typically 8-16 bytes.
+    prefetch:
+        When True, sequential accesses that cross into the next line are
+        free (the prefetcher fetched ahead while the core consumed the
+        buffer).  When False every line crossing pays ``access_cycles``.
+    """
+
+    def __init__(self, base: int, size: int, access_cycles: int = 2,
+                 line_bytes: int = 16, prefetch: bool = True) -> None:
+        super().__init__(base, size)
+        if line_bytes & (line_bytes - 1):
+            raise ValueError("line_bytes must be a power of two")
+        self.access_cycles = access_cycles
+        self.line_bytes = line_bytes
+        self.prefetch = prefetch
+        self._buffered_line: int | None = None
+        self._streaming = False
+        # statistics
+        self.array_accesses = 0
+        self.sequential_hits = 0
+        self.stream_breaks = 0
+
+    def _line_of(self, addr: int) -> int:
+        return addr & ~(self.line_bytes - 1)
+
+    def _access(self, addr: int) -> int:
+        """Stall cycles for an access at ``addr``; updates stream state."""
+        line = self._line_of(addr)
+        if self._buffered_line is not None and line == self._buffered_line:
+            self.sequential_hits += 1
+            return 0
+        if (self._streaming and self._buffered_line is not None
+                and line == self._buffered_line + self.line_bytes):
+            self._buffered_line = line
+            self.array_accesses += 1
+            if self.prefetch:
+                self.sequential_hits += 1
+                return 0
+            return self.access_cycles
+        # non-sequential: stream broken, pay the array latency
+        if self._buffered_line is not None:
+            self.stream_breaks += 1
+        self._buffered_line = line
+        self._streaming = True
+        self.array_accesses += 1
+        return self.access_cycles
+
+    def read(self, addr: int, size: int, side: str = "D") -> tuple[int, int]:
+        stalls = self._access(addr)
+        if addr + size > self._line_of(addr) + self.line_bytes:
+            stalls += self._access(addr + size - 1)  # straddles two lines
+        return self._get(addr, size), stalls
+
+    def write(self, addr: int, size: int, value: int, side: str = "D") -> int:
+        # Program-time writes (loader/flash-patch); not timed as runtime cost.
+        self._set(addr, size, value)
+        return 0
+
+    def reset_stream(self) -> None:
+        """Forget the buffered line (e.g. after deep sleep)."""
+        self._buffered_line = None
+        self._streaming = False
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "array_accesses": self.array_accesses,
+            "sequential_hits": self.sequential_hits,
+            "stream_breaks": self.stream_breaks,
+        }

@@ -1,0 +1,201 @@
+"""Memory protection units: classic 4 KB-granular vs ARMv6 fine-grained.
+
+Paper section 3.1.1 / figure 2: OSEK wants every small software module
+locked into its own protection region, but classic MPUs with 4 KB minimum
+region sizes cannot segregate many small tasks - several tasks end up
+sharing one region.  The re-engineered ARMv6 MPU provides small
+power-of-two regions (down to 32 B) with 8 subregion-disable bits, so the
+effective granularity is region_size/8.
+
+Two layers live here:
+
+* :class:`Mpu` - the runtime access checker cores consult on every access.
+* :func:`plan_task_isolation` - the static planner experiment E5 sweeps:
+  given task footprints, how many regions / how much wasted RAM does each
+  MPU generation need to give every task its own region?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+PERM_NONE = "none"
+PERM_RO = "ro"
+PERM_RW = "rw"
+
+
+class MpuFault(Exception):
+    """Access denied by the MPU."""
+
+    def __init__(self, address: int, access: str) -> None:
+        super().__init__(f"MPU fault: {access} at {address:#010x}")
+        self.address = address
+        self.access = access
+
+
+@dataclass
+class MpuRegion:
+    base: int
+    size: int
+    perms: str = PERM_RW
+    subregion_disable: int = 0  # 8 bits; only honoured if the MPU supports it
+    enabled: bool = True
+
+    def covers(self, addr: int, supports_subregions: bool) -> bool:
+        if not self.enabled:
+            return False
+        if not self.base <= addr < self.base + self.size:
+            return False
+        if supports_subregions and self.subregion_disable and self.size >= 256:
+            subregion = (addr - self.base) * 8 // self.size
+            if self.subregion_disable & (1 << subregion):
+                return False
+        return True
+
+
+class Mpu:
+    """Region-based protection checker.
+
+    ``min_region_size`` is the generation parameter: 4096 for the classic
+    MPU the paper criticises, 32 for the re-engineered ARMv6 one.
+    """
+
+    def __init__(self, num_regions: int = 8, min_region_size: int = 4096,
+                 supports_subregions: bool = False,
+                 background_perms: str = PERM_NONE) -> None:
+        self.num_regions = num_regions
+        self.min_region_size = min_region_size
+        self.supports_subregions = supports_subregions
+        self.background_perms = background_perms
+        self.regions: list[MpuRegion | None] = [None] * num_regions
+        self.enabled = True
+        self.faults = 0
+
+    def configure(self, index: int, base: int, size: int, perms: str = PERM_RW,
+                  subregion_disable: int = 0) -> None:
+        if not 0 <= index < self.num_regions:
+            raise ValueError(f"region index {index} out of range")
+        if size < self.min_region_size:
+            raise ValueError(
+                f"region size {size} below minimum {self.min_region_size}")
+        if size & (size - 1):
+            raise ValueError("region size must be a power of two")
+        if base % size:
+            raise ValueError("region base must be aligned to its size")
+        if subregion_disable and not self.supports_subregions:
+            raise ValueError("this MPU generation has no subregion support")
+        self.regions[index] = MpuRegion(base, size, perms, subregion_disable)
+
+    def disable_region(self, index: int) -> None:
+        if self.regions[index] is not None:
+            self.regions[index].enabled = False
+
+    def check(self, addr: int, size: int, is_write: bool) -> None:
+        """Raise :class:`MpuFault` unless the access is permitted."""
+        if not self.enabled:
+            return
+        for probe in (addr, addr + size - 1):
+            perms = self._perms_at(probe)
+            if perms == PERM_NONE or (is_write and perms == PERM_RO):
+                self.faults += 1
+                raise MpuFault(probe, "write" if is_write else "read")
+
+    def _perms_at(self, addr: int) -> str:
+        # highest-numbered matching region wins, as on real ARM MPUs
+        for region in reversed(self.regions):
+            if region is not None and region.covers(addr, self.supports_subregions):
+                return region.perms
+        return self.background_perms
+
+    def effective_granularity(self) -> int:
+        """Smallest protectable unit."""
+        if self.supports_subregions:
+            return max(self.min_region_size // 8, 32)
+        return self.min_region_size
+
+
+def classic_mpu(num_regions: int = 8) -> Mpu:
+    """The pre-ARMv6 MPU generation the paper criticises (4 KB regions)."""
+    return Mpu(num_regions=num_regions, min_region_size=4096,
+               supports_subregions=False)
+
+
+def armv6_mpu(num_regions: int = 16) -> Mpu:
+    """The re-engineered fine-grained MPU of the ARM1156T2F-S."""
+    return Mpu(num_regions=num_regions, min_region_size=32,
+               supports_subregions=True)
+
+
+# ----------------------------------------------------------------------
+# static isolation planning (experiment E5)
+# ----------------------------------------------------------------------
+
+@dataclass
+class IsolationPlan:
+    """Result of fitting task footprints onto an MPU generation."""
+
+    isolated_tasks: int
+    shared_tasks: int          # tasks that had to share a region with others
+    regions_used: int
+    allocated_bytes: int       # RAM actually reserved (aligned, padded)
+    requested_bytes: int       # sum of raw task footprints
+    assignments: list[tuple[str, int, int]] = field(default_factory=list)
+
+    @property
+    def waste_bytes(self) -> int:
+        return self.allocated_bytes - self.requested_bytes
+
+    @property
+    def waste_ratio(self) -> float:
+        if self.allocated_bytes == 0:
+            return 0.0
+        return self.waste_bytes / self.allocated_bytes
+
+
+def _region_allocation(size: int, mpu: Mpu) -> int:
+    """Bytes reserved to give one task of ``size`` bytes its own region."""
+    size = max(size, 1)
+    region = 1 << (size - 1).bit_length()  # next power of two >= size
+    region = max(region, mpu.min_region_size)
+    if not mpu.supports_subregions or region < 256:
+        return region
+    # subregion disable: only ceil(size / (region/8)) eighths are enabled
+    subregion = region // 8
+    enabled = -(-size // subregion)  # ceil division
+    return enabled * subregion
+
+
+def plan_task_isolation(task_sizes: dict[str, int], mpu: Mpu,
+                        ram_budget: int | None = None) -> IsolationPlan:
+    """Give each task its own MPU region, smallest tasks first.
+
+    Tasks that do not fit (out of regions or out of RAM) are packed
+    together into one shared region - the failure mode the paper
+    describes for coarse MPUs ("several tasks will have to be included
+    within the same protection scheme").
+    """
+    plan = IsolationPlan(isolated_tasks=0, shared_tasks=0, regions_used=0,
+                         allocated_bytes=0,
+                         requested_bytes=sum(task_sizes.values()))
+    budget = ram_budget if ram_budget is not None else float("inf")
+    shared: list[str] = []
+    # leave one region spare for the shared pool
+    available_regions = mpu.num_regions - 1
+    for name, size in sorted(task_sizes.items(), key=lambda kv: kv[1]):
+        allocation = _region_allocation(size, mpu)
+        if plan.regions_used < available_regions and plan.allocated_bytes + allocation <= budget:
+            plan.regions_used += 1
+            plan.allocated_bytes += allocation
+            plan.isolated_tasks += 1
+            plan.assignments.append((name, plan.regions_used - 1, allocation))
+        else:
+            shared.append(name)
+    if shared:
+        shared_size = sum(task_sizes[name] for name in shared)
+        allocation = _region_allocation(shared_size, mpu)
+        plan.regions_used += 1
+        plan.allocated_bytes += allocation
+        plan.shared_tasks = len(shared)
+        for name in shared:
+            plan.assignments.append((name, plan.regions_used - 1, 0))
+    return plan

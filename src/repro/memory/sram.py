@@ -1,0 +1,24 @@
+"""On-chip SRAM: fixed (usually zero) wait states."""
+
+from __future__ import annotations
+
+from repro.memory.bus import RamBackedDevice
+
+
+class Sram(RamBackedDevice):
+    """Simple RAM with a constant stall count per access."""
+
+    def __init__(self, base: int, size: int, wait_states: int = 0) -> None:
+        super().__init__(base, size)
+        self.wait_states = wait_states
+        self.reads = 0
+        self.writes = 0
+
+    def read(self, addr: int, size: int, side: str = "D") -> tuple[int, int]:
+        self.reads += 1
+        return self._get(addr, size), self.wait_states
+
+    def write(self, addr: int, size: int, value: int, side: str = "D") -> int:
+        self.writes += 1
+        self._set(addr, size, value)
+        return self.wait_states

@@ -1,0 +1,165 @@
+"""Tightly-coupled memory with SEC-DED ECC and 'hold and repair'.
+
+The ARM1156T2F-S supports fault-tolerant TCM (paper section 3.1.3): the
+normal mode keeps the TCM streaming to the core, and when an error is
+detected the core is *stalled* while the correction logic repairs the word
+- no interrupt, no software involvement.  This module implements a real
+Hamming(38,32) SEC-DED code per 32-bit word: single-bit errors are
+corrected in place (costing ``repair_cycles`` of stall), double-bit errors
+raise :class:`EccUncorrectable`.
+"""
+
+from __future__ import annotations
+
+from repro.memory.bus import RamBackedDevice
+
+# Codeword positions 1..38; parity bits sit at power-of-two positions.
+_PARITY_POSITIONS = (1, 2, 4, 8, 16, 32)
+_DATA_POSITIONS = tuple(p for p in range(1, 39) if p not in _PARITY_POSITIONS)
+
+
+def ecc_encode(word: int) -> int:
+    """Compute the 7-bit ECC for a 32-bit word (6 syndrome + overall)."""
+    word &= 0xFFFFFFFF
+    codeword = {}
+    for data_bit, position in enumerate(_DATA_POSITIONS):
+        codeword[position] = (word >> data_bit) & 1
+    syndrome_bits = 0
+    for i, parity_pos in enumerate(_PARITY_POSITIONS):
+        parity = 0
+        for position, bit in codeword.items():
+            if position & parity_pos:
+                parity ^= bit
+        syndrome_bits |= parity << i
+    overall = bin(word).count("1") & 1
+    for i in range(6):
+        overall ^= (syndrome_bits >> i) & 1
+    return syndrome_bits | (overall << 6)
+
+
+def ecc_check(word: int, ecc: int) -> tuple[str, int | None]:
+    """Classify a (word, ecc) pair.
+
+    Returns one of:
+      ('ok', None)          - no error
+      ('corrected', word')  - single-bit error, corrected value returned
+      ('double', None)      - detected uncorrectable double-bit error
+
+    SEC-DED logic: the syndrome locates a flipped bit, and the *overall*
+    parity of the received codeword (data + stored check bits + stored
+    overall bit) distinguishes single errors (odd) from double (even).
+    """
+    stored_check = ecc & 0x3F
+    stored_overall = (ecc >> 6) & 1
+    recomputed_check = ecc_encode(word) & 0x3F
+    syndrome = stored_check ^ recomputed_check
+    whole_parity = (bin(word).count("1") + bin(stored_check).count("1")
+                    + stored_overall) & 1
+    if syndrome == 0 and whole_parity == 0:
+        return "ok", None
+    if whole_parity == 1:  # odd parity: a single, locatable error
+        if syndrome == 0:
+            return "corrected", word  # the overall parity bit itself flipped
+        if syndrome in _PARITY_POSITIONS:
+            return "corrected", word  # a stored check bit flipped
+        if syndrome in _DATA_POSITIONS:
+            data_bit = _DATA_POSITIONS.index(syndrome)
+            return "corrected", word ^ (1 << data_bit)
+    return "double", None
+
+
+class EccUncorrectable(Exception):
+    """Double-bit TCM error: hold-and-repair cannot fix it."""
+
+    def __init__(self, address: int) -> None:
+        super().__init__(f"uncorrectable ECC error at {address:#010x}")
+        self.address = address
+
+
+class Tcm(RamBackedDevice):
+    """Zero-wait-state RAM with per-word SEC-DED ECC.
+
+    ``fault_tolerant=False`` disables checking entirely (the baseline arm
+    of experiment E7): corrupted words are returned as stored.
+    """
+
+    def __init__(self, base: int, size: int, repair_cycles: int = 3,
+                 fault_tolerant: bool = True) -> None:
+        if size % 4:
+            raise ValueError("TCM size must be a multiple of 4")
+        super().__init__(base, size)
+        self.repair_cycles = repair_cycles
+        self.fault_tolerant = fault_tolerant
+        self._ecc = [ecc_encode(0)] * (size // 4)
+        self.corrected_errors = 0
+        self.uncorrectable_errors = 0
+        self.silent_corruptions = 0
+        self.hold_cycles = 0
+
+    # ------------------------------------------------------------------
+    def _word_index(self, addr: int) -> int:
+        return (addr - self.base) // 4
+
+    def _read_word_checked(self, word_addr: int) -> tuple[int, int]:
+        """Read one aligned word with ECC check; returns (value, stalls)."""
+        stored = self._get(word_addr, 4)
+        if not self.fault_tolerant:
+            return stored, 0
+        status, fixed = ecc_check(stored, self._ecc[self._word_index(word_addr)])
+        if status == "ok":
+            return stored, 0
+        if status == "corrected":
+            # hold-and-repair: stall the core, write back the fixed word
+            self._set(word_addr, 4, fixed)
+            self._ecc[self._word_index(word_addr)] = ecc_encode(fixed)
+            self.corrected_errors += 1
+            self.hold_cycles += self.repair_cycles
+            return fixed, self.repair_cycles
+        self.uncorrectable_errors += 1
+        raise EccUncorrectable(word_addr)
+
+    def read(self, addr: int, size: int, side: str = "D") -> tuple[int, int]:
+        first_word = addr & ~3
+        last_word = (addr + size - 1) & ~3
+        stalls = 0
+        payload = bytearray()
+        for word_addr in range(first_word, last_word + 4, 4):
+            value, word_stalls = self._read_word_checked(word_addr)
+            stalls += word_stalls
+            payload += value.to_bytes(4, "little")
+        start = addr - first_word
+        return int.from_bytes(payload[start:start + size], "little"), stalls
+
+    def write(self, addr: int, size: int, value: int, side: str = "D") -> int:
+        # read-modify-write the covering words so ECC stays consistent
+        first_word = addr & ~3
+        last_word = (addr + size - 1) & ~3
+        self._set(addr, size, value)
+        for word_addr in range(first_word, last_word + 4, 4):
+            word = self._get(word_addr, 4)
+            self._ecc[self._word_index(word_addr)] = ecc_encode(word)
+        return 0
+
+    def write_raw(self, addr: int, payload: bytes) -> None:
+        super().write_raw(addr, payload)
+        first_word = addr & ~3
+        last_word = (addr + len(payload) - 1) & ~3
+        for word_addr in range(first_word, last_word + 4, 4):
+            word = self._get(word_addr, 4)
+            self._ecc[self._word_index(word_addr)] = ecc_encode(word)
+
+    # ------------------------------------------------------------------
+    # fault injection
+    # ------------------------------------------------------------------
+    def bit_capacity(self) -> int:
+        return self.size * 8
+
+    def flip_data_bit(self, bit: int) -> None:
+        """Soft error: flip a stored data bit without updating ECC."""
+        byte_index, bit_index = divmod(bit % (self.size * 8), 8)
+        self.data[byte_index] ^= 1 << bit_index
+        if not self.fault_tolerant:
+            self.silent_corruptions += 1
+
+    def flip_random_bit(self, rng) -> None:
+        self.flip_data_bit(rng.bit_position(self.size * 8))

@@ -1,0 +1,51 @@
+"""In-vehicle network substrate: CAN frames, bus simulation, analysis,
+and the distributed virtual-multi-core allocation of the paper's vision."""
+
+from repro.network.can_analysis import (
+    BusAnalysis,
+    MessageResponse,
+    MessageSpec,
+    bus_utilisation,
+    can_response_times,
+)
+from repro.network.can_bus import CanBus, DeliveryRecord, PeriodicSender
+from repro.network.can_frame import (
+    CanFrame,
+    crc15,
+    destuff_bits,
+    parse_frame,
+    stuff_bits,
+    worst_case_frame_bits,
+)
+from repro.network.lin import (
+    LinDelivery,
+    LinMaster,
+    ScheduleSlot,
+    check_protected_id,
+    classic_checksum,
+    enhanced_checksum,
+    frame_bits,
+    protected_id,
+)
+from repro.network.distributed import (
+    DistributedTask,
+    Ecu,
+    Placement,
+    SystemAnalysis,
+    allocate_tasks,
+    analyse_system,
+    count_binaries,
+    harmonize,
+)
+
+__all__ = [
+    "BusAnalysis", "MessageResponse", "MessageSpec",
+    "bus_utilisation", "can_response_times",
+    "CanBus", "DeliveryRecord", "PeriodicSender",
+    "CanFrame", "crc15", "destuff_bits", "parse_frame", "stuff_bits",
+    "worst_case_frame_bits",
+    "DistributedTask", "Ecu", "Placement", "SystemAnalysis",
+    "allocate_tasks", "analyse_system", "count_binaries", "harmonize",
+    "LinDelivery", "LinMaster", "ScheduleSlot", "check_protected_id",
+    "classic_checksum", "enhanced_checksum", "frame_bits", "protected_id",
+]

@@ -1,0 +1,107 @@
+"""Worst-case response-time analysis for CAN messages.
+
+The classic fixed-priority non-preemptive analysis (Tindell/Burns, with
+the Davis et al. 2007 corrections): a message's worst case is release
+jitter, plus a busy-period queueing delay (blocking by at most one
+lower-priority frame already on the wire plus interference from every
+higher-priority stream), plus its own transmission time.
+
+Identifiers *are* priorities on CAN (lower wins), which is why the
+analysis indexes by identifier.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.network.can_frame import worst_case_frame_bits
+
+
+@dataclass(frozen=True)
+class MessageSpec:
+    """A periodic CAN message stream."""
+
+    can_id: int
+    payload_bytes: int
+    period_us: int
+    jitter_us: int = 0
+    deadline_us: int | None = None
+
+    @property
+    def effective_deadline(self) -> int:
+        return self.deadline_us if self.deadline_us is not None else self.period_us
+
+    def transmission_us(self, bitrate_bps: int) -> int:
+        bits = worst_case_frame_bits(self.payload_bytes)
+        return -(-bits * 1_000_000 // bitrate_bps)
+
+
+@dataclass
+class MessageResponse:
+    can_id: int
+    response_us: int | None
+    blocking_us: int
+    deadline_us: int
+
+    @property
+    def schedulable(self) -> bool:
+        return self.response_us is not None and self.response_us <= self.deadline_us
+
+
+@dataclass
+class BusAnalysis:
+    bitrate_bps: int
+    messages: list[MessageResponse] = field(default_factory=list)
+    utilisation: float = 0.0
+
+    @property
+    def schedulable(self) -> bool:
+        return all(m.schedulable for m in self.messages)
+
+    def response_of(self, can_id: int) -> MessageResponse:
+        for message in self.messages:
+            if message.can_id == can_id:
+                return message
+        raise KeyError(can_id)
+
+
+def bus_utilisation(specs: list[MessageSpec], bitrate_bps: int) -> float:
+    return sum(s.transmission_us(bitrate_bps) / s.period_us for s in specs)
+
+
+def can_response_times(specs: list[MessageSpec], bitrate_bps: int = 500_000,
+                       limit_factor: int = 100) -> BusAnalysis:
+    """Worst-case response time per message stream."""
+    ids = [s.can_id for s in specs]
+    if len(set(ids)) != len(ids):
+        raise ValueError("CAN identifiers must be unique")
+    tau_bit = max(1_000_000 // bitrate_bps, 1)  # one bit time, in us
+    analysis = BusAnalysis(bitrate_bps=bitrate_bps,
+                           utilisation=bus_utilisation(specs, bitrate_bps))
+    for spec in specs:
+        own = spec.transmission_us(bitrate_bps)
+        lower = [s for s in specs if s.can_id > spec.can_id]
+        higher = [s for s in specs if s.can_id < spec.can_id]
+        blocking = max([s.transmission_us(bitrate_bps) for s in lower], default=0)
+        limit = limit_factor * spec.effective_deadline + 1
+        queueing = blocking
+        response = None
+        while True:
+            interference = sum(
+                math.ceil((queueing + h.jitter_us + tau_bit) / h.period_us)
+                * h.transmission_us(bitrate_bps)
+                for h in higher
+            )
+            next_queueing = blocking + interference
+            if next_queueing == queueing:
+                response = spec.jitter_us + queueing + own
+                break
+            if next_queueing + own > limit:
+                break
+            queueing = next_queueing
+        analysis.messages.append(MessageResponse(
+            can_id=spec.can_id, response_us=response,
+            blocking_us=blocking, deadline_us=spec.effective_deadline))
+    analysis.messages.sort(key=lambda m: m.can_id)
+    return analysis

@@ -1,0 +1,167 @@
+"""Discrete-event CAN bus: identifier arbitration, queueing, error retries.
+
+Time is in microseconds.  Transmission is non-preemptive: once a frame
+wins arbitration it occupies the bus for its full wire time; pending
+frames re-arbitrate at the next bus-idle point, lowest identifier first -
+exactly the fixed-priority non-preemptive model the schedulability
+analysis in :mod:`repro.network.can_analysis` assumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.network.can_frame import CanFrame
+from repro.sim.events import EventScheduler
+from repro.sim.rng import DeterministicRng
+from repro.sim.trace import TraceRecorder
+
+#: error frame + retransmission gap, in bit times (form error worst case)
+ERROR_FRAME_BITS = 31
+
+
+@dataclass
+class QueuedMessage:
+    frame: CanFrame
+    queued_at: int
+    node: str
+    attempts: int = 0
+
+
+@dataclass
+class DeliveryRecord:
+    can_id: int
+    node: str
+    queued_at: int
+    completed_at: int
+    attempts: int
+
+    @property
+    def response_time(self) -> int:
+        return self.completed_at - self.queued_at
+
+
+class CanBus:
+    """Single shared bus with ideal arbitration and optional bit errors."""
+
+    def __init__(self, scheduler: EventScheduler | None = None,
+                 bitrate_bps: int = 500_000,
+                 error_rate: float = 0.0,
+                 rng: DeterministicRng | None = None,
+                 trace: TraceRecorder | None = None) -> None:
+        self.scheduler = scheduler or EventScheduler()
+        self.bitrate = bitrate_bps
+        self.error_rate = error_rate
+        self.rng = rng or DeterministicRng(0)
+        self.trace = trace or TraceRecorder(enabled=False)
+        self.pending: list[QueuedMessage] = []
+        self.busy_until = 0
+        self.transmitting: QueuedMessage | None = None
+        self.deliveries: list[DeliveryRecord] = []
+        self.listeners: list = []   # callables(frame, record)
+        self.errors_injected = 0
+        self.busy_us = 0
+
+    # ------------------------------------------------------------------
+    def bit_time_us(self, bits: int) -> int:
+        """Microseconds (rounded up) for a number of bit times."""
+        return -(-bits * 1_000_000 // self.bitrate)
+
+    def submit(self, frame: CanFrame, node: str = "?") -> QueuedMessage:
+        """Queue a frame for transmission (from a node's TX mailbox)."""
+        message = QueuedMessage(frame=frame, queued_at=self.scheduler.now, node=node)
+        self.pending.append(message)
+        self.trace.emit(self.scheduler.now, "can", "queued",
+                        can_id=frame.can_id, node=node)
+        self._try_start()
+        return message
+
+    def subscribe(self, callback) -> None:
+        """Register a listener called on every successful delivery."""
+        self.listeners.append(callback)
+
+    # ------------------------------------------------------------------
+    def _try_start(self) -> None:
+        if self.transmitting is not None or not self.pending:
+            return
+        if self.scheduler.now < self.busy_until:
+            self.scheduler.at(self.busy_until, self._try_start)
+            return
+        # arbitration: lowest identifier wins (FIFO among equal IDs)
+        winner = min(self.pending, key=lambda m: (m.frame.can_id, m.queued_at))
+        self.pending.remove(winner)
+        self.transmitting = winner
+        winner.attempts += 1
+        duration = self.bit_time_us(winner.frame.wire_bits)
+        corrupted = self.error_rate > 0 and self.rng.random() < self.error_rate
+        if corrupted:
+            self.errors_injected += 1
+            # error detected mid-frame: error frame + retransmission
+            penalty = self.bit_time_us(ERROR_FRAME_BITS)
+            self.scheduler.after(duration // 2 + penalty,
+                                 lambda: self._transmission_failed(winner))
+        else:
+            self.scheduler.after(duration, lambda: self._transmission_done(winner))
+        self.trace.emit(self.scheduler.now, "can", "arbitration_won",
+                        can_id=winner.frame.can_id, attempt=winner.attempts)
+
+    def _transmission_failed(self, message: QueuedMessage) -> None:
+        self.transmitting = None
+        self.busy_until = self.scheduler.now
+        self.pending.append(message)  # automatic retransmission
+        self.trace.emit(self.scheduler.now, "can", "error_frame",
+                        can_id=message.frame.can_id)
+        self._try_start()
+
+    def _transmission_done(self, message: QueuedMessage) -> None:
+        self.transmitting = None
+        self.busy_until = self.scheduler.now
+        self.busy_us += self.bit_time_us(message.frame.wire_bits)
+        record = DeliveryRecord(can_id=message.frame.can_id, node=message.node,
+                                queued_at=message.queued_at,
+                                completed_at=self.scheduler.now,
+                                attempts=message.attempts)
+        self.deliveries.append(record)
+        self.trace.emit(self.scheduler.now, "can", "delivered",
+                        can_id=message.frame.can_id,
+                        response=record.response_time)
+        for listener in self.listeners:
+            listener(message.frame, record)
+        self._try_start()
+
+    # ------------------------------------------------------------------
+    def worst_response(self, can_id: int) -> int:
+        times = [d.response_time for d in self.deliveries if d.can_id == can_id]
+        return max(times, default=0)
+
+    def utilisation(self, horizon_us: int) -> float:
+        """Fraction of the horizon the bus spent transmitting."""
+        return min(self.busy_us / horizon_us, 1.0) if horizon_us else 0.0
+
+
+@dataclass
+class PeriodicSender:
+    """A node queueing one frame every period (body-electronics style)."""
+
+    bus: CanBus
+    can_id: int
+    payload: bytes
+    period_us: int
+    node: str = "ecu"
+    jitter_us: int = 0
+    rng: DeterministicRng | None = None
+    sent: int = field(default=0)
+
+    def start(self, offset_us: int = 0) -> None:
+        self.bus.scheduler.at(self.bus.scheduler.now + offset_us, self._fire)
+
+    def _fire(self) -> None:
+        delay = 0
+        if self.jitter_us and self.rng is not None:
+            delay = self.rng.randint(0, self.jitter_us)
+        self.bus.scheduler.after(delay, self._send)
+        self.bus.scheduler.after(self.period_us, self._fire)
+
+    def _send(self) -> None:
+        self.sent += 1
+        self.bus.submit(CanFrame(self.can_id, self.payload), node=self.node)

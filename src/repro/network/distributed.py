@@ -1,0 +1,148 @@
+"""The paper's platform vision: distributed ECUs as a virtual multi-core.
+
+Sections 1 and 4 argue that harmonizing the instruction set across all of
+a vehicle's processor nodes lets the distributed network be "harnessed as
+a single compute resource": any task can be placed on any node with spare
+capacity, and one compiled binary serves the whole fleet of nodes.
+
+This module makes that claim measurable:
+
+* :func:`allocate_tasks` - first-fit-decreasing placement of periodic
+  tasks onto ECUs, constrained by *binary compatibility*: a task can only
+  run on a node whose ISA it has been built for.
+* With ``harmonized ISA`` every task runs everywhere (one binary); with a
+  heterogeneous fleet each task carries builds for a subset of ISAs and
+  placement is restricted - the experiment E11 comparison.
+* Placed systems are then checked end-to-end: per-ECU fixed-priority
+  response-time analysis plus CAN bus analysis for the inter-ECU signals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.network.can_analysis import MessageSpec, can_response_times
+from repro.rtos.analysis import AnalysedTask, response_time_analysis
+
+
+@dataclass(frozen=True)
+class DistributedTask:
+    """A periodic task that may be placed on any compatible ECU."""
+
+    name: str
+    wcet_us: int               # at reference speed 1.0
+    period_us: int
+    binaries: frozenset[str]   # ISAs this task has been compiled for
+    produces: tuple[MessageSpec, ...] = ()  # signals sent if placed remotely
+
+    @property
+    def utilisation(self) -> float:
+        return self.wcet_us / self.period_us
+
+
+@dataclass(frozen=True)
+class Ecu:
+    """One processor node on the vehicle network."""
+
+    name: str
+    isa: str
+    speed: float = 1.0         # relative to the reference core
+
+    def scaled_wcet(self, wcet_us: int) -> int:
+        return max(int(round(wcet_us / self.speed)), 1)
+
+
+@dataclass
+class Placement:
+    """Result of an allocation attempt."""
+
+    assignments: dict[str, str] = field(default_factory=dict)  # task -> ecu
+    unplaced: list[str] = field(default_factory=list)
+    binaries_built: int = 0
+
+    @property
+    def fully_placed(self) -> bool:
+        return not self.unplaced
+
+
+def allocate_tasks(tasks: list[DistributedTask], ecus: list[Ecu],
+                   utilisation_cap: float = 0.69) -> Placement:
+    """First-fit decreasing by utilisation, honouring ISA compatibility.
+
+    ``utilisation_cap`` defaults to the Liu-Layland-ish guard under which
+    rate-monotonic sets are (almost always) schedulable; the final word is
+    the per-ECU response-time analysis in :func:`analyse_system`.
+    """
+    placement = Placement()
+    load: dict[str, float] = {ecu.name: 0.0 for ecu in ecus}
+    for task in sorted(tasks, key=lambda t: -t.utilisation):
+        placed = False
+        for ecu in ecus:
+            if ecu.isa not in task.binaries:
+                continue
+            scaled = ecu.scaled_wcet(task.wcet_us) / task.period_us
+            if load[ecu.name] + scaled <= utilisation_cap:
+                load[ecu.name] += scaled
+                placement.assignments[task.name] = ecu.name
+                placed = True
+                break
+        if not placed:
+            placement.unplaced.append(task.name)
+    placement.binaries_built = sum(len(t.binaries) for t in tasks)
+    return placement
+
+
+@dataclass
+class SystemAnalysis:
+    placement: Placement
+    ecu_schedulable: dict[str, bool] = field(default_factory=dict)
+    bus_schedulable: bool = True
+    bus_utilisation: float = 0.0
+
+    @property
+    def schedulable(self) -> bool:
+        return (self.placement.fully_placed
+                and all(self.ecu_schedulable.values())
+                and self.bus_schedulable)
+
+
+def analyse_system(tasks: list[DistributedTask], ecus: list[Ecu],
+                   placement: Placement, bitrate_bps: int = 500_000) -> SystemAnalysis:
+    """Full check: every ECU's task set plus the bus traffic."""
+    analysis = SystemAnalysis(placement=placement)
+    by_name = {t.name: t for t in tasks}
+    ecu_by_name = {e.name: e for e in ecus}
+    for ecu in ecus:
+        local = [by_name[t] for t, e in placement.assignments.items() if e == ecu.name]
+        if not local:
+            analysis.ecu_schedulable[ecu.name] = True
+            continue
+        analysed = [
+            AnalysedTask(name=t.name, wcet=ecu_by_name[ecu.name].scaled_wcet(t.wcet_us),
+                         period=t.period_us)
+            for t in local
+        ]
+        analysis.ecu_schedulable[ecu.name] = response_time_analysis(analysed).schedulable
+    # all produced signals of placed tasks ride the single bus
+    signals: list[MessageSpec] = []
+    for task_name in placement.assignments:
+        signals.extend(by_name[task_name].produces)
+    if signals:
+        bus = can_response_times(signals, bitrate_bps=bitrate_bps)
+        analysis.bus_schedulable = bus.schedulable
+        analysis.bus_utilisation = bus.utilisation
+    return analysis
+
+
+def harmonize(tasks: list[DistributedTask], isa: str) -> list[DistributedTask]:
+    """The paper's proposal: one ISA everywhere -> one binary per task."""
+    return [
+        DistributedTask(name=t.name, wcet_us=t.wcet_us, period_us=t.period_us,
+                        binaries=frozenset({isa}), produces=t.produces)
+        for t in tasks
+    ]
+
+
+def count_binaries(tasks: list[DistributedTask]) -> int:
+    """Total compiled artefacts the fleet must maintain."""
+    return sum(len(t.binaries) for t in tasks)

@@ -1,0 +1,42 @@
+"""OSEK-style RTOS substrate: kernel model, schedulability analysis, WCET."""
+
+from repro.rtos.analysis import (
+    AnalysedTask,
+    AnalysisResult,
+    TaskResponse,
+    breakdown_utilisation,
+    rate_monotonic_priorities,
+    response_time_analysis,
+    utilisation_bound,
+)
+from repro.rtos.kernel import (
+    READY,
+    RUNNING,
+    SUSPENDED,
+    WAITING,
+    ActivateTask,
+    Alarm,
+    ChainTask,
+    ClearEvent,
+    Compute,
+    GetResource,
+    OsekError,
+    OsekKernel,
+    ReleaseResource,
+    Resource,
+    SetEvent,
+    Task,
+    WaitEvent,
+)
+from repro.rtos.wcet import WcetEstimate, measure_wcet
+
+__all__ = [
+    "AnalysedTask", "AnalysisResult", "TaskResponse",
+    "breakdown_utilisation", "rate_monotonic_priorities",
+    "response_time_analysis", "utilisation_bound",
+    "READY", "RUNNING", "SUSPENDED", "WAITING",
+    "ActivateTask", "Alarm", "ChainTask", "ClearEvent", "Compute",
+    "GetResource", "OsekError", "OsekKernel", "ReleaseResource",
+    "Resource", "SetEvent", "Task", "WaitEvent",
+    "WcetEstimate", "measure_wcet",
+]

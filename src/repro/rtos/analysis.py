@@ -1,0 +1,167 @@
+"""Fixed-priority schedulability analysis for OSEK-style task sets.
+
+Classic response-time analysis (Joseph & Pandya; Audsley et al.) with
+priority-ceiling blocking, as used throughout automotive scheduling
+practice.  The simulation kernel (:mod:`repro.rtos.kernel`) provides the
+empirical cross-check: analysis worst-case response times must bound the
+simulated ones.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class AnalysedTask:
+    """Static task parameters for analysis."""
+
+    name: str
+    wcet: int                  # C: worst-case execution time
+    period: int                # T: minimum inter-arrival
+    deadline: int | None = None  # D (defaults to T)
+    priority: int | None = None  # bigger = more urgent; None = assign RM
+    jitter: int = 0            # J: release jitter
+    critical_sections: tuple[tuple[str, int], ...] = ()  # (resource, length)
+
+    @property
+    def effective_deadline(self) -> int:
+        return self.deadline if self.deadline is not None else self.period
+
+    @property
+    def utilisation(self) -> float:
+        return self.wcet / self.period
+
+
+@dataclass
+class TaskResponse:
+    name: str
+    priority: int
+    response: int | None       # None = did not converge (unschedulable)
+    blocking: int
+    deadline: int
+
+    @property
+    def schedulable(self) -> bool:
+        return self.response is not None and self.response <= self.deadline
+
+
+@dataclass
+class AnalysisResult:
+    tasks: list[TaskResponse] = field(default_factory=list)
+    utilisation: float = 0.0
+
+    @property
+    def schedulable(self) -> bool:
+        return all(t.schedulable for t in self.tasks)
+
+    def response_of(self, name: str) -> TaskResponse:
+        for task in self.tasks:
+            if task.name == name:
+                return task
+        raise KeyError(name)
+
+
+def rate_monotonic_priorities(tasks: list[AnalysedTask]) -> dict[str, int]:
+    """Shorter period -> higher priority (ties broken by name)."""
+    ordered = sorted(tasks, key=lambda t: (-t.period, t.name))
+    return {task.name: index for index, task in enumerate(ordered)}
+
+
+def utilisation_bound(n: int) -> float:
+    """Liu & Layland's sufficient RM bound: n(2^(1/n) - 1)."""
+    if n <= 0:
+        return 0.0
+    return n * (2 ** (1.0 / n) - 1)
+
+
+def _blocking_time(task: AnalysedTask, priority: dict[str, int],
+                   tasks: list[AnalysedTask]) -> int:
+    """Priority-ceiling blocking: the longest critical section of any
+    lower-priority task using a resource whose ceiling is at least ours."""
+    my_priority = priority[task.name]
+    ceilings: dict[str, int] = {}
+    for other in tasks:
+        for resource, _length in other.critical_sections:
+            ceilings[resource] = max(ceilings.get(resource, -1), priority[other.name])
+    worst = 0
+    for other in tasks:
+        if priority[other.name] >= my_priority:
+            continue
+        for resource, length in other.critical_sections:
+            if ceilings.get(resource, -1) >= my_priority:
+                worst = max(worst, length)
+    return worst
+
+
+def response_time_analysis(tasks: list[AnalysedTask],
+                           context_switch: int = 0,
+                           limit_factor: int = 100) -> AnalysisResult:
+    """Compute worst-case response times for the whole task set."""
+    if any(t.priority is not None for t in tasks):
+        priority = {t.name: t.priority for t in tasks}
+        if any(p is None for p in priority.values()):
+            raise ValueError("either assign all priorities or none")
+    else:
+        priority = rate_monotonic_priorities(tasks)
+
+    result = AnalysisResult(utilisation=sum(t.utilisation for t in tasks))
+    for task in tasks:
+        cost = task.wcet + 2 * context_switch
+        blocking = _blocking_time(task, priority, tasks)
+        higher = [t for t in tasks if priority[t.name] > priority[task.name]]
+        response = _fixpoint(cost, blocking, task, higher, context_switch,
+                             limit=limit_factor * task.effective_deadline + 1)
+        result.tasks.append(TaskResponse(
+            name=task.name, priority=priority[task.name],
+            response=response, blocking=blocking,
+            deadline=task.effective_deadline))
+    result.tasks.sort(key=lambda t: -t.priority)
+    return result
+
+
+def _fixpoint(cost: int, blocking: int, task: AnalysedTask,
+              higher: list[AnalysedTask], context_switch: int,
+              limit: int) -> int | None:
+    response = cost + blocking
+    while True:
+        interference = sum(
+            math.ceil((response + h.jitter) / h.period) * (h.wcet + 2 * context_switch)
+            for h in higher
+        )
+        next_response = cost + blocking + interference
+        if next_response == response:
+            return response + task.jitter
+        if next_response > limit:
+            return None
+        response = next_response
+
+
+def breakdown_utilisation(tasks: list[AnalysedTask], context_switch: int = 0,
+                          precision: float = 0.005) -> float:
+    """Binary-search the scale factor at which the set stops being
+    schedulable (a standard sensitivity metric)."""
+    def schedulable_at(scale: float) -> bool:
+        scaled = [
+            AnalysedTask(name=t.name, wcet=max(int(t.wcet * scale), 1),
+                         period=t.period, deadline=t.deadline,
+                         priority=t.priority, jitter=t.jitter,
+                         critical_sections=t.critical_sections)
+            for t in tasks
+        ]
+        return response_time_analysis(scaled, context_switch).schedulable
+
+    low, high = 0.0, 1.0
+    if not schedulable_at(1.0):
+        high = 1.0
+    else:
+        while schedulable_at(high) and high < 64:
+            high *= 2
+    while high - low > precision:
+        mid = (low + high) / 2
+        if schedulable_at(mid):
+            low = mid
+        else:
+            high = mid
+    return low * sum(t.utilisation for t in tasks)

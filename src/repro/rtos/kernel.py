@@ -1,0 +1,398 @@
+"""An OSEK-flavoured real-time kernel on the discrete-event engine.
+
+The ARM1156 features in paper section 3.1 exist to serve OSEK 2.1.1
+systems: many small isolated tasks, priority-ceiling resources, and tight
+response-time requirements.  This kernel models the OSEK task state
+machine (SUSPENDED / READY / RUNNING / WAITING), fixed-priority preemptive
+scheduling, BCC-style activation limits, ECC-style events, priority-ceiling
+resources, and alarms - enough to measure scheduling behaviour and to
+cross-check the response-time analysis in :mod:`repro.rtos.analysis`.
+
+Task bodies are Python generators yielding directives::
+
+    def body(api):
+        yield Compute(1200)            # burn 1200 ticks of CPU
+        yield GetResource("sensors")
+        yield Compute(300)
+        yield ReleaseResource("sensors")
+        yield ActivateTask("logger")
+        # returning terminates the task (TerminateTask)
+
+Preemption is modelled exactly: a Compute can be interrupted by a
+higher-priority activation and resumed later with the remaining time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.events import Event, EventScheduler
+from repro.sim.trace import TraceRecorder
+
+SUSPENDED = "suspended"
+READY = "ready"
+RUNNING = "running"
+WAITING = "waiting"
+
+
+# -- directives a task body may yield ------------------------------------
+
+@dataclass(frozen=True)
+class Compute:
+    ticks: int
+
+
+@dataclass(frozen=True)
+class GetResource:
+    name: str
+
+
+@dataclass(frozen=True)
+class ReleaseResource:
+    name: str
+
+
+@dataclass(frozen=True)
+class ActivateTask:
+    name: str
+
+
+@dataclass(frozen=True)
+class ChainTask:
+    name: str
+
+
+@dataclass(frozen=True)
+class SetEvent:
+    task: str
+    mask: int
+
+
+@dataclass(frozen=True)
+class ClearEvent:
+    mask: int
+
+
+@dataclass(frozen=True)
+class WaitEvent:
+    mask: int
+
+
+class OsekError(Exception):
+    """E_OS_* conditions surfaced as exceptions (strict mode) or counters."""
+
+
+@dataclass
+class Task:
+    name: str
+    priority: int                     # bigger = more urgent
+    body_factory: object              # (api) -> generator
+    preemptable: bool = True
+    max_activations: int = 1          # BCC1 = 1; BCC2 allows queueing
+    extended: bool = False            # ECC tasks may WaitEvent
+
+    state: str = SUSPENDED
+    pending_activations: int = 0
+    dynamic_priority: int = 0
+    events_pending: int = 0
+    events_waited: int = 0
+    body: object = None
+    remaining_compute: int = 0
+    compute_event: Event | None = None
+    compute_started_at: int = 0
+    activated_at: int = 0
+    held_resources: list = field(default_factory=list)
+
+    # metrics
+    activations: int = 0
+    terminations: int = 0
+    activation_failures: int = 0      # E_OS_LIMIT occurrences
+    response_times: list[int] = field(default_factory=list)
+
+    def worst_response(self) -> int:
+        return max(self.response_times, default=0)
+
+
+@dataclass
+class Resource:
+    name: str
+    ceiling: int = 0
+    holder: str | None = None
+
+
+@dataclass
+class Alarm:
+    name: str
+    task: str
+    offset: int
+    period: int  # 0 = one-shot
+    enabled: bool = True
+    expiries: int = 0
+
+
+class OsekKernel:
+    """Fixed-priority preemptive scheduler with OSEK semantics."""
+
+    def __init__(self, scheduler: EventScheduler | None = None,
+                 context_switch_cost: int = 0,
+                 trace: TraceRecorder | None = None,
+                 strict: bool = False) -> None:
+        self.scheduler = scheduler or EventScheduler()
+        self.context_switch_cost = context_switch_cost
+        self.trace = trace or TraceRecorder(enabled=False)
+        self.strict = strict
+        self.tasks: dict[str, Task] = {}
+        self.resources: dict[str, Resource] = {}
+        self.alarms: dict[str, Alarm] = {}
+        self._resource_users: dict[str, list[str]] = {}
+        self.running: Task | None = None
+        self.idle_ticks = 0
+        self._last_dispatch_check = 0
+        self.context_switches = 0
+
+    # ------------------------------------------------------------------
+    # configuration
+    # ------------------------------------------------------------------
+    def add_task(self, name: str, priority: int, body_factory,
+                 preemptable: bool = True, max_activations: int = 1,
+                 extended: bool = False, autostart: bool = False) -> Task:
+        if name in self.tasks:
+            raise ValueError(f"duplicate task {name!r}")
+        task = Task(name=name, priority=priority, body_factory=body_factory,
+                    preemptable=preemptable, max_activations=max_activations,
+                    extended=extended)
+        task.dynamic_priority = priority
+        self.tasks[name] = task
+        if autostart:
+            self.scheduler.at(self.scheduler.now, lambda: self.activate(name))
+        return task
+
+    def add_resource(self, name: str, users: list[str]) -> Resource:
+        """Declare a resource; its ceiling is the highest user priority."""
+        ceiling = max(self.tasks[u].priority for u in users)
+        resource = Resource(name=name, ceiling=ceiling)
+        self.resources[name] = resource
+        self._resource_users[name] = list(users)
+        return resource
+
+    def add_alarm(self, name: str, task: str, offset: int, period: int = 0) -> Alarm:
+        alarm = Alarm(name=name, task=task, offset=offset, period=period)
+        self.alarms[name] = alarm
+        self.scheduler.at(self.scheduler.now + offset,
+                          lambda: self._alarm_expire(alarm))
+        return alarm
+
+    def _alarm_expire(self, alarm: Alarm) -> None:
+        if not alarm.enabled:
+            return
+        alarm.expiries += 1
+        self.activate(alarm.task)
+        if alarm.period:
+            self.scheduler.after(alarm.period, lambda: self._alarm_expire(alarm))
+
+    # ------------------------------------------------------------------
+    # OSEK services
+    # ------------------------------------------------------------------
+    def activate(self, name: str) -> bool:
+        """ActivateTask: returns False on E_OS_LIMIT."""
+        task = self.tasks[name]
+        if task.state != SUSPENDED:
+            if task.pending_activations + 1 >= task.max_activations:
+                task.activation_failures += 1
+                self.trace.emit(self.scheduler.now, "osek", "E_OS_LIMIT", task=name)
+                if self.strict:
+                    raise OsekError(f"E_OS_LIMIT activating {name}")
+                return False
+            task.pending_activations += 1
+            task.activations += 1
+            return True
+        task.activations += 1
+        task.activated_at = self.scheduler.now
+        self._make_ready(task)
+        self._dispatch()
+        return True
+
+    def set_event(self, name: str, mask: int) -> None:
+        task = self.tasks[name]
+        if not task.extended:
+            raise OsekError(f"SetEvent on basic task {name}")
+        if task.state == SUSPENDED:
+            if self.strict:
+                raise OsekError(f"SetEvent on suspended task {name}")
+            return
+        task.events_pending |= mask
+        if task.state == WAITING and task.events_pending & task.events_waited:
+            self._make_ready(task)
+            self._dispatch()
+
+    # ------------------------------------------------------------------
+    # scheduling internals
+    # ------------------------------------------------------------------
+    def _make_ready(self, task: Task) -> None:
+        task.state = READY
+        self.trace.emit(self.scheduler.now, "osek", "ready", task=task.name)
+
+    def _ready_tasks(self) -> list[Task]:
+        return [t for t in self.tasks.values() if t.state == READY]
+
+    def _dispatch(self) -> None:
+        """Ensure the highest-priority ready/running task is running."""
+        ready = self._ready_tasks()
+        if not ready:
+            return
+        best = max(ready, key=lambda t: (t.dynamic_priority, -t.activated_at))
+        current = self.running
+        if current is not None:
+            if not current.preemptable:
+                return
+            if current.dynamic_priority >= best.dynamic_priority:
+                return
+            self._preempt(current)
+        self._start_or_resume(best)
+
+    def _preempt(self, task: Task) -> None:
+        if task.compute_event is not None:
+            task.compute_event.cancel()
+            elapsed = self.scheduler.now - task.compute_started_at
+            task.remaining_compute = max(task.remaining_compute - elapsed, 0)
+            task.compute_event = None
+        task.state = READY
+        self.running = None
+        self.trace.emit(self.scheduler.now, "osek", "preempt", task=task.name)
+
+    def _start_or_resume(self, task: Task) -> None:
+        task.state = RUNNING
+        self.running = task
+        self.context_switches += 1
+        self.trace.emit(self.scheduler.now, "osek", "run", task=task.name)
+        delay = self.context_switch_cost
+
+        if task.body is None:
+            task.body = task.body_factory(self)
+            self.scheduler.after(delay, lambda: self._advance(task))
+            return
+        if task.remaining_compute > 0:
+            self._begin_compute(task, task.remaining_compute, extra_delay=delay)
+            return
+        self.scheduler.after(delay, lambda: self._advance(task))
+
+    def _begin_compute(self, task: Task, ticks: int, extra_delay: int = 0) -> None:
+        task.remaining_compute = ticks
+        task.compute_started_at = self.scheduler.now + extra_delay
+        task.compute_event = self.scheduler.after(
+            ticks + extra_delay, lambda: self._compute_done(task))
+
+    def _compute_done(self, task: Task) -> None:
+        task.compute_event = None
+        task.remaining_compute = 0
+        self._advance(task)
+
+    def _advance(self, task: Task) -> None:
+        """Feed the task body until it computes, waits, or terminates."""
+        if task.state != RUNNING:
+            return
+        while True:
+            try:
+                directive = next(task.body)
+            except StopIteration:
+                self._terminate(task)
+                return
+            if isinstance(directive, Compute):
+                if directive.ticks > 0:
+                    self._begin_compute(task, directive.ticks)
+                    return
+                continue
+            if isinstance(directive, GetResource):
+                self._get_resource(task, directive.name)
+                continue
+            if isinstance(directive, ReleaseResource):
+                released_dispatch = self._release_resource(task, directive.name)
+                if released_dispatch:
+                    return
+                continue
+            if isinstance(directive, ActivateTask):
+                self.activate(directive.name)
+                if task.state != RUNNING:
+                    return  # we were preempted by what we activated
+                continue
+            if isinstance(directive, ChainTask):
+                self._terminate(task, chain_to=directive.name)
+                return
+            if isinstance(directive, SetEvent):
+                self.set_event(directive.task, directive.mask)
+                if task.state != RUNNING:
+                    return
+                continue
+            if isinstance(directive, ClearEvent):
+                task.events_pending &= ~directive.mask
+                continue
+            if isinstance(directive, WaitEvent):
+                if not task.extended:
+                    raise OsekError(f"WaitEvent in basic task {task.name}")
+                if task.events_pending & directive.mask:
+                    continue  # already pending: no state change
+                task.events_waited = directive.mask
+                task.state = WAITING
+                self.running = None
+                self.trace.emit(self.scheduler.now, "osek", "wait", task=task.name)
+                self._dispatch()
+                return
+            raise OsekError(f"unknown directive {directive!r}")
+
+    def _get_resource(self, task: Task, name: str) -> None:
+        resource = self.resources[name]
+        if resource.holder is not None:
+            raise OsekError(
+                f"ceiling protocol violated: {name} already held by {resource.holder}")
+        resource.holder = task.name
+        task.held_resources.append(name)
+        # immediate priority ceiling
+        task.dynamic_priority = max(task.dynamic_priority, resource.ceiling)
+        self.trace.emit(self.scheduler.now, "osek", "get_resource",
+                        task=task.name, resource=name)
+
+    def _release_resource(self, task: Task, name: str) -> bool:
+        resource = self.resources[name]
+        if resource.holder != task.name:
+            raise OsekError(f"{task.name} releasing {name} it does not hold")
+        resource.holder = None
+        task.held_resources.remove(name)
+        ceilings = [self.resources[r].ceiling for r in task.held_resources]
+        task.dynamic_priority = max([task.priority] + ceilings)
+        self.trace.emit(self.scheduler.now, "osek", "release_resource",
+                        task=task.name, resource=name)
+        # lowering our priority may let a blocked higher task run
+        ready = self._ready_tasks()
+        if ready and max(t.dynamic_priority for t in ready) > task.dynamic_priority:
+            self._preempt(task)
+            self._dispatch()
+            return True
+        return False
+
+    def _terminate(self, task: Task, chain_to: str | None = None) -> None:
+        if task.held_resources:
+            raise OsekError(f"{task.name} terminated holding {task.held_resources}")
+        task.state = SUSPENDED
+        task.body = None
+        task.terminations += 1
+        task.events_pending = 0
+        task.events_waited = 0
+        task.response_times.append(self.scheduler.now - task.activated_at)
+        self.running = None
+        self.trace.emit(self.scheduler.now, "osek", "terminate", task=task.name)
+        if chain_to is not None:
+            self.activate(chain_to)
+        if task.pending_activations > 0:
+            task.pending_activations -= 1
+            task.activated_at = self.scheduler.now
+            self._make_ready(task)
+        self._dispatch()
+
+    # ------------------------------------------------------------------
+    def run(self, until: int) -> None:
+        self.scheduler.run(until=until)
+
+    def cpu_utilisation(self, horizon: int) -> float:
+        """Fraction of the horizon spent in task compute (approximate)."""
+        busy = sum(sum(t.response_times) for t in self.tasks.values())
+        return min(busy / horizon, 1.0) if horizon else 0.0

@@ -1,0 +1,19 @@
+"""Deterministic simulation substrate: event scheduler, tracing, seeded RNG.
+
+Every stochastic or time-driven component in :mod:`repro` (the OSEK kernel,
+the CAN bus, the soft-error injector) runs on top of this subpackage so that
+simulations are reproducible bit-for-bit from a seed.
+"""
+
+from repro.sim.events import Event, EventScheduler, SimulationEnded
+from repro.sim.rng import DeterministicRng
+from repro.sim.trace import TraceRecord, TraceRecorder
+
+__all__ = [
+    "Event",
+    "EventScheduler",
+    "SimulationEnded",
+    "DeterministicRng",
+    "TraceRecord",
+    "TraceRecorder",
+]

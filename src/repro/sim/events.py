@@ -1,0 +1,113 @@
+"""A deterministic discrete-event scheduler.
+
+Time is an integer number of *ticks*; the interpretation of a tick (CPU
+cycle, CAN bit time, microsecond) is up to the model built on top.  Events
+scheduled for the same tick fire in (priority, sequence) order, which makes
+runs reproducible regardless of hash seeds or dict ordering.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+class SimulationEnded(Exception):
+    """Raised by callbacks to stop the scheduler immediately."""
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.  Ordering key: (time, priority, seq)."""
+
+    time: int
+    priority: int
+    seq: int
+    callback: Callable[[], Any] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the scheduler skips it when popped."""
+        self.cancelled = True
+
+
+class EventScheduler:
+    """Priority-queue discrete-event engine with integer time."""
+
+    def __init__(self) -> None:
+        self.now: int = 0
+        self._queue: list[Event] = []
+        self._seq = 0
+        self._events_fired = 0
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def at(self, time: int, callback: Callable[[], Any], priority: int = 0) -> Event:
+        """Schedule ``callback`` at absolute ``time`` (>= now)."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
+        event = Event(time=int(time), priority=priority, seq=self._seq, callback=callback)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def after(self, delay: int, callback: Callable[[], Any], priority: int = 0) -> Event:
+        """Schedule ``callback`` ``delay`` ticks from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        return self.at(self.now + int(delay), callback, priority)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def peek_time(self) -> int | None:
+        """Time of the next live event, or None if the queue is drained."""
+        self._drop_cancelled()
+        if not self._queue:
+            return None
+        return self._queue[0].time
+
+    def step(self) -> bool:
+        """Fire the next event.  Returns False when the queue is empty."""
+        self._drop_cancelled()
+        if not self._queue:
+            return False
+        event = heapq.heappop(self._queue)
+        self.now = event.time
+        self._events_fired += 1
+        event.callback()
+        return True
+
+    def run(self, until: int | None = None, max_events: int | None = None) -> int:
+        """Run events until the queue drains, ``until`` is passed, or
+        ``max_events`` have fired.  Returns the number of events fired."""
+        fired = 0
+        try:
+            while True:
+                if max_events is not None and fired >= max_events:
+                    break
+                next_time = self.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    self.now = until
+                    break
+                self.step()
+                fired += 1
+        except SimulationEnded:
+            fired += 1
+        return fired
+
+    @property
+    def events_fired(self) -> int:
+        return self._events_fired
+
+    def pending(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    def _drop_cancelled(self) -> None:
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)

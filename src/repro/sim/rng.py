@@ -1,0 +1,59 @@
+"""Seeded random-number helpers for reproducible fault and traffic models."""
+
+from __future__ import annotations
+
+import math
+import random
+
+
+class DeterministicRng:
+    """A thin wrapper over :class:`random.Random` with simulation helpers.
+
+    All stochastic models in the library take one of these rather than the
+    module-level :mod:`random` so that a single seed reproduces a full run.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._random = random.Random(seed)
+
+    def uniform(self, low: float, high: float) -> float:
+        return self._random.uniform(low, high)
+
+    def randint(self, low: int, high: int) -> int:
+        """Inclusive integer in [low, high]."""
+        return self._random.randint(low, high)
+
+    def choice(self, items):
+        return self._random.choice(items)
+
+    def shuffle(self, items: list) -> None:
+        self._random.shuffle(items)
+
+    def random(self) -> float:
+        return self._random.random()
+
+    def exponential(self, rate: float) -> float:
+        """Exponential inter-arrival time with the given rate (events/tick)."""
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        return -math.log(1.0 - self._random.random()) / rate
+
+    def poisson_arrivals(self, rate: float, horizon: int) -> list[int]:
+        """Integer arrival times of a Poisson process on [0, horizon)."""
+        arrivals: list[int] = []
+        t = 0.0
+        while True:
+            t += self.exponential(rate)
+            if t >= horizon:
+                break
+            arrivals.append(int(t))
+        return arrivals
+
+    def bit_position(self, width_bits: int) -> int:
+        """Uniformly random bit index for fault injection."""
+        return self._random.randrange(width_bits)
+
+    def fork(self, salt: int) -> "DeterministicRng":
+        """Derive an independent child stream (stable for a given salt)."""
+        return DeterministicRng(seed=(self.seed * 1_000_003 + salt) & 0xFFFFFFFF)

@@ -1,0 +1,56 @@
+"""Structured trace recording shared by the CPU, RTOS, and bus simulators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One timestamped simulation event."""
+
+    time: int
+    category: str
+    label: str
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        extra = " ".join(f"{k}={v}" for k, v in self.data.items())
+        return f"[{self.time:>10}] {self.category:<10} {self.label} {extra}".rstrip()
+
+
+class TraceRecorder:
+    """Collects :class:`TraceRecord` objects with cheap category filtering.
+
+    Recording can be disabled wholesale (``enabled=False``) so simulations
+    pay nothing for tracing in benchmark runs.
+    """
+
+    def __init__(self, enabled: bool = True, categories: set[str] | None = None) -> None:
+        self.enabled = enabled
+        self.categories = categories
+        self.records: list[TraceRecord] = []
+
+    def emit(self, time: int, category: str, label: str, **data: Any) -> None:
+        if not self.enabled:
+            return
+        if self.categories is not None and category not in self.categories:
+            return
+        self.records.append(TraceRecord(time=time, category=category, label=label, data=data))
+
+    def by_category(self, category: str) -> list[TraceRecord]:
+        return [r for r in self.records if r.category == category]
+
+    def between(self, start: int, end: int) -> list[TraceRecord]:
+        """Records with start <= time < end."""
+        return [r for r in self.records if start <= r.time < end]
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def clear(self) -> None:
+        self.records.clear()

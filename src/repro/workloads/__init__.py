@@ -1,0 +1,23 @@
+"""AutoIndy-style automotive benchmark kernels and the Table 1 harness."""
+
+from repro.workloads.harness import (
+    TABLE1_CONFIGS,
+    KernelRun,
+    SuiteResult,
+    format_table1,
+    run_kernel,
+    run_suite,
+    table1,
+)
+from repro.workloads.kernels import (
+    AUTOINDY_SUITE,
+    WORKLOADS_BY_NAME,
+    Workload,
+    WorkloadInput,
+)
+
+__all__ = [
+    "TABLE1_CONFIGS", "KernelRun", "SuiteResult", "format_table1",
+    "run_kernel", "run_suite", "table1",
+    "AUTOINDY_SUITE", "WORKLOADS_BY_NAME", "Workload", "WorkloadInput",
+]

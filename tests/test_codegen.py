@@ -1,0 +1,438 @@
+"""Code generator tests: IR -> three ISAs, executed and cross-checked.
+
+Every test builds an IR function, runs it through the reference
+interpreter, compiles it for ARM, Thumb, and Thumb-2, executes each on the
+matching core model, and requires all four answers to agree.
+"""
+
+import pytest
+
+from repro.codegen import (
+    AllocationError,
+    IrBuilder,
+    IrInterpreter,
+    IrMemory,
+    compile_program,
+)
+from repro.core import FLASH_BASE, SRAM_BASE, build_arm7, build_cortexm3
+from repro.isa import ISA_ARM, ISA_THUMB, ISA_THUMB2
+
+ALL_ISAS = (ISA_ARM, ISA_THUMB, ISA_THUMB2)
+
+
+def run_everywhere(fns, entry, args, data=None, data_addr=SRAM_BASE):
+    """Returns {'ir': ..., isa: ...} results plus machines for inspection."""
+    interp = IrInterpreter(IrMemory(size=0x10000, base=SRAM_BASE))
+    if data:
+        interp.memory.load_bytes(data_addr, data)
+    results = {"ir": interp.run(fns[0] if isinstance(fns, list) else fns, *args)}
+    fn_list = fns if isinstance(fns, list) else [fns]
+    machines = {}
+    for isa in ALL_ISAS:
+        program = compile_program(fn_list, isa, base=FLASH_BASE)
+        if isa == ISA_THUMB2:
+            machine = build_cortexm3(program)
+        else:
+            machine = build_arm7(program)
+        if data:
+            machine.load_data(data_addr, data)
+        results[isa] = machine.call(fn_list[0].name, *args)
+        machines[isa] = machine
+    return results, machines
+
+
+def assert_agree(results):
+    reference = results["ir"]
+    for isa in ALL_ISAS:
+        assert results[isa] == reference, (
+            f"{isa} produced {results[isa]:#x}, expected {reference:#x}")
+
+
+# ----------------------------------------------------------------------
+# arithmetic and constants
+# ----------------------------------------------------------------------
+
+def test_simple_arith():
+    b = IrBuilder("arith", num_params=2)
+    x, y = b.params
+    total = b.add(x, y)
+    total = b.mul(total, 3)
+    total = b.sub(total, 5)
+    b.ret(total)
+    results, _ = run_everywhere(b.build(), "arith", (10, 20))
+    assert results["ir"] == 85
+    assert_agree(results)
+
+
+def test_logic_ops():
+    b = IrBuilder("logic", num_params=2)
+    x, y = b.params
+    r = b.and_(x, y)
+    r = b.orr(r, 0x10)
+    r = b.eor(r, y)
+    r = b.bic(r, 1)
+    b.ret(r)
+    results, _ = run_everywhere(b.build(), "logic", (0xFF, 0x0F))
+    assert_agree(results)
+
+
+def test_shifts():
+    b = IrBuilder("shifts", num_params=2)
+    x, amount = b.params
+    r = b.lsl(x, 4)
+    r = b.orr(r, b.lsr(x, amount))
+    r = b.add(r, b.asr(x, 2))
+    r = b.eor(r, b.ror(x, 8))
+    b.ret(r)
+    results, _ = run_everywhere(b.build(), "shifts", (0x80000421, 3))
+    assert_agree(results)
+
+
+def test_large_constants():
+    b = IrBuilder("consts", num_params=0)
+    a = b.const(0xDEADBEEF)
+    c = b.const(0x00FF00FF)
+    d = b.const(0x12345678)
+    r = b.eor(a, c)
+    r = b.add(r, d)
+    b.ret(r)
+    results, _ = run_everywhere(b.build(), "consts", ())
+    assert_agree(results)
+
+
+def test_negative_style_constant():
+    b = IrBuilder("negc", num_params=0)
+    r = b.const(0xFFFFFF00)  # MVN-friendly
+    b.ret(r)
+    results, _ = run_everywhere(b.build(), "negc", ())
+    assert results["ir"] == 0xFFFFFF00
+    assert_agree(results)
+
+
+def test_mvn_and_neg():
+    b = IrBuilder("mvneg", num_params=1)
+    (x,) = b.params
+    r = b.add(b.mvn(x), b.neg(x))
+    b.ret(r)
+    results, _ = run_everywhere(b.build(), "mvneg", (12345,))
+    assert_agree(results)
+
+
+def test_extends():
+    b = IrBuilder("ext", num_params=1)
+    (x,) = b.params
+    r = b.add(b.uxtb(x), b.uxth(x))
+    r = b.add(r, b.sxtb(x))
+    r = b.add(r, b.sxth(x))
+    b.ret(r)
+    results, _ = run_everywhere(b.build(), "ext", (0x00C1_8080,))
+    assert_agree(results)
+
+
+def test_rev():
+    b = IrBuilder("revk", num_params=1)
+    (x,) = b.params
+    b.ret(b.rev(x))
+    results, _ = run_everywhere(b.build(), "revk", (0x11223344,))
+    assert results["ir"] == 0x44332211
+    assert_agree(results)
+
+
+# ----------------------------------------------------------------------
+# divide (native vs helper - the section 2.1 hardware divide story)
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("a,b", [(100, 7), (0xFFFFFFFF, 3), (5, 100), (42, 1), (7, 0)])
+def test_udiv(a, b):
+    builder = IrBuilder("dodiv", num_params=2)
+    x, y = builder.params
+    builder.ret(builder.udiv(x, y))
+    results, _ = run_everywhere(builder.build(), "dodiv", (a, b))
+    assert_agree(results)
+
+
+@pytest.mark.parametrize("a,b", [(100, 7), (-100 & 0xFFFFFFFF, 7),
+                                 (100, -7 & 0xFFFFFFFF),
+                                 (-100 & 0xFFFFFFFF, -7 & 0xFFFFFFFF), (3, 0)])
+def test_sdiv(a, b):
+    builder = IrBuilder("dosdiv", num_params=2)
+    x, y = builder.params
+    builder.ret(builder.sdiv(x, y))
+    results, _ = run_everywhere(builder.build(), "dosdiv", (a, b))
+    assert_agree(results)
+
+
+def test_divide_code_size_penalty():
+    """ARM/Thumb pay for the software-divide helper; Thumb-2 does not."""
+    b = IrBuilder("dodiv", num_params=2)
+    x, y = b.params
+    b.ret(b.udiv(x, y))
+    fn = b.build()
+    sizes = {isa: compile_program([fn], isa, base=FLASH_BASE).code_bytes
+             for isa in ALL_ISAS}
+    assert sizes[ISA_THUMB2] < sizes[ISA_THUMB]
+    assert sizes[ISA_THUMB2] < sizes[ISA_ARM]
+
+
+# ----------------------------------------------------------------------
+# bit manipulation (section 2.1)
+# ----------------------------------------------------------------------
+
+def test_bitfield_extract():
+    b = IrBuilder("bfx", num_params=1)
+    (x,) = b.params
+    r = b.add(b.ubfx(x, 4, 8), b.sbfx(x, 12, 5))
+    b.ret(r)
+    results, _ = run_everywhere(b.build(), "bfx", (0x0001F7A5,))
+    assert_agree(results)
+
+
+def test_bitfield_insert():
+    b = IrBuilder("bfins", num_params=2)
+    x, y = b.params
+    acc = b.mov(x)
+    b.bfi(acc, y, 8, 12)
+    b.ret(acc)
+    results, _ = run_everywhere(b.build(), "bfins", (0xFFFFFFFF, 0xABC))
+    assert_agree(results)
+
+
+def test_rbit():
+    b = IrBuilder("dorbit", num_params=1)
+    (x,) = b.params
+    b.ret(b.rbit(x))
+    results, _ = run_everywhere(b.build(), "dorbit", (0x0000F00F,))
+    assert results["ir"] == 0xF00F0000
+    assert_agree(results)
+
+
+@pytest.mark.parametrize("value", [0, 1, 0x80000000, 0x00010000, 0xFFFFFFFF])
+def test_clz(value):
+    b = IrBuilder("doclz", num_params=1)
+    (x,) = b.params
+    b.ret(b.clz(x))
+    results, _ = run_everywhere(b.build(), "doclz", (value,))
+    assert_agree(results)
+
+
+def test_bit_ops_cheaper_on_thumb2():
+    b = IrBuilder("bits", num_params=2)
+    x, y = b.params
+    acc = b.mov(x)
+    b.bfi(acc, y, 4, 8)
+    r = b.add(b.ubfx(acc, 16, 8), b.rbit(acc))
+    b.ret(r)
+    fn = b.build()
+    sizes = {isa: compile_program([fn], isa, base=FLASH_BASE).code_bytes
+             for isa in ALL_ISAS}
+    assert sizes[ISA_THUMB2] < sizes[ISA_THUMB]
+    assert sizes[ISA_THUMB2] < sizes[ISA_ARM]
+
+
+# ----------------------------------------------------------------------
+# control flow
+# ----------------------------------------------------------------------
+
+def test_loop_sum():
+    b = IrBuilder("sumn", num_params=1)
+    (n,) = b.params
+    total = b.const(0, "total")
+    i = b.const(0, "i")
+    b.label("loop")
+    b.assign(i, b.add(i, 1))
+    b.assign(total, b.add(total, i))
+    b.brcond("ne", i, n, "loop")
+    b.ret(total)
+    results, _ = run_everywhere(b.build(), "sumn", (100,))
+    assert results["ir"] == 5050
+    assert_agree(results)
+
+
+def test_nested_loops():
+    b = IrBuilder("nest", num_params=1)
+    (n,) = b.params
+    total = b.const(0)
+    i = b.const(0)
+    b.label("outer")
+    j = b.const(0)
+    b.label("inner")
+    b.assign(total, b.add(total, 1))
+    b.assign(j, b.add(j, 1))
+    b.brcond("lo", j, n, "inner")
+    b.assign(i, b.add(i, 1))
+    b.brcond("lo", i, n, "outer")
+    b.ret(total)
+    results, _ = run_everywhere(b.build(), "nest", (7,))
+    assert results["ir"] == 49
+    assert_agree(results)
+
+
+@pytest.mark.parametrize("cond,a,b_,expected", [
+    ("lt", 0xFFFFFFFE, 3, 1),   # -2 < 3 signed
+    ("lo", 0xFFFFFFFE, 3, 0),   # huge unsigned is not below 3
+    ("gt", 5, 5, 0),
+    ("ge", 5, 5, 1),
+    ("hi", 7, 3, 1),
+    ("ls", 3, 3, 1),
+])
+def test_condition_codes(cond, a, b_, expected):
+    b = IrBuilder("ccs", num_params=2)
+    x, y = b.params
+    b.ret(b.select(cond, x, y, 1, 0))
+    results, _ = run_everywhere(b.build(), "ccs", (a, b_))
+    assert results["ir"] == expected
+    assert_agree(results)
+
+
+def test_select_with_register_arms():
+    b = IrBuilder("selr", num_params=2)
+    x, y = b.params
+    b.ret(b.select("ge", x, y, x, y))  # max(x, y) signed
+    results, _ = run_everywhere(b.build(), "selr", (9, 200))
+    assert results["ir"] == 200
+    assert_agree(results)
+
+
+@pytest.mark.parametrize("index,expected", [(0, 100), (1, 200), (2, 300), (5, 999)])
+def test_switch_dispatch(index, expected):
+    b = IrBuilder("sw", num_params=1)
+    (x,) = b.params
+    b.switch(x, ["case0", "case1", "case2"])
+    b.br("default")
+    b.label("case0")
+    b.ret(b.const(100))
+    b.label("case1")
+    b.ret(b.const(200))
+    b.label("case2")
+    b.ret(b.const(300))
+    b.label("default")
+    b.ret(b.const(999))
+    results, _ = run_everywhere(b.build(), "sw", (index,))
+    assert results["ir"] == expected
+    assert_agree(results)
+
+
+# ----------------------------------------------------------------------
+# memory
+# ----------------------------------------------------------------------
+
+def test_load_store_roundtrip():
+    b = IrBuilder("memrw", num_params=1)
+    (base,) = b.params
+    value = b.const(0x55AA1234)
+    b.store(value, base, 0)
+    b.store(value, base, 64, size=2)
+    b.store(value, base, 100, size=1)
+    r = b.load(base, 0)
+    r = b.add(r, b.load(base, 64, size=2))
+    r = b.add(r, b.load(base, 100, size=1))
+    b.ret(r)
+    results, _ = run_everywhere(b.build(), "memrw", (SRAM_BASE + 0x400,))
+    assert_agree(results)
+
+
+def test_signed_loads():
+    data = (0x80).to_bytes(1, "little") + b"\x00" + (0x8000).to_bytes(2, "little")
+    b = IrBuilder("smem", num_params=1)
+    (base,) = b.params
+    r = b.add(b.load(base, 0, size=-1), b.load(base, 2, size=-2))
+    b.ret(r)
+    results, _ = run_everywhere(b.build(), "smem", (SRAM_BASE,), data=data)
+    assert_agree(results)
+
+
+def test_indexed_access():
+    data = b"".join(i.to_bytes(4, "little") for i in (10, 20, 30, 40))
+    b = IrBuilder("idx", num_params=2)
+    base, n = b.params
+    total = b.const(0)
+    i = b.const(0)
+    b.label("loop")
+    total_new = b.add(total, b.load_idx(base, i, shift=2))
+    b.assign(total, total_new)
+    b.assign(i, b.add(i, 1))
+    b.brcond("lo", i, n, "loop")
+    b.ret(total)
+    results, _ = run_everywhere(b.build(), "idx", (SRAM_BASE, 4), data=data)
+    assert results["ir"] == 100
+    assert_agree(results)
+
+
+def test_store_idx():
+    b = IrBuilder("stidx", num_params=1)
+    (base,) = b.params
+    i = b.const(0)
+    b.label("loop")
+    sq = b.mul(i, i)
+    b.store_idx(sq, base, i, shift=2)
+    b.assign(i, b.add(i, 1))
+    b.brcond("lo", i, 8, "loop")
+    b.ret(b.load(base, 28))  # 7*7
+    results, _ = run_everywhere(b.build(), "stidx", (SRAM_BASE,))
+    assert results["ir"] == 49
+    assert_agree(results)
+
+
+def test_big_offset_load():
+    data = bytes(0x300) + (777).to_bytes(4, "little")
+    b = IrBuilder("bigoff", num_params=1)
+    (base,) = b.params
+    b.ret(b.load(base, 0x300))
+    results, _ = run_everywhere(b.build(), "bigoff", (SRAM_BASE,), data=data)
+    assert results["ir"] == 777
+    assert_agree(results)
+
+
+# ----------------------------------------------------------------------
+# code density shape (Table 1's second half)
+# ----------------------------------------------------------------------
+
+def test_thumb_denser_than_arm():
+    b = IrBuilder("dense", num_params=2)
+    x, y = b.params
+    total = b.const(0)
+    i = b.const(0)
+    b.label("loop")
+    t = b.add(x, i)
+    t = b.eor(t, y)
+    b.assign(total, b.add(total, t))
+    b.assign(i, b.add(i, 1))
+    b.brcond("lo", i, 16, "loop")
+    b.ret(total)
+    fn = b.build()
+    sizes = {isa: compile_program([fn], isa, base=FLASH_BASE).code_bytes
+             for isa in ALL_ISAS}
+    assert sizes[ISA_THUMB] < sizes[ISA_ARM]
+    assert sizes[ISA_THUMB2] < sizes[ISA_ARM]
+
+
+def test_multiple_functions_one_program():
+    f1 = IrBuilder("callee_data", num_params=1)
+    (x,) = f1.params
+    f1.ret(f1.add(x, 1))
+    f2 = IrBuilder("other_fn", num_params=1)
+    (y,) = f2.params
+    f2.ret(f2.mul(y, 2))
+    program = compile_program([f1.build(), f2.build()], ISA_THUMB2, base=FLASH_BASE)
+    machine = build_cortexm3(program)
+    assert machine.call("callee_data", 5) == 6
+    machine2 = build_cortexm3(program)
+    assert machine2.call("other_fn", 5) == 10
+
+
+def test_allocation_error_on_pressure():
+    b = IrBuilder("pressure", num_params=2)
+    x, y = b.params
+    live = [b.add(x, y)]
+    for i in range(12):
+        live.append(b.add(live[-1], i + 1))
+    # keep everything live by summing at the end
+    total = b.const(0)
+    b.label("keep")
+    for v in live:
+        total = b.add(total, v)
+    b.brcond("eq", total, 0, "keep")  # loop keeps all values live
+    b.ret(total)
+    fn = b.build()
+    with pytest.raises(AllocationError):
+        compile_program([fn], ISA_THUMB, base=FLASH_BASE)

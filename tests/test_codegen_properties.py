@@ -1,0 +1,134 @@
+"""Property-based tests for the code generators and their helpers."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codegen import IrBuilder, IrInterpreter, IrMemory, compile_program
+from repro.core import FLASH_BASE, build_arm7, build_cortexm3
+from repro.isa import ISA_ARM, ISA_THUMB, ISA_THUMB2
+
+WORDS = st.integers(min_value=0, max_value=0xFFFFFFFF)
+
+
+def compile_and_run(fn, isa, args):
+    program = compile_program([fn], isa, base=FLASH_BASE)
+    machine = build_cortexm3(program) if isa == ISA_THUMB2 else build_arm7(program)
+    return machine.call(fn.name, *args, max_instructions=5_000_000)
+
+
+def divide_fn(signed: bool):
+    b = IrBuilder("divide", num_params=2)
+    x, y = b.params
+    b.ret(b.sdiv(x, y) if signed else b.udiv(x, y))
+    return b.build()
+
+
+@given(WORDS, WORDS)
+@settings(max_examples=60, deadline=None)
+def test_software_udiv_helpers_match_hardware(a, d):
+    """The ARM and Thumb software-divide helpers must agree with both the
+    Thumb-2 hardware divide and Python for arbitrary operands."""
+    expected = (a // d) & 0xFFFFFFFF if d else 0
+    fn = divide_fn(signed=False)
+    for isa in (ISA_ARM, ISA_THUMB, ISA_THUMB2):
+        assert compile_and_run(fn, isa, (a, d)) == expected, isa
+
+
+@given(WORDS, WORDS)
+@settings(max_examples=60, deadline=None)
+def test_software_sdiv_helpers_match_hardware(a, d):
+    def signed(v):
+        return v - (1 << 32) if v & 0x80000000 else v
+
+    if d == 0:
+        expected = 0
+    else:
+        sa, sd = signed(a), signed(d)
+        q = abs(sa) // abs(sd)
+        if (sa < 0) != (sd < 0):
+            q = -q
+        expected = q & 0xFFFFFFFF
+    fn = divide_fn(signed=True)
+    for isa in (ISA_ARM, ISA_THUMB, ISA_THUMB2):
+        assert compile_and_run(fn, isa, (a, d)) == expected, isa
+
+
+@given(WORDS)
+@settings(max_examples=40, deadline=None)
+def test_rbit_expansions_match_native(value):
+    """ARM/Thumb mask-sequence expansions vs Thumb-2's RBIT instruction."""
+    b = IrBuilder("dorbit", num_params=1)
+    (x,) = b.params
+    b.ret(b.rbit(x))
+    fn = b.build()
+    expected = int(f"{value:032b}"[::-1], 2)
+    for isa in (ISA_ARM, ISA_THUMB, ISA_THUMB2):
+        assert compile_and_run(fn, isa, (value,)) == expected, isa
+
+
+@given(WORDS)
+@settings(max_examples=40, deadline=None)
+def test_rev_expansion_matches_native(value):
+    b = IrBuilder("dorev", num_params=1)
+    (x,) = b.params
+    b.ret(b.rev(x))
+    fn = b.build()
+    expected = int.from_bytes(value.to_bytes(4, "little"), "big")
+    for isa in (ISA_ARM, ISA_THUMB, ISA_THUMB2):
+        assert compile_and_run(fn, isa, (value,)) == expected, isa
+
+
+@given(WORDS, st.integers(min_value=0, max_value=31), st.data())
+@settings(max_examples=60, deadline=None)
+def test_bitfield_expansions_match_native(value, lsb, data):
+    width = data.draw(st.integers(min_value=1, max_value=32 - lsb))
+    b = IrBuilder("dobfx", num_params=1)
+    (x,) = b.params
+    b.ret(b.ubfx(x, lsb, width))
+    fn = b.build()
+    expected = (value >> lsb) & ((1 << width) - 1)
+    for isa in (ISA_ARM, ISA_THUMB, ISA_THUMB2):
+        assert compile_and_run(fn, isa, (value,)) == expected, isa
+
+
+@given(WORDS)
+@settings(max_examples=100, deadline=None)
+def test_constant_materialization_exact(value):
+    """Every backend must be able to produce any 32-bit constant."""
+    b = IrBuilder("makeconst", num_params=0)
+    b.ret(b.const(value))
+    fn = b.build()
+    for isa in (ISA_ARM, ISA_THUMB, ISA_THUMB2):
+        assert compile_and_run(fn, isa, ()) == value, isa
+    # and under the literal-pool policy too
+    program = compile_program([fn], ISA_THUMB2, base=FLASH_BASE,
+                              const_policy="literal")
+    machine = build_cortexm3(program)
+    assert machine.call("makeconst") == value
+
+
+@given(st.lists(WORDS, min_size=1, max_size=12))
+@settings(max_examples=40, deadline=None)
+def test_interpreter_matches_machines_on_memory_sum(values):
+    b = IrBuilder("sumarr", num_params=2)
+    base, count = b.params
+    total = b.const(0)
+    i = b.const(0)
+    b.label("loop")
+    b.assign(total, b.add(total, b.load_idx(base, i, shift=2)))
+    b.assign(i, b.add(i, 1))
+    b.brcond("lo", i, count, "loop")
+    b.ret(total)
+    fn = b.build()
+
+    payload = b"".join(v.to_bytes(4, "little") for v in values)
+    interp = IrInterpreter(IrMemory(size=0x1000, base=0x2000_0000))
+    interp.memory.load_bytes(0x2000_0000, payload)
+    expected = interp.run(fn, 0x2000_0000, len(values))
+    assert expected == sum(values) & 0xFFFFFFFF
+
+    for isa in (ISA_ARM, ISA_THUMB, ISA_THUMB2):
+        program = compile_program([fn], isa, base=FLASH_BASE)
+        machine = build_cortexm3(program) if isa == ISA_THUMB2 else build_arm7(program)
+        machine.load_data(0x2000_0000, payload)
+        assert machine.call("sumarr", 0x2000_0000, len(values)) == expected, isa

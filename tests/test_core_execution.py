@@ -1,0 +1,263 @@
+"""End-to-end execution tests on the three core models."""
+
+import pytest
+
+from repro.core import (
+    FLASH_BASE,
+    SRAM_BASE,
+    ExecutionError,
+    build_arm7,
+    build_arm1156,
+    build_cortexm3,
+    build_machine,
+)
+from repro.isa import ISA_ARM, ISA_THUMB, ISA_THUMB2, assemble
+
+SUM_LOOP_THUMB = """
+; r0 = n  ->  r0 = sum(1..n)
+sum_to_n:
+    movs r1, #0
+    movs r2, #0
+loop:
+    adds r2, r2, #1
+    adds r1, r1, r2
+    cmp r2, r0
+    bne loop
+    movs r0, #0
+    adds r0, r0, r1
+    bx lr
+"""
+
+SUM_LOOP_ARM = """
+sum_to_n:
+    mov r1, #0
+    mov r2, #0
+loop:
+    add r2, r2, #1
+    add r1, r1, r2
+    cmp r2, r0
+    bne loop
+    mov r0, r1
+    bx lr
+"""
+
+
+def test_arm7_runs_thumb_program():
+    program = assemble(SUM_LOOP_THUMB, ISA_THUMB, base=FLASH_BASE)
+    machine = build_arm7(program)
+    assert machine.call("sum_to_n", 10) == 55
+    assert machine.cpu.cycles > 0
+    assert machine.cpu.instructions_executed == 2 + 4 * 10 + 3
+
+
+def test_arm7_runs_arm_program():
+    program = assemble(SUM_LOOP_ARM, ISA_ARM, base=FLASH_BASE)
+    machine = build_arm7(program)
+    assert machine.call("sum_to_n", 100) == 5050
+
+
+def test_cortexm3_runs_thumb2_program():
+    program = assemble(SUM_LOOP_THUMB, ISA_THUMB2, base=FLASH_BASE)
+    machine = build_cortexm3(program)
+    assert machine.call("sum_to_n", 10) == 55
+
+
+def test_arm1156_runs_thumb2_program():
+    program = assemble(SUM_LOOP_THUMB, ISA_THUMB2, base=FLASH_BASE)
+    machine = build_arm1156(program)
+    assert machine.call("sum_to_n", 10) == 55
+
+
+def test_cortexm3_rejects_non_thumb2():
+    program = assemble(SUM_LOOP_ARM, ISA_ARM, base=FLASH_BASE)
+    with pytest.raises(ValueError):
+        build_cortexm3(program)
+
+
+def test_build_machine_dispatch():
+    program = assemble(SUM_LOOP_THUMB, ISA_THUMB2, base=FLASH_BASE)
+    machine = build_machine("m3", program)
+    assert machine.cpu.name == "cortex-m3"
+    with pytest.raises(ValueError):
+        build_machine("z80", program)
+
+
+def test_m3_hardware_divide_executes():
+    program = assemble(
+        """
+        scale:
+            udiv r0, r0, r1
+            bx lr
+        """,
+        ISA_THUMB2, base=FLASH_BASE,
+    )
+    machine = build_cortexm3(program)
+    assert machine.call("scale", 1000, 8) == 125
+
+
+def test_m3_divide_cycles_depend_on_result_width():
+    source = """
+    scale:
+        udiv r0, r0, r1
+        bx lr
+    """
+    program = assemble(source, ISA_THUMB2, base=FLASH_BASE)
+    small = build_cortexm3(program)
+    small.call("scale", 10, 3)          # tiny quotient
+    large = build_cortexm3(program)
+    large.call("scale", 0xFFFFFFFF, 1)  # 32-bit quotient
+    assert large.cpu.cycles > small.cpu.cycles
+
+
+def test_memory_access_via_sram():
+    program = assemble(
+        """
+        store_load:
+            str r1, [r0]
+            ldr r2, [r0]
+            movs r0, #0
+            adds r0, r0, r2
+            bx lr
+        """,
+        ISA_THUMB2, base=FLASH_BASE,
+    )
+    machine = build_cortexm3(program)
+    assert machine.call("store_load", SRAM_BASE + 0x100, 0x1234) == 0x1234
+
+
+def test_literal_pool_load_reads_flash():
+    program = assemble(
+        """
+        get_const:
+            ldr r0, =0xCAFED00D
+            bx lr
+        """,
+        ISA_THUMB2, base=FLASH_BASE,
+    )
+    machine = build_cortexm3(program)
+    assert machine.call("get_const") == 0xCAFED00D
+
+
+def test_it_block_execution_on_m3():
+    program = assemble(
+        """
+        absdiff:               ; r0 = |r0 - r1|
+            subs r0, r0, r1
+            it mi
+            rsbmi r0, r0, #0
+            bx lr
+        """,
+        ISA_THUMB2, base=FLASH_BASE,
+    )
+    machine = build_cortexm3(program)
+    assert machine.call("absdiff", 10, 3) == 7
+    machine2 = build_cortexm3(program)
+    assert machine2.call("absdiff", 3, 10) == 7
+
+
+def test_ite_both_paths():
+    program = assemble(
+        """
+        pick_max:
+            cmp r0, r1
+            ite ge
+            movge r2, r0
+            movlt r2, r1
+            movs r0, #0
+            adds r0, r0, r2
+            bx lr
+        """,
+        ISA_THUMB2, base=FLASH_BASE,
+    )
+    assert build_cortexm3(program).call("pick_max", 9, 4) == 9
+    assert build_cortexm3(program).call("pick_max", 4, 9) == 9
+
+
+def test_tbb_switch_dispatch():
+    program = assemble(
+        """
+        dispatch:              ; r0 = case index -> r0 = 10*index+1
+            adr r1, table
+            tbb [r1, r0]
+            .align 4
+        table:
+            .byte 2
+            .byte 4
+            .byte 6
+            .byte 0
+        case0:
+            movs r0, #1
+            bx lr
+        case1:
+            movs r0, #11
+            bx lr
+        case2:
+            movs r0, #21
+            bx lr
+        """,
+        ISA_THUMB2, base=FLASH_BASE,
+    )
+    # TBB offsets are relative to PC (after tbb) in halfwords; the table
+    # entries above were computed for this layout: case_k at table+4+2*off.
+    machine = build_cortexm3(program)
+    result = machine.call("dispatch", 0)
+    assert result in (1, 11, 21)
+
+
+def test_runaway_program_guard():
+    program = assemble("spin:\n b spin", ISA_THUMB2, base=FLASH_BASE)
+    machine = build_cortexm3(program)
+    with pytest.raises(ExecutionError):
+        machine.cpu.call("spin", max_instructions=100)
+
+
+def test_bad_pc_raises():
+    program = assemble("nop\nbx lr", ISA_THUMB2, base=FLASH_BASE)
+    machine = build_cortexm3(program)
+    machine.cpu.regs.pc = FLASH_BASE + 0x1000
+    with pytest.raises(ExecutionError):
+        machine.cpu.step()
+
+
+def test_cpi_reported():
+    program = assemble(SUM_LOOP_THUMB, ISA_THUMB2, base=FLASH_BASE)
+    machine = build_cortexm3(program)
+    machine.call("sum_to_n", 50)
+    assert 1.0 <= machine.cpu.cpi() < 4.0
+
+
+def test_function_call_and_return():
+    program = assemble(
+        """
+        main:
+            push {lr}
+            movs r0, #5
+            bl double
+            bl double
+            pop {pc}
+        double:
+            adds r0, r0, r0
+            bx lr
+        """,
+        ISA_THUMB2, base=FLASH_BASE,
+    )
+    machine = build_cortexm3(program)
+    assert machine.call("main") == 20
+
+
+def test_slow_flash_costs_more_cycles():
+    program = assemble(SUM_LOOP_THUMB, ISA_THUMB2, base=FLASH_BASE)
+    fast = build_cortexm3(program, flash_access_cycles=0)
+    fast.call("sum_to_n", 20)
+    slow = build_cortexm3(program, flash_access_cycles=4, flash_prefetch=False)
+    slow.call("sum_to_n", 20)
+    assert slow.cpu.cycles > fast.cpu.cycles
+
+
+def test_thumb_and_arm_same_result_different_size():
+    thumb = assemble(SUM_LOOP_THUMB, ISA_THUMB, base=FLASH_BASE)
+    arm = assemble(SUM_LOOP_ARM, ISA_ARM, base=FLASH_BASE)
+    assert thumb.code_bytes < arm.code_bytes
+    m_thumb = build_arm7(thumb)
+    m_arm = build_arm7(arm)
+    assert m_thumb.call("sum_to_n", 30) == m_arm.call("sum_to_n", 30) == 465

@@ -1,0 +1,237 @@
+"""Additional core-model coverage: cycle models, controllers, edge cases."""
+
+import pytest
+
+from repro.core import (
+    FLASH_BASE,
+    SRAM_BASE,
+    DataAbort,
+    NvicController,
+    VicController,
+    build_arm7,
+    build_arm1156,
+    build_cortexm3,
+)
+from repro.isa import ISA_THUMB, ISA_THUMB2, assemble
+from repro.memory import armv6_mpu
+
+
+# ----------------------------------------------------------------------
+# cycle-model sanity: relative costs match the published ordering
+# ----------------------------------------------------------------------
+
+def cycles_for(source, isa, builder, entry="f", args=()):
+    program = assemble(source, isa, base=FLASH_BASE)
+    machine = builder(program)
+    machine.call(entry, *args)
+    return machine.cpu.cycles
+
+
+def test_arm7_load_costs_more_than_alu():
+    alu = cycles_for("f:\n adds r0, r0, #1\n bx lr", ISA_THUMB, build_arm7)
+    load = cycles_for("f:\n ldr r0, [r0]\n bx lr", ISA_THUMB, build_arm7,
+                      args=(SRAM_BASE,))
+    assert load > alu
+
+
+def test_m3_load_cheaper_than_arm7_load():
+    src = "f:\n ldr r0, [r0]\n ldr r0, [r0]\n bx lr"
+    # make the pointer chase terminate: memory is zero -> second load at 0
+    src = "f:\n ldr r1, [r0]\n ldr r2, [r0]\n movs r0, #0\n bx lr"
+    arm7 = cycles_for(src, ISA_THUMB, build_arm7, args=(SRAM_BASE,))
+    m3 = cycles_for(src, ISA_THUMB2, build_cortexm3, args=(SRAM_BASE,))
+    assert m3 < arm7
+
+
+def test_m3_multiply_single_cycle_vs_arm7():
+    src = "f:\n muls r0, r1\n muls r0, r1\n muls r0, r1\n bx lr"
+    arm7 = cycles_for(src, ISA_THUMB, build_arm7, args=(3, 5))
+    m3 = cycles_for(src, ISA_THUMB2, build_cortexm3, args=(3, 5))
+    assert m3 < arm7
+
+
+def test_taken_branch_costs_pipeline_refill():
+    taken = cycles_for("f:\n b t\n t:\n bx lr", ISA_THUMB2, build_cortexm3)
+    straight = cycles_for("f:\n nop\n bx lr", ISA_THUMB2, build_cortexm3)
+    assert taken > straight
+
+
+def test_ldm_scales_with_register_count():
+    two = cycles_for("f:\n ldm r0, {r1, r2}\n bx lr", ISA_THUMB2,
+                     build_cortexm3, args=(SRAM_BASE,))
+    six = cycles_for("f:\n ldm r0, {r1, r2, r3, r4, r5, r6}\n bx lr",
+                     ISA_THUMB2, build_cortexm3, args=(SRAM_BASE,))
+    assert six > two
+
+
+def test_arm1156_block_transfer_uses_64bit_path():
+    # 64-bit datapath: 8 registers move in ~4 beats, not 8
+    src = "f:\n ldm r0, {r1, r2, r3, r4, r5, r6, r7, r8}\n bx lr"
+    program = assemble(src, ISA_THUMB2, base=FLASH_BASE)
+    m1156 = build_arm1156(program, flash_access_cycles=0, sram_wait_states=0,
+                          caches_enabled=False)
+    m1156.call("f", SRAM_BASE)
+    program2 = assemble(src, ISA_THUMB2, base=FLASH_BASE)
+    m3 = build_cortexm3(program2)
+    m3.call("f", SRAM_BASE)
+    assert m1156.cpu.cycles < m3.cpu.cycles
+
+
+# ----------------------------------------------------------------------
+# controllers
+# ----------------------------------------------------------------------
+
+def test_vic_priority_ordering():
+    vic = VicController()
+    vic.raise_irq(1, handler=0x100, priority=5)
+    vic.raise_irq(2, handler=0x200, priority=1)  # more urgent
+    first = vic.pending_at(0, masked=False)
+    assert first.number == 2
+
+
+def test_vic_nmi_bypasses_mask():
+    vic = VicController()
+    vic.raise_irq(1, handler=0x100)
+    assert vic.pending_at(0, masked=True) is None
+    vic.raise_irq(2, handler=0x200, nmi=True)
+    assert vic.pending_at(0, masked=True).number == 2
+
+
+def test_vic_future_asserts_invisible():
+    vic = VicController()
+    vic.raise_irq(1, handler=0x100, at_cycle=500)
+    assert vic.pending_at(499, masked=False) is None
+    assert vic.pending_at(500, masked=False) is not None
+    assert vic.earliest_assert_in(0, 1000, masked=False) == 500
+    assert vic.earliest_assert_in(500, 1000, masked=False) is None
+
+
+def test_nvic_no_preemption_at_equal_priority():
+    nvic = NvicController()
+    first = nvic.raise_irq(1, handler=0x100, priority=3)
+    nvic.take(first)
+    nvic.raise_irq(2, handler=0x200, priority=3)
+    assert nvic.pending_at(0, masked=False) is None  # no equal-prio preempt
+    nvic.raise_irq(3, handler=0x300, priority=1)
+    assert nvic.pending_at(0, masked=False).number == 3
+
+
+def test_nvic_tail_chain_disabled():
+    nvic = NvicController(tail_chaining=False)
+    first = nvic.raise_irq(1, handler=0x100, priority=1)
+    nvic.take(first)
+    nvic.raise_irq(2, handler=0x200, priority=2)
+    assert nvic.complete(0, masked=False) is None
+    assert nvic.stats.tail_chained == 0
+
+
+def test_nvic_nesting_depth():
+    nvic = NvicController()
+    a = nvic.raise_irq(1, handler=0, priority=5)
+    nvic.take(a)
+    b = nvic.raise_irq(2, handler=0, priority=1)
+    nvic.take(b)
+    assert nvic.nesting_depth == 2
+
+
+# ----------------------------------------------------------------------
+# MPU integration with running code
+# ----------------------------------------------------------------------
+
+def test_mpu_data_abort_on_stray_store():
+    source = """
+    f:
+        str r1, [r0]
+        movs r0, #0
+        bx lr
+    """
+    program = assemble(source, ISA_THUMB2, base=FLASH_BASE)
+    mpu = armv6_mpu()
+    # allow only the stack region; everything else faults
+    mpu.configure(0, base=0x2001_0000, size=0x1_0000, perms="rw")
+    machine = build_cortexm3(program, mpu=mpu)
+    with pytest.raises(DataAbort):
+        machine.call("f", SRAM_BASE + 0x100, 42)  # outside the window
+    assert mpu.faults >= 1
+
+
+def test_mpu_allows_configured_window():
+    source = """
+    f:
+        str r1, [r0]
+        ldr r0, [r0]
+        bx lr
+    """
+    program = assemble(source, ISA_THUMB2, base=FLASH_BASE)
+    mpu = armv6_mpu()
+    mpu.configure(0, base=0x2000_0000, size=0x2_0000, perms="rw")
+    machine = build_cortexm3(program, mpu=mpu)
+    assert machine.call("f", SRAM_BASE + 0x100, 42) == 42
+
+
+# ----------------------------------------------------------------------
+# nested interrupts on the M3
+# ----------------------------------------------------------------------
+
+def test_m3_nested_interrupts_unwind_correctly():
+    source = """
+    main:
+        movs r0, #0
+    loop:
+        adds r0, r0, #1
+        cmp r0, #150
+        bne loop
+        bx lr
+    slow:
+        ldr r1, =0x20000200
+        movs r2, #0
+    spin:
+        adds r2, r2, #1
+        cmp r2, #40
+        bne spin
+        str r2, [r1]
+        bx lr
+    fast:
+        ldr r1, =0x20000204
+        movs r2, #1
+        str r2, [r1]
+        bx lr
+    """
+    program = assemble(source, ISA_THUMB2, base=FLASH_BASE)
+    machine = build_cortexm3(program)
+    machine.cpu.nvic.raise_irq(5, handler=program.symbols["slow"],
+                               at_cycle=30, priority=5)
+    machine.cpu.nvic.raise_irq(1, handler=program.symbols["fast"],
+                               at_cycle=60, priority=1)
+    assert machine.call("main") == 150
+    assert machine.bus.read_raw(0x2000_0200, 4) == 40
+    assert machine.bus.read_raw(0x2000_0204, 4) == 1
+    records = machine.cpu.nvic.stats.records
+    assert len(records) == 2
+    assert machine.cpu.nvic.nesting_depth == 0
+
+
+def test_interrupt_storm_all_serviced():
+    source = """
+    main:
+        movs r0, #0
+    loop:
+        adds r0, r0, #1
+        cmp r0, #250
+        bne loop
+        bx lr
+    handler:
+        ldr r1, =0x20000300
+        ldr r2, [r1]
+        adds r2, r2, #1
+        str r2, [r1]
+        bx lr
+    """
+    program = assemble(source, ISA_THUMB2, base=FLASH_BASE)
+    machine = build_cortexm3(program)
+    for k in range(8):
+        machine.cpu.nvic.raise_irq(k, handler=program.symbols["handler"],
+                                   at_cycle=20 + 10 * k, priority=8 - k)
+    assert machine.call("main") == 250
+    assert machine.bus.read_raw(0x2000_0300, 4) == 8
+    assert machine.cpu.nvic.stats.serviced == 8

@@ -1,0 +1,167 @@
+"""Tests for JTAG, SWD, and the flash patch unit."""
+
+import pytest
+
+from repro.core import FLASH_BASE, build_cortexm3
+from repro.debug import (
+    FlashPatchUnit,
+    FpbError,
+    JtagProbe,
+    JtagTap,
+    PatchedFlash,
+    SwdProbe,
+)
+from repro.isa import ISA_THUMB2, assemble
+from repro.memory import Flash, Sram, SystemBus
+
+
+# ----------------------------------------------------------------------
+# JTAG
+# ----------------------------------------------------------------------
+
+def test_tap_reset_from_any_state():
+    tap = JtagTap()
+    tap.state = "pause-dr"
+    tap.reset()
+    assert tap.state == "test-logic-reset"
+
+
+def test_jtag_register_write_read():
+    probe = JtagProbe()
+    probe.write_register(instruction=0xA, value=0xCAFEBABE)
+    value, _ = probe.read_register(instruction=0xA)
+    assert value == 0xCAFEBABE
+
+
+def test_jtag_distinct_registers():
+    probe = JtagProbe()
+    probe.write_register(0x1, 111)
+    probe.write_register(0x2, 222)
+    assert probe.read_register(0x1)[0] == 111
+    assert probe.read_register(0x2)[0] == 222
+
+
+def test_jtag_costs_many_clocks():
+    probe = JtagProbe()
+    clocks = probe.write_register(0x3, 0x12345678)
+    # IR scan + DR scan: state walking plus 4 + 32 shift clocks
+    assert clocks >= 45
+
+
+def test_jtag_pin_count():
+    assert JtagTap().pin_count == 5
+
+
+# ----------------------------------------------------------------------
+# SWD
+# ----------------------------------------------------------------------
+
+def test_swd_write_read_roundtrip():
+    probe = SwdProbe()
+    probe.write("ap", 0x4, 0xDEAD0001)
+    assert probe.read("ap", 0x4) == 0xDEAD0001
+
+
+def test_swd_ports_are_separate():
+    probe = SwdProbe()
+    probe.write("dp", 0x0, 1)
+    probe.write("ap", 0x0, 2)
+    assert probe.read("dp", 0x0) == 1
+    assert probe.read("ap", 0x0) == 2
+
+
+def test_swd_uses_one_data_wire():
+    probe = SwdProbe()
+    assert probe.pin_count == 2  # SWDIO + SWCLK
+
+
+def test_swd_bits_accounting():
+    probe = SwdProbe()
+    probe.write("ap", 0x0, 42)
+    probe.read("ap", 0x0)
+    assert probe.transactions == 2
+    assert 40 <= probe.bits_per_transaction() <= 50
+
+
+def test_swd_fewer_pins_than_jtag():
+    """The paper's section 3.2.2 claim, as numbers."""
+    assert SwdProbe().pin_count < JtagTap().pin_count
+
+
+# ----------------------------------------------------------------------
+# flash patch unit
+# ----------------------------------------------------------------------
+
+def test_fpb_eight_comparators_limit():
+    fpb = FlashPatchUnit()
+    for i in range(8):
+        fpb.patch(0x1000 + 4 * i, i)
+    with pytest.raises(FpbError):
+        fpb.patch(0x2000, 0)
+    fpb.clear(3)
+    fpb.patch(0x2000, 0)  # freed slot reusable
+    assert fpb.active_count() == 8
+
+
+def test_fpb_patch_word_granular():
+    fpb = FlashPatchUnit()
+    with pytest.raises(FpbError):
+        fpb.patch(0x1002, 0)
+
+
+def test_patched_flash_remaps_reads():
+    flash = Flash(base=0x0800_0000, size=0x1000)
+    flash.write_raw(0x0800_0100, (0x11111111).to_bytes(4, "little"))
+    patched = PatchedFlash(flash)
+    patched.fpb.patch(0x0800_0100, 0x22222222)
+    value, _ = patched.read(0x0800_0100, 4)
+    assert value == 0x22222222
+    # unpatched addresses pass through
+    value, _ = patched.read(0x0800_0104, 4)
+    assert value == flash.read(0x0800_0104, 4)[0]
+
+
+def test_patched_flash_subword_read():
+    flash = Flash(base=0, size=64)
+    patched = PatchedFlash(flash)
+    patched.fpb.patch(0x10, 0xAABBCCDD)
+    value, _ = patched.read(0x12, 1)
+    assert value == 0xBB
+
+
+def test_fpb_breakpoint_records_hits():
+    fpb = FlashPatchUnit()
+    fpb.set_breakpoint(0x1000)
+    assert fpb.intercept_read(0x1000, 4) is None
+    assert fpb.breakpoints_hit == [0x1000]
+
+
+def test_calibration_patch_changes_running_constant():
+    """End to end: patch a literal-pool constant in a running program -
+    the 'writing system and scaling parameters' use of section 3.2.2."""
+    program = assemble(
+        """
+        get_scale:
+            ldr r0, =1000
+            bx lr
+        """,
+        ISA_THUMB2, base=FLASH_BASE,
+    )
+    # build the machine by hand so the flash can be wrapped
+    bus = SystemBus()
+    flash = Flash(base=FLASH_BASE, size=0x10000, access_cycles=0)
+    patched = PatchedFlash(flash)
+    bus.attach(patched)
+    bus.attach(Sram(base=0x2000_0000, size=0x10000))
+    bus.load_image(program.base, program.image())
+    from repro.core import CortexM3Core
+    cpu = CortexM3Core(program, bus)
+    cpu.regs.sp = 0x2001_0000
+    assert cpu.call("get_scale") == 1000
+
+    # find the literal word and patch it to a new calibration value
+    literal_addr = next(d.address for d in program.data if d.value == 1000)
+    patched.fpb.patch(literal_addr, 1250)
+    cpu2 = CortexM3Core(program, bus)
+    cpu2.regs.sp = 0x2001_0000
+    assert cpu2.call("get_scale") == 1250

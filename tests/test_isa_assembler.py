@@ -1,0 +1,318 @@
+"""Tests for the text assembler, layout, labels, and literal pools."""
+
+import pytest
+
+from repro.isa import (
+    ISA_ARM,
+    ISA_THUMB,
+    ISA_THUMB2,
+    AssemblyError,
+    Condition,
+    assemble,
+    disassemble_image,
+)
+
+
+def test_simple_program_layout_thumb():
+    program = assemble(
+        """
+        movs r0, #1
+        adds r0, r0, #2
+        bx lr
+        """,
+        ISA_THUMB,
+    )
+    assert [i.mnemonic for i in program.instructions] == ["MOV", "ADD", "BX"]
+    assert [i.address for i in program.instructions] == [0, 2, 4]
+    assert program.code_bytes == 6
+
+
+def test_arm_instructions_are_4_bytes():
+    program = assemble("mov r0, #1\nadd r0, r0, #2\nbx lr", ISA_ARM)
+    assert [i.address for i in program.instructions] == [0, 4, 8]
+    assert all(i.size == 4 for i in program.instructions)
+
+
+def test_thumb2_mixes_widths():
+    program = assemble(
+        """
+        movs r0, #1        ; narrow
+        sdiv r1, r2, r3    ; wide only
+        adds r0, r0, #2    ; narrow
+        """,
+        ISA_THUMB2,
+    )
+    assert [i.size for i in program.instructions] == [2, 4, 2]
+    assert [i.address for i in program.instructions] == [0, 2, 6]
+
+
+def test_labels_and_branches():
+    program = assemble(
+        """
+        start:
+            movs r0, #0
+        loop:
+            adds r0, r0, #1
+            cmp r0, #10
+            bne loop
+            b start
+        """,
+        ISA_THUMB,
+    )
+    assert program.symbols["start"] == 0
+    assert program.symbols["loop"] == 2
+    branches = [i for i in program.instructions if i.mnemonic == "B"]
+    assert branches[0].cond == Condition.NE
+    assert branches[0].target == 2
+    assert branches[1].target == 0
+
+
+def test_backward_and_forward_branch_targets():
+    program = assemble(
+        """
+            b fwd
+        back:
+            nop
+        fwd:
+            b back
+        """,
+        ISA_THUMB2,
+    )
+    b_fwd, nop, b_back = program.instructions
+    assert b_fwd.target == program.symbols["fwd"]
+    assert b_back.target == program.symbols["back"]
+
+
+def test_literal_pool_placed_after_code():
+    program = assemble(
+        """
+        ldr r0, =0x12345678
+        bx lr
+        """,
+        ISA_THUMB,
+    )
+    ldr = program.instructions[0]
+    assert ldr.mem is not None
+    assert ldr.is_load_literal()
+    pool_words = [d for d in program.data if d.value == 0x12345678]
+    assert len(pool_words) == 1
+    # pool sits after the code, word-aligned
+    assert pool_words[0].address >= 4
+    assert pool_words[0].address % 4 == 0
+
+
+def test_duplicate_literals_share_pool_slot():
+    program = assemble(
+        """
+        ldr r0, =0xCAFEBABE
+        ldr r1, =0xCAFEBABE
+        bx lr
+        """,
+        ISA_THUMB2,
+    )
+    slots = [d for d in program.data if d.value == 0xCAFEBABE]
+    assert len(slots) == 1
+
+
+def test_ltorg_dumps_pool_early():
+    program = assemble(
+        """
+        ldr r0, =0xDEADBEEF
+        b after
+        .ltorg
+        after:
+        bx lr
+        """,
+        ISA_THUMB2,
+    )
+    slot = next(d for d in program.data if d.value == 0xDEADBEEF)
+    after = program.symbols["after"]
+    assert slot.address < after
+
+
+def test_word_directive_and_symbol_reference():
+    program = assemble(
+        """
+        entry:
+            nop
+        table:
+            .word 123
+            .word entry
+        """,
+        ISA_THUMB,
+    )
+    words = sorted(program.data, key=lambda d: d.address)
+    assert words[0].value == 123
+    assert words[1].value == program.symbols["entry"]
+
+
+def test_align_directive():
+    program = assemble(
+        """
+        nop
+        .align 8
+        target:
+        nop
+        """,
+        ISA_THUMB,
+    )
+    assert program.symbols["target"] == 8
+
+
+def test_space_directive():
+    program = assemble("nop\n.space 10\nend:\nnop", ISA_THUMB)
+    assert program.symbols["end"] == 12
+
+
+def test_image_roundtrips_through_disassembler():
+    source = """
+        movs r0, #5
+        movs r1, #3
+        adds r2, r0, r1
+        muls r2, r1
+        bx lr
+    """
+    program = assemble(source, ISA_THUMB)
+    image = program.image()
+    decoded = disassemble_image(image, ISA_THUMB)
+    assert [i.mnemonic for i in decoded] == ["MOV", "MOV", "ADD", "MUL", "BX"]
+
+
+def test_arm_image_roundtrips():
+    program = assemble("mov r0, #5\nadd r1, r0, r0\nbx lr", ISA_ARM)
+    decoded = disassemble_image(program.image(), ISA_ARM)
+    assert [i.mnemonic for i in decoded] == ["MOV", "ADD", "BX"]
+
+
+def test_conditional_suffix_parsing():
+    program = assemble("it eq\naddeq r0, r0, #1", ISA_THUMB2)
+    it, add = program.instructions
+    assert it.mnemonic == "IT" and it.cond == Condition.EQ
+    assert add.cond == Condition.EQ
+
+
+def test_ite_block():
+    program = assemble(
+        """
+        ite ge
+        movge r0, #1
+        movlt r0, #0
+        """,
+        ISA_THUMB2,
+    )
+    it = program.instructions[0]
+    assert it.it_mask == "TE"
+
+
+def test_reglist_ranges():
+    program = assemble("push {r0-r3, lr}\npop {r0-r3, pc}", ISA_THUMB)
+    push, pop = program.instructions
+    assert push.reglist == (0, 1, 2, 3, 14)
+    assert pop.reglist == (0, 1, 2, 3, 15)
+
+
+def test_memory_operand_forms():
+    program = assemble(
+        """
+        ldr r0, [r1, #4]
+        ldr r0, [r1, r2]
+        str r0, [r1]
+        """,
+        ISA_THUMB,
+    )
+    imm, reg, plain = program.instructions
+    assert imm.mem.offset == 4
+    assert reg.mem.rm == 2
+    assert plain.mem.offset == 0
+
+
+def test_thumb2_writeback_and_postindex_forms():
+    program = assemble(
+        """
+        ldr r0, [r1, #4]!
+        ldr r0, [r1], #4
+        """,
+        ISA_THUMB2,
+    )
+    pre, post = program.instructions
+    assert pre.mem.writeback and not pre.mem.postindex
+    assert post.mem.postindex
+
+
+def test_undefined_label_raises():
+    with pytest.raises(AssemblyError):
+        assemble("b nowhere", ISA_THUMB)
+
+
+def test_unknown_mnemonic_raises():
+    with pytest.raises(AssemblyError):
+        assemble("frobnicate r0", ISA_THUMB)
+
+
+def test_thumb_rejects_out_of_range_conditional_branch():
+    lines = ["cmp r0, #0", "beq far"] + ["nop"] * 200 + ["far:", "nop"]
+    with pytest.raises(AssemblyError):
+        assemble("\n".join(lines), ISA_THUMB)
+
+
+def test_thumb2_widens_out_of_range_conditional_branch():
+    lines = ["cmp r0, #0", "beq far"] + ["nop"] * 200 + ["far:", "nop"]
+    program = assemble("\n".join(lines), ISA_THUMB2)
+    beq = program.instructions[1]
+    assert beq.size == 4
+    assert beq.target == program.symbols["far"]
+
+
+def test_comments_are_ignored():
+    program = assemble(
+        """
+        ; full-line comment
+        nop          ; trailing
+        nop          @ gas style
+        nop          // c style
+        """,
+        ISA_THUMB,
+    )
+    assert len(program.instructions) == 3
+
+
+def test_movw_movt_parsing():
+    program = assemble("movw r0, #0xBEEF\nmovt r0, #0xDEAD", ISA_THUMB2)
+    movw, movt = program.instructions
+    assert movw.imm == 0xBEEF
+    assert movt.imm == 0xDEAD
+
+
+def test_bitfield_parsing():
+    program = assemble(
+        """
+        bfi r0, r1, #4, #8
+        bfc r0, #0, #4
+        ubfx r2, r3, #8, #16
+        """,
+        ISA_THUMB2,
+    )
+    bfi, bfc, ubfx = program.instructions
+    assert (bfi.bf_lsb, bfi.bf_width) == (4, 8)
+    assert (bfc.bf_lsb, bfc.bf_width) == (0, 4)
+    assert (ubfx.bf_lsb, ubfx.bf_width) == (8, 16)
+
+
+def test_code_bytes_excludes_pool():
+    program = assemble("ldr r0, =0x11223344\nbx lr", ISA_THUMB)
+    assert program.code_bytes == 4      # 2 instructions x 2 bytes
+    assert program.literal_bytes == 4   # one pool word
+    assert program.total_bytes >= 8
+
+
+def test_instruction_at_lookup():
+    program = assemble("nop\nnop\nbx lr", ISA_THUMB, base=0x8000)
+    assert program.instruction_at(0x8000).mnemonic == "NOP"
+    assert program.instruction_at(0x8004).mnemonic == "BX"
+    assert program.instruction_at(0x9000) is None
+
+
+def test_base_address_applies():
+    program = assemble("start:\nnop", ISA_THUMB, base=0x08000000)
+    assert program.symbols["start"] == 0x08000000
+    assert program.instructions[0].address == 0x08000000

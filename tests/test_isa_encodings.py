@@ -1,0 +1,569 @@
+"""Encoder/decoder round-trip tests for all three instruction sets."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import (
+    Condition,
+    EncodingError,
+    Instruction,
+    Mem,
+    Shift,
+    decode_arm,
+    decode_thumb,
+    encode_arm,
+    encode_arm_immediate,
+    encode_thumb,
+    encode_thumb2,
+    encode_thumb2_imm,
+    instr,
+    thumb2_expand_imm,
+)
+from repro.isa.arm32 import arm_immediate_value
+from repro.isa.registers import LR, PC, SP
+
+
+def roundtrip_arm(ins, address=0x100):
+    ins.address = address
+    ins.size = 4
+    word = encode_arm(ins)
+    return decode_arm(word, address)
+
+
+def roundtrip_thumb(ins, address=0x100, thumb2=False):
+    ins.address = address
+    halfwords = encode_thumb2(ins) if thumb2 else encode_thumb(ins)
+    return decode_thumb(halfwords, address)
+
+
+def fields_match(a: Instruction, b: Instruction, fields):
+    for field in fields:
+        assert getattr(a, field) == getattr(b, field), (
+            f"{field}: {getattr(a, field)!r} != {getattr(b, field)!r}\n{a.render()}\n{b.render()}")
+
+
+# ----------------------------------------------------------------------
+# ARM immediates
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("value", [0, 1, 0xFF, 0x100, 0xFF0, 0xFF000000,
+                                   0x3FC, 0xC000003F, 0xF000000F])
+def test_arm_immediate_encodable(value):
+    encoded = encode_arm_immediate(value)
+    assert encoded is not None
+    imm8, rot = encoded
+    assert arm_immediate_value(imm8, rot) == value
+
+
+@pytest.mark.parametrize("value", [0x101, 0x102030, 0xFFFFFFFF - 2, 0x12345678])
+def test_arm_immediate_not_encodable(value):
+    assert encode_arm_immediate(value) is None
+
+
+@given(st.integers(min_value=0, max_value=0xFF), st.integers(min_value=0, max_value=15))
+def test_arm_immediate_roundtrip_property(imm8, rot):
+    value = arm_immediate_value(imm8, rot)
+    encoded = encode_arm_immediate(value)
+    assert encoded is not None
+    assert arm_immediate_value(*encoded) == value
+
+
+# ----------------------------------------------------------------------
+# Thumb-2 modified immediates
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("value", [0, 0xAB, 0x00AB00AB, 0xAB00AB00, 0xABABABAB,
+                                   0xFF000000, 0x00000180, 0x7F800000])
+def test_thumb2_imm_encodable(value):
+    imm12 = encode_thumb2_imm(value)
+    assert imm12 is not None
+    assert thumb2_expand_imm(imm12) == value
+
+
+@pytest.mark.parametrize("value", [0x101, 0x12345678, 0xFFFFFFFE])
+def test_thumb2_imm_not_encodable(value):
+    assert encode_thumb2_imm(value) is None
+
+
+@given(st.integers(min_value=0, max_value=0xFFF))
+def test_thumb2_expand_then_encode_property(imm12):
+    value = thumb2_expand_imm(imm12)
+    back = encode_thumb2_imm(value)
+    assert back is not None
+    assert thumb2_expand_imm(back) == value
+
+
+# ----------------------------------------------------------------------
+# ARM round trips
+# ----------------------------------------------------------------------
+
+DP_FIELDS = ("mnemonic", "setflags", "rd", "rn", "rm", "imm", "cond")
+
+
+def test_arm_dp_register():
+    ins = instr("ADD", rd=0, rn=1, rm=2)
+    fields_match(ins, roundtrip_arm(ins), DP_FIELDS)
+
+
+def test_arm_dp_immediate():
+    ins = instr("SUB", rd=3, rn=4, imm=0xFF, setflags=True)
+    fields_match(ins, roundtrip_arm(ins), DP_FIELDS)
+
+
+def test_arm_dp_shifted_register():
+    ins = instr("ORR", rd=0, rn=1, rm=2, shift=Shift("LSR", 5))
+    back = roundtrip_arm(ins)
+    fields_match(ins, back, DP_FIELDS + ("shift",))
+
+
+def test_arm_conditional():
+    ins = instr("MOV", rd=0, imm=1, cond=Condition.NE)
+    fields_match(ins, roundtrip_arm(ins), DP_FIELDS)
+
+
+def test_arm_compare():
+    ins = instr("CMP", rn=5, imm=10)
+    fields_match(ins, roundtrip_arm(ins), ("mnemonic", "rn", "imm"))
+
+
+def test_arm_standalone_shift():
+    ins = instr("LSR", rd=1, rn=2, imm=7, setflags=True)
+    fields_match(ins, roundtrip_arm(ins), ("mnemonic", "rd", "rn", "imm", "setflags"))
+
+
+def test_arm_register_controlled_shift():
+    ins = instr("ASR", rd=1, rn=2, rm=3)
+    fields_match(ins, roundtrip_arm(ins), ("mnemonic", "rd", "rn", "rm"))
+
+
+def test_arm_multiplies():
+    for ins in (instr("MUL", rd=0, rn=1, rm=2),
+                instr("MLA", rd=0, rn=1, rm=2, ra=3),
+                instr("UMULL", rd=0, ra=1, rn=2, rm=3),
+                instr("SMULL", rd=0, ra=1, rn=2, rm=3)):
+        fields_match(ins, roundtrip_arm(ins), ("mnemonic", "rd", "rn", "rm", "ra"))
+
+
+def test_arm_clz():
+    ins = instr("CLZ", rd=4, rm=5)
+    fields_match(ins, roundtrip_arm(ins), ("mnemonic", "rd", "rm"))
+
+
+def test_arm_ldr_str_imm():
+    for mnemonic in ("LDR", "STR", "LDRB", "STRB"):
+        ins = instr(mnemonic, rd=0, mem=Mem(rn=1, offset=0x40))
+        fields_match(ins, roundtrip_arm(ins), ("mnemonic", "rd", "mem"))
+
+
+def test_arm_ldr_negative_offset():
+    ins = instr("LDR", rd=0, mem=Mem(rn=1, offset=-8))
+    fields_match(ins, roundtrip_arm(ins), ("mnemonic", "rd", "mem"))
+
+
+def test_arm_ldr_register_offset():
+    ins = instr("LDR", rd=0, mem=Mem(rn=1, rm=2, shift=2))
+    fields_match(ins, roundtrip_arm(ins), ("mnemonic", "rd", "mem"))
+
+
+def test_arm_halfword_forms():
+    for mnemonic in ("LDRH", "STRH", "LDRSB", "LDRSH"):
+        ins = instr(mnemonic, rd=0, mem=Mem(rn=1, offset=0x10))
+        fields_match(ins, roundtrip_arm(ins), ("mnemonic", "rd", "mem"))
+
+
+def test_arm_writeback_and_postindex():
+    pre = instr("LDR", rd=0, mem=Mem(rn=1, offset=4, writeback=True))
+    fields_match(pre, roundtrip_arm(pre), ("mnemonic", "rd", "mem"))
+    post = instr("LDR", rd=0, mem=Mem(rn=1, offset=4, postindex=True))
+    fields_match(post, roundtrip_arm(post), ("mnemonic", "rd", "mem"))
+
+
+def test_arm_block_transfers():
+    ldm = instr("LDM", rn=2, reglist=(0, 1, 3), writeback=True)
+    fields_match(ldm, roundtrip_arm(ldm), ("mnemonic", "rn", "reglist", "writeback"))
+    push = instr("PUSH", reglist=(4, 5, LR))
+    fields_match(push, roundtrip_arm(push), ("mnemonic", "reglist"))
+    pop = instr("POP", reglist=(4, 5, PC))
+    fields_match(pop, roundtrip_arm(pop), ("mnemonic", "reglist"))
+
+
+def test_arm_branches():
+    b = instr("B", target=0x200)
+    fields_match(b, roundtrip_arm(b, address=0x100), ("mnemonic", "target"))
+    bl = instr("BL", target=0x80, cond=Condition.EQ)
+    fields_match(bl, roundtrip_arm(bl, address=0x100), ("mnemonic", "target", "cond"))
+    bx = instr("BX", rm=LR)
+    fields_match(bx, roundtrip_arm(bx), ("mnemonic", "rm"))
+
+
+def test_arm_branch_out_of_range():
+    ins = instr("B", target=0x4000000)
+    ins.address = 0
+    ins.size = 4
+    with pytest.raises(EncodingError):
+        encode_arm(ins)
+
+
+def test_arm_unencodable_immediate_rejected():
+    ins = instr("ADD", rd=0, rn=1, imm=0x12345)
+    with pytest.raises(EncodingError):
+        encode_arm(ins)
+
+
+def test_arm_thumb2_only_ops_rejected():
+    for ins in (instr("SDIV", rd=0, rn=1, rm=2),
+                instr("MOVW", rd=0, imm=0x1234),
+                instr("BFI", rd=0, rn=1, bf_lsb=0, bf_width=4)):
+        with pytest.raises(EncodingError):
+            encode_arm(ins)
+
+
+# ----------------------------------------------------------------------
+# Thumb 16-bit round trips
+# ----------------------------------------------------------------------
+
+def test_thumb_mov_imm():
+    ins = instr("MOV", rd=3, imm=99, setflags=True)
+    back = roundtrip_thumb(ins)
+    fields_match(ins, back, ("mnemonic", "rd", "imm", "setflags"))
+    assert back.size == 2
+
+
+def test_thumb_add_reg_and_imm3():
+    reg = instr("ADD", rd=0, rn=1, rm=2, setflags=True)
+    fields_match(reg, roundtrip_thumb(reg), ("mnemonic", "rd", "rn", "rm"))
+    imm = instr("SUB", rd=0, rn=1, imm=5, setflags=True)
+    fields_match(imm, roundtrip_thumb(imm), ("mnemonic", "rd", "rn", "imm"))
+
+
+def test_thumb_add_imm8_same_register():
+    ins = instr("ADD", rd=2, rn=2, imm=200, setflags=True)
+    fields_match(ins, roundtrip_thumb(ins), ("mnemonic", "rd", "rn", "imm"))
+
+
+def test_thumb_alu_register_ops():
+    for mnemonic in ("AND", "EOR", "ORR", "BIC", "ADC", "SBC"):
+        ins = instr(mnemonic, rd=1, rn=1, rm=2, setflags=True)
+        fields_match(ins, roundtrip_thumb(ins), ("mnemonic", "rd", "rn", "rm"))
+
+
+def test_thumb_mul_commutative_encoding():
+    ins = instr("MUL", rd=1, rn=2, rm=1, setflags=True)
+    back = roundtrip_thumb(ins)
+    assert back.mnemonic == "MUL"
+    assert {back.rn, back.rm} == {1, 2}
+
+
+def test_thumb_shifts_immediate():
+    for mnemonic in ("LSL", "LSR", "ASR"):
+        ins = instr(mnemonic, rd=0, rn=1, imm=4, setflags=True)
+        fields_match(ins, roundtrip_thumb(ins), ("mnemonic", "rd", "rn", "imm"))
+
+
+def test_thumb_shift_by_32():
+    ins = instr("LSR", rd=0, rn=1, imm=32, setflags=True)
+    fields_match(ins, roundtrip_thumb(ins), ("mnemonic", "rd", "rn", "imm"))
+
+
+def test_thumb_hi_register_mov_add():
+    mov = instr("MOV", rd=8, rm=1)
+    fields_match(mov, roundtrip_thumb(mov), ("mnemonic", "rd", "rm"))
+    add = instr("ADD", rd=SP, rn=SP, rm=0)
+    back = roundtrip_thumb(add)
+    assert back.mnemonic == "ADD" and back.rd == SP
+
+
+def test_thumb_cmp_forms():
+    imm = instr("CMP", rn=3, imm=7)
+    fields_match(imm, roundtrip_thumb(imm), ("mnemonic", "rn", "imm"))
+    low = instr("CMP", rn=3, rm=4)
+    fields_match(low, roundtrip_thumb(low), ("mnemonic", "rn", "rm"))
+    hi = instr("CMP", rn=8, rm=9)
+    fields_match(hi, roundtrip_thumb(hi), ("mnemonic", "rn", "rm"))
+
+
+def test_thumb_loads_stores():
+    word = instr("LDR", rd=0, mem=Mem(rn=1, offset=0x14))
+    fields_match(word, roundtrip_thumb(word), ("mnemonic", "rd", "mem"))
+    byte = instr("STRB", rd=0, mem=Mem(rn=1, offset=3))
+    fields_match(byte, roundtrip_thumb(byte), ("mnemonic", "rd", "mem"))
+    half = instr("LDRH", rd=0, mem=Mem(rn=1, offset=6))
+    fields_match(half, roundtrip_thumb(half), ("mnemonic", "rd", "mem"))
+    reg = instr("LDRSH", rd=0, mem=Mem(rn=1, rm=2))
+    fields_match(reg, roundtrip_thumb(reg), ("mnemonic", "rd", "mem"))
+
+
+def test_thumb_sp_relative():
+    ldr = instr("LDR", rd=3, mem=Mem(rn=SP, offset=16))
+    fields_match(ldr, roundtrip_thumb(ldr), ("mnemonic", "rd", "mem"))
+
+
+def test_thumb_literal_load():
+    ins = instr("LDR", rd=0, mem=Mem(rn=PC, offset=0x20))
+    fields_match(ins, roundtrip_thumb(ins), ("mnemonic", "rd", "mem"))
+
+
+def test_thumb_push_pop():
+    push = instr("PUSH", reglist=(0, 1, 2, LR))
+    fields_match(push, roundtrip_thumb(push), ("mnemonic", "reglist"))
+    pop = instr("POP", reglist=(0, 1, 2, PC))
+    fields_match(pop, roundtrip_thumb(pop), ("mnemonic", "reglist"))
+
+
+def test_thumb_ldm_stm():
+    stm = instr("STM", rn=0, reglist=(1, 2), writeback=True)
+    fields_match(stm, roundtrip_thumb(stm), ("mnemonic", "rn", "reglist", "writeback"))
+    ldm = instr("LDM", rn=0, reglist=(1, 2), writeback=True)
+    fields_match(ldm, roundtrip_thumb(ldm), ("mnemonic", "rn", "reglist", "writeback"))
+
+
+def test_thumb_extends_and_rev():
+    for mnemonic in ("SXTB", "SXTH", "UXTB", "UXTH", "REV", "REV16"):
+        ins = instr(mnemonic, rd=0, rm=1)
+        fields_match(ins, roundtrip_thumb(ins), ("mnemonic", "rd", "rm"))
+
+
+def test_thumb_branches():
+    cond = instr("B", cond=Condition.NE, target=0x40)
+    fields_match(cond, roundtrip_thumb(cond, address=0x100), ("mnemonic", "cond", "target"))
+    uncond = instr("B", target=0x500)
+    fields_match(uncond, roundtrip_thumb(uncond, address=0x100), ("mnemonic", "target"))
+    bl = instr("BL", target=0x2000)
+    bl.size = 4
+    fields_match(bl, roundtrip_thumb(bl, address=0x100), ("mnemonic", "target"))
+    bx = instr("BX", rm=LR)
+    fields_match(bx, roundtrip_thumb(bx), ("mnemonic", "rm"))
+
+
+def test_thumb_rejects_wide_only_ops():
+    for ins in (instr("SDIV", rd=0, rn=1, rm=2),
+                instr("MOVW", rd=0, imm=0x1234),
+                instr("IT", cond=Condition.EQ, it_mask="T"),
+                instr("CLZ", rd=0, rm=1),
+                instr("MOV", rd=0, imm=300, setflags=True)):
+        with pytest.raises(EncodingError):
+            encode_thumb(ins)
+
+
+def test_thumb_rejects_out_of_range_offset():
+    ins = instr("LDR", rd=0, mem=Mem(rn=1, offset=0x1000))
+    with pytest.raises(EncodingError):
+        encode_thumb(ins)
+
+
+# ----------------------------------------------------------------------
+# Thumb-2 round trips (wide)
+# ----------------------------------------------------------------------
+
+def test_thumb2_picks_narrow_when_possible():
+    ins = instr("ADD", rd=0, rn=1, rm=2, setflags=True)
+    assert len(encode_thumb2(ins)) == 1
+    wide = instr("ADD", rd=9, rn=10, rm=11)
+    assert len(encode_thumb2(wide)) == 2
+
+
+def test_thumb2_movw_movt():
+    for mnemonic in ("MOVW", "MOVT"):
+        ins = instr(mnemonic, rd=5, imm=0xABCD)
+        fields_match(ins, roundtrip_thumb(ins, thumb2=True), ("mnemonic", "rd", "imm"))
+
+
+def test_thumb2_dp_modified_immediate():
+    ins = instr("ADD", rd=0, rn=1, imm=0x00FF00FF)
+    fields_match(ins, roundtrip_thumb(ins, thumb2=True), ("mnemonic", "rd", "rn", "imm"))
+
+
+def test_thumb2_mov_wide_immediate():
+    ins = instr("MOV", rd=10, imm=0xAB00AB00)
+    fields_match(ins, roundtrip_thumb(ins, thumb2=True), ("mnemonic", "rd", "imm"))
+
+
+def test_thumb2_dp_shifted_register():
+    ins = instr("EOR", rd=0, rn=1, rm=2, shift=Shift("LSL", 12))
+    fields_match(ins, roundtrip_thumb(ins, thumb2=True), ("mnemonic", "rd", "rn", "rm", "shift"))
+
+
+def test_thumb2_compare_wide():
+    ins = instr("TEQ", rn=1, rm=2)
+    fields_match(ins, roundtrip_thumb(ins, thumb2=True), ("mnemonic", "rn", "rm"))
+    imm = instr("CMP", rn=9, imm=0xFF00)
+    fields_match(imm, roundtrip_thumb(imm, thumb2=True), ("mnemonic", "rn", "imm"))
+
+
+def test_thumb2_bitfield_ops():
+    bfi = instr("BFI", rd=0, rn=1, bf_lsb=4, bf_width=8)
+    fields_match(bfi, roundtrip_thumb(bfi, thumb2=True),
+                 ("mnemonic", "rd", "rn", "bf_lsb", "bf_width"))
+    bfc = instr("BFC", rd=0, bf_lsb=12, bf_width=5)
+    fields_match(bfc, roundtrip_thumb(bfc, thumb2=True), ("mnemonic", "rd", "bf_lsb", "bf_width"))
+    ubfx = instr("UBFX", rd=0, rn=1, bf_lsb=7, bf_width=9)
+    fields_match(ubfx, roundtrip_thumb(ubfx, thumb2=True),
+                 ("mnemonic", "rd", "rn", "bf_lsb", "bf_width"))
+    sbfx = instr("SBFX", rd=0, rn=1, bf_lsb=0, bf_width=32)
+    fields_match(sbfx, roundtrip_thumb(sbfx, thumb2=True),
+                 ("mnemonic", "rd", "rn", "bf_lsb", "bf_width"))
+
+
+def test_thumb2_divide_and_multiplies():
+    for ins in (instr("SDIV", rd=0, rn=1, rm=2),
+                instr("UDIV", rd=3, rn=4, rm=5),
+                instr("MLA", rd=0, rn=1, rm=2, ra=3),
+                instr("MLS", rd=0, rn=1, rm=2, ra=3),
+                instr("UMULL", rd=0, ra=1, rn=2, rm=3),
+                instr("SMULL", rd=0, ra=1, rn=2, rm=3)):
+        fields_match(ins, roundtrip_thumb(ins, thumb2=True),
+                     ("mnemonic", "rd", "rn", "rm", "ra"))
+
+
+def test_thumb2_mul_high_registers():
+    ins = instr("MUL", rd=8, rn=9, rm=10)
+    fields_match(ins, roundtrip_thumb(ins, thumb2=True), ("mnemonic", "rd", "rn", "rm"))
+
+
+def test_thumb2_unary_wide():
+    for mnemonic in ("CLZ", "RBIT"):
+        ins = instr(mnemonic, rd=0, rm=1)
+        fields_match(ins, roundtrip_thumb(ins, thumb2=True), ("mnemonic", "rd", "rm"))
+
+
+def test_thumb2_it_instruction():
+    ins = instr("IT", cond=Condition.EQ, it_mask="TE")
+    back = roundtrip_thumb(ins, thumb2=True)
+    assert back.mnemonic == "IT"
+    assert back.cond == Condition.EQ
+    assert back.it_mask == "TE"
+
+
+def test_thumb2_it_patterns():
+    for pattern in ("T", "TT", "TE", "TTT", "TET", "TTE", "TEE", "TTTT", "TEEE"):
+        ins = instr("IT", cond=Condition.GT, it_mask=pattern)
+        back = roundtrip_thumb(ins, thumb2=True)
+        assert back.it_mask == pattern, pattern
+
+
+def test_thumb2_table_branch():
+    tbb = instr("TBB", rn=0, rm=1)
+    fields_match(tbb, roundtrip_thumb(tbb, thumb2=True), ("mnemonic", "rn", "rm"))
+    tbh = instr("TBH", rn=2, rm=3)
+    fields_match(tbh, roundtrip_thumb(tbh, thumb2=True), ("mnemonic", "rn", "rm"))
+
+
+def test_thumb2_wide_memory_forms():
+    big = instr("LDR", rd=0, mem=Mem(rn=1, offset=0x800))
+    fields_match(big, roundtrip_thumb(big, thumb2=True), ("mnemonic", "rd", "mem"))
+    neg = instr("LDR", rd=0, mem=Mem(rn=1, offset=-16))
+    fields_match(neg, roundtrip_thumb(neg, thumb2=True), ("mnemonic", "rd", "mem"))
+    wb = instr("STR", rd=0, mem=Mem(rn=1, offset=8, writeback=True))
+    fields_match(wb, roundtrip_thumb(wb, thumb2=True), ("mnemonic", "rd", "mem"))
+    post = instr("LDR", rd=0, mem=Mem(rn=1, offset=4, postindex=True))
+    fields_match(post, roundtrip_thumb(post, thumb2=True), ("mnemonic", "rd", "mem"))
+    signed = instr("LDRSH", rd=0, mem=Mem(rn=1, offset=0x200))
+    fields_match(signed, roundtrip_thumb(signed, thumb2=True), ("mnemonic", "rd", "mem"))
+
+
+def test_thumb2_wide_branches():
+    far = instr("B", target=0x10000)
+    far.wide = True
+    fields_match(far, roundtrip_thumb(far, thumb2=True, address=0x100), ("mnemonic", "target"))
+    cond_far = instr("B", cond=Condition.GE, target=0x8000)
+    cond_far.wide = True
+    fields_match(cond_far, roundtrip_thumb(cond_far, thumb2=True, address=0x100),
+                 ("mnemonic", "cond", "target"))
+    back = instr("B", target=0x10)
+    back.wide = True
+    fields_match(back, roundtrip_thumb(back, thumb2=True, address=0x8000), ("mnemonic", "target"))
+
+
+def test_thumb2_wide_block_transfers():
+    push = instr("PUSH", reglist=(4, 5, 8, 9, LR))
+    fields_match(push, roundtrip_thumb(push, thumb2=True), ("mnemonic", "reglist"))
+    ldm = instr("LDM", rn=8, reglist=(0, 1, 2), writeback=True)
+    fields_match(ldm, roundtrip_thumb(ldm, thumb2=True), ("mnemonic", "rn", "reglist", "writeback"))
+
+
+# ----------------------------------------------------------------------
+# property-based round trips
+# ----------------------------------------------------------------------
+
+LOW_REG = st.integers(min_value=0, max_value=7)
+ANY_REG = st.integers(min_value=0, max_value=12)
+
+
+@given(rd=ANY_REG, rn=ANY_REG, rm=ANY_REG,
+       mnemonic=st.sampled_from(["ADD", "SUB", "AND", "ORR", "EOR", "BIC", "ADC", "SBC"]),
+       setflags=st.booleans())
+@settings(max_examples=200)
+def test_arm_dp_register_roundtrip_property(rd, rn, rm, mnemonic, setflags):
+    ins = instr(mnemonic, rd=rd, rn=rn, rm=rm, setflags=setflags)
+    fields_match(ins, roundtrip_arm(ins), DP_FIELDS)
+
+
+@given(rd=ANY_REG, rn=ANY_REG, imm8=st.integers(min_value=0, max_value=0xFF),
+       rot=st.integers(min_value=0, max_value=15),
+       mnemonic=st.sampled_from(["ADD", "SUB", "AND", "ORR"]))
+@settings(max_examples=200)
+def test_arm_dp_immediate_roundtrip_property(rd, rn, imm8, rot, mnemonic):
+    value = arm_immediate_value(imm8, rot)
+    ins = instr(mnemonic, rd=rd, rn=rn, imm=value)
+    back = roundtrip_arm(ins)
+    assert back.mnemonic == mnemonic
+    assert back.imm == value
+
+
+@given(rd=LOW_REG, rn=LOW_REG, rm=LOW_REG,
+       mnemonic=st.sampled_from(["AND", "EOR", "ORR", "BIC", "ADC", "SBC"]))
+@settings(max_examples=100)
+def test_thumb_alu_roundtrip_property(rd, rn, rm, mnemonic):
+    ins = instr(mnemonic, rd=rd, rn=rd, rm=rm, setflags=True)
+    fields_match(ins, roundtrip_thumb(ins), ("mnemonic", "rd", "rn", "rm"))
+
+
+@given(rd=st.integers(min_value=0, max_value=12),
+       imm=st.integers(min_value=0, max_value=0xFFFF),
+       mnemonic=st.sampled_from(["MOVW", "MOVT"]))
+@settings(max_examples=200)
+def test_thumb2_mov16_roundtrip_property(rd, imm, mnemonic):
+    ins = instr(mnemonic, rd=rd, imm=imm)
+    fields_match(ins, roundtrip_thumb(ins, thumb2=True), ("mnemonic", "rd", "imm"))
+
+
+@given(rd=ANY_REG, rn=ANY_REG,
+       lsb=st.integers(min_value=0, max_value=31),
+       data=st.data())
+@settings(max_examples=200)
+def test_thumb2_bitfield_roundtrip_property(rd, rn, lsb, data):
+    width = data.draw(st.integers(min_value=1, max_value=32 - lsb))
+    ins = instr("UBFX", rd=rd, rn=rn, bf_lsb=lsb, bf_width=width)
+    fields_match(ins, roundtrip_thumb(ins, thumb2=True),
+                 ("mnemonic", "rd", "rn", "bf_lsb", "bf_width"))
+
+
+@given(rt=LOW_REG, rn=LOW_REG, offset=st.integers(min_value=0, max_value=31))
+@settings(max_examples=100)
+def test_thumb_word_load_roundtrip_property(rt, rn, offset):
+    ins = instr("LDR", rd=rt, mem=Mem(rn=rn, offset=offset * 4))
+    fields_match(ins, roundtrip_thumb(ins), ("mnemonic", "rd", "mem"))
+
+
+@given(target_words=st.integers(min_value=-(1 << 22), max_value=(1 << 22) - 1))
+@settings(max_examples=200)
+def test_thumb2_bl_offset_roundtrip_property(target_words):
+    address = 0x800000
+    target = address + 4 + target_words * 2
+    ins = instr("BL", target=target)
+    ins.size = 4
+    back = roundtrip_thumb(ins, address=address, thumb2=True)
+    assert back.target == target
+
+
+@given(target_words=st.integers(min_value=-(1 << 22), max_value=(1 << 22) - 1))
+@settings(max_examples=200)
+def test_arm_branch_offset_roundtrip_property(target_words):
+    address = 0x800000
+    target = address + 8 + target_words * 4
+    ins = instr("B", target=target)
+    ins.address = address
+    ins.size = 4
+    back = decode_arm(encode_arm(ins), address)
+    assert back.target == target % (1 << 32)

@@ -1,0 +1,268 @@
+"""Additional ISA coverage: registers, disassembler, IT blocks, helpers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import (
+    ISA_ARM,
+    ISA_THUMB,
+    ISA_THUMB2,
+    Apsr,
+    Condition,
+    RegisterFile,
+    add_with_carry,
+    assemble,
+    condition_passed,
+    disassemble_image,
+    format_listing,
+    parse_register,
+    register_name,
+    shift_c,
+    to_signed,
+)
+from repro.core import FLASH_BASE, build_cortexm3
+
+WORDS = st.integers(min_value=0, max_value=0xFFFFFFFF)
+
+
+# ----------------------------------------------------------------------
+# register file and PSR
+# ----------------------------------------------------------------------
+
+def test_register_names_roundtrip():
+    for num in range(16):
+        assert parse_register(register_name(num)) == num
+    assert parse_register("SP") == 13
+    assert parse_register("r13") == 13
+    with pytest.raises(ValueError):
+        parse_register("r16")
+
+
+def test_register_file_masks_to_32_bits():
+    regs = RegisterFile()
+    regs.write(0, 0x1_FFFF_FFFF)
+    assert regs.read(0) == 0xFFFFFFFF
+    with pytest.raises(ValueError):
+        regs.read(16)
+
+
+def test_apsr_pack_unpack():
+    apsr = Apsr(n=True, z=False, c=True, v=False)
+    word = apsr.to_word()
+    assert Apsr.from_word(word) == apsr
+    assert word == 0xA0000000
+
+
+@given(WORDS)
+@settings(max_examples=100)
+def test_apsr_set_nz_property(value):
+    apsr = Apsr()
+    apsr.set_nz(value)
+    assert apsr.n == bool(value & 0x80000000)
+    assert apsr.z == (value & 0xFFFFFFFF == 0)
+
+
+# ----------------------------------------------------------------------
+# arithmetic helper properties
+# ----------------------------------------------------------------------
+
+@given(WORDS, WORDS, st.integers(min_value=0, max_value=1))
+@settings(max_examples=300)
+def test_add_with_carry_matches_python(x, y, carry):
+    result, c, v = add_with_carry(x, y, carry)
+    total = x + y + carry
+    assert result == total & 0xFFFFFFFF
+    assert c == (total > 0xFFFFFFFF)
+    signed_total = to_signed(x) + to_signed(y) + carry
+    assert v == (to_signed(result) != signed_total)
+
+
+@given(WORDS, st.sampled_from(["LSL", "LSR", "ASR", "ROR"]),
+       st.integers(min_value=0, max_value=64))
+@settings(max_examples=300)
+def test_shift_c_matches_python(value, kind, amount):
+    result, _carry = shift_c(value, kind, amount, carry_in=False)
+    if amount == 0:
+        assert result == value
+    elif kind == "LSL":
+        assert result == (value << amount) & 0xFFFFFFFF if amount <= 32 else result == 0
+    elif kind == "LSR":
+        assert result == (value >> amount if amount < 32 else 0)
+    elif kind == "ASR":
+        assert result == (to_signed(value) >> min(amount, 31)) & 0xFFFFFFFF
+    else:  # ROR
+        k = amount % 32
+        expected = ((value >> k) | (value << (32 - k))) & 0xFFFFFFFF if k else value
+        assert result == expected
+
+
+@given(WORDS)
+@settings(max_examples=200)
+def test_to_signed_involution(value):
+    signed = to_signed(value)
+    assert -(1 << 31) <= signed < (1 << 31)
+    assert signed & 0xFFFFFFFF == value
+
+
+# ----------------------------------------------------------------------
+# condition codes: exhaustive against a reference predicate
+# ----------------------------------------------------------------------
+
+def reference_condition(cond, n, z, c, v):
+    return {
+        Condition.EQ: z, Condition.NE: not z,
+        Condition.CS: c, Condition.CC: not c,
+        Condition.MI: n, Condition.PL: not n,
+        Condition.VS: v, Condition.VC: not v,
+        Condition.HI: c and not z, Condition.LS: not c or z,
+        Condition.GE: n == v, Condition.LT: n != v,
+        Condition.GT: not z and n == v, Condition.LE: z or n != v,
+        Condition.AL: True,
+    }[cond]
+
+
+def test_condition_codes_exhaustive():
+    for cond in Condition:
+        for flags in range(16):
+            apsr = Apsr(n=bool(flags & 8), z=bool(flags & 4),
+                        c=bool(flags & 2), v=bool(flags & 1))
+            assert condition_passed(cond, apsr) == reference_condition(
+                cond, apsr.n, apsr.z, apsr.c, apsr.v), (cond, flags)
+
+
+def test_condition_inverse_pairs():
+    for cond in Condition:
+        if cond is Condition.AL:
+            continue
+        for flags in range(16):
+            apsr = Apsr(n=bool(flags & 8), z=bool(flags & 4),
+                        c=bool(flags & 2), v=bool(flags & 1))
+            assert condition_passed(cond, apsr) != condition_passed(cond.inverse, apsr)
+
+
+def test_al_has_no_inverse():
+    with pytest.raises(ValueError):
+        Condition.AL.inverse
+
+
+def test_condition_parse_aliases():
+    assert Condition.parse("hs") == Condition.CS
+    assert Condition.parse("LO") == Condition.CC
+    assert Condition.parse("") == Condition.AL
+    with pytest.raises(ValueError):
+        Condition.parse("xx")
+
+
+# ----------------------------------------------------------------------
+# disassembler listing
+# ----------------------------------------------------------------------
+
+def test_format_listing_contains_addresses_and_mnemonics():
+    program = assemble("movs r0, #1\nadds r0, r0, #2\nbx lr",
+                       ISA_THUMB, base=0x8000)
+    text = format_listing(program.instructions)
+    assert "00008000" in text
+    assert "MOV" in text and "ADD" in text and "BX" in text
+
+
+def test_disassemble_image_all_isas():
+    for isa, source in ((ISA_ARM, "mov r0, #1\nbx lr"),
+                        (ISA_THUMB, "movs r0, #1\nbx lr"),
+                        (ISA_THUMB2, "movs r0, #1\nsdiv r1, r2, r3\nbx lr")):
+        program = assemble(source, isa, base=0)
+        decoded = disassemble_image(program.image(), isa)
+        assert [i.mnemonic for i in decoded][:2] == \
+            [program.instructions[0].mnemonic, program.instructions[1].mnemonic]
+
+
+# ----------------------------------------------------------------------
+# IT block end-to-end behaviour
+# ----------------------------------------------------------------------
+
+def run_m3(source, *args):
+    program = assemble(source, ISA_THUMB2, base=FLASH_BASE)
+    machine = build_cortexm3(program)
+    return machine.call("f", *args)
+
+
+def test_it_ttt_pattern():
+    source = """
+    f:
+        cmp r0, #0
+        ittt eq
+        moveq r1, #1
+        moveq r2, #2
+        moveq r3, #3
+        movs r0, #0
+        adds r0, r0, r1
+        adds r0, r0, r2
+        adds r0, r0, r3
+        bx lr
+    """
+    assert run_m3(source, 0) == 6
+
+
+def test_it_tee_pattern():
+    source = """
+    f:
+        movs r1, #0
+        movs r2, #0
+        movs r3, #0
+        cmp r0, #5
+        itee gt
+        movgt r1, #1
+        movle r2, #1
+        movle r3, #1
+        movs r0, #0
+        adds r0, r0, r1
+        lsls r2, r2, #1
+        adds r0, r0, r2
+        lsls r3, r3, #2
+        adds r0, r0, r3
+        bx lr
+    """
+    assert run_m3(source, 9) == 1       # only the T arm
+    assert run_m3(source, 3) == 2 + 4   # both E arms
+
+
+def test_skipped_instructions_cost_one_cycle():
+    source = """
+    f:
+        cmp r0, #1
+        itt eq
+        addeq r0, r0, #1
+        addeq r0, r0, #1
+        bx lr
+    """
+    program = assemble(source, ISA_THUMB2, base=FLASH_BASE)
+    taken = build_cortexm3(program)
+    taken.call("f", 1)
+    skipped = build_cortexm3(program)
+    skipped.call("f", 0)
+    assert skipped.cpu.instructions_skipped == 2
+    assert skipped.cpu.cycles <= taken.cpu.cycles
+
+
+# ----------------------------------------------------------------------
+# assembler corner cases
+# ----------------------------------------------------------------------
+
+def test_two_operand_alias_forms():
+    program = assemble("adds r0, r1\nmuls r2, r3", ISA_THUMB, base=0)
+    add, mul = program.instructions
+    assert (add.rd, add.rn, add.rm) == (0, 0, 1)
+    assert mul.rd == 2
+
+
+def test_hexadecimal_and_negative_immediates():
+    program = assemble("ldr r0, [r1, #-4]\nmovw r2, #0xBEEF", ISA_THUMB2, base=0)
+    ldr, movw = program.instructions
+    assert ldr.mem.offset == -4
+    assert movw.imm == 0xBEEF
+
+
+def test_labels_on_same_line_as_instruction():
+    program = assemble("start: movs r0, #1\n b start", ISA_THUMB, base=0)
+    assert program.symbols["start"] == 0
+    assert program.instructions[1].target == 0

@@ -1,0 +1,530 @@
+"""Unit tests for instruction execution semantics."""
+
+import pytest
+
+from repro.isa import Condition, Instruction, Mem, Shift, execute, instr
+from repro.isa.registers import LR, PC, SP
+
+
+def run(cpu, ins, at=0x1000, size=None):
+    ins.address = at
+    if size is not None:
+        ins.size = size
+    cpu.current_address = at
+    cpu.current_size = ins.size
+    return execute(cpu, ins)
+
+
+# ----------------------------------------------------------------------
+# moves and arithmetic
+# ----------------------------------------------------------------------
+
+def test_mov_immediate(cpu):
+    run(cpu, instr("MOV", rd=0, imm=42))
+    assert cpu.regs.read(0) == 42
+
+
+def test_mov_register_with_shift(cpu):
+    cpu.regs.write(1, 0b1010)
+    run(cpu, instr("MOV", rd=0, rm=1, shift=Shift("LSL", 4)))
+    assert cpu.regs.read(0) == 0b10100000
+
+
+def test_mvn(cpu):
+    cpu.regs.write(1, 0x0F0F0F0F)
+    run(cpu, instr("MVN", rd=0, rm=1))
+    assert cpu.regs.read(0) == 0xF0F0F0F0
+
+
+def test_movs_sets_nz(cpu):
+    run(cpu, instr("MOV", rd=0, imm=0, setflags=True))
+    assert cpu.apsr.z and not cpu.apsr.n
+    cpu.regs.write(1, 0x80000000)
+    run(cpu, instr("MOV", rd=0, rm=1, setflags=True))
+    assert cpu.apsr.n and not cpu.apsr.z
+
+
+def test_movw_movt_build_32bit_constant(cpu):
+    run(cpu, instr("MOVW", rd=3, imm=0xBEEF))
+    run(cpu, instr("MOVT", rd=3, imm=0xDEAD))
+    assert cpu.regs.read(3) == 0xDEADBEEF
+
+
+def test_movw_clears_top_half(cpu):
+    cpu.regs.write(3, 0xFFFFFFFF)
+    run(cpu, instr("MOVW", rd=3, imm=0x1234))
+    assert cpu.regs.read(3) == 0x1234
+
+
+def test_add_sets_carry_and_overflow(cpu):
+    cpu.regs.write(1, 0xFFFFFFFF)
+    run(cpu, instr("ADD", rd=0, rn=1, imm=1, setflags=True))
+    assert cpu.regs.read(0) == 0
+    assert cpu.apsr.c and cpu.apsr.z and not cpu.apsr.v
+    cpu.regs.write(1, 0x7FFFFFFF)
+    run(cpu, instr("ADD", rd=0, rn=1, imm=1, setflags=True))
+    assert cpu.regs.read(0) == 0x80000000
+    assert cpu.apsr.v and cpu.apsr.n and not cpu.apsr.c
+
+
+def test_adc_uses_carry(cpu):
+    cpu.apsr.c = True
+    cpu.regs.write(1, 5)
+    run(cpu, instr("ADC", rd=0, rn=1, imm=10))
+    assert cpu.regs.read(0) == 16
+
+
+def test_sub_borrow_semantics(cpu):
+    cpu.regs.write(1, 5)
+    run(cpu, instr("SUB", rd=0, rn=1, imm=3, setflags=True))
+    assert cpu.regs.read(0) == 2
+    assert cpu.apsr.c  # no borrow -> C set
+    run(cpu, instr("SUB", rd=0, rn=1, imm=7, setflags=True))
+    assert cpu.regs.read(0) == 0xFFFFFFFE
+    assert not cpu.apsr.c  # borrow -> C clear
+
+
+def test_sbc_with_borrow(cpu):
+    cpu.apsr.c = False  # borrow pending
+    cpu.regs.write(1, 10)
+    run(cpu, instr("SBC", rd=0, rn=1, imm=3))
+    assert cpu.regs.read(0) == 6
+
+
+def test_rsb_reverse_subtract(cpu):
+    cpu.regs.write(1, 3)
+    run(cpu, instr("RSB", rd=0, rn=1, imm=10))
+    assert cpu.regs.read(0) == 7
+
+
+def test_rsb_zero_negates(cpu):
+    cpu.regs.write(1, 5)
+    run(cpu, instr("RSB", rd=0, rn=1, imm=0))
+    assert cpu.regs.read(0) == 0xFFFFFFFB
+
+
+# ----------------------------------------------------------------------
+# logic and shifts
+# ----------------------------------------------------------------------
+
+def test_logic_ops(cpu):
+    cpu.regs.write(1, 0b1100)
+    cpu.regs.write(2, 0b1010)
+    for mnemonic, expected in (("AND", 0b1000), ("ORR", 0b1110),
+                               ("EOR", 0b0110), ("BIC", 0b0100)):
+        run(cpu, instr(mnemonic, rd=0, rn=1, rm=2))
+        assert cpu.regs.read(0) == expected, mnemonic
+
+
+def test_orn(cpu):
+    cpu.regs.write(1, 0)
+    cpu.regs.write(2, 0xFFFFFFF0)
+    run(cpu, instr("ORN", rd=0, rn=1, rm=2))
+    assert cpu.regs.read(0) == 0xF
+
+
+def test_logical_shift_carry_out(cpu):
+    cpu.regs.write(1, 0x80000000)
+    run(cpu, instr("MOV", rd=0, rm=1, shift=Shift("LSL", 1), setflags=True))
+    assert cpu.regs.read(0) == 0
+    assert cpu.apsr.c
+
+
+def test_standalone_shifts_immediate(cpu):
+    cpu.regs.write(1, 0x80000001)
+    run(cpu, instr("LSR", rd=0, rn=1, imm=1, setflags=True))
+    assert cpu.regs.read(0) == 0x40000000
+    assert cpu.apsr.c
+    run(cpu, instr("ASR", rd=0, rn=1, imm=1))
+    assert cpu.regs.read(0) == 0xC0000000
+    run(cpu, instr("ROR", rd=0, rn=1, imm=4))
+    assert cpu.regs.read(0) == 0x18000000
+
+
+def test_shift_by_register_amount(cpu):
+    cpu.regs.write(1, 1)
+    cpu.regs.write(2, 8)
+    run(cpu, instr("LSL", rd=0, rn=1, rm=2))
+    assert cpu.regs.read(0) == 0x100
+
+
+def test_shift_by_32_and_beyond(cpu):
+    cpu.regs.write(1, 0xFFFFFFFF)
+    cpu.regs.write(2, 32)
+    run(cpu, instr("LSR", rd=0, rn=1, rm=2, setflags=True))
+    assert cpu.regs.read(0) == 0
+    assert cpu.apsr.c  # bit 31 out
+    cpu.regs.write(2, 33)
+    run(cpu, instr("LSR", rd=0, rn=1, rm=2, setflags=True))
+    assert cpu.regs.read(0) == 0
+    assert not cpu.apsr.c
+
+
+def test_asr_sign_fill(cpu):
+    cpu.regs.write(1, 0x80000000)
+    cpu.regs.write(2, 40)
+    run(cpu, instr("ASR", rd=0, rn=1, rm=2))
+    assert cpu.regs.read(0) == 0xFFFFFFFF
+
+
+# ----------------------------------------------------------------------
+# compares
+# ----------------------------------------------------------------------
+
+def test_cmp_equal_sets_z(cpu):
+    cpu.regs.write(1, 7)
+    run(cpu, instr("CMP", rn=1, imm=7))
+    assert cpu.apsr.z and cpu.apsr.c
+
+
+def test_cmp_signed_less(cpu):
+    cpu.regs.write(1, 0xFFFFFFFE)  # -2
+    run(cpu, instr("CMP", rn=1, imm=3))
+    # -2 < 3 signed: N != V
+    assert cpu.apsr.n != cpu.apsr.v
+
+
+def test_cmn_tst_teq(cpu):
+    cpu.regs.write(1, 1)
+    cpu.regs.write(2, 0xFFFFFFFF)
+    run(cpu, instr("CMN", rn=1, rm=2))
+    assert cpu.apsr.z
+    cpu.regs.write(3, 0b1000)
+    run(cpu, instr("TST", rn=3, imm=0b0111))
+    assert cpu.apsr.z
+    run(cpu, instr("TEQ", rn=3, imm=0b1000))
+    assert cpu.apsr.z
+
+
+# ----------------------------------------------------------------------
+# multiply and divide
+# ----------------------------------------------------------------------
+
+def test_mul(cpu):
+    cpu.regs.write(1, 7)
+    cpu.regs.write(2, 6)
+    run(cpu, instr("MUL", rd=0, rn=1, rm=2))
+    assert cpu.regs.read(0) == 42
+
+
+def test_mla_mls(cpu):
+    cpu.regs.write(1, 3)
+    cpu.regs.write(2, 4)
+    cpu.regs.write(3, 100)
+    run(cpu, instr("MLA", rd=0, rn=1, rm=2, ra=3))
+    assert cpu.regs.read(0) == 112
+    run(cpu, instr("MLS", rd=0, rn=1, rm=2, ra=3))
+    assert cpu.regs.read(0) == 88
+
+
+def test_umull(cpu):
+    cpu.regs.write(1, 0xFFFFFFFF)
+    cpu.regs.write(2, 2)
+    run(cpu, instr("UMULL", rd=0, ra=3, rn=1, rm=2))
+    assert cpu.regs.read(0) == 0xFFFFFFFE  # lo
+    assert cpu.regs.read(3) == 1           # hi
+
+
+def test_smull(cpu):
+    cpu.regs.write(1, 0xFFFFFFFF)  # -1
+    cpu.regs.write(2, 5)
+    run(cpu, instr("SMULL", rd=0, ra=3, rn=1, rm=2))
+    assert cpu.regs.read(0) == 0xFFFFFFFB
+    assert cpu.regs.read(3) == 0xFFFFFFFF
+
+
+def test_udiv_sdiv(cpu):
+    cpu.regs.write(1, 100)
+    cpu.regs.write(2, 7)
+    run(cpu, instr("UDIV", rd=0, rn=1, rm=2))
+    assert cpu.regs.read(0) == 14
+    cpu.regs.write(1, 0xFFFFFF9C)  # -100
+    run(cpu, instr("SDIV", rd=0, rn=1, rm=2))
+    assert cpu.regs.read(0) == 0xFFFFFFF2  # -14 (truncated toward zero)
+
+
+def test_divide_by_zero_yields_zero(cpu):
+    cpu.regs.write(1, 99)
+    cpu.regs.write(2, 0)
+    run(cpu, instr("UDIV", rd=0, rn=1, rm=2))
+    assert cpu.regs.read(0) == 0
+    run(cpu, instr("SDIV", rd=0, rn=1, rm=2))
+    assert cpu.regs.read(0) == 0
+
+
+def test_sdiv_int_min_by_minus_one(cpu):
+    cpu.regs.write(1, 0x80000000)
+    cpu.regs.write(2, 0xFFFFFFFF)
+    run(cpu, instr("SDIV", rd=0, rn=1, rm=2))
+    assert cpu.regs.read(0) == 0x80000000  # wraps
+
+
+# ----------------------------------------------------------------------
+# bit manipulation (the paper's section 2.1 instructions)
+# ----------------------------------------------------------------------
+
+def test_clz(cpu):
+    cpu.regs.write(1, 0x00010000)
+    run(cpu, instr("CLZ", rd=0, rm=1))
+    assert cpu.regs.read(0) == 15
+    cpu.regs.write(1, 0)
+    run(cpu, instr("CLZ", rd=0, rm=1))
+    assert cpu.regs.read(0) == 32
+
+
+def test_rbit(cpu):
+    cpu.regs.write(1, 0x80000001)
+    run(cpu, instr("RBIT", rd=0, rm=1))
+    assert cpu.regs.read(0) == 0x80000001
+    cpu.regs.write(1, 0x00000001)
+    run(cpu, instr("RBIT", rd=0, rm=1))
+    assert cpu.regs.read(0) == 0x80000000
+
+
+def test_rev_rev16(cpu):
+    cpu.regs.write(1, 0x11223344)
+    run(cpu, instr("REV", rd=0, rm=1))
+    assert cpu.regs.read(0) == 0x44332211
+    run(cpu, instr("REV16", rd=0, rm=1))
+    assert cpu.regs.read(0) == 0x22114433
+
+
+def test_extends(cpu):
+    cpu.regs.write(1, 0x000000FF)
+    run(cpu, instr("SXTB", rd=0, rm=1))
+    assert cpu.regs.read(0) == 0xFFFFFFFF
+    run(cpu, instr("UXTB", rd=0, rm=1))
+    assert cpu.regs.read(0) == 0xFF
+    cpu.regs.write(1, 0x00008000)
+    run(cpu, instr("SXTH", rd=0, rm=1))
+    assert cpu.regs.read(0) == 0xFFFF8000
+    run(cpu, instr("UXTH", rd=0, rm=1))
+    assert cpu.regs.read(0) == 0x8000
+
+
+def test_bfi_inserts_field(cpu):
+    cpu.regs.write(0, 0xFFFFFFFF)
+    cpu.regs.write(1, 0b101)
+    run(cpu, instr("BFI", rd=0, rn=1, bf_lsb=4, bf_width=3))
+    assert cpu.regs.read(0) == 0xFFFFFFDF
+
+
+def test_bfc_clears_field(cpu):
+    cpu.regs.write(0, 0xFFFFFFFF)
+    run(cpu, instr("BFC", rd=0, bf_lsb=8, bf_width=8))
+    assert cpu.regs.read(0) == 0xFFFF00FF
+
+
+def test_ubfx_sbfx(cpu):
+    cpu.regs.write(1, 0x00000F80)
+    run(cpu, instr("UBFX", rd=0, rn=1, bf_lsb=7, bf_width=5))
+    assert cpu.regs.read(0) == 0x1F
+    run(cpu, instr("SBFX", rd=0, rn=1, bf_lsb=7, bf_width=5))
+    assert cpu.regs.read(0) == 0xFFFFFFFF
+
+
+# ----------------------------------------------------------------------
+# memory
+# ----------------------------------------------------------------------
+
+def test_ldr_str_roundtrip(cpu):
+    cpu.regs.write(1, 0x100)
+    cpu.regs.write(2, 0xCAFEBABE)
+    run(cpu, instr("STR", rd=2, mem=Mem(rn=1, offset=8)))
+    run(cpu, instr("LDR", rd=3, mem=Mem(rn=1, offset=8)))
+    assert cpu.regs.read(3) == 0xCAFEBABE
+
+
+def test_byte_and_half_access(cpu):
+    cpu.regs.write(1, 0x200)
+    cpu.regs.write(2, 0x1234ABCD)
+    run(cpu, instr("STRB", rd=2, mem=Mem(rn=1)))
+    assert cpu.read(0x200, 1) == 0xCD
+    run(cpu, instr("STRH", rd=2, mem=Mem(rn=1, offset=2)))
+    assert cpu.read(0x202, 2) == 0xABCD
+    run(cpu, instr("LDRB", rd=3, mem=Mem(rn=1)))
+    assert cpu.regs.read(3) == 0xCD
+
+
+def test_signed_loads(cpu):
+    cpu.write(0x300, 1, 0x80)
+    cpu.write(0x302, 2, 0x8000)
+    cpu.regs.write(1, 0x300)
+    run(cpu, instr("LDRSB", rd=0, mem=Mem(rn=1)))
+    assert cpu.regs.read(0) == 0xFFFFFF80
+    run(cpu, instr("LDRSH", rd=0, mem=Mem(rn=1, offset=2)))
+    assert cpu.regs.read(0) == 0xFFFF8000
+
+
+def test_register_offset_with_shift(cpu):
+    cpu.regs.write(1, 0x400)
+    cpu.regs.write(2, 3)
+    cpu.write(0x40C, 4, 77)
+    run(cpu, instr("LDR", rd=0, mem=Mem(rn=1, rm=2, shift=2)))
+    assert cpu.regs.read(0) == 77
+
+
+def test_preindex_writeback(cpu):
+    cpu.regs.write(1, 0x500)
+    cpu.write(0x504, 4, 99)
+    run(cpu, instr("LDR", rd=0, mem=Mem(rn=1, offset=4, writeback=True)))
+    assert cpu.regs.read(0) == 99
+    assert cpu.regs.read(1) == 0x504
+
+
+def test_postindex(cpu):
+    cpu.regs.write(1, 0x600)
+    cpu.write(0x600, 4, 55)
+    run(cpu, instr("LDR", rd=0, mem=Mem(rn=1, offset=4, postindex=True)))
+    assert cpu.regs.read(0) == 55
+    assert cpu.regs.read(1) == 0x604
+
+
+def test_ldr_literal_uses_aligned_pc(cpu):
+    cpu.write(0x1010, 4, 0x12345678)
+    ins = instr("LDR", rd=0, mem=Mem(rn=PC, offset=0xC))
+    run(cpu, ins, at=0x1000, size=4)
+    assert cpu.regs.read(0) == 0x12345678
+
+
+def test_push_pop_roundtrip(cpu):
+    cpu.regs.sp = 0x1000
+    cpu.regs.write(4, 44)
+    cpu.regs.write(5, 55)
+    run(cpu, instr("PUSH", reglist=(4, 5)))
+    assert cpu.regs.sp == 0xFF8
+    cpu.regs.write(4, 0)
+    cpu.regs.write(5, 0)
+    run(cpu, instr("POP", reglist=(4, 5)))
+    assert cpu.regs.read(4) == 44
+    assert cpu.regs.read(5) == 55
+    assert cpu.regs.sp == 0x1000
+
+
+def test_pop_pc_branches(cpu):
+    cpu.regs.sp = 0xFFC
+    cpu.write(0xFFC, 4, 0x2001)  # thumb bit set
+    outcome = run(cpu, instr("POP", reglist=(PC,)))
+    assert outcome.taken
+    assert cpu.branched_to == 0x2000
+
+
+def test_ldm_stm(cpu):
+    cpu.regs.write(0, 0x800)
+    for i, value in enumerate((1, 2, 3)):
+        cpu.regs.write(i + 1, value)
+    run(cpu, instr("STM", rn=0, reglist=(1, 2, 3), writeback=True))
+    assert cpu.regs.read(0) == 0x80C
+    cpu.regs.write(0, 0x800)
+    run(cpu, instr("LDM", rn=0, reglist=(4, 5, 6)))
+    assert cpu.regs.read_many((4, 5, 6)) == [1, 2, 3]
+    assert cpu.regs.read(0) == 0x800  # no writeback
+
+
+def test_ldm_writeback_skipped_when_base_in_list(cpu):
+    cpu.regs.write(0, 0x900)
+    cpu.write(0x900, 4, 111)
+    run(cpu, instr("LDM", rn=0, reglist=(0,), writeback=True))
+    assert cpu.regs.read(0) == 111
+
+
+# ----------------------------------------------------------------------
+# branches
+# ----------------------------------------------------------------------
+
+def test_unconditional_branch(cpu):
+    outcome = run(cpu, instr("B", target=0x2000))
+    assert outcome.taken and cpu.branched_to == 0x2000
+
+
+def test_conditional_branch_taken_and_skipped(cpu):
+    cpu.apsr.z = True
+    outcome = run(cpu, instr("B", cond=Condition.EQ, target=0x2000))
+    assert outcome.taken
+    cpu.branched_to = None
+    cpu.apsr.z = False
+    outcome = run(cpu, instr("B", cond=Condition.EQ, target=0x2000))
+    assert outcome.skipped and cpu.branched_to is None
+
+
+def test_bl_sets_lr(cpu):
+    ins = instr("BL", target=0x3000)
+    ins.size = 4
+    run(cpu, ins, at=0x1000)
+    assert cpu.regs.lr == 0x1004
+    assert cpu.branched_to == 0x3000
+
+
+def test_bx_register(cpu):
+    cpu.regs.write(3, 0x4001)
+    outcome = run(cpu, instr("BX", rm=3))
+    assert outcome.taken and cpu.branched_to == 0x4000
+
+
+def test_mov_pc_branches(cpu):
+    cpu.regs.write(1, 0x5000)
+    outcome = run(cpu, instr("MOV", rd=PC, rm=1))
+    assert outcome.taken and cpu.branched_to == 0x5000
+
+
+def test_tbb_dispatch(cpu):
+    # table at 0x2000 with byte offsets, index in r1
+    cpu.regs.write(0, 0x2000)
+    cpu.regs.write(1, 2)
+    cpu.write(0x2002, 1, 6)  # entry: branch to pc + 2*6
+    ins = instr("TBB", rn=0, rm=1)
+    ins.size = 4
+    outcome = run(cpu, ins, at=0x1000)
+    assert outcome.taken
+    assert cpu.branched_to == 0x1004 + 12
+
+
+def test_conditional_execution_skips_non_branch(cpu):
+    cpu.apsr.z = False
+    cpu.regs.write(0, 5)
+    outcome = run(cpu, instr("ADD", rd=0, rn=0, imm=1, cond=Condition.EQ))
+    assert outcome.skipped
+    assert cpu.regs.read(0) == 5
+
+
+def test_it_registers_block(cpu):
+    run(cpu, instr("IT", cond=Condition.EQ, it_mask="TE"))
+    assert cpu.it_blocks == [(Condition.EQ, "TE")]
+
+
+def test_adr(cpu):
+    ins = instr("ADR", rd=0, imm=16)
+    run(cpu, ins, at=0x1002, size=2)
+    assert cpu.regs.read(0) == ((0x1002 + 4) & ~3) + 16
+
+
+# ----------------------------------------------------------------------
+# system
+# ----------------------------------------------------------------------
+
+def test_cps_toggles_interrupts(cpu):
+    run(cpu, instr("CPSID"))
+    assert not cpu.interrupts_enabled
+    run(cpu, instr("CPSIE"))
+    assert cpu.interrupts_enabled
+
+
+def test_svc_and_wfi(cpu):
+    run(cpu, instr("SVC", imm=7))
+    assert cpu.svc_calls == [7]
+    run(cpu, instr("WFI"))
+    assert cpu.sleeping
+
+
+def test_outcome_counts_memory_ops(cpu):
+    cpu.regs.write(1, 0x100)
+    outcome = run(cpu, instr("LDM", rn=1, reglist=(2, 3, 4)))
+    assert outcome.reads == 3
+    assert outcome.regs_transferred == 3
+    outcome = run(cpu, instr("STR", rd=2, mem=Mem(rn=1)))
+    assert outcome.writes == 1
+
+
+def test_unknown_mnemonic_rejected():
+    with pytest.raises(ValueError):
+        Instruction("FROB")

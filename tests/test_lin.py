@@ -1,0 +1,120 @@
+"""Tests for the LIN sub-bus model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.lin import (
+    LinMaster,
+    ScheduleSlot,
+    check_protected_id,
+    classic_checksum,
+    enhanced_checksum,
+    frame_bits,
+    protected_id,
+)
+
+
+@given(st.integers(min_value=0, max_value=0x3F))
+@settings(max_examples=64)
+def test_protected_id_roundtrip(frame_id):
+    pid = protected_id(frame_id)
+    assert check_protected_id(pid) == frame_id
+
+
+@given(st.integers(min_value=0, max_value=0x3F),
+       st.integers(min_value=0, max_value=7))
+@settings(max_examples=100)
+def test_pid_parity_detects_single_bit_errors(frame_id, bit):
+    pid = protected_id(frame_id)
+    corrupted = pid ^ (1 << bit)
+    # a flipped bit either breaks parity or changes the id; both must be
+    # caught-or-visible (LIN's design goal for its 2 parity bits)
+    try:
+        decoded = check_protected_id(corrupted)
+        assert decoded != frame_id
+    except ValueError:
+        pass
+
+
+def test_known_pid_values():
+    # reference values from the LIN 2.1 specification examples
+    assert protected_id(0x00) == 0x80
+    assert protected_id(0x3C) == 0x3C  # diagnostic master request
+
+
+@given(st.binary(max_size=8))
+@settings(max_examples=100)
+def test_classic_checksum_range_and_sensitivity(data):
+    checksum = classic_checksum(data)
+    assert 0 <= checksum <= 0xFF
+    if data:
+        tweaked = bytes([data[0] ^ 0x01]) + data[1:]
+        assert classic_checksum(tweaked) != checksum
+
+
+@given(st.integers(min_value=0, max_value=0x3F), st.binary(max_size=8))
+@settings(max_examples=100)
+def test_enhanced_checksum_covers_pid(frame_id, data)  :
+    pid = protected_id(frame_id)
+    base = enhanced_checksum(pid, data)
+    other = protected_id((frame_id + 1) & 0x3F)
+    assert enhanced_checksum(other, data) != base or other == pid
+
+
+def test_frame_bits():
+    assert frame_bits(0) == 34 + 10
+    assert frame_bits(8) == 34 + 90
+    with pytest.raises(ValueError):
+        frame_bits(9)
+
+
+def make_master():
+    schedule = [
+        ScheduleSlot(frame_id=0x10, payload_bytes=2, slot_us=10_000),
+        ScheduleSlot(frame_id=0x11, payload_bytes=4, slot_us=10_000),
+        ScheduleSlot(frame_id=0x12, payload_bytes=8, slot_us=10_000),
+    ]
+    return LinMaster(schedule, baud=19_200)
+
+
+def test_schedule_round_robin_delivery():
+    master = make_master()
+    master.attach_slave(0x10, lambda: b"\x01\x02")
+    master.attach_slave(0x11, lambda: b"\x03\x04\x05\x06")
+    master.start()
+    master.scheduler.run(until=65_000)  # just over two 30 ms cycles
+    ids = [d.frame_id for d in master.deliveries]
+    assert ids[:4] == [0x10, 0x11, 0x10, 0x11]
+    assert master.no_response >= 2      # 0x12 has no slave
+    assert all(d.checksum_ok for d in master.deliveries)
+
+
+def test_slot_too_short_rejected():
+    with pytest.raises(ValueError):
+        LinMaster([ScheduleSlot(frame_id=1, payload_bytes=8, slot_us=1_000)],
+                  baud=9_600)
+
+
+def test_worst_case_latency_is_one_cycle_plus_frame():
+    master = make_master()
+    bound = master.worst_case_latency_us(0x11)
+    assert bound == master.cycle_us + ScheduleSlot(0x11, 4, 10_000).frame_time_us(19_200)
+    with pytest.raises(KeyError):
+        master.worst_case_latency_us(0x3F)
+
+
+def test_deterministic_timing_no_jitter():
+    """LIN's selling point: identical delivery times every cycle."""
+    master = make_master()
+    master.attach_slave(0x10, lambda: b"\xAA\xBB")
+    master.start()
+    master.scheduler.run(until=185_000)
+    times = [d.at_us for d in master.deliveries if d.frame_id == 0x10]
+    gaps = {b - a for a, b in zip(times, times[1:])}
+    assert gaps == {master.cycle_us}
+
+
+def test_utilisation():
+    master = make_master()
+    assert 0.1 < master.utilisation() < 0.5

@@ -1,0 +1,221 @@
+"""Tests for bit-band aliasing and the MPU models."""
+
+import pytest
+
+from repro.memory import (
+    BitBandAlias,
+    BusFault,
+    MpuFault,
+    Sram,
+    armv6_mpu,
+    classic_mpu,
+    plan_task_isolation,
+)
+
+SRAM_BASE = 0x2000_0000
+ALIAS_BASE = 0x2200_0000
+
+
+def make_bitband():
+    ram = Sram(base=SRAM_BASE, size=0x1000)
+    alias = BitBandAlias(base=ALIAS_BASE, target=ram,
+                         target_base=SRAM_BASE, target_bytes=0x1000)
+    return ram, alias
+
+
+def test_alias_address_mapping():
+    _, alias = make_bitband()
+    assert alias.alias_address(SRAM_BASE, 0) == ALIAS_BASE
+    assert alias.alias_address(SRAM_BASE, 3) == ALIAS_BASE + 12
+    assert alias.alias_address(SRAM_BASE + 1, 0) == ALIAS_BASE + 32
+
+
+def test_bit_set_through_alias():
+    ram, alias = make_bitband()
+    alias.write(alias.alias_address(SRAM_BASE, 5), 4, 1)
+    assert ram.read_raw(SRAM_BASE, 1) == b"\x20"
+
+
+def test_bit_clear_through_alias():
+    ram, alias = make_bitband()
+    ram.write_raw(SRAM_BASE, b"\xFF")
+    alias.write(alias.alias_address(SRAM_BASE, 0), 4, 0)
+    assert ram.read_raw(SRAM_BASE, 1) == b"\xFE"
+
+
+def test_bit_write_only_touches_one_bit():
+    ram, alias = make_bitband()
+    ram.write_raw(SRAM_BASE, b"\xA5")
+    alias.write(alias.alias_address(SRAM_BASE, 1), 4, 1)
+    assert ram.read_raw(SRAM_BASE, 1) == b"\xA7"
+
+
+def test_bit_read_through_alias():
+    ram, alias = make_bitband()
+    ram.write_raw(SRAM_BASE + 2, b"\x40")
+    value, _ = alias.read(alias.alias_address(SRAM_BASE + 2, 6), 4)
+    assert value == 1
+    value, _ = alias.read(alias.alias_address(SRAM_BASE + 2, 0), 4)
+    assert value == 0
+
+
+def test_only_lsb_of_written_word_matters():
+    ram, alias = make_bitband()
+    alias.write(alias.alias_address(SRAM_BASE, 4), 4, 0xFFFFFF01)
+    assert ram.read_raw(SRAM_BASE, 1) == b"\x10"
+
+
+def test_unaligned_alias_access_rejected():
+    _, alias = make_bitband()
+    with pytest.raises(BusFault):
+        alias.read(ALIAS_BASE + 2, 4)
+    with pytest.raises(BusFault):
+        alias.write(ALIAS_BASE, 2, 1)
+
+
+def test_alias_region_size():
+    _, alias = make_bitband()
+    assert alias.size == 0x1000 * 32
+
+
+def test_alias_address_out_of_range():
+    _, alias = make_bitband()
+    with pytest.raises(ValueError):
+        alias.alias_address(SRAM_BASE + 0x2000, 0)
+    with pytest.raises(ValueError):
+        alias.alias_address(SRAM_BASE, 8)
+
+
+# ----------------------------------------------------------------------
+# MPU
+# ----------------------------------------------------------------------
+
+def test_classic_mpu_rejects_small_regions():
+    mpu = classic_mpu()
+    with pytest.raises(ValueError):
+        mpu.configure(0, base=0, size=1024)
+
+
+def test_armv6_mpu_accepts_32_byte_regions():
+    mpu = armv6_mpu()
+    mpu.configure(0, base=0x100 * 32, size=32)
+    assert mpu.effective_granularity() == 32
+
+
+def test_mpu_region_alignment_enforced():
+    mpu = armv6_mpu()
+    with pytest.raises(ValueError):
+        mpu.configure(0, base=0x10, size=0x1000)  # base not size-aligned
+    with pytest.raises(ValueError):
+        mpu.configure(0, base=0, size=0x1800)     # not a power of two
+
+
+def test_mpu_allows_configured_access():
+    mpu = armv6_mpu()
+    mpu.configure(0, base=0x8000, size=0x1000, perms="rw")
+    mpu.check(0x8000, 4, is_write=True)
+    mpu.check(0x8FFC, 4, is_write=False)
+
+
+def test_mpu_faults_outside_regions():
+    mpu = armv6_mpu()
+    mpu.configure(0, base=0x8000, size=0x1000)
+    with pytest.raises(MpuFault):
+        mpu.check(0x7FFC, 4, is_write=False)
+    assert mpu.faults == 1
+
+
+def test_mpu_read_only_region():
+    mpu = armv6_mpu()
+    mpu.configure(0, base=0x8000, size=0x1000, perms="ro")
+    mpu.check(0x8000, 4, is_write=False)
+    with pytest.raises(MpuFault):
+        mpu.check(0x8000, 4, is_write=True)
+
+
+def test_mpu_straddling_access_checked_at_both_ends():
+    mpu = armv6_mpu()
+    mpu.configure(0, base=0x8000, size=0x1000)
+    with pytest.raises(MpuFault):
+        mpu.check(0x8FFE, 4, is_write=False)  # runs off the end
+
+
+def test_higher_region_wins():
+    mpu = armv6_mpu()
+    mpu.configure(0, base=0x8000, size=0x1000, perms="rw")
+    mpu.configure(1, base=0x8000, size=0x100, perms="ro")
+    with pytest.raises(MpuFault):
+        mpu.check(0x8010, 4, is_write=True)
+    mpu.check(0x8200, 4, is_write=True)  # outside the RO override
+
+
+def test_subregion_disable():
+    mpu = armv6_mpu()
+    # 4 KB region, disable the second eighth (0x200-0x3FF)
+    mpu.configure(0, base=0, size=0x1000, subregion_disable=0b0000_0010)
+    mpu.check(0x100, 4, is_write=False)
+    with pytest.raises(MpuFault):
+        mpu.check(0x200, 4, is_write=False)
+
+
+def test_classic_mpu_has_no_subregions():
+    mpu = classic_mpu()
+    with pytest.raises(ValueError):
+        mpu.configure(0, base=0, size=0x1000, subregion_disable=1)
+
+
+def test_disabled_mpu_allows_everything():
+    mpu = armv6_mpu()
+    mpu.enabled = False
+    mpu.check(0xDEAD0000, 4, is_write=True)
+
+
+# ----------------------------------------------------------------------
+# isolation planning (experiment E5's engine)
+# ----------------------------------------------------------------------
+
+OSEK_TASKS = {
+    "oil_pressure": 192,
+    "window_lift": 256,
+    "seat_memory": 384,
+    "wiper_ctrl": 160,
+    "mirror_fold": 96,
+    "lamp_check": 128,
+}
+
+
+def test_fine_mpu_isolates_all_small_tasks():
+    plan = plan_task_isolation(OSEK_TASKS, armv6_mpu())
+    assert plan.shared_tasks == 0
+    assert plan.isolated_tasks == len(OSEK_TASKS)
+
+
+def test_classic_mpu_wastes_ram():
+    coarse = plan_task_isolation(OSEK_TASKS, classic_mpu(num_regions=16))
+    fine = plan_task_isolation(OSEK_TASKS, armv6_mpu(num_regions=16))
+    assert coarse.allocated_bytes > fine.allocated_bytes
+    # 4 KB minimum: every 200-byte task burns a 4 KB region
+    assert coarse.waste_ratio > 0.9
+    assert fine.waste_ratio < 0.5
+
+
+def test_classic_mpu_shares_under_ram_budget():
+    """With a 16 KB SRAM, a 4 KB-granular MPU cannot isolate 6 tasks."""
+    coarse = plan_task_isolation(OSEK_TASKS, classic_mpu(), ram_budget=16 * 1024)
+    fine = plan_task_isolation(OSEK_TASKS, armv6_mpu(), ram_budget=16 * 1024)
+    assert coarse.shared_tasks > 0
+    assert fine.shared_tasks == 0
+
+
+def test_region_count_limits_isolation():
+    mpu = armv6_mpu(num_regions=4)  # 3 usable + shared pool
+    plan = plan_task_isolation(OSEK_TASKS, mpu)
+    assert plan.isolated_tasks == 3
+    assert plan.shared_tasks == 3
+    assert plan.regions_used <= 4
+
+
+def test_waste_accounting_consistent():
+    plan = plan_task_isolation(OSEK_TASKS, armv6_mpu())
+    assert plan.allocated_bytes == plan.requested_bytes + plan.waste_bytes
+    assert plan.waste_bytes >= 0

@@ -1,0 +1,133 @@
+"""Tests for the system bus, SRAM, and the streaming flash model."""
+
+import pytest
+
+from repro.memory import BusFault, Flash, Sram, SystemBus
+
+
+def make_bus():
+    bus = SystemBus(record=True)
+    bus.attach(Flash(base=0x0800_0000, size=0x1_0000, access_cycles=2, line_bytes=16))
+    bus.attach(Sram(base=0x2000_0000, size=0x8000))
+    return bus
+
+
+def test_bus_routes_by_address():
+    bus = make_bus()
+    bus.write(0x2000_0000, 4, 0xAABBCCDD)
+    value, _ = bus.read(0x2000_0000, 4)
+    assert value == 0xAABBCCDD
+
+
+def test_bus_fault_on_unmapped():
+    bus = make_bus()
+    with pytest.raises(BusFault):
+        bus.read(0x4000_0000, 4)
+    with pytest.raises(BusFault):
+        bus.write(0x4000_0000, 4, 0)
+
+
+def test_overlapping_devices_rejected():
+    bus = SystemBus()
+    bus.attach(Sram(base=0x1000, size=0x1000))
+    with pytest.raises(ValueError):
+        bus.attach(Sram(base=0x1800, size=0x1000))
+
+
+def test_load_image_and_raw_read():
+    bus = make_bus()
+    bus.load_image(0x0800_0000, b"\x01\x02\x03\x04")
+    assert bus.read_raw(0x0800_0000, 4) == 0x04030201
+
+
+def test_access_recording():
+    bus = make_bus()
+    bus.write(0x2000_0010, 4, 1)
+    bus.read(0x2000_0010, 4)
+    kinds = [(a.kind, a.addr) for a in bus.accesses]
+    assert kinds == [("W", 0x2000_0010), ("R", 0x2000_0010)]
+
+
+def test_sram_wait_states():
+    ram = Sram(base=0, size=64, wait_states=3)
+    _, stalls = ram.read(0, 4)
+    assert stalls == 3
+    assert ram.write(0, 4, 1) == 3
+
+
+# ----------------------------------------------------------------------
+# flash streaming behaviour (experiment E3's mechanism)
+# ----------------------------------------------------------------------
+
+def test_first_access_pays_array_latency():
+    flash = Flash(base=0, size=1024, access_cycles=2, line_bytes=16)
+    _, stalls = flash.read(0, 4, side="I")
+    assert stalls == 2
+
+
+def test_sequential_fetches_within_line_are_free():
+    flash = Flash(base=0, size=1024, access_cycles=2, line_bytes=16)
+    flash.read(0, 4, side="I")
+    for addr in (4, 8, 12):
+        _, stalls = flash.read(addr, 4, side="I")
+        assert stalls == 0, addr
+
+
+def test_streaming_across_lines_is_free_with_prefetch():
+    flash = Flash(base=0, size=1024, access_cycles=2, line_bytes=16, prefetch=True)
+    total = 0
+    for addr in range(0, 256, 4):
+        _, stalls = flash.read(addr, 4, side="I")
+        total += stalls
+    assert total == 2  # only the initial access
+
+
+def test_line_crossing_costs_without_prefetch():
+    flash = Flash(base=0, size=1024, access_cycles=2, line_bytes=16, prefetch=False)
+    total = 0
+    for addr in range(0, 64, 4):
+        _, stalls = flash.read(addr, 4, side="I")
+        total += stalls
+    # 4 lines -> 4 array accesses
+    assert total == 8
+
+
+def test_literal_fetch_breaks_the_stream():
+    """The paper's section 2.2 mechanism: a data fetch from the literal
+    pool disrupts the sequential instruction stream twice."""
+    flash = Flash(base=0, size=4096, access_cycles=2, line_bytes=16)
+    flash.read(0, 4, side="I")       # establish stream: 2 stalls
+    flash.read(4, 4, side="I")       # free
+    _, pool_stalls = flash.read(0x800, 4, side="D")   # literal pool: break
+    assert pool_stalls == 2
+    _, resume_stalls = flash.read(8, 4, side="I")     # resume: break again
+    assert resume_stalls == 2
+    assert flash.stream_breaks == 2
+
+
+def test_straddling_read_touches_two_lines():
+    flash = Flash(base=0, size=1024, access_cycles=2, line_bytes=16)
+    _, stalls = flash.read(14, 4, side="D")  # crosses the 16-byte boundary
+    assert stalls == 2  # second line is the streamed neighbour: free
+
+
+def test_reset_stream():
+    flash = Flash(base=0, size=1024, access_cycles=2, line_bytes=16)
+    flash.read(0, 4)
+    flash.reset_stream()
+    _, stalls = flash.read(4, 4)
+    assert stalls == 2
+
+
+def test_flash_write_is_loader_path():
+    flash = Flash(base=0, size=64)
+    flash.write(0, 4, 0xDEAD)
+    value, _ = flash.read(0, 4)
+    assert value == 0xDEAD
+
+
+def test_stats_dict():
+    flash = Flash(base=0, size=1024)
+    flash.read(0, 4)
+    stats = flash.stats()
+    assert stats["array_accesses"] == 1

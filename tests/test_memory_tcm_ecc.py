@@ -1,0 +1,134 @@
+"""Tests for the SEC-DED ECC code and the hold-and-repair TCM."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory import EccUncorrectable, Tcm, ecc_check, ecc_encode
+from repro.sim import DeterministicRng
+
+WORDS = st.integers(min_value=0, max_value=0xFFFFFFFF)
+
+
+# ----------------------------------------------------------------------
+# the Hamming code itself
+# ----------------------------------------------------------------------
+
+@given(WORDS)
+@settings(max_examples=200)
+def test_clean_word_checks_ok(word):
+    assert ecc_check(word, ecc_encode(word)) == ("ok", None)
+
+
+@given(WORDS, st.integers(min_value=0, max_value=31))
+@settings(max_examples=300)
+def test_single_bit_error_corrected(word, bit):
+    corrupted = word ^ (1 << bit)
+    status, fixed = ecc_check(corrupted, ecc_encode(word))
+    assert status == "corrected"
+    assert fixed == word
+
+
+@given(WORDS, st.integers(min_value=0, max_value=31), st.integers(min_value=0, max_value=31))
+@settings(max_examples=300)
+def test_double_bit_error_detected(word, bit_a, bit_b):
+    if bit_a == bit_b:
+        return
+    corrupted = word ^ (1 << bit_a) ^ (1 << bit_b)
+    status, _ = ecc_check(corrupted, ecc_encode(word))
+    assert status == "double"
+
+
+@given(WORDS, st.integers(min_value=0, max_value=6))
+@settings(max_examples=200)
+def test_ecc_bit_error_is_correctable(word, ecc_bit):
+    """A flip in the stored ECC bits must not corrupt the data."""
+    bad_ecc = ecc_encode(word) ^ (1 << ecc_bit)
+    status, fixed = ecc_check(word, bad_ecc)
+    assert status == "corrected"
+    assert fixed == word
+
+
+# ----------------------------------------------------------------------
+# the TCM device
+# ----------------------------------------------------------------------
+
+def test_tcm_basic_read_write():
+    tcm = Tcm(base=0x1000, size=256)
+    tcm.write(0x1010, 4, 0xFEEDF00D)
+    value, stalls = tcm.read(0x1010, 4)
+    assert value == 0xFEEDF00D
+    assert stalls == 0
+
+
+def test_tcm_subword_access_keeps_ecc_consistent():
+    tcm = Tcm(base=0, size=64)
+    tcm.write(0, 4, 0xAABBCCDD)
+    tcm.write(1, 1, 0xEE)
+    value, stalls = tcm.read(0, 4)
+    assert value == 0xAABBEEDD
+    assert stalls == 0
+    assert tcm.corrected_errors == 0
+
+
+def test_tcm_hold_and_repair_single_bit():
+    tcm = Tcm(base=0, size=64, repair_cycles=3)
+    tcm.write(0, 4, 0x12345678)
+    tcm.flip_data_bit(7)  # bit 7 of word 0
+    value, stalls = tcm.read(0, 4)
+    assert value == 0x12345678   # repaired
+    assert stalls == 3           # core held during repair
+    assert tcm.corrected_errors == 1
+    # the stored copy was fixed: next read is clean
+    value, stalls = tcm.read(0, 4)
+    assert stalls == 0
+    assert tcm.corrected_errors == 1
+
+
+def test_tcm_double_bit_error_raises():
+    tcm = Tcm(base=0, size=64)
+    tcm.write(0, 4, 0xFFFF0000)
+    tcm.flip_data_bit(0)
+    tcm.flip_data_bit(9)
+    with pytest.raises(EccUncorrectable):
+        tcm.read(0, 4)
+    assert tcm.uncorrectable_errors == 1
+
+
+def test_tcm_unprotected_returns_corruption():
+    tcm = Tcm(base=0, size=64, fault_tolerant=False)
+    tcm.write(0, 4, 0x0F0F0F0F)
+    tcm.flip_data_bit(0)
+    value, _ = tcm.read(0, 4)
+    assert value == 0x0F0F0F0E
+    assert tcm.silent_corruptions == 1
+
+
+def test_tcm_write_raw_updates_ecc():
+    tcm = Tcm(base=0, size=64)
+    tcm.write_raw(0, b"\x11\x22\x33\x44\x55\x66\x77\x88")
+    value, stalls = tcm.read(0, 4)
+    assert value == 0x44332211
+    assert stalls == 0
+    value, stalls = tcm.read(4, 4)
+    assert value == 0x88776655
+    assert stalls == 0
+
+
+def test_tcm_random_flip_is_always_recoverable():
+    rng = DeterministicRng(seed=42)
+    tcm = Tcm(base=0, size=256)
+    for word_index in range(64):
+        tcm.write(word_index * 4, 4, word_index * 0x01010101)
+    for _ in range(50):
+        tcm.flip_random_bit(rng)
+        # read everything back: every single-bit flip must be repaired
+        for word_index in range(64):
+            value, _ = tcm.read(word_index * 4, 4)
+            assert value == (word_index * 0x01010101) & 0xFFFFFFFF
+    assert tcm.corrected_errors == 50
+
+
+def test_tcm_size_must_be_word_multiple():
+    with pytest.raises(ValueError):
+        Tcm(base=0, size=10)

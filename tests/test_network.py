@@ -1,0 +1,289 @@
+"""Tests for CAN frames, the bus simulator, analysis, and allocation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network import (
+    CanBus,
+    CanFrame,
+    DistributedTask,
+    Ecu,
+    MessageSpec,
+    PeriodicSender,
+    allocate_tasks,
+    analyse_system,
+    bus_utilisation,
+    can_response_times,
+    count_binaries,
+    destuff_bits,
+    harmonize,
+    parse_frame,
+    stuff_bits,
+    worst_case_frame_bits,
+)
+from repro.sim import DeterministicRng
+
+
+# ----------------------------------------------------------------------
+# frames
+# ----------------------------------------------------------------------
+
+def test_frame_validation():
+    with pytest.raises(ValueError):
+        CanFrame(can_id=0x800, data=b"")
+    with pytest.raises(ValueError):
+        CanFrame(can_id=1, data=b"123456789")
+
+
+def test_stuffing_inserts_after_five():
+    bits = [0, 0, 0, 0, 0, 1]
+    stuffed = stuff_bits(bits)
+    assert stuffed == [0, 0, 0, 0, 0, 1, 1]
+
+
+def test_stuffing_roundtrip_simple():
+    bits = [1, 1, 1, 1, 1, 1, 1, 0, 0, 0, 0, 0, 0]
+    assert destuff_bits(stuff_bits(bits)) == bits
+
+
+@given(st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=120))
+@settings(max_examples=200)
+def test_stuffing_roundtrip_property(bits):
+    stuffed = stuff_bits(bits)
+    assert destuff_bits(stuffed) == bits
+    # no six identical bits in a row ever appear on the wire
+    run = 1
+    for a, b in zip(stuffed, stuffed[1:]):
+        run = run + 1 if a == b else 1
+        assert run <= 5
+
+
+@given(st.integers(min_value=0, max_value=0x7FF), st.binary(max_size=8))
+@settings(max_examples=150)
+def test_frame_wire_roundtrip_property(can_id, payload):
+    frame = CanFrame(can_id=can_id, data=payload)
+    decoded = parse_frame(frame.bits_on_wire())
+    assert decoded.can_id == can_id
+    assert decoded.data == payload
+
+
+def test_corrupted_frame_fails_crc():
+    frame = CanFrame(can_id=0x123, data=b"\xAA\x55")
+    bits = frame.bits_on_wire()
+    bits[20] ^= 1
+    with pytest.raises(ValueError):
+        parse_frame(bits)
+
+
+@given(st.integers(min_value=0, max_value=8))
+@settings(max_examples=20)
+def test_worst_case_bits_bounds_actual(payload_bytes):
+    """The analytic stuffing bound must cover any actual frame."""
+    worst = worst_case_frame_bits(payload_bytes)
+    # adversarial payload: long runs of zeros maximize stuffing
+    for pattern in (b"\x00", b"\xFF", b"\x55", b"\x1F"):
+        frame = CanFrame(can_id=0, data=(pattern * 8)[:payload_bytes])
+        assert frame.wire_bits <= worst
+
+
+def test_eight_byte_frame_size():
+    # classic number: 8-byte standard frame worst case is 135 bits incl. IFS
+    assert worst_case_frame_bits(8) == 135
+
+
+# ----------------------------------------------------------------------
+# bus simulation
+# ----------------------------------------------------------------------
+
+def test_single_frame_delivery_time():
+    bus = CanBus(bitrate_bps=500_000)
+    bus.submit(CanFrame(0x100, b"\x01\x02"), node="a")
+    bus.scheduler.run(until=10_000)
+    assert len(bus.deliveries) == 1
+    record = bus.deliveries[0]
+    # 2-byte frame is ~60-80 bits -> 120-160 us at 500 kbit/s
+    assert 100 <= record.response_time <= 200
+
+
+def test_arbitration_lowest_id_wins():
+    bus = CanBus(bitrate_bps=500_000)
+    bus.submit(CanFrame(0x300, b"\x01"), node="slow")
+    bus.submit(CanFrame(0x100, b"\x02"), node="fast")
+    # both pending at t=0: after the first wins, the queue re-arbitrates
+    bus.scheduler.run(until=10_000)
+    assert [d.can_id for d in bus.deliveries] == [0x300, 0x100] or \
+           [d.can_id for d in bus.deliveries] == [0x100, 0x300]
+    # whichever started first, the *second* grant must be by priority:
+    # submit two more while the bus is busy
+    bus2 = CanBus(bitrate_bps=500_000)
+    bus2.submit(CanFrame(0x700, b"\x00" * 8), node="first")   # occupies bus
+    bus2.submit(CanFrame(0x300, b"\x01"), node="mid")
+    bus2.submit(CanFrame(0x100, b"\x02"), node="urgent")
+    bus2.scheduler.run(until=10_000)
+    assert [d.can_id for d in bus2.deliveries] == [0x700, 0x100, 0x300]
+
+
+def test_non_preemptive_blocking():
+    bus = CanBus(bitrate_bps=500_000)
+    bus.submit(CanFrame(0x7FF, b"\xFF" * 8), node="big")  # lowest priority
+    bus.scheduler.after(10, lambda: bus.submit(CanFrame(0x001, b"\x01"), node="hp"))
+    bus.scheduler.run(until=10_000)
+    urgent = next(d for d in bus.deliveries if d.can_id == 0x001)
+    # the urgent frame had to wait for the in-flight low-priority one
+    assert urgent.response_time > 150
+
+
+def test_error_injection_causes_retransmission():
+    rng = DeterministicRng(3)
+    bus = CanBus(bitrate_bps=500_000, error_rate=0.5, rng=rng)
+    for _ in range(10):
+        bus.submit(CanFrame(0x123, b"\x55"), node="n")
+    bus.scheduler.run(until=1_000_000)
+    assert len(bus.deliveries) == 10          # everything eventually delivered
+    assert bus.errors_injected > 0
+    assert any(d.attempts > 1 for d in bus.deliveries)
+
+
+def test_periodic_sender():
+    bus = CanBus(bitrate_bps=500_000)
+    sender = PeriodicSender(bus, can_id=0x200, payload=b"\x01\x02",
+                            period_us=1000, node="body")
+    sender.start()
+    bus.scheduler.run(until=10_500)
+    assert sender.sent == 11  # t = 0, 1000, ..., 10000
+    assert len(bus.deliveries) == 11
+
+
+def test_bus_utilisation_tracking():
+    bus = CanBus(bitrate_bps=125_000)
+    PeriodicSender(bus, can_id=0x80, payload=b"\x00" * 8, period_us=2_000).start()
+    bus.scheduler.run(until=100_000)
+    utilisation = bus.utilisation(100_000)
+    assert 0.3 < utilisation <= 0.7  # ~1ms frame every 2ms
+
+
+# ----------------------------------------------------------------------
+# schedulability analysis vs simulation
+# ----------------------------------------------------------------------
+
+SAE_LIKE = [
+    MessageSpec(can_id=0x010, payload_bytes=1, period_us=5_000),
+    MessageSpec(can_id=0x020, payload_bytes=2, period_us=10_000),
+    MessageSpec(can_id=0x030, payload_bytes=4, period_us=10_000),
+    MessageSpec(can_id=0x040, payload_bytes=8, period_us=20_000),
+    MessageSpec(can_id=0x050, payload_bytes=8, period_us=50_000),
+]
+
+
+def test_can_rta_schedulable_set():
+    analysis = can_response_times(SAE_LIKE, bitrate_bps=125_000)
+    assert analysis.schedulable
+    # responses ordered: higher priority = shorter worst case
+    responses = [m.response_us for m in analysis.messages]
+    assert responses[0] < responses[-1]
+
+
+def test_can_rta_includes_blocking():
+    analysis = can_response_times(SAE_LIKE, bitrate_bps=125_000)
+    top = analysis.response_of(0x010)
+    assert top.blocking_us > 0  # even the top priority waits for one frame
+
+
+def test_can_rta_overload_detected():
+    overload = [
+        MessageSpec(can_id=i, payload_bytes=8, period_us=1_500)
+        for i in range(10)
+    ]
+    analysis = can_response_times(overload, bitrate_bps=125_000)
+    assert not analysis.schedulable
+    assert bus_utilisation(overload, 125_000) > 1.0
+
+
+def test_rta_bounds_simulated_responses():
+    analysis = can_response_times(SAE_LIKE, bitrate_bps=125_000)
+    bus = CanBus(bitrate_bps=125_000)
+    rng = DeterministicRng(9)
+    for spec in SAE_LIKE:
+        PeriodicSender(bus, can_id=spec.can_id,
+                       payload=b"\x00" * spec.payload_bytes,
+                       period_us=spec.period_us, node=f"n{spec.can_id:x}",
+                       ).start(offset_us=rng.randint(0, 400))
+    bus.scheduler.run(until=2_000_000)
+    for spec in SAE_LIKE:
+        observed = bus.worst_response(spec.can_id)
+        bound = analysis.response_of(spec.can_id).response_us
+        assert observed <= bound, (hex(spec.can_id), observed, bound)
+
+
+# ----------------------------------------------------------------------
+# distributed virtual multi-core (the paper's vision, experiment E11)
+# ----------------------------------------------------------------------
+
+def body_tasks(n, isas):
+    rng = DeterministicRng(42)
+    tasks = []
+    for i in range(n):
+        binaries = frozenset({rng.choice(list(isas))}) if len(isas) > 1 else frozenset(isas)
+        tasks.append(DistributedTask(
+            name=f"task{i}", wcet_us=rng.randint(200, 1500),
+            period_us=rng.choice([5_000, 10_000, 20_000, 50_000]),
+            binaries=binaries))
+    return tasks
+
+
+FLEET = [
+    Ecu("engine", isa="thumb2", speed=2.0),
+    Ecu("body1", isa="thumb2", speed=1.0),
+    Ecu("body2", isa="thumb", speed=0.8),
+    Ecu("dash", isa="arm", speed=1.2),
+]
+
+
+def test_harmonized_allocation_beats_heterogeneous():
+    heterogeneous = body_tasks(24, isas=("arm", "thumb", "thumb2"))
+    harmonized = harmonize(heterogeneous, "thumb2")
+    fleet_harmonized = [Ecu(e.name, isa="thumb2", speed=e.speed) for e in FLEET]
+
+    placement_het = allocate_tasks(heterogeneous, FLEET)
+    placement_harm = allocate_tasks(harmonized, fleet_harmonized)
+
+    assert len(placement_harm.unplaced) <= len(placement_het.unplaced)
+    assert count_binaries(harmonized) <= count_binaries(heterogeneous)
+
+
+def test_allocation_respects_isa_compatibility():
+    tasks = [DistributedTask("only_arm", wcet_us=100, period_us=1000,
+                             binaries=frozenset({"arm"}))]
+    thumb_only_fleet = [Ecu("e", isa="thumb2")]
+    placement = allocate_tasks(tasks, thumb_only_fleet)
+    assert placement.unplaced == ["only_arm"]
+
+
+def test_allocation_respects_capacity():
+    tasks = [DistributedTask(f"t{i}", wcet_us=600, period_us=1000,
+                             binaries=frozenset({"thumb2"})) for i in range(3)]
+    fleet = [Ecu("a", isa="thumb2"), Ecu("b", isa="thumb2")]
+    placement = allocate_tasks(tasks, fleet, utilisation_cap=0.69)
+    # each task is 0.6 utilisation: one per ECU, third unplaceable
+    assert len(placement.unplaced) == 1
+
+
+def test_system_analysis_end_to_end():
+    signal = MessageSpec(can_id=0x100, payload_bytes=4, period_us=10_000)
+    tasks = [
+        DistributedTask("sensor", wcet_us=800, period_us=10_000,
+                        binaries=frozenset({"thumb2"}), produces=(signal,)),
+        DistributedTask("actuator", wcet_us=1_200, period_us=20_000,
+                        binaries=frozenset({"thumb2"})),
+    ]
+    fleet = [Ecu("a", isa="thumb2"), Ecu("b", isa="thumb2")]
+    placement = allocate_tasks(tasks, fleet)
+    analysis = analyse_system(tasks, fleet, placement)
+    assert analysis.schedulable
+    assert analysis.bus_utilisation > 0
+
+
+def test_faster_ecu_scales_wcet():
+    ecu = Ecu("fast", isa="thumb2", speed=2.0)
+    assert ecu.scaled_wcet(1000) == 500

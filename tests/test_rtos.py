@@ -1,0 +1,337 @@
+"""Tests for the OSEK kernel model and the response-time analysis."""
+
+import pytest
+
+from repro.rtos import (
+    ActivateTask,
+    AnalysedTask,
+    ChainTask,
+    Compute,
+    GetResource,
+    OsekError,
+    OsekKernel,
+    ReleaseResource,
+    SetEvent,
+    WaitEvent,
+    breakdown_utilisation,
+    measure_wcet,
+    rate_monotonic_priorities,
+    response_time_analysis,
+    utilisation_bound,
+)
+from repro.workloads import WORKLOADS_BY_NAME
+
+
+def simple_body(ticks):
+    def body(api):
+        yield Compute(ticks)
+    return body
+
+
+# ----------------------------------------------------------------------
+# kernel basics
+# ----------------------------------------------------------------------
+
+def test_single_task_runs_and_terminates():
+    kernel = OsekKernel()
+    task = kernel.add_task("t", priority=1, body_factory=simple_body(100), autostart=True)
+    kernel.run(until=1000)
+    assert task.terminations == 1
+    assert task.response_times == [100]
+
+
+def test_periodic_alarm_activates_task():
+    kernel = OsekKernel()
+    task = kernel.add_task("periodic", priority=1, body_factory=simple_body(10))
+    kernel.add_alarm("alm", "periodic", offset=100, period=200)
+    kernel.run(until=1000)
+    # expiries at 100, 300, 500, 700, 900
+    assert task.terminations == 5
+
+
+def test_priority_preemption():
+    kernel = OsekKernel()
+    log = []
+
+    def low_body(api):
+        log.append(("low-start", api.scheduler.now))
+        yield Compute(500)
+        log.append(("low-end", api.scheduler.now))
+
+    def high_body(api):
+        log.append(("high-start", api.scheduler.now))
+        yield Compute(50)
+        log.append(("high-end", api.scheduler.now))
+
+    kernel.add_task("low", priority=1, body_factory=low_body, autostart=True)
+    kernel.add_task("high", priority=9, body_factory=high_body)
+    kernel.add_alarm("kick", "high", offset=100)
+    kernel.run(until=2000)
+    assert ("high-start", 100) in log
+    assert ("high-end", 150) in log
+    low_end = dict(log)["low-end"]
+    assert low_end == 550  # preempted for 50 ticks
+
+
+def test_non_preemptable_task_defers_higher_priority():
+    kernel = OsekKernel()
+    low = kernel.add_task("low", priority=1, body_factory=simple_body(300),
+                          preemptable=False, autostart=True)
+    high = kernel.add_task("high", priority=9, body_factory=simple_body(10))
+    kernel.add_alarm("kick", "high", offset=50)
+    kernel.run(until=1000)
+    assert low.response_times == [300]
+    assert high.response_times == [300 - 50 + 10]  # waited for low to finish
+
+
+def test_bcc1_activation_limit():
+    kernel = OsekKernel()
+    task = kernel.add_task("t", priority=1, body_factory=simple_body(100))
+    kernel.add_alarm("a1", "t", offset=10)
+    kernel.add_alarm("a2", "t", offset=20)  # arrives while running: E_OS_LIMIT
+    kernel.run(until=1000)
+    assert task.terminations == 1
+    assert task.activation_failures == 1
+
+
+def test_bcc2_queued_activation():
+    kernel = OsekKernel()
+    task = kernel.add_task("t", priority=1, body_factory=simple_body(100),
+                           max_activations=2)
+    kernel.add_alarm("a1", "t", offset=10)
+    kernel.add_alarm("a2", "t", offset=20)
+    kernel.run(until=1000)
+    assert task.terminations == 2
+    assert task.activation_failures == 0
+
+
+def test_chain_task():
+    kernel = OsekKernel()
+    order = []
+
+    def first(api):
+        order.append("first")
+        yield Compute(10)
+        yield ChainTask("second")
+
+    def second(api):
+        order.append("second")
+        yield Compute(10)
+
+    kernel.add_task("first", priority=2, body_factory=first, autostart=True)
+    kernel.add_task("second", priority=1, body_factory=second)
+    kernel.run(until=1000)
+    assert order == ["first", "second"]
+
+
+def test_activate_task_directive_preempts():
+    kernel = OsekKernel()
+    order = []
+
+    def spawner(api):
+        yield Compute(10)
+        order.append("spawning")
+        yield ActivateTask("urgent")
+        order.append("resumed")
+        yield Compute(10)
+
+    def urgent(api):
+        order.append("urgent")
+        yield Compute(5)
+
+    kernel.add_task("spawner", priority=1, body_factory=spawner, autostart=True)
+    kernel.add_task("urgent", priority=5, body_factory=urgent)
+    kernel.run(until=1000)
+    assert order == ["spawning", "urgent", "resumed"]
+
+
+# ----------------------------------------------------------------------
+# resources (priority ceiling)
+# ----------------------------------------------------------------------
+
+def test_ceiling_blocks_preemption_inside_critical_section():
+    kernel = OsekKernel()
+    order = []
+
+    def low(api):
+        yield GetResource("shared")
+        order.append("low-cs-enter")
+        yield Compute(100)
+        order.append("low-cs-exit")
+        yield ReleaseResource("shared")
+        yield Compute(10)
+
+    def high(api):
+        order.append("high")
+        yield GetResource("shared")
+        yield Compute(10)
+        yield ReleaseResource("shared")
+
+    kernel.add_task("low", priority=1, body_factory=low, autostart=True)
+    kernel.add_task("high", priority=9, body_factory=high)
+    kernel.add_resource("shared", users=["low", "high"])
+    kernel.add_alarm("kick", "high", offset=50)
+    kernel.run(until=1000)
+    # ceiling raises low to high's priority: high must wait for cs exit
+    assert order.index("low-cs-exit") < order.index("high")
+
+
+def test_terminate_holding_resource_is_error():
+    kernel = OsekKernel(strict=True)
+
+    def bad(api):
+        yield GetResource("r")
+        yield Compute(10)
+
+    kernel.add_task("bad", priority=1, body_factory=bad, autostart=True)
+    kernel.add_resource("r", users=["bad"])
+    with pytest.raises(OsekError):
+        kernel.run(until=100)
+
+
+# ----------------------------------------------------------------------
+# events (ECC)
+# ----------------------------------------------------------------------
+
+def test_wait_and_set_event():
+    kernel = OsekKernel()
+    log = []
+
+    def waiter(api):
+        log.append(("wait", api.scheduler.now))
+        yield WaitEvent(0b01)
+        log.append(("woken", api.scheduler.now))
+        yield Compute(5)
+
+    def signaller(api):
+        yield Compute(200)
+        yield SetEvent("waiter", 0b01)
+
+    kernel.add_task("waiter", priority=5, body_factory=waiter,
+                    extended=True, autostart=True)
+    kernel.add_task("signaller", priority=1, body_factory=signaller, autostart=True)
+    kernel.run(until=1000)
+    assert ("wait", 0) in log
+    assert ("woken", 200) in log
+
+
+def test_event_already_pending_does_not_block():
+    kernel = OsekKernel()
+
+    def waiter(api):
+        yield WaitEvent(0b10)
+        yield Compute(5)
+
+    task = kernel.add_task("waiter", priority=5, body_factory=waiter, extended=True)
+    task.events_pending = 0b10
+    kernel.scheduler.at(0, lambda: kernel.activate("waiter"))
+    kernel.run(until=100)
+    assert task.terminations == 1
+
+
+def test_set_event_on_basic_task_rejected():
+    kernel = OsekKernel()
+    kernel.add_task("basic", priority=1, body_factory=simple_body(10), autostart=True)
+    with pytest.raises(OsekError):
+        kernel.set_event("basic", 1)
+
+
+# ----------------------------------------------------------------------
+# response-time analysis
+# ----------------------------------------------------------------------
+
+CLASSIC_SET = [
+    AnalysedTask("t1", wcet=3, period=20),
+    AnalysedTask("t2", wcet=10, period=50),
+    AnalysedTask("t3", wcet=15, period=100),
+]
+
+
+def test_rate_monotonic_ordering():
+    priorities = rate_monotonic_priorities(CLASSIC_SET)
+    assert priorities["t1"] > priorities["t2"] > priorities["t3"]
+
+
+def test_rta_classic_example():
+    result = response_time_analysis(CLASSIC_SET)
+    assert result.schedulable
+    assert result.response_of("t1").response == 3
+    assert result.response_of("t2").response == 13
+    # t3: 15 + 2*interference... converges within deadline
+    assert result.response_of("t3").response <= 100
+
+
+def test_rta_unschedulable_set():
+    overloaded = [
+        AnalysedTask("a", wcet=60, period=100),
+        AnalysedTask("b", wcet=60, period=100),
+    ]
+    result = response_time_analysis(overloaded)
+    assert not result.schedulable
+
+
+def test_rta_blocking_from_ceiling():
+    tasks = [
+        AnalysedTask("hi", wcet=5, period=50,
+                     critical_sections=(("bus", 2),)),
+        AnalysedTask("lo", wcet=20, period=200,
+                     critical_sections=(("bus", 7),)),
+    ]
+    result = response_time_analysis(tasks)
+    assert result.response_of("hi").blocking == 7
+    assert result.response_of("hi").response == 5 + 7
+
+
+def test_utilisation_bound_monotone():
+    assert utilisation_bound(1) == pytest.approx(1.0)
+    assert utilisation_bound(2) == pytest.approx(0.8284, abs=1e-3)
+    assert utilisation_bound(10) > 0.69
+
+
+def test_breakdown_utilisation():
+    value = breakdown_utilisation(CLASSIC_SET)
+    baseline = sum(t.utilisation for t in CLASSIC_SET)
+    assert value >= baseline  # the set is schedulable with headroom
+
+
+def test_rta_bounds_simulation():
+    """The analysis response times must bound what the kernel observes."""
+    tasks = [
+        AnalysedTask("fast", wcet=10, period=100),
+        AnalysedTask("mid", wcet=30, period=300),
+        AnalysedTask("slow", wcet=80, period=1000),
+    ]
+    result = response_time_analysis(tasks)
+    assert result.schedulable
+
+    kernel = OsekKernel()
+    priorities = rate_monotonic_priorities(tasks)
+    for spec in tasks:
+        kernel.add_task(spec.name, priority=priorities[spec.name],
+                        body_factory=simple_body(spec.wcet))
+        kernel.add_alarm(f"alm_{spec.name}", spec.name, offset=0, period=spec.period)
+    kernel.run(until=10_000)
+    for spec in tasks:
+        observed = kernel.tasks[spec.name].worst_response()
+        analytic = result.response_of(spec.name).response
+        assert observed <= analytic, (spec.name, observed, analytic)
+
+
+def test_context_switch_cost_accounted():
+    no_cs = response_time_analysis(CLASSIC_SET, context_switch=0)
+    with_cs = response_time_analysis(CLASSIC_SET, context_switch=2)
+    assert (with_cs.response_of("t3").response
+            > no_cs.response_of("t3").response)
+
+
+# ----------------------------------------------------------------------
+# WCET bridge to the core models
+# ----------------------------------------------------------------------
+
+def test_measured_wcet_feeds_analysis():
+    estimate = measure_wcet(WORKLOADS_BY_NAME["canrdr"], samples=3)
+    assert estimate.observed_max >= estimate.observed_min > 0
+    assert estimate.wcet >= estimate.observed_max
+    task = AnalysedTask("can_task", wcet=estimate.wcet, period=estimate.wcet * 4)
+    result = response_time_analysis([task])
+    assert result.schedulable

@@ -1,0 +1,180 @@
+"""Additional RTOS and network coverage: edge cases and failure modes."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network import (
+    CanBus,
+    CanFrame,
+    MessageSpec,
+    bus_utilisation,
+    can_response_times,
+    crc15,
+)
+from repro.rtos import (
+    AnalysedTask,
+    Compute,
+    OsekError,
+    OsekKernel,
+    WaitEvent,
+    breakdown_utilisation,
+    response_time_analysis,
+)
+from repro.sim import DeterministicRng
+
+
+# ----------------------------------------------------------------------
+# RTOS edges
+# ----------------------------------------------------------------------
+
+def test_zero_compute_task():
+    kernel = OsekKernel()
+
+    def body(api):
+        yield Compute(0)
+
+    task = kernel.add_task("t", priority=1, body_factory=body, autostart=True)
+    kernel.run(until=100)
+    assert task.terminations == 1
+    assert task.response_times == [0]
+
+
+def test_alarm_disable_stops_expiries():
+    kernel = OsekKernel()
+    task = kernel.add_task("t", priority=1,
+                           body_factory=lambda api: iter([Compute(5)]))
+    alarm = kernel.add_alarm("a", "t", offset=10, period=50)
+    kernel.scheduler.at(100, lambda: setattr(alarm, "enabled", False))
+    kernel.run(until=1000)
+    assert alarm.expiries <= 3  # 10, 60 fired; disabled around 100
+
+
+def test_context_switch_cost_delays_start():
+    fast = OsekKernel(context_switch_cost=0)
+    slow = OsekKernel(context_switch_cost=25)
+    for kernel in (fast, slow):
+        kernel.add_task("t", priority=1,
+                        body_factory=lambda api: iter([Compute(100)]),
+                        autostart=True)
+        kernel.run(until=1000)
+    assert slow.tasks["t"].response_times[0] > fast.tasks["t"].response_times[0]
+
+
+def test_strict_mode_raises_on_limit():
+    kernel = OsekKernel(strict=True)
+    kernel.add_task("t", priority=1,
+                    body_factory=lambda api: iter([Compute(100)]))
+    kernel.add_alarm("a1", "t", offset=0)
+    kernel.add_alarm("a2", "t", offset=10)
+    with pytest.raises(OsekError):
+        kernel.run(until=1000)
+
+
+def test_wait_event_in_basic_task_rejected():
+    kernel = OsekKernel()
+
+    def body(api):
+        yield WaitEvent(1)
+
+    kernel.add_task("basic", priority=1, body_factory=body, autostart=True)
+    with pytest.raises(OsekError):
+        kernel.run(until=100)
+
+
+@given(st.lists(st.tuples(st.integers(min_value=1, max_value=40),
+                          st.integers(min_value=50, max_value=400)),
+                min_size=1, max_size=6))
+@settings(max_examples=50, deadline=None)
+def test_rta_monotone_under_wcet_growth(raw_tasks):
+    """Growing any WCET never shrinks anyone's response time."""
+    tasks = [AnalysedTask(f"t{i}", wcet=c, period=p * 10)
+             for i, (c, p) in enumerate(raw_tasks)]
+    base = response_time_analysis(tasks)
+    grown = [AnalysedTask(t.name, wcet=t.wcet + 5, period=t.period)
+             for t in tasks]
+    bigger = response_time_analysis(grown)
+    for t in tasks:
+        r0 = base.response_of(t.name).response
+        r1 = bigger.response_of(t.name).response
+        if r0 is not None and r1 is not None:
+            assert r1 >= r0
+
+
+def test_breakdown_utilisation_of_unschedulable_set():
+    overloaded = [AnalysedTask("a", wcet=80, period=100),
+                  AnalysedTask("b", wcet=80, period=100)]
+    value = breakdown_utilisation(overloaded)
+    assert value < 1.6  # scaled-down point found below the raw 1.6
+
+
+# ----------------------------------------------------------------------
+# CAN edges
+# ----------------------------------------------------------------------
+
+def test_crc15_known_properties():
+    assert crc15([0] * 10) == 0             # all-zero input -> zero CRC
+    assert crc15([1]) != 0
+    # linearity-ish: differing inputs give differing CRCs here
+    assert crc15([1, 0, 1]) != crc15([1, 1, 1])
+
+
+def test_zero_length_frame():
+    frame = CanFrame(can_id=0x7FF, data=b"")
+    assert frame.dlc == 0
+    assert frame.wire_bits >= 44
+
+
+def test_bus_fifo_among_equal_ids():
+    bus = CanBus(bitrate_bps=500_000)
+    bus.submit(CanFrame(0x100, b"\x01"), node="first")
+    bus.submit(CanFrame(0x100, b"\x02"), node="second")
+    bus.scheduler.run(until=10_000)
+    assert [d.node for d in bus.deliveries] == ["first", "second"]
+
+
+def test_listener_callback_invoked():
+    bus = CanBus(bitrate_bps=500_000)
+    seen = []
+    bus.subscribe(lambda frame, record: seen.append(frame.can_id))
+    bus.submit(CanFrame(0x42, b"\x00"))
+    bus.scheduler.run(until=10_000)
+    assert seen == [0x42]
+
+
+def test_rta_rejects_duplicate_ids():
+    specs = [MessageSpec(can_id=1, payload_bytes=1, period_us=1000),
+             MessageSpec(can_id=1, payload_bytes=2, period_us=2000)]
+    with pytest.raises(ValueError):
+        can_response_times(specs)
+
+
+@given(st.integers(min_value=2, max_value=10),
+       st.integers(min_value=125_000, max_value=1_000_000))
+@settings(max_examples=50, deadline=None)
+def test_rta_response_ordering_property(count, bitrate):
+    """Higher-priority (lower-id) messages never have longer worst-case
+    responses than lower-priority ones of the same size and period."""
+    specs = [MessageSpec(can_id=0x100 + i, payload_bytes=4, period_us=20_000)
+             for i in range(count)]
+    if bus_utilisation(specs, bitrate) >= 0.9:
+        return
+    analysis = can_response_times(specs, bitrate_bps=bitrate)
+    responses = [m.response_us for m in analysis.messages]
+    assert all(r is not None for r in responses)
+    assert responses == sorted(responses)
+
+
+@given(st.integers(min_value=1, max_value=60))
+@settings(max_examples=30, deadline=None)
+def test_simulated_bus_conserves_frames(n_frames):
+    """Every submitted frame is eventually delivered exactly once."""
+    rng = DeterministicRng(n_frames)
+    bus = CanBus(bitrate_bps=500_000, error_rate=0.2, rng=rng)
+    ids = []
+    for k in range(n_frames):
+        can_id = rng.randint(0, 0x7FF)
+        ids.append(can_id)
+        bus.scheduler.at(k * 7, lambda c=can_id: bus.submit(CanFrame(c, b"\x00")))
+    bus.scheduler.run(until=50_000_000)
+    assert sorted(d.can_id for d in bus.deliveries) == sorted(ids)

@@ -1,0 +1,124 @@
+"""Unit tests for the discrete-event scheduler."""
+
+import pytest
+
+from repro.sim import EventScheduler, SimulationEnded
+
+
+def test_events_fire_in_time_order():
+    sched = EventScheduler()
+    fired = []
+    sched.at(30, lambda: fired.append("c"))
+    sched.at(10, lambda: fired.append("a"))
+    sched.at(20, lambda: fired.append("b"))
+    sched.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_same_time_events_fire_in_priority_then_fifo_order():
+    sched = EventScheduler()
+    fired = []
+    sched.at(5, lambda: fired.append("low"), priority=10)
+    sched.at(5, lambda: fired.append("hi"), priority=0)
+    sched.at(5, lambda: fired.append("low2"), priority=10)
+    sched.run()
+    assert fired == ["hi", "low", "low2"]
+
+
+def test_now_advances_to_event_time():
+    sched = EventScheduler()
+    seen = []
+    sched.at(42, lambda: seen.append(sched.now))
+    sched.run()
+    assert seen == [42]
+    assert sched.now == 42
+
+
+def test_after_is_relative_to_now():
+    sched = EventScheduler()
+    seen = []
+    sched.at(10, lambda: sched.after(5, lambda: seen.append(sched.now)))
+    sched.run()
+    assert seen == [15]
+
+
+def test_cannot_schedule_in_the_past():
+    sched = EventScheduler()
+    sched.at(10, lambda: None)
+    sched.run()
+    with pytest.raises(ValueError):
+        sched.at(5, lambda: None)
+
+
+def test_negative_delay_rejected():
+    sched = EventScheduler()
+    with pytest.raises(ValueError):
+        sched.after(-1, lambda: None)
+
+
+def test_cancelled_event_does_not_fire():
+    sched = EventScheduler()
+    fired = []
+    event = sched.at(10, lambda: fired.append("x"))
+    event.cancel()
+    sched.run()
+    assert fired == []
+
+
+def test_run_until_stops_before_later_events():
+    sched = EventScheduler()
+    fired = []
+    sched.at(10, lambda: fired.append(10))
+    sched.at(20, lambda: fired.append(20))
+    sched.run(until=15)
+    assert fired == [10]
+    assert sched.now == 15
+    sched.run()
+    assert fired == [10, 20]
+
+
+def test_run_max_events():
+    sched = EventScheduler()
+    fired = []
+    for t in (1, 2, 3, 4):
+        sched.at(t, lambda t=t: fired.append(t))
+    sched.run(max_events=2)
+    assert fired == [1, 2]
+
+
+def test_simulation_ended_stops_run():
+    sched = EventScheduler()
+    fired = []
+
+    def stop():
+        raise SimulationEnded()
+
+    sched.at(1, lambda: fired.append(1))
+    sched.at(2, stop)
+    sched.at(3, lambda: fired.append(3))
+    count = sched.run()
+    assert fired == [1]
+    assert count == 2
+    assert sched.pending() == 1
+
+
+def test_pending_counts_live_events():
+    sched = EventScheduler()
+    keep = sched.at(10, lambda: None)
+    drop = sched.at(20, lambda: None)
+    drop.cancel()
+    assert sched.pending() == 1
+    assert keep.time == 10
+
+
+def test_step_returns_false_on_empty_queue():
+    sched = EventScheduler()
+    assert sched.step() is False
+
+
+def test_events_fired_counter():
+    sched = EventScheduler()
+    for t in (1, 2, 3):
+        sched.at(t, lambda: None)
+    sched.run()
+    assert sched.events_fired == 3

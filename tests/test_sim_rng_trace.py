@@ -1,0 +1,78 @@
+"""Unit tests for the deterministic RNG and the trace recorder."""
+
+import pytest
+
+from repro.sim import DeterministicRng, TraceRecorder
+
+
+def test_same_seed_same_stream():
+    a = DeterministicRng(seed=7)
+    b = DeterministicRng(seed=7)
+    assert [a.randint(0, 100) for _ in range(20)] == [b.randint(0, 100) for _ in range(20)]
+
+
+def test_different_seed_different_stream():
+    a = DeterministicRng(seed=1)
+    b = DeterministicRng(seed=2)
+    assert [a.randint(0, 10**9) for _ in range(5)] != [b.randint(0, 10**9) for _ in range(5)]
+
+
+def test_fork_is_deterministic_and_independent():
+    parent = DeterministicRng(seed=3)
+    child1 = parent.fork(salt=1)
+    child2 = DeterministicRng(seed=3).fork(salt=1)
+    assert child1.randint(0, 10**9) == child2.randint(0, 10**9)
+    other = parent.fork(salt=2)
+    assert other.seed != child1.seed
+
+
+def test_exponential_requires_positive_rate():
+    rng = DeterministicRng()
+    with pytest.raises(ValueError):
+        rng.exponential(0)
+
+
+def test_poisson_arrivals_within_horizon_and_sorted():
+    rng = DeterministicRng(seed=11)
+    arrivals = rng.poisson_arrivals(rate=0.01, horizon=10_000)
+    assert all(0 <= t < 10_000 for t in arrivals)
+    assert arrivals == sorted(arrivals)
+    # mean count ~ rate * horizon = 100; loose sanity bounds
+    assert 50 < len(arrivals) < 200
+
+
+def test_bit_position_in_range():
+    rng = DeterministicRng(seed=5)
+    for _ in range(100):
+        assert 0 <= rng.bit_position(32) < 32
+
+
+def test_trace_records_and_filters():
+    trace = TraceRecorder()
+    trace.emit(1, "irq", "enter", number=3)
+    trace.emit(2, "mem", "read", addr=0x100)
+    trace.emit(5, "irq", "exit")
+    assert len(trace) == 3
+    assert [r.label for r in trace.by_category("irq")] == ["enter", "exit"]
+    assert trace.by_category("irq")[0].data["number"] == 3
+    assert [r.time for r in trace.between(1, 5)] == [1, 2]
+
+
+def test_trace_disabled_records_nothing():
+    trace = TraceRecorder(enabled=False)
+    trace.emit(1, "irq", "enter")
+    assert len(trace) == 0
+
+
+def test_trace_category_filter():
+    trace = TraceRecorder(categories={"mem"})
+    trace.emit(1, "irq", "enter")
+    trace.emit(2, "mem", "read")
+    assert [r.category for r in trace] == ["mem"]
+
+
+def test_trace_clear():
+    trace = TraceRecorder()
+    trace.emit(1, "a", "b")
+    trace.clear()
+    assert len(trace) == 0
