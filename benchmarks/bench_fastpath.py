@@ -1,0 +1,108 @@
+"""Fast-path execution engine: speedup and bit-exactness on AutoIndy.
+
+Runs every Table 1 configuration of the AutoIndy suite twice - once through
+the predecoded fast path and once through the reference interpreter - with
+compile time excluded, and asserts that
+
+* registers-out, cycle counts, and instruction counts are **identical**
+  (the fast path is an execution engine, not an approximation), and
+* the fast path is at least ``SPEEDUP_FLOOR`` times faster wall-clock.
+
+Also fans a Figure 4-flavoured interrupt-storm matrix through the campaign
+runner at two worker counts and asserts byte-identical campaign output.
+
+Reduced-iteration mode (CI smoke): set ``REPRO_BENCH_REDUCED=1`` to shrink
+the workload scale and drop the speedup floor to just-above-parity - tiny
+runs on noisy shared runners measure compile caches more than execution, so
+the smoke job checks machinery and bit-exactness, not the headline ratio.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from conftest import report
+
+from repro.codegen import compile_program
+from repro.core import FLASH_BASE, SRAM_BASE, build_machine
+from repro.sim.campaign import interrupt_sweep_matrix, run_campaign
+from repro.sim.rng import DeterministicRng
+from repro.workloads import TABLE1_CONFIGS
+from repro.workloads.kernels import AUTOINDY_SUITE
+
+REDUCED = os.environ.get("REPRO_BENCH_REDUCED") == "1"
+SCALE = 4 if REDUCED else 16
+ROUNDS = 2 if REDUCED else 3
+SPEEDUP_FLOOR = 1.05 if REDUCED else 2.0
+
+
+def run_config(core: str, isa: str, fastpath: bool) -> tuple[float, list[tuple]]:
+    """Execution-only wall time (best-of-ROUNDS per kernel) + run records."""
+    total = 0.0
+    records = []
+    for workload in AUTOINDY_SUITE:
+        fn = workload.build()
+        program = compile_program([fn], isa, base=FLASH_BASE)
+        prepared = workload.make_input(DeterministicRng(2005), SCALE)
+        expected = workload.reference(prepared.data, *prepared.args(0))
+        best = None
+        record = None
+        for _ in range(ROUNDS):
+            machine = build_machine(core, program)
+            machine.cpu.fastpath = fastpath
+            machine.load_data(SRAM_BASE, prepared.data)
+            t0 = time.perf_counter()
+            result = machine.call(fn.name, *prepared.args(SRAM_BASE))
+            elapsed = time.perf_counter() - t0
+            best = elapsed if best is None else min(best, elapsed)
+            record = (workload.name, result, machine.cpu.cycles,
+                      machine.cpu.instructions_executed)
+            assert result == expected
+        total += best
+        records.append(record)
+    return total, records
+
+
+def compute_fastpath():
+    rows = []
+    total_fast = total_slow = 0.0
+    for label, core, isa in TABLE1_CONFIGS:
+        fast_time, fast_records = run_config(core, isa, fastpath=True)
+        slow_time, slow_records = run_config(core, isa, fastpath=False)
+        assert fast_records == slow_records, (
+            f"fast path diverged from reference on {label}")
+        rows.append((label, fast_time, slow_time))
+        total_fast += fast_time
+        total_slow += slow_time
+    speedup = total_slow / total_fast
+
+    # campaign determinism under parallel fan-out (Figure 4-style storm)
+    matrix = interrupt_sweep_matrix(rates=(800, 200), scale=2 if REDUCED else 4)
+    serial = run_campaign(matrix, workers=1)
+    parallel = run_campaign(matrix, workers=2)
+    assert serial.to_json() == parallel.to_json(), "campaign worker-count dependence"
+    assert serial.all_verified
+
+    return {"rows": rows, "speedup": speedup,
+            "campaign_records": len(serial.records)}
+
+
+def test_fastpath_speedup(benchmark):
+    outcome = benchmark.pedantic(compute_fastpath, rounds=1, iterations=1)
+    assert outcome["speedup"] >= SPEEDUP_FLOOR, (
+        f"fast path only {outcome['speedup']:.2f}x (floor {SPEEDUP_FLOOR}x)")
+
+    lines = [
+        f"{label:<22} fast {fast * 1000:7.1f} ms   reference {slow * 1000:7.1f} ms"
+        f"   ({slow / fast:4.2f}x)"
+        for label, fast, slow in outcome["rows"]
+    ]
+    lines.append(f"{'suite total':<22} speedup {outcome['speedup']:.2f}x "
+                 f"(identical cycles/results; floor {SPEEDUP_FLOOR}x)")
+    lines.append(f"campaign: {outcome['campaign_records']} interrupt-storm "
+                 f"scenarios byte-identical at 1 and 2 workers")
+    report("Fast-path execution engine vs reference interpreter (AutoIndy)",
+           lines)
+    benchmark.extra_info["speedup"] = round(outcome["speedup"], 2)
+    benchmark.extra_info["reduced"] = REDUCED

@@ -8,7 +8,7 @@ bit-banding one aliased store does it atomically.
 
 from conftest import report
 
-from repro.core import BITBAND_ALIAS_BASE, FLASH_BASE, SRAM_BASE, build_cortexm3
+from repro.core import FLASH_BASE, SRAM_BASE, build_cortexm3
 from repro.isa import ISA_THUMB2, assemble
 
 SEMAPHORE_BYTE = SRAM_BASE + 0x40

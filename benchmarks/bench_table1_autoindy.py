@@ -12,13 +12,19 @@ stresses the new Thumb-2 instructions harder than EEMBC's originals, so
 the Thumb-2 advantage overshoots the paper's 137% - see EXPERIMENTS.md.
 """
 
+import os
+
 from conftest import report
 
 from repro.workloads import format_table1, table1
 
+#: Table 1 is an 18-cell scenario matrix; fan it across campaign workers.
+#: ``REPRO_BENCH_WORKERS=1`` forces the serial path (identical results).
+WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "2"))
+
 
 def compute_table1():
-    results = table1(seed=2005)
+    results = table1(seed=2005, workers=WORKERS)
     assert all(s.all_verified for s in results), "kernel mis-execution"
     return results
 

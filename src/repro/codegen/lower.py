@@ -36,8 +36,8 @@ from repro.isa.assembler import (
     parse_line,
 )
 from repro.isa.conditions import Condition
-from repro.isa.instructions import ISA_ARM, ISA_THUMB, ISA_THUMB2, Instruction, Mem, Shift, instr
-from repro.isa.registers import LR, PC, SP
+from repro.isa.instructions import ISA_ARM, ISA_THUMB, ISA_THUMB2, Mem, Shift, instr
+from repro.isa.registers import LR, PC
 from repro.isa.thumb import encode_thumb2_imm
 
 _COND = {
@@ -110,6 +110,19 @@ class Backend:
     # ------------------------------------------------------------------
     def emit(self, item: AsmItem) -> None:
         self.items.append(item)
+
+    def _shift_imm_or_mov(self, kind: str, rd: int, rn: int, amount: int,
+                          setflags: bool = False) -> None:
+        """Shift-by-immediate that tolerates amount == 0 (a plain move).
+
+        Full-width bitfield extracts (lsb=0, width=32) reduce the mask
+        sequence's shifts to zero, which 16-bit Thumb cannot encode as
+        LSL/LSR #0."""
+        if amount == 0:
+            if rd != rn:
+                self.emit(instr("MOV", rd=rd, rm=rn))
+            return
+        self.emit(instr(kind, rd=rd, rn=rn, imm=amount, setflags=setflags))
 
     def local(self, name: str) -> str:
         return f"{self.fn.name}__{name}"
@@ -461,13 +474,13 @@ class ArmBackend(Backend):
     # bitfields: shift-mask expansions (the pre-Thumb-2 cost, section 2.1)
     def _op_ubfx(self, op: Op) -> None:
         dst, src = self.reg(op.dst), self.value_reg(op.a)
-        self.emit(instr("LSL", rd=dst, rn=src, imm=32 - op.lsb - op.width))
-        self.emit(instr("LSR", rd=dst, rn=dst, imm=32 - op.width))
+        self._shift_imm_or_mov("LSL", dst, src, 32 - op.lsb - op.width)
+        self._shift_imm_or_mov("LSR", dst, dst, 32 - op.width)
 
     def _op_sbfx(self, op: Op) -> None:
         dst, src = self.reg(op.dst), self.value_reg(op.a)
-        self.emit(instr("LSL", rd=dst, rn=src, imm=32 - op.lsb - op.width))
-        self.emit(instr("ASR", rd=dst, rn=dst, imm=32 - op.width))
+        self._shift_imm_or_mov("LSL", dst, src, 32 - op.lsb - op.width)
+        self._shift_imm_or_mov("ASR", dst, dst, 32 - op.width)
 
     def _op_bfi(self, op: Op) -> None:
         dst = self.reg(op.dst)
@@ -476,8 +489,8 @@ class ArmBackend(Backend):
         exclude = {dst, src, self.scratch}
         temp = self.temp_reg(exclude)
         self.emit(instr("PUSH", reglist=(temp,)))
-        self.emit(instr("LSL", rd=temp, rn=src, imm=32 - op.width))
-        self.emit(instr("LSR", rd=temp, rn=temp, imm=32 - op.width - op.lsb))
+        self._shift_imm_or_mov("LSL", temp, src, 32 - op.width)
+        self._shift_imm_or_mov("LSR", temp, temp, 32 - op.width - op.lsb)
         self.materialize(self.scratch, mask)
         self.emit(instr("BIC", rd=dst, rn=dst, rm=self.scratch))
         self.emit(instr("ORR", rd=dst, rn=dst, rm=temp))
@@ -713,13 +726,13 @@ class ThumbBackend(Backend):
 
     def _op_ubfx(self, op: Op) -> None:
         dst, src = self.reg(op.dst), self.value_reg(op.a)
-        self.emit(instr("LSL", rd=dst, rn=src, imm=32 - op.lsb - op.width, setflags=True))
-        self.emit(instr("LSR", rd=dst, rn=dst, imm=32 - op.width, setflags=True))
+        self._shift_imm_or_mov("LSL", dst, src, 32 - op.lsb - op.width, setflags=True)
+        self._shift_imm_or_mov("LSR", dst, dst, 32 - op.width, setflags=True)
 
     def _op_sbfx(self, op: Op) -> None:
         dst, src = self.reg(op.dst), self.value_reg(op.a)
-        self.emit(instr("LSL", rd=dst, rn=src, imm=32 - op.lsb - op.width, setflags=True))
-        self.emit(instr("ASR", rd=dst, rn=dst, imm=32 - op.width, setflags=True))
+        self._shift_imm_or_mov("LSL", dst, src, 32 - op.lsb - op.width, setflags=True)
+        self._shift_imm_or_mov("ASR", dst, dst, 32 - op.width, setflags=True)
 
     def _op_bfi(self, op: Op) -> None:
         dst = self.reg(op.dst)
@@ -729,8 +742,8 @@ class ThumbBackend(Backend):
         temp = self.temp_reg(exclude)
         self.emit(instr("PUSH", reglist=(temp,)))
         self.emit(instr("MOV", rd=temp, rm=src))
-        self.emit(instr("LSL", rd=temp, rn=temp, imm=32 - op.width, setflags=True))
-        self.emit(instr("LSR", rd=temp, rn=temp, imm=32 - op.width - op.lsb, setflags=True))
+        self._shift_imm_or_mov("LSL", temp, temp, 32 - op.width, setflags=True)
+        self._shift_imm_or_mov("LSR", temp, temp, 32 - op.width - op.lsb, setflags=True)
         self.materialize(self.scratch, mask)
         self.emit(instr("BIC", rd=dst, rn=dst, rm=self.scratch, setflags=True))
         self.emit(instr("ORR", rd=dst, rn=dst, rm=temp, setflags=True))

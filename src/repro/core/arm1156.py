@@ -60,13 +60,18 @@ class Arm1156Core(BaseCpu):
         self.abandoned_transfers = 0
         self._return_stack: list[tuple[InterruptRecord, int, int]] = []
 
+    @property
+    def _irq_queue(self) -> list:
+        return self.vic.queue
+
     # ------------------------------------------------------------------
     # memory paths (through the caches when present)
     # ------------------------------------------------------------------
     def fetch_stalls(self, addr: int, size: int) -> int:
-        port = self.icache if self.icache is not None else self.bus
-        _, stalls = port.read(addr, size, "I")
-        return stalls
+        if self.icache is not None:
+            _, stalls = self.icache.read(addr, size, "I")
+            return stalls
+        return self.bus.fetch_stalls(addr, size)
 
     def data_read(self, addr: int, size: int) -> tuple[int, int]:
         self._mpu_check(addr, size, is_write=False)
@@ -108,6 +113,33 @@ class Arm1156Core(BaseCpu):
         elif m in ("SDIV", "UDIV"):
             cycles += min(11, 1 + (outcome.div_early_exit + 3) // 4)
         return cycles
+
+    def compile_cycles(self, ins: Instruction):
+        """Prebind the ARM1156 cycle cost; divides stay outcome-dependent."""
+        m = ins.mnemonic
+        if m in ("SDIV", "UDIV"):
+            def div_cycles(outcome):
+                if outcome.skipped:
+                    return 1
+                cycles = 1 + min(11, 1 + (outcome.div_early_exit + 3) // 4)
+                return cycles + 2 if outcome.taken else cycles
+            return div_cycles
+        extra = 0
+        if m in ("LDR", "LDRB", "LDRH", "LDRSB", "LDRSH"):
+            extra = 1
+        elif m in ("LDM", "POP", "STM", "PUSH"):
+            extra = (len(ins.reglist) + 1) // 2
+        elif m == "MUL":
+            extra = 1
+        elif m in ("MLA", "MLS", "UMULL", "SMULL"):
+            extra = 2
+        return self._static_cycle_fn(1 + extra, 3 + extra)
+
+    def _fastpath_defer(self) -> bool:
+        # Restartable LDM/STM semantics depend on interrupts arriving
+        # mid-transfer; defer to the reference step() whenever the VIC has
+        # anything pending so those windows are modelled identically.
+        return self.interruptible_ldm and bool(self.vic.queue)
 
     # ------------------------------------------------------------------
     # interrupts: classic vectored scheme + NMI + restartable LDM/STM

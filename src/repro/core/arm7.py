@@ -42,12 +42,15 @@ class Arm7Core(BaseCpu):
         self.vic = vic or VicController()
         self._return_stack: list[tuple[InterruptRecord, int, int]] = []
 
+    @property
+    def _irq_queue(self) -> list:
+        return self.vic.queue
+
     # ------------------------------------------------------------------
     # memory paths: one port, I and D interleave on the same devices
     # ------------------------------------------------------------------
     def fetch_stalls(self, addr: int, size: int) -> int:
-        _, stalls = self.bus.read(addr, size, side="I")
-        return stalls
+        return self.bus.fetch_stalls(addr, size)
 
     def data_read(self, addr: int, size: int) -> tuple[int, int]:
         return self.bus.read(addr, size, side="D")
@@ -84,6 +87,30 @@ class Arm7Core(BaseCpu):
         if ins.rm is not None and ins.shift is None and m in ("LSL", "LSR", "ASR", "ROR"):
             cycles += 1  # register-controlled shift adds an I-cycle
         return cycles
+
+    def compile_cycles(self, ins: Instruction):
+        """Prebind the (static) ARM7 cycle cost for the fast path."""
+        m = ins.mnemonic
+        extra = 0
+        if m in ("LDR", "LDRB", "LDRH", "LDRSB", "LDRSH"):
+            extra = 2
+        elif m in ("STR", "STRB", "STRH"):
+            extra = 1
+        elif m in ("LDM", "POP"):
+            extra = len(ins.reglist) + 1
+        elif m in ("STM", "PUSH"):
+            extra = len(ins.reglist)
+        elif m == "MUL":
+            extra = 2
+        elif m == "MLA":
+            extra = 3
+        elif m in ("UMULL", "SMULL"):
+            extra = 4
+        elif m == "SVC":
+            extra = 2
+        if ins.rm is not None and ins.shift is None and m in ("LSL", "LSR", "ASR", "ROR"):
+            extra += 1
+        return self._static_cycle_fn(1 + extra, 3 + extra)
 
     # ------------------------------------------------------------------
     # classic interrupt scheme: hardware swaps PC, software saves state

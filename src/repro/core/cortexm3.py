@@ -26,7 +26,7 @@ from repro.core.nvic import (
 )
 from repro.isa.assembler import Program
 from repro.isa.instructions import Instruction
-from repro.isa.registers import LR, R12, MASK32
+from repro.isa.registers import R12, MASK32
 from repro.isa.semantics import Outcome
 from repro.memory.bus import SystemBus
 from repro.memory.mpu import Mpu, MpuFault
@@ -51,12 +51,15 @@ class CortexM3Core(BaseCpu):
         self._record_stack: list[InterruptRecord] = []
         self._frame_stack: list[tuple[int, int]] = []  # (sp at entry, frame addr)
 
+    @property
+    def _irq_queue(self) -> list:
+        return self.nvic.queue
+
     # ------------------------------------------------------------------
     # memory paths
     # ------------------------------------------------------------------
     def fetch_stalls(self, addr: int, size: int) -> int:
-        _, stalls = self.bus.read(addr, size, side="I")
-        return stalls
+        return self.bus.fetch_stalls(addr, size)
 
     def data_read(self, addr: int, size: int) -> tuple[int, int]:
         self._mpu_check(addr, size, is_write=False)
@@ -97,6 +100,27 @@ class CortexM3Core(BaseCpu):
             cycles += 1
         # MUL, MOVW/MOVT, bitfield ops, CLZ, RBIT: single cycle
         return cycles
+
+    def compile_cycles(self, ins: Instruction):
+        """Prebind the M3 cycle cost; only divides stay outcome-dependent."""
+        m = ins.mnemonic
+        if m in ("SDIV", "UDIV"):
+            def div_cycles(outcome):
+                if outcome.skipped:
+                    return 1
+                cycles = 1 + min(11, 1 + (outcome.div_early_exit + 3) // 4)
+                return cycles + 1 if outcome.taken else cycles
+            return div_cycles
+        extra = 0
+        if m in ("LDR", "LDRB", "LDRH", "LDRSB", "LDRSH"):
+            extra = 1
+        elif m in ("LDM", "POP", "STM", "PUSH"):
+            extra = len(ins.reglist)
+        elif m in ("TBB", "TBH"):
+            extra = 2
+        elif m in ("UMULL", "SMULL", "MLA", "MLS"):
+            extra = 1
+        return self._static_cycle_fn(1 + extra, 2 + extra)
 
     # ------------------------------------------------------------------
     # NVIC exception scheme: hardware preamble/postamble + tail-chaining

@@ -12,6 +12,17 @@ Concrete cores (:class:`~repro.core.arm7.Arm7Core`,
 Execution semantics are shared (:mod:`repro.isa.semantics`); only *timing*
 and *interrupt architecture* differ between cores, which is precisely the
 contrast the paper draws between its two implementations.
+
+Two execution paths produce identical architectural results:
+
+* ``step()`` - the reference interpreter: full decode and dispatch every
+  instruction.  Always used for single-stepping, IT-block predication,
+  sleep (WFI) ticks, and anything a core defers (restartable LDM/STM).
+* ``run()`` - the **fast path**: dispatches through a predecoded micro-op
+  table (:mod:`repro.isa.predecode`) with per-core cycle costs prebound by
+  :meth:`BaseCpu.compile_cycles`, falling back to ``step()`` whenever the
+  architectural state demands it.  Set ``cpu.fastpath = False`` to force
+  the reference path (the equivalence benchmarks and property tests do).
 """
 
 from __future__ import annotations
@@ -19,7 +30,8 @@ from __future__ import annotations
 from repro.isa.assembler import Program
 from repro.isa.conditions import Condition
 from repro.isa.instructions import Instruction
-from repro.isa.registers import LR, MASK32, Apsr, RegisterFile
+from repro.isa.predecode import MicroOp, compile_exec, predecode
+from repro.isa.registers import MASK32, Apsr, RegisterFile
 from repro.isa.semantics import Outcome, execute
 from repro.core.exceptions import ExecutionError
 from repro.sim.trace import TraceRecorder
@@ -33,6 +45,12 @@ class BaseCpu:
 
     #: human-readable core name, overridden by subclasses
     name = "base"
+
+    #: the live interrupt-controller queue, overridden as a property by
+    #: cores: when it is an empty list the fast loop may skip
+    #: check_interrupts(), which returns None for an empty queue on every
+    #: controller.  None means "no declared controller".
+    _irq_queue: list | None = None
 
     def __init__(self, program: Program, trace: TraceRecorder | None = None) -> None:
         self.program = program
@@ -53,6 +71,11 @@ class BaseCpu:
         self.current_address = 0
         self.current_size = 4
         self.svc_log: list[int] = []
+        #: dispatch through the predecoded micro-op table in run()
+        self.fastpath = True
+        self._fast_table: dict | None = None
+        self._fast_index: dict | None = None
+        self._fast_outcome = Outcome()
 
     # ------------------------------------------------------------------
     # hooks for subclasses
@@ -166,16 +189,151 @@ class BaseCpu:
     def _execute(self, ins: Instruction, condition: Condition | None) -> Outcome:
         return execute(self, ins, condition)
 
+    # ------------------------------------------------------------------
+    # predecoded fast path
+    # ------------------------------------------------------------------
+    def compile_cycles(self, ins: Instruction):
+        """Optionally prebind the cycle cost of ``ins`` for the fast path.
+
+        Subclasses return a closure ``fn(outcome) -> int`` that must agree
+        with :meth:`instruction_cycles` for every outcome, or ``None`` to
+        fall back to calling :meth:`instruction_cycles` dynamically.
+        (``tests/test_fastpath_properties.py`` sweeps the agreement across
+        every mnemonic and outcome shape.)
+        """
+        return None
+
+    @staticmethod
+    def _static_cycle_fn(base: int, taken: int):
+        """The common compile_cycles shape: cost static per instruction,
+        modulated only by the skipped/taken outcome flags."""
+        def cycles(outcome):
+            if outcome.skipped:
+                return 1
+            return taken if outcome.taken else base
+        return cycles
+
+    def _fastpath_defer(self) -> bool:
+        """True when the next instruction must take the reference ``step()``
+        (cores with mid-instruction interrupt semantics override this)."""
+        return False
+
+    def _bind_uop(self, uop):
+        """Close a micro-op over this CPU: one call executes one instruction."""
+        ins = uop.ins
+        exec_fn = uop.exec
+        cond_check = uop.cond_check
+        cycle_fn = self.compile_cycles(ins)
+        if cycle_fn is None:
+            def cycle_fn(outcome, _ins=ins, _dyn=self.instruction_cycles):
+                return _dyn(_ins, outcome)
+        fetch = self.fetch_stalls
+        regs = self.regs
+        outcome = self._fast_outcome
+        address = uop.address
+        size = uop.size
+        next_pc = uop.next_pc
+
+        def fast_step() -> None:
+            self.current_address = address
+            self.current_size = size
+            stalls = fetch(address, size)
+            self._data_stalls = 0
+            # Only taken/skipped are read before being written each step:
+            # cycle models consult regs_transferred/div_early_exit solely
+            # for mnemonics whose handlers assign them, so those (and the
+            # unread read/write tallies) don't need clearing here.
+            outcome.taken = False
+            outcome.skipped = False
+            if cond_check is None or cond_check(self.apsr):
+                exec_fn(self, outcome)
+            else:
+                outcome.skipped = True
+            self.cycles += cycle_fn(outcome) + stalls + self._data_stalls
+            self.instructions_executed += 1
+            if outcome.skipped:
+                self.instructions_skipped += 1
+            if outcome.taken:
+                self.branches_taken += 1
+            elif not self.halted:
+                regs.values[15] = next_pc
+
+        return fast_step
+
+    def _fast_dispatch_table(self) -> dict:
+        index = self.program._by_address
+        if self._fast_table is None or self._fast_index is not index:
+            # keyed on the index's identity: reassigning _by_address (the
+            # merge-two-images pattern) invalidates the bound table
+            self._fast_table = {
+                addr: self._bind_uop(uop)
+                for addr, uop in predecode(self.program).items()
+            }
+            self._fast_index = index
+        return self._fast_table
+
     def run(self, max_instructions: int = 1_000_000) -> int:
         """Run until halt; returns instructions executed.  Raises if the
-        instruction budget is exhausted (runaway program guard)."""
+        instruction budget is exhausted (runaway program guard).
+
+        Dispatches through the predecoded fast path unless ``fastpath`` is
+        False; results (registers, flags, cycles, traces) are identical
+        either way."""
         start = self.instructions_executed
+        if not self.fastpath:
+            while not self.halted:
+                if self.instructions_executed - start >= max_instructions:
+                    raise ExecutionError(
+                        f"exceeded {max_instructions} instructions without halting")
+                self.step()
+            return self.instructions_executed - start
+        table = self._fast_dispatch_table()
+        table_get = table.get
+        limit = start + max_instructions
+        step = self.step
+        check_interrupts = self.check_interrupts
+        pc_slot = self.regs.values
+        defer = None
+        if type(self)._fastpath_defer is not BaseCpu._fastpath_defer:
+            defer = self._fastpath_defer
+        # Captured per run() so a controller swapped in between runs is
+        # honoured; raise_irq() mutates the same list, so storms raised
+        # mid-run (or from handlers) stay visible.
+        irq_queue = self._irq_queue
+        # Unknown interrupt scheme (override without a declared queue):
+        # poll unconditionally, as the reference loop does.
+        poll_always = (irq_queue is None
+                       and type(self).check_interrupts is not BaseCpu.check_interrupts)
         while not self.halted:
-            if self.instructions_executed - start >= max_instructions:
+            if self.instructions_executed >= limit:
                 raise ExecutionError(
                     f"exceeded {max_instructions} instructions without halting")
-            self.step()
+            if self.sleeping or self._it_queue or (defer is not None and defer()):
+                step()
+                continue
+            if poll_always or irq_queue:
+                check_interrupts()
+                if self.halted:
+                    break
+            fast_step = table_get(pc_slot[15])
+            if fast_step is None:
+                fast_step = self._predecode_missing(table, pc_slot[15])
+            fast_step()
         return self.instructions_executed - start
+
+    def _predecode_missing(self, table: dict, pc: int):
+        """Lazily bind an address the predecode pass did not see.
+
+        Instructions can join the program's execution index after the pass
+        (e.g. a second program image merged in for an ISR); predecode them
+        on first dispatch so such programs stay on the fast path."""
+        ins = self.program.instruction_at(pc)
+        if ins is None:
+            raise ExecutionError(
+                f"no instruction at pc={pc:#010x} ({self.name})")
+        fast_step = self._bind_uop(MicroOp(ins, compile_exec(ins, self.program.isa)))
+        table[pc] = fast_step
+        return fast_step
 
     def run_cycles(self, budget: int) -> None:
         """Run until at least ``budget`` cycles have elapsed (or halt)."""
@@ -204,6 +362,10 @@ class BaseCpu:
         self.regs.lr = HALT_ADDRESS
         self.regs.pc = self.program.symbols[symbol]
         self.halted = False
+        # A WFI or a dangling IT block from a previous call must not leak
+        # into this one: each call starts awake with no predication state.
+        self.sleeping = False
+        self._it_queue.clear()
         self.run(max_instructions=max_instructions)
         return self.regs.read(0)
 

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from repro.isa.conditions import Condition
 from repro.isa.instructions import Instruction, Mem, Shift
-from repro.isa.registers import MASK32, PC, SP
+from repro.isa.registers import MASK32, SP
 
 _DP_OPCODES = {
     "AND": 0x0, "EOR": 0x1, "SUB": 0x2, "RSB": 0x3,

@@ -21,7 +21,6 @@ import re
 from dataclasses import dataclass, field
 
 from repro.isa import arm32, thumb
-from repro.isa.arm32 import EncodingError
 from repro.isa.conditions import Condition
 from repro.isa.instructions import (
     ISA_ARM,

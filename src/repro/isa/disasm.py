@@ -8,7 +8,7 @@ property tests.
 from __future__ import annotations
 
 from repro.isa.arm32 import decode_arm
-from repro.isa.instructions import ISA_ARM, ISA_THUMB, ISA_THUMB2, Instruction
+from repro.isa.instructions import ISA_ARM, Instruction
 from repro.isa.thumb import is_wide
 from repro.isa.thumb_decode import decode_thumb
 

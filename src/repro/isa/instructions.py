@@ -14,7 +14,7 @@ of encoder/decoder round trips straightforward.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from repro.isa.conditions import Condition
 

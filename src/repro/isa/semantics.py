@@ -16,7 +16,7 @@ from dataclasses import dataclass
 from typing import Protocol
 
 from repro.isa.conditions import Condition, condition_passed
-from repro.isa.instructions import Instruction, Mem, Shift
+from repro.isa.instructions import Instruction, Mem
 from repro.isa.registers import MASK32, PC, Apsr, RegisterFile
 
 
@@ -410,8 +410,6 @@ def _exec_store(cpu, ins, outcome):
 
 
 def _exec_block(cpu, ins, outcome):
-    from repro.isa.registers import SP
-
     op = ins.mnemonic
     regs = sorted(ins.reglist)
     count = len(regs)

@@ -17,7 +17,7 @@ both instruction sets so the decoder does not need to know the ISA.
 from __future__ import annotations
 
 from repro.isa.conditions import Condition
-from repro.isa.instructions import Instruction, Mem, Shift
+from repro.isa.instructions import Instruction, Shift
 from repro.isa.registers import LR, MASK32, PC, SP
 
 from repro.isa.arm32 import EncodingError

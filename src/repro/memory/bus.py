@@ -80,6 +80,27 @@ class SystemBus:
             self.accesses.append(AccessRecord(addr, size, "R", side, stalls))
         return value, stalls
 
+    def fetch_stalls(self, addr: int, size: int) -> int:
+        """Instruction-side fetch: timing only, value discarded.
+
+        Bookkeeping (read counters, stall totals, access records) matches
+        :meth:`read` exactly, so fast-path and reference execution leave
+        identical bus statistics behind.
+        """
+        device = self.device_at(addr)
+        if device is None:
+            raise BusFault(addr)
+        fetch = getattr(device, "fetch_stalls", None)
+        if fetch is not None:
+            stalls = fetch(addr, size)
+        else:
+            _, stalls = device.read(addr, size, "I")
+        self.reads += 1
+        self.total_stalls += stalls
+        if self.record:
+            self.accesses.append(AccessRecord(addr, size, "R", "I", stalls))
+        return stalls
+
     def write(self, addr: int, size: int, value: int, side: str = "D") -> int:
         """Write ``size`` bytes; returns stall_cycles."""
         device = self.device_at(addr)

@@ -12,7 +12,7 @@ The injector is deliberately decoupled from the memories: it only needs a
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.sim.rng import DeterministicRng
 

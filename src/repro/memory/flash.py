@@ -80,6 +80,19 @@ class Flash(RamBackedDevice):
             stalls += self._access(addr + size - 1)  # straddles two lines
         return self._get(addr, size), stalls
 
+    def fetch_stalls(self, addr: int, size: int) -> int:
+        """Timing of an instruction fetch without materialising the value.
+
+        The stream/prefetch state advances exactly as :meth:`read` would;
+        only the (discarded) data extraction is skipped.  The execution
+        engine fetches through this on the hot path.
+        """
+        self._offset(addr, size)  # same bounds check as a real read
+        stalls = self._access(addr)
+        if addr + size > self._line_of(addr) + self.line_bytes:
+            stalls += self._access(addr + size - 1)
+        return stalls
+
     def write(self, addr: int, size: int, value: int, side: str = "D") -> int:
         # Program-time writes (loader/flash-patch); not timed as runtime cost.
         self._set(addr, size, value)

@@ -18,6 +18,12 @@ class Sram(RamBackedDevice):
         self.reads += 1
         return self._get(addr, size), self.wait_states
 
+    def fetch_stalls(self, addr: int, size: int) -> int:
+        """Instruction-fetch timing (value discarded); counts as a read."""
+        self._offset(addr, size)
+        self.reads += 1
+        return self.wait_states
+
     def write(self, addr: int, size: int, value: int, side: str = "D") -> int:
         self.writes += 1
         self._set(addr, size, value)

@@ -17,7 +17,7 @@ latency bound a designer would compute.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.sim.events import EventScheduler
 

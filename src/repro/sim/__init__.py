@@ -8,6 +8,18 @@ simulations are reproducible bit-for-bit from a seed.
 from repro.sim.events import Event, EventScheduler, SimulationEnded
 from repro.sim.rng import DeterministicRng
 from repro.sim.trace import TraceRecord, TraceRecorder
+# campaign last: it lazily imports the higher layers (codegen, core,
+# workloads) inside its functions, never at module import time.
+from repro.sim.campaign import (
+    CampaignResult,
+    InterruptProfile,
+    ScenarioRecord,
+    ScenarioSpec,
+    interrupt_sweep_matrix,
+    run_campaign,
+    run_scenario,
+    table1_matrix,
+)
 
 __all__ = [
     "Event",
@@ -16,4 +28,12 @@ __all__ = [
     "DeterministicRng",
     "TraceRecord",
     "TraceRecorder",
+    "CampaignResult",
+    "InterruptProfile",
+    "ScenarioRecord",
+    "ScenarioSpec",
+    "interrupt_sweep_matrix",
+    "run_campaign",
+    "run_scenario",
+    "table1_matrix",
 ]

@@ -1,0 +1,259 @@
+"""Parallel scenario-matrix campaign runner.
+
+The paper's headline numbers are *sweeps*: Table 1 runs the whole AutoIndy
+suite on three (core, ISA) configurations, Figure 4 sweeps interrupt storms
+across both interrupt architectures.  This module turns such sweeps into a
+first-class object - a list of :class:`ScenarioSpec` fanned across
+``multiprocessing`` workers - while keeping a hard determinism guarantee:
+
+* every scenario derives its RNG stream purely from its own spec (a CRC-32
+  of the scenario key mixed with the seed), never from a shared stream or
+  from worker identity;
+* results come back in input order regardless of worker count;
+* :meth:`CampaignResult.to_json` is canonical (sorted keys, no wall-clock
+  or host state), so a campaign's output is **byte-identical** for 1, 2,
+  or N workers - ``tests/test_campaign.py`` asserts exactly that.
+
+Scenario execution itself reuses the verified kernel harness pieces
+(compile -> load -> run -> check against the pure-Python reference) and
+runs on the predecoded fast path by default, so large matrices finish in
+seconds instead of minutes.
+
+Interrupt profiles
+------------------
+A scenario may carry an :class:`InterruptProfile`: a deterministic storm of
+IRQs raised against the NVIC while the kernel runs.  Profiles are limited
+to the Cortex-M3, and that restriction is the paper's own section 3.2.1
+point: hardware stacking makes handlers plain compiled functions, so a
+C-level ``irq_tick`` can preempt an arbitrary kernel without corrupting it.
+On the VIC cores a compiled handler would clobber caller-saved registers
+(the software preamble the paper contrasts), so asking for a profile there
+raises ``ValueError`` rather than silently mis-executing.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import zlib
+from dataclasses import dataclass, field
+
+from repro.sim.rng import DeterministicRng
+
+#: SRAM address of the irq_tick counter: far above workload input blobs
+#: (loaded at SRAM_BASE) and far below the stack (which grows down from
+#: the top of the default 128 KiB SRAM).
+IRQ_COUNTER_OFFSET = 0x1_0000
+
+
+@dataclass(frozen=True)
+class InterruptProfile:
+    """A deterministic IRQ storm delivered while the kernel runs."""
+
+    count: int = 4
+    mean_gap: int = 500        # mean cycles between asserts (exponential)
+    start_cycle: int = 50
+    priority_span: int = 2     # priorities cycle over [0, span)
+
+    def schedule(self, rng: DeterministicRng) -> list[tuple[int, int, int]]:
+        """(number, assert_cycle, priority) triples, reproducible per rng."""
+        events = []
+        cycle = self.start_cycle
+        for index in range(self.count):
+            cycle += 1 + int(rng.exponential(1.0 / self.mean_gap))
+            events.append((index + 1, cycle, index % self.priority_span))
+        return events
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One cell of a campaign matrix."""
+
+    label: str
+    core: str                   # 'arm7' | 'cortex-m3' | 'm3' | 'arm1156'
+    isa: str                    # 'arm' | 'thumb' | 'thumb2'
+    workload: str               # AutoIndy kernel name
+    seed: int = 2005
+    scale: int = 1
+    interrupts: InterruptProfile | None = None
+    machine_kwargs: tuple = ()  # (key, value) pairs; tuple keeps specs hashable
+    fastpath: bool = True
+
+    def key(self) -> str:
+        """Stable identity used for RNG derivation and result ordering."""
+        return (f"{self.label}/{self.core}/{self.isa}/{self.workload}"
+                f"/seed{self.seed}/scale{self.scale}")
+
+    def rng(self) -> DeterministicRng:
+        """The scenario's private stream: a pure function of the spec.
+
+        Worker processes never share RNG state, so campaign output cannot
+        depend on how scenarios were distributed.
+        """
+        salt = zlib.crc32(self.key().encode("utf-8"))
+        return DeterministicRng((self.seed * 1_000_003 + salt) & 0xFFFFFFFF)
+
+
+@dataclass
+class ScenarioRecord:
+    """Outcome of one scenario (KernelRun fields + interrupt statistics)."""
+
+    label: str
+    core: str
+    isa: str
+    workload: str
+    seed: int
+    scale: int
+    result: int
+    expected: int
+    cycles: int
+    instructions: int
+    code_bytes: int
+    total_bytes: int
+    irqs_serviced: int = 0
+    irqs_tail_chained: int = 0
+    irq_ticks: int = 0
+
+    @property
+    def verified(self) -> bool:
+        return self.result == self.expected
+
+    def to_kernel_run(self):
+        """Adapt to the Table 1 harness's :class:`KernelRun` record."""
+        from repro.workloads.harness import KernelRun
+
+        return KernelRun(
+            workload=self.workload, isa=self.isa, core=self.core,
+            result=self.result, expected=self.expected, cycles=self.cycles,
+            instructions=self.instructions, code_bytes=self.code_bytes,
+            total_bytes=self.total_bytes,
+        )
+
+
+@dataclass
+class CampaignResult:
+    """All scenario records, in input order."""
+
+    records: list[ScenarioRecord] = field(default_factory=list)
+
+    @property
+    def all_verified(self) -> bool:
+        return all(r.verified for r in self.records)
+
+    def to_json(self) -> str:
+        """Canonical serialisation: byte-identical across worker counts."""
+        payload = [vars(r) for r in self.records]
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _build_irq_tick():
+    """A compiled handler: bump a counter word.  Safe to enter from any
+    kernel instruction *on the Cortex-M3 only* (hardware stacking)."""
+    from repro.codegen import IrBuilder
+    from repro.core import SRAM_BASE
+
+    b = IrBuilder("irq_tick", num_params=0)
+    addr = b.const(SRAM_BASE + IRQ_COUNTER_OFFSET)
+    b.store(b.add(b.load(addr, 0), 1), addr, 0)
+    b.ret(b.const(0))
+    return b.build()
+
+
+def run_scenario(spec: ScenarioSpec) -> ScenarioRecord:
+    """Compile, execute, and verify one scenario (also the worker entry)."""
+    # Imports are local so the module stays import-light for worker spawn.
+    from repro.codegen import compile_program
+    from repro.core import FLASH_BASE, SRAM_BASE, build_machine
+    from repro.workloads.kernels import WORKLOADS_BY_NAME
+
+    if spec.workload not in WORKLOADS_BY_NAME:
+        raise KeyError(f"unknown workload {spec.workload!r}")
+    if spec.interrupts is not None and spec.core not in ("m3", "cortex-m3"):
+        raise ValueError(
+            "interrupt profiles require the Cortex-M3's hardware stacking; "
+            f"core {spec.core!r} would corrupt caller-saved registers")
+    workload = WORKLOADS_BY_NAME[spec.workload]
+    functions = [workload.build()]
+    if spec.interrupts is not None:
+        functions.append(_build_irq_tick())
+    program = compile_program(functions, spec.isa, base=FLASH_BASE)
+    machine = build_machine(spec.core, program, **dict(spec.machine_kwargs))
+    machine.cpu.fastpath = spec.fastpath
+
+    # Inputs are seeded exactly as the Table 1 harness seeds them, so a
+    # campaign over the same matrix reproduces run_kernel() cycle-for-cycle;
+    # the scenario-private stream (spec.rng) drives the stochastic extras.
+    prepared = workload.make_input(DeterministicRng(spec.seed), spec.scale)
+    machine.load_data(SRAM_BASE, prepared.data)
+
+    irq_ticks = 0
+    if spec.interrupts is not None:
+        handler = program.symbols["irq_tick"]
+        for number, cycle, priority in spec.interrupts.schedule(spec.rng()):
+            machine.cpu.nvic.raise_irq(number, handler=handler,
+                                       at_cycle=cycle, priority=priority)
+
+    result = machine.call(functions[0].name, *prepared.args(SRAM_BASE))
+    expected = workload.reference(prepared.data, *prepared.args(0))
+
+    serviced = tail_chained = 0
+    if spec.interrupts is not None:
+        stats = machine.cpu.nvic.stats
+        serviced = stats.serviced
+        tail_chained = stats.tail_chained
+        irq_ticks = machine.bus.read_raw(SRAM_BASE + IRQ_COUNTER_OFFSET, 4)
+
+    return ScenarioRecord(
+        label=spec.label, core=spec.core, isa=spec.isa,
+        workload=spec.workload, seed=spec.seed, scale=spec.scale,
+        result=result, expected=expected,
+        cycles=machine.cpu.cycles,
+        instructions=machine.cpu.instructions_executed,
+        code_bytes=program.code_bytes,
+        total_bytes=program.code_bytes + program.literal_bytes,
+        irqs_serviced=serviced, irqs_tail_chained=tail_chained,
+        irq_ticks=irq_ticks,
+    )
+
+
+def run_campaign(specs: list[ScenarioSpec], workers: int | None = None) -> CampaignResult:
+    """Run a scenario matrix, optionally across worker processes.
+
+    ``workers`` of ``None``, 0, or 1 runs serially in-process.  Output is
+    identical (byte-for-byte once serialised) for every worker count.
+    """
+    specs = list(specs)
+    if workers is None or workers <= 1 or len(specs) <= 1:
+        return CampaignResult(records=[run_scenario(s) for s in specs])
+    workers = min(workers, len(specs))
+    with multiprocessing.Pool(processes=workers) as pool:
+        records = pool.map(run_scenario, specs, chunksize=1)
+    return CampaignResult(records=records)
+
+
+def table1_matrix(seed: int = 2005, scale: int = 1,
+                  machine_kwargs: tuple = ()) -> list[ScenarioSpec]:
+    """The paper's Table 1 as a campaign matrix: 3 configs x 6 kernels."""
+    from repro.workloads.harness import TABLE1_CONFIGS
+    from repro.workloads.kernels import AUTOINDY_SUITE
+
+    return [
+        ScenarioSpec(label=label, core=core, isa=isa, workload=w.name,
+                     seed=seed, scale=scale, machine_kwargs=machine_kwargs)
+        for label, core, isa in TABLE1_CONFIGS
+        for w in AUTOINDY_SUITE
+    ]
+
+
+def interrupt_sweep_matrix(rates: tuple[int, ...] = (2000, 1000, 500, 250),
+                           seed: int = 2005, scale: int = 4) -> list[ScenarioSpec]:
+    """A Figure 4-flavoured matrix: the M3 suite under rising IRQ pressure."""
+    from repro.workloads.kernels import AUTOINDY_SUITE
+
+    return [
+        ScenarioSpec(label=f"M3 irq mean_gap={gap}", core="m3", isa="thumb2",
+                     workload=w.name, seed=seed, scale=scale,
+                     interrupts=InterruptProfile(count=8, mean_gap=gap))
+        for gap in rates
+        for w in AUTOINDY_SUITE
+    ]

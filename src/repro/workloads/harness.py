@@ -111,6 +111,13 @@ def run_kernel(workload: Workload, core: str, isa: str, seed: int = 2005,
     )
 
 
+def _combined_code_size(isa: str, backend_options: dict | None = None) -> int:
+    """Code+literal bytes of the suite linked as one image (shared helpers)."""
+    combined = compile_program([w.build() for w in AUTOINDY_SUITE], isa,
+                               base=FLASH_BASE, **(backend_options or {}))
+    return combined.code_bytes + combined.literal_bytes
+
+
 def run_suite(label: str, core: str, isa: str, seed: int = 2005, scale: int = 1,
               machine_kwargs: dict | None = None,
               backend_options: dict | None = None) -> SuiteResult:
@@ -120,18 +127,38 @@ def run_suite(label: str, core: str, isa: str, seed: int = 2005, scale: int = 1,
         suite.runs.append(run_kernel(workload, core, isa, seed=seed, scale=scale,
                                      machine_kwargs=machine_kwargs,
                                      backend_options=backend_options))
-    combined = compile_program([w.build() for w in AUTOINDY_SUITE], isa,
-                               base=FLASH_BASE, **(backend_options or {}))
-    suite.suite_code_bytes = combined.code_bytes + combined.literal_bytes
+    suite.suite_code_bytes = _combined_code_size(isa, backend_options)
     return suite
 
 
 def table1(seed: int = 2005, scale: int = 1,
-           machine_kwargs: dict | None = None) -> list[SuiteResult]:
-    """Reproduce the paper's Table 1: three configurations over the suite."""
-    return [run_suite(label, core, isa, seed=seed, scale=scale,
-                      machine_kwargs=machine_kwargs)
-            for label, core, isa in TABLE1_CONFIGS]
+           machine_kwargs: dict | None = None,
+           workers: int | None = None) -> list[SuiteResult]:
+    """Reproduce the paper's Table 1: three configurations over the suite.
+
+    ``workers`` > 1 fans the 18-cell scenario matrix across processes via
+    the campaign runner (:mod:`repro.sim.campaign`); the aggregated result
+    is identical to the serial run for any worker count.
+    """
+    if workers is None or workers <= 1:
+        return [run_suite(label, core, isa, seed=seed, scale=scale,
+                          machine_kwargs=machine_kwargs)
+                for label, core, isa in TABLE1_CONFIGS]
+
+    from repro.sim.campaign import run_campaign, table1_matrix
+
+    kwargs_tuple = tuple(sorted((machine_kwargs or {}).items()))
+    specs = table1_matrix(seed=seed, scale=scale, machine_kwargs=kwargs_tuple)
+    campaign = run_campaign(specs, workers=workers)
+    results: list[SuiteResult] = []
+    records = iter(campaign.records)
+    for label, core, isa in TABLE1_CONFIGS:
+        suite = SuiteResult(label=label, core=core, isa=isa)
+        for _ in AUTOINDY_SUITE:
+            suite.runs.append(next(records).to_kernel_run())
+        suite.suite_code_bytes = _combined_code_size(isa)
+        results.append(suite)
+    return results
 
 
 def format_table1(results: list[SuiteResult]) -> str:

@@ -132,3 +132,19 @@ def test_interpreter_matches_machines_on_memory_sum(values):
         machine = build_cortexm3(program) if isa == ISA_THUMB2 else build_arm7(program)
         machine.load_data(0x2000_0000, payload)
         assert machine.call("sumarr", 0x2000_0000, len(values)) == expected, isa
+
+
+def test_full_width_bitfield_extracts_compile_everywhere():
+    """Regression: ubfx/sbfx with lsb=0, width=32 reduce the Thumb mask
+    sequence's shifts to zero, which 16-bit Thumb cannot encode - the
+    lowering must emit a plain MOV (or nothing) instead."""
+    for make, expected in (
+        (lambda b, x: b.ubfx(x, 0, 32), 0xDEADBEEF),
+        (lambda b, x: b.sbfx(x, 0, 32), 0xDEADBEEF),
+    ):
+        b = IrBuilder("fullwidth", num_params=1)
+        (x,) = b.params
+        b.ret(make(b, x))
+        fn = b.build()
+        for isa in (ISA_ARM, ISA_THUMB, ISA_THUMB2):
+            assert compile_and_run(fn, isa, (0xDEADBEEF,)) == expected, isa

@@ -261,3 +261,44 @@ def test_thumb_and_arm_same_result_different_size():
     m_thumb = build_arm7(thumb)
     m_arm = build_arm7(arm)
     assert m_thumb.call("sum_to_n", 30) == m_arm.call("sum_to_n", 30) == 465
+
+
+def test_call_resets_wfi_sleep_between_calls():
+    """A WFI left over from one call() must not leak into the next."""
+    program = assemble(
+        """
+        napper:
+            wfi
+            bx lr
+        worker:
+            movs r0, #42
+            bx lr
+        """,
+        ISA_THUMB2, base=FLASH_BASE,
+    )
+    machine = build_cortexm3(program)
+    machine.cpu.nvic.raise_irq(1, handler=program.symbols["worker"],
+                               at_cycle=10)
+    machine.call("napper", max_instructions=1000)
+    # second call must start awake regardless of how the first one ended
+    machine.cpu.sleeping = True  # simulate a call abandoned mid-WFI
+    assert machine.call("worker") == 42
+    assert not machine.cpu.sleeping
+
+
+def test_call_resets_dangling_it_block_between_calls():
+    """A truncated IT block must not predicate the next call's code."""
+    program = assemble(
+        """
+        worker:
+            movs r0, #42
+            bx lr
+        """,
+        ISA_THUMB2, base=FLASH_BASE,
+    )
+    machine = build_cortexm3(program)
+    from repro.isa import Condition
+    machine.cpu._it_queue = [Condition.NE, Condition.NE]  # dangling state
+    machine.cpu.apsr.z = True  # NE would skip everything
+    assert machine.call("worker") == 42
+    assert not machine.cpu._it_queue

@@ -1,7 +1,6 @@
 """Interrupt-architecture tests: VIC software entry, NVIC hardware entry,
 tail-chaining, NMI, and the ARM1156 restartable LDM."""
 
-import pytest
 
 from repro.core import FLASH_BASE, SRAM_BASE, build_arm7, build_arm1156, build_cortexm3
 from repro.isa import ISA_THUMB, ISA_THUMB2, assemble

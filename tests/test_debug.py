@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import FLASH_BASE, build_cortexm3
+from repro.core import FLASH_BASE
 from repro.debug import (
     FlashPatchUnit,
     FpbError,

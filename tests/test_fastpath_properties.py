@@ -1,0 +1,470 @@
+"""Property tests: predecoded fast-path execution == reference interpreter.
+
+The fast path (:mod:`repro.isa.predecode` + ``BaseCpu.run``) must be
+*architecturally indistinguishable* from single-stepping the reference
+interpreter: same registers, flags, memory, cycle counts, statistics, and
+trace - on every core, for arbitrary programs, with and without interrupts.
+These tests generate randomised programs (hypothesis) and run curated
+worst cases (IT blocks, WFI, interrupt storms, restartable LDM windows),
+executing each twice and diffing the complete machine state.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    FLASH_BASE,
+    SRAM_BASE,
+    build_arm7,
+    build_arm1156,
+    build_cortexm3,
+)
+from repro.isa import (
+    ISA_ARM,
+    ISA_THUMB,
+    ISA_THUMB2,
+    AssemblyError,
+    EncodingError,
+    assemble,
+)
+from repro.sim.trace import TraceRecorder
+from repro.workloads import TABLE1_CONFIGS, run_kernel
+from repro.workloads.kernels import AUTOINDY_SUITE
+
+SCRATCH_BYTES = 64
+
+
+def _build_machine(isa: str, source: str, core: str = "", trace: bool = False):
+    program = assemble(source, isa, base=FLASH_BASE)
+    recorder = TraceRecorder(enabled=trace)
+    if isa == ISA_THUMB2 and core != "arm1156":
+        return build_cortexm3(program, trace=recorder)
+    if core == "arm1156":
+        return build_arm1156(program, trace=recorder)
+    return build_arm7(program, trace=recorder)
+
+
+def _state(machine) -> dict:
+    cpu = machine.cpu
+    return {
+        "regs": cpu.regs.snapshot(),
+        "apsr": str(cpu.apsr),
+        "cycles": cpu.cycles,
+        "executed": cpu.instructions_executed,
+        "skipped": cpu.instructions_skipped,
+        "branches": cpu.branches_taken,
+        "halted": cpu.halted,
+        "svc": tuple(cpu.svc_log),
+        "scratch": bytes(machine.sram.data[:SCRATCH_BYTES]),
+        "bus_reads": machine.bus.reads,
+        "bus_writes": machine.bus.writes,
+        "bus_stalls": machine.bus.total_stalls,
+        "trace": tuple(cpu.trace.records),
+    }
+
+
+def run_both(isa: str, source: str, args=(), core: str = "",
+             trace: bool = False) -> tuple[dict, dict]:
+    """Run ``source`` through fast path and reference; return both states."""
+    states = []
+    for fastpath in (True, False):
+        machine = _build_machine(isa, source, core=core, trace=trace)
+        machine.cpu.fastpath = fastpath
+        machine.call("main", *args, max_instructions=200_000)
+        states.append(_state(machine))
+    return states[0], states[1]
+
+
+def assert_equivalent(isa: str, source: str, args=(), core: str = "",
+                      trace: bool = False) -> None:
+    fast, slow = run_both(isa, source, args=args, core=core, trace=trace)
+    assert fast == slow, (
+        f"fast path diverged on {core or isa}: "
+        f"{ {k: (fast[k], slow[k]) for k in fast if fast[k] != slow[k]} }")
+
+
+# ----------------------------------------------------------------------
+# randomised program generation
+# ----------------------------------------------------------------------
+
+REG = st.integers(min_value=1, max_value=7)   # r0 is the scratch pointer
+IMM8 = st.integers(min_value=0, max_value=255)
+SHIFT = st.integers(min_value=1, max_value=31)
+WOFF = st.integers(min_value=0, max_value=(SCRATCH_BYTES // 4) - 1)
+
+_OPS = st.one_of(
+    st.tuples(st.just("alu3"),
+              st.sampled_from(["adds", "subs", "ands", "orrs", "eors", "bics"]),
+              REG, REG, REG),
+    st.tuples(st.just("alu_imm"),
+              st.sampled_from(["adds", "subs"]), REG, REG, IMM8),
+    st.tuples(st.just("mov_imm"), st.just("movs"), REG, IMM8),
+    st.tuples(st.just("shift"),
+              st.sampled_from(["lsls", "lsrs", "asrs"]), REG, REG, SHIFT),
+    st.tuples(st.just("mul"), st.just("mul"), REG, REG, REG),
+    st.tuples(st.just("unary"),
+              st.sampled_from(["clz", "rev", "rev16", "uxtb", "uxth",
+                               "sxtb", "sxth", "rbit"]), REG, REG),
+    st.tuples(st.just("cmp_reg"), st.sampled_from(["cmp", "cmn", "tst"]),
+              REG, REG),
+    st.tuples(st.just("cmp_imm"), st.just("cmp"), REG, IMM8),
+    st.tuples(st.just("store"), st.sampled_from(["str", "strb", "strh"]),
+              REG, WOFF),
+    st.tuples(st.just("load"),
+              st.sampled_from(["ldr", "ldrb", "ldrh", "ldrsb", "ldrsh"]),
+              REG, WOFF),
+    st.tuples(st.just("skip"),
+              st.sampled_from(["beq", "bne", "bcs", "bcc", "bge", "blt",
+                               "bgt", "ble", "bmi", "bpl"]),
+              st.sampled_from(["adds", "subs", "eors"]), REG, REG, REG),
+)
+
+
+def render(ops: list[tuple]) -> str:
+    lines = ["main:", "    push {r4, r5, r6, r7}"]
+    for index, op in enumerate(ops):
+        kind = op[0]
+        if kind == "alu3":
+            _, mnem, rd, rn, rm = op
+            lines.append(f"    {mnem} r{rd}, r{rn}, r{rm}")
+        elif kind == "alu_imm":
+            _, mnem, rd, rn, imm = op
+            lines.append(f"    {mnem} r{rd}, r{rn}, #{imm}")
+        elif kind == "mov_imm":
+            _, mnem, rd, imm = op
+            lines.append(f"    {mnem} r{rd}, #{imm}")
+        elif kind == "shift":
+            _, mnem, rd, rn, amount = op
+            lines.append(f"    {mnem} r{rd}, r{rn}, #{amount}")
+        elif kind == "mul":
+            _, mnem, rd, rn, rm = op
+            lines.append(f"    {mnem} r{rd}, r{rn}, r{rm}")
+        elif kind == "unary":
+            _, mnem, rd, rm = op
+            lines.append(f"    {mnem} r{rd}, r{rm}")
+        elif kind in ("cmp_reg",):
+            _, mnem, rn, rm = op
+            lines.append(f"    {mnem} r{rn}, r{rm}")
+        elif kind == "cmp_imm":
+            _, mnem, rn, imm = op
+            lines.append(f"    {mnem} r{rn}, #{imm}")
+        elif kind == "store":
+            _, mnem, rd, word = op
+            lines.append(f"    {mnem} r{rd}, [r0, #{word * 4}]")
+        elif kind == "load":
+            _, mnem, rd, word = op
+            lines.append(f"    {mnem} r{rd}, [r0, #{word * 4}]")
+        elif kind == "skip":
+            _, branch, mnem, rd, rn, rm = op
+            lines.append(f"    {branch} skip_{index}")
+            lines.append(f"    {mnem} r{rd}, r{rn}, r{rm}")
+            lines.append(f"skip_{index}:")
+    lines.append("    pop {r4, r5, r6, r7}")
+    lines.append("    bx lr")
+    return "\n".join(lines)
+
+
+@given(st.lists(_OPS, min_size=1, max_size=24),
+       st.tuples(IMM8, IMM8, IMM8))
+@settings(max_examples=40, deadline=None)
+def test_random_programs_bit_identical(ops, args):
+    """Random straight-line programs with predicated skips: every ISA/core
+    pair must produce identical state on both execution paths."""
+    source = render(ops)
+    r1, r2, r3 = args
+    for isa, core in ((ISA_ARM, ""), (ISA_THUMB, ""),
+                      (ISA_THUMB2, ""), (ISA_THUMB2, "arm1156")):
+        try:
+            assemble(source, isa, base=FLASH_BASE)
+        except (AssemblyError, EncodingError):
+            continue  # e.g. a wide-only op in 16-bit Thumb: not this test's concern
+        assert_equivalent(isa, source, args=(SRAM_BASE, r1, r2, r3), core=core)
+
+
+_IT_CONDS = ["eq", "ne", "cs", "cc", "ge", "lt", "gt", "le"]
+
+
+@given(st.sampled_from(_IT_CONDS),
+       st.sampled_from(["", "t", "e", "tt", "te", "et", "ee"]),
+       st.tuples(IMM8, IMM8))
+@settings(max_examples=30, deadline=None)
+def test_it_blocks_bit_identical(cond, mask, args):
+    """IT-predicated sequences force the fast loop's slow-path fallback;
+    results must still be bit-identical."""
+    from repro.isa import Condition
+
+    first = Condition.parse(cond)
+    inverse = first.inverse.name.lower()
+    body = []
+    for ch in mask:
+        chosen = cond if ch == "t" else inverse
+        body.append(f"    add{chosen} r4, r4, #1")
+    source = "\n".join([
+        "main:",
+        "    movs r4, #0",
+        "    cmp r1, r2",
+        f"    it{mask} {cond}",
+        f"    add{cond} r4, r4, #7",
+        *body,
+        "    mov r0, r4",
+        "    bx lr",
+    ])
+    assert_equivalent(ISA_THUMB2, source, args=(0, args[0], args[1]))
+
+
+# ----------------------------------------------------------------------
+# curated equivalence cases
+# ----------------------------------------------------------------------
+
+def test_autoindy_suite_bit_identical():
+    """Every Table 1 cell: fast and reference runs agree exactly."""
+    for _, core, isa in TABLE1_CONFIGS:
+        for workload in AUTOINDY_SUITE:
+            fast = run_kernel(workload, core, isa, seed=7, scale=2)
+            slow = run_kernel(workload, core, isa, seed=7, scale=2,
+                              machine_kwargs={})
+            assert fast == slow  # sanity: determinism of the harness itself
+            # now force the reference path for the comparison run
+            from repro.codegen import compile_program
+            from repro.core import build_machine
+            from repro.sim.rng import DeterministicRng
+
+            fn = workload.build()
+            program = compile_program([fn], isa, base=FLASH_BASE)
+            prepared = workload.make_input(DeterministicRng(7), 2)
+            machine = build_machine(core, program)
+            machine.cpu.fastpath = False
+            machine.load_data(SRAM_BASE, prepared.data)
+            result = machine.call(fn.name, *prepared.args(SRAM_BASE))
+            assert (result, machine.cpu.cycles,
+                    machine.cpu.instructions_executed) == (
+                fast.result, fast.cycles, fast.instructions), workload.name
+
+
+INTERRUPT_SOURCE = """
+main:
+    movs r0, #0
+loop:
+    adds r0, r0, #1
+    cmp r0, #400
+    bne loop
+    bx lr
+handler:
+    ldr r1, =0x20000100
+    ldr r2, [r1]
+    adds r2, r2, #1
+    str r2, [r1]
+    bx lr
+"""
+
+
+def test_m3_interrupt_storm_bit_identical():
+    """NVIC stacking, tail-chaining, and EXC_RETURN through the fast loop."""
+    states = []
+    for fastpath in (True, False):
+        machine = _build_machine(ISA_THUMB2, INTERRUPT_SOURCE, trace=True)
+        machine.cpu.fastpath = fastpath
+        handler = machine.cpu.program.symbols["handler"]
+        for number, cycle in ((1, 60), (2, 60), (3, 200), (4, 205)):
+            machine.cpu.nvic.raise_irq(number, handler=handler,
+                                       at_cycle=cycle, priority=number)
+        assert machine.call("main") == 400
+        state = _state(machine)
+        state["irq_records"] = [
+            (r.number, r.assert_cycle, r.entry_cycle, r.exit_cycle, r.tail_chained)
+            for r in machine.cpu.nvic.stats.records
+        ]
+        states.append(state)
+    assert states[0] == states[1]
+    assert states[0]["irq_records"], "storm never delivered"
+
+
+def test_arm7_interrupts_bit_identical():
+    states = []
+    for fastpath in (True, False):
+        machine = _build_machine(ISA_THUMB, ARM7_IRQ_SOURCE, trace=True)
+        machine.cpu.fastpath = fastpath
+        handler = machine.cpu.program.symbols["handler"]
+        machine.cpu.vic.raise_irq(1, handler=handler, at_cycle=80)
+        machine.cpu.vic.raise_irq(2, handler=handler, at_cycle=90, priority=1)
+        assert machine.call("main") == 200
+        states.append(_state(machine))
+    assert states[0] == states[1]
+
+
+ARM7_IRQ_SOURCE = """
+main:
+    movs r0, #0
+loop:
+    adds r0, r0, #1
+    cmp r0, #200
+    bne loop
+    bx lr
+handler:
+    push {r1, r2, lr}
+    ldr r1, =0x20000100
+    ldr r2, [r1]
+    adds r2, r2, #1
+    str r2, [r1]
+    pop {r1, r2, pc}
+"""
+
+
+WFI_SOURCE = """
+main:
+    movs r0, #0
+    wfi
+    adds r0, r0, #1
+    bx lr
+handler:
+    bx lr
+"""
+
+
+def test_wfi_wakeup_bit_identical():
+    """Sleep ticks take the reference path inside run(); the wake-up and
+    subsequent fast dispatch must agree with pure slow-path execution."""
+    states = []
+    for fastpath in (True, False):
+        machine = _build_machine(ISA_THUMB2, WFI_SOURCE)
+        machine.cpu.fastpath = fastpath
+        handler = machine.cpu.program.symbols["handler"]
+        machine.cpu.nvic.raise_irq(1, handler=handler, at_cycle=40)
+        assert machine.call("main") == 1
+        states.append(_state(machine))
+    assert states[0] == states[1]
+
+
+LDM_SOURCE = """
+main:
+    ldr r0, =0x20000000
+    movs r5, #0
+    movs r6, #12
+outer:
+    ldm r0, {r1, r2, r3, r4}
+    adds r5, r5, r1
+    adds r5, r5, r2
+    adds r5, r5, r3
+    adds r5, r5, r4
+    subs r6, r6, #1
+    bne outer
+    mov r0, r5
+    bx lr
+handler:
+    bx lr
+"""
+
+
+def test_arm1156_restartable_ldm_bit_identical():
+    """With IRQs pending, the 1156 fast loop must defer to the reference
+    step() so abandoned-transfer timing is modelled identically."""
+    states = []
+    for fastpath in (True, False):
+        machine = _build_machine(ISA_THUMB2, LDM_SOURCE, core="arm1156")
+        machine.cpu.fastpath = fastpath
+        machine.load_data(SRAM_BASE, bytes(range(16)))
+        handler = machine.cpu.program.symbols["handler"]
+        machine.cpu.vic.raise_irq(1, handler=handler, at_cycle=70)
+        machine.cpu.vic.raise_irq(2, handler=handler, at_cycle=260)
+        machine.call("main")
+        state = _state(machine)
+        state["abandoned"] = machine.cpu.abandoned_transfers
+        states.append(state)
+    assert states[0] == states[1]
+
+
+def test_merged_program_images_use_lazy_predecode():
+    """engine_ecu.py merges a second program's instructions into the
+    execution index after machine construction; the fast loop must
+    predecode those addresses on first dispatch, not fault on them."""
+    kernel = assemble(
+        """
+        main:
+            movs r0, #0
+        loop:
+            adds r0, r0, #1
+            cmp r0, #100
+            bne loop
+            bx lr
+        """,
+        ISA_THUMB2, base=FLASH_BASE,
+    )
+    isr = assemble(
+        """
+        crank_isr:
+            ldr r1, =0x20000180
+            ldr r2, [r1]
+            adds r2, r2, #1
+            str r2, [r1]
+            bx lr
+        """,
+        ISA_THUMB2, base=FLASH_BASE + 0x4000,
+    )
+    states = []
+    for fastpath in (True, False):
+        machine = build_cortexm3(kernel)
+        machine.cpu.fastpath = fastpath
+        machine.load_program(isr)
+        merged = dict(kernel._by_address)
+        merged.update(isr._by_address)
+        machine.cpu.program._by_address = merged
+        machine.cpu.nvic.raise_irq(1, handler=isr.symbols["crank_isr"],
+                                   at_cycle=30)
+        assert machine.call("main") == 100
+        states.append(_state(machine))
+    assert states[0] == states[1]
+
+
+def test_compile_cycles_agrees_with_instruction_cycles_everywhere():
+    """Anti-drift guard: the prebound cycle closures must equal the
+    reference instruction_cycles for every mnemonic and outcome shape, on
+    every core.  A cycle-model tweak applied to one side only fails here
+    before any program-level test has to stumble on it."""
+    from itertools import product
+
+    from repro.isa import Outcome, Shift, instr
+    from repro.isa.instructions import ALL_MNEMONICS
+
+    program = assemble("main:\n    bx lr\n", ISA_THUMB2, base=FLASH_BASE)
+    cores = [build_cortexm3(program).cpu,
+             build_arm1156(program).cpu,
+             build_arm7(assemble("main:\n    bx lr\n", ISA_THUMB,
+                                 base=FLASH_BASE)).cpu]
+    outcomes = []
+    for taken, skipped, regs_t, div_bits in product(
+            (False, True), (False, True), (0, 1, 3, 8), (1, 7, 17, 32)):
+        outcomes.append(Outcome(taken=taken, skipped=skipped,
+                                regs_transferred=regs_t,
+                                div_early_exit=div_bits))
+    for mnemonic in sorted(ALL_MNEMONICS):
+        variants = [instr(mnemonic), instr(mnemonic, reglist=(0, 1, 2)),
+                    instr(mnemonic, rm=1), instr(mnemonic, rm=1, shift=Shift("LSL", 2))]
+        for cpu, ins, outcome in product(cores, variants, outcomes):
+            if (mnemonic in ("LDM", "STM", "PUSH", "POP")
+                    and outcome.regs_transferred != len(ins.reglist)):
+                continue  # unreachable: the handler always sets rt=len(reglist)
+            fast = cpu.compile_cycles(ins)
+            if fast is None:
+                continue
+            assert fast(outcome) == cpu.instruction_cycles(ins, outcome), (
+                cpu.name, ins.mnemonic, outcome)
+
+
+def test_cond_checks_agree_with_condition_passed_exhaustively():
+    """Anti-drift guard: the predecoded condition predicates must equal
+    condition_passed() for every condition and every N/Z/C/V combination."""
+    from itertools import product
+
+    from repro.isa import Apsr, Condition, condition_passed
+    from repro.isa.predecode import COND_CHECKS
+
+    for cond in Condition:
+        for n, z, c, v in product((False, True), repeat=4):
+            apsr = Apsr(n=n, z=z, c=c, v=v)
+            reference = condition_passed(cond, apsr)
+            if cond == Condition.AL:
+                assert cond not in COND_CHECKS  # represented as "no check"
+                continue
+            assert bool(COND_CHECKS[cond](apsr)) == reference, (cond, str(apsr))

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.isa import Condition, Instruction, Mem, Shift, execute, instr
-from repro.isa.registers import LR, PC, SP
+from repro.isa.registers import PC
 
 
 def run(cpu, ins, at=0x1000, size=None):
