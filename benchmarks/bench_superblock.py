@@ -1,0 +1,183 @@
+"""Superblock engine: speedup and bit-exactness over the PR 1 fast path.
+
+Runs every Table 1 configuration of the AutoIndy suite through the three
+execution engines (see the execution-engines section of
+:mod:`repro.core.cpu`) - the superblock engine, the per-instruction
+predecoded engine (the PR 1 fast path), and the reference interpreter -
+with compile time excluded, and asserts that
+
+* registers-out, cycle counts, instruction counts, **and the full bus
+  statistics** (reads, writes, total stalls) are identical across all
+  three (the engines are execution engines, not approximations), and
+* the superblock engine beats the predecoded engine by at least
+  ``SPEEDUP_FLOOR`` wall-clock.
+
+Also microbenchmarks the ``SystemBus.device_at`` decode (bisect over
+sorted bases + last-hit span caches, replacing the linear scan) on a
+many-device bus, asserting identical decode results.
+
+Reduced-iteration mode (CI smoke): ``REPRO_BENCH_REDUCED=1`` shrinks the
+workload scale and drops the speedup floors to sanity level - noisy
+shared runners gate on bit-exactness, not the wall-clock ratios; the full
+mode (run locally, no env var) enforces the ≥1.5x floor.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from conftest import report
+
+from repro.codegen import compile_program
+from repro.core import FLASH_BASE, SRAM_BASE, build_machine
+from repro.memory.bus import SystemBus
+from repro.memory.sram import Sram
+from repro.sim.rng import DeterministicRng
+from repro.workloads import TABLE1_CONFIGS
+from repro.workloads.kernels import AUTOINDY_SUITE
+
+REDUCED = os.environ.get("REPRO_BENCH_REDUCED") == "1"
+SCALE = 4 if REDUCED else 16
+ROUNDS = 2 if REDUCED else 3
+#: superblock vs predecoded engine, wall-clock
+SPEEDUP_FLOOR = 0.8 if REDUCED else 1.5
+
+ENGINES = ("superblock", "uops", "reference")
+
+
+def run_config(core: str, isa: str, engine: str) -> tuple[float, list[tuple]]:
+    """Execution-only wall time (best-of-ROUNDS per kernel) + run records."""
+    total = 0.0
+    records = []
+    for workload in AUTOINDY_SUITE:
+        fn = workload.build()
+        program = compile_program([fn], isa, base=FLASH_BASE)
+        prepared = workload.make_input(DeterministicRng(2005), SCALE)
+        expected = workload.reference(prepared.data, *prepared.args(0))
+        best = None
+        record = None
+        for _ in range(ROUNDS):
+            machine = build_machine(core, program)
+            machine.cpu.fastpath = engine != "reference"
+            machine.cpu.superblocks = engine == "superblock"
+            machine.load_data(SRAM_BASE, prepared.data)
+            t0 = time.perf_counter()
+            result = machine.call(fn.name, *prepared.args(SRAM_BASE))
+            elapsed = time.perf_counter() - t0
+            best = elapsed if best is None else min(best, elapsed)
+            record = (workload.name, result, machine.cpu.cycles,
+                      machine.cpu.instructions_executed,
+                      machine.bus.reads, machine.bus.writes,
+                      machine.bus.total_stalls)
+            assert result == expected
+        total += best
+        records.append(record)
+    return total, records
+
+
+def compute_superblock():
+    rows = []
+    totals = dict.fromkeys(ENGINES, 0.0)
+    for label, core, isa in TABLE1_CONFIGS:
+        times = {}
+        records = {}
+        for engine in ENGINES:
+            times[engine], records[engine] = run_config(core, isa, engine)
+            totals[engine] += times[engine]
+        assert records["superblock"] == records["uops"] == records["reference"], (
+            f"engines diverged on {label} (registers/cycles/bus statistics)")
+        rows.append((label, times["superblock"], times["uops"], times["reference"]))
+    return {
+        "rows": rows,
+        "speedup_vs_uops": totals["uops"] / totals["superblock"],
+        "speedup_vs_reference": totals["reference"] / totals["superblock"],
+    }
+
+
+def test_superblock_speedup(benchmark):
+    outcome = benchmark.pedantic(compute_superblock, rounds=1, iterations=1)
+    assert outcome["speedup_vs_uops"] >= SPEEDUP_FLOOR, (
+        f"superblock engine only {outcome['speedup_vs_uops']:.2f}x over the "
+        f"predecoded engine (floor {SPEEDUP_FLOOR}x)")
+
+    lines = [
+        f"{label:<22} superblock {sb * 1000:7.1f} ms   predecoded "
+        f"{uo * 1000:7.1f} ms   reference {ref * 1000:7.1f} ms   "
+        f"({uo / sb:4.2f}x / {ref / sb:4.2f}x)"
+        for label, sb, uo, ref in outcome["rows"]
+    ]
+    lines.append(
+        f"{'suite total':<22} {outcome['speedup_vs_uops']:.2f}x over the PR 1 "
+        f"fast path, {outcome['speedup_vs_reference']:.2f}x over the reference "
+        f"(identical cycles/results/bus stats; floor {SPEEDUP_FLOOR}x)")
+    report("Superblock engine vs predecoded fast path (AutoIndy)", lines)
+    benchmark.extra_info["speedup_vs_uops"] = round(outcome["speedup_vs_uops"], 2)
+    benchmark.extra_info["speedup_vs_reference"] = round(
+        outcome["speedup_vs_reference"], 2)
+    benchmark.extra_info["reduced"] = REDUCED
+
+
+# ----------------------------------------------------------------------
+# SystemBus.device_at microbenchmark (bisect + last-hit vs linear scan)
+# ----------------------------------------------------------------------
+
+DEVICES = 24
+LOOKUPS = 20_000 if REDUCED else 200_000
+
+
+def _linear_device_at(devices, addr):
+    """The pre-bisect decode: scan every device in base order."""
+    for device in devices:
+        if device.base <= addr < device.base + device.size:
+            return device
+    return None
+
+
+def _many_device_bus() -> SystemBus:
+    bus = SystemBus()
+    for index in range(DEVICES):
+        bus.attach(Sram(base=0x1000_0000 * (index + 1) // 4, size=0x1000))
+    return bus
+
+
+def _lookup_addresses():
+    rng = DeterministicRng(7)
+    spans = [(0x1000_0000 * (index + 1) // 4, 0x1000) for index in range(DEVICES)]
+    addresses = []
+    # sequential bursts with occasional device switches: the access shape
+    # the last-hit span caches are built for (and how cores actually walk)
+    for _ in range(LOOKUPS // 16):
+        base, size = spans[rng.randint(0, len(spans) - 1)]
+        start = base + rng.randint(0, size - 65)
+        addresses.extend(start + 4 * i for i in range(16))
+    return addresses
+
+
+def test_bus_device_lookup(benchmark):
+    bus = _many_device_bus()
+    addresses = _lookup_addresses()
+
+    def timed(fn):
+        t0 = time.perf_counter()
+        out = [fn(a) for a in addresses]
+        return time.perf_counter() - t0, out
+
+    def run_both():
+        cached_time, cached = timed(bus.device_at)
+        linear_time, linear = timed(
+            lambda a, devices=bus._devices: _linear_device_at(devices, a))
+        assert cached == linear, "bisect+cache decode disagrees with linear scan"
+        return {"cached_ms": cached_time * 1e3, "linear_ms": linear_time * 1e3,
+                "win": linear_time / cached_time}
+
+    outcome = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    report(f"SystemBus.device_at: bisect + last-hit cache vs linear scan "
+           f"({DEVICES} devices, {len(addresses)} lookups)",
+           [f"cached {outcome['cached_ms']:8.1f} ms",
+            f"linear {outcome['linear_ms']:8.1f} ms",
+            f"win    {outcome['win']:8.2f}x"])
+    benchmark.extra_info["lookup_win"] = round(outcome["win"], 2)
+    if not REDUCED:
+        assert outcome["win"] >= 1.5, (
+            f"device decode only {outcome['win']:.2f}x over the linear scan")

@@ -73,6 +73,34 @@ class Arm1156Core(BaseCpu):
             return stalls
         return self.bus.fetch_stalls(addr, size)
 
+    @property
+    def _bus_fetch(self) -> bool:
+        # a plain bus delegation only when the I-cache is absent
+        return self.icache is None
+
+    def _fetch_port(self):
+        if self.icache is None:
+            return self.bus.fetch_stalls
+        icache_read = self.icache.read
+
+        def fetch(addr: int, size: int) -> int:
+            return icache_read(addr, size, "I")[1]
+        return fetch
+
+    def _fetch_thunk(self, address: int, size: int):
+        if self.icache is None:
+            return self.bus.fetch_thunk(address, size)
+        icache_read = self.icache.read
+
+        def thunk(addr=address, size=size):
+            return icache_read(addr, size, "I")[1]
+        return thunk
+
+    def _data_bus_inline_guard(self) -> str | None:
+        if self.dcache is not None:
+            return None  # every access goes through the cache model
+        return "cpu.mpu is None and "
+
     def data_read(self, addr: int, size: int) -> tuple[int, int]:
         self._mpu_check(addr, size, is_write=False)
         port = self.dcache if self.dcache is not None else self.bus
@@ -82,6 +110,25 @@ class Arm1156Core(BaseCpu):
         self._mpu_check(addr, size, is_write=True)
         port = self.dcache if self.dcache is not None else self.bus
         return port.write(addr, size, value, "D")
+
+    # Collapsed load/store path (identical statistics and timing).
+    def read(self, addr: int, size: int) -> int:
+        if self.mpu is not None:
+            self._mpu_check(addr, size, is_write=False)
+        port = self.dcache
+        if port is None:
+            port = self.bus
+        value, stalls = port.read(addr, size, "D")
+        self._data_stalls += stalls
+        return value
+
+    def write(self, addr: int, size: int, value: int) -> None:
+        if self.mpu is not None:
+            self._mpu_check(addr, size, is_write=True)
+        port = self.dcache
+        if port is None:
+            port = self.bus
+        self._data_stalls += port.write(addr, size, value, "D")
 
     def _mpu_check(self, addr: int, size: int, is_write: bool) -> None:
         if self.mpu is None:
@@ -135,11 +182,25 @@ class Arm1156Core(BaseCpu):
             extra = 2
         return self._static_cycle_fn(1 + extra, 3 + extra)
 
+    @property
+    def _split_block_ops(self) -> bool:
+        # Block transfers must head their own superblock so _fastpath_defer
+        # can inspect every one before it executes.
+        return self.interruptible_ldm
+
     def _fastpath_defer(self) -> bool:
         # Restartable LDM/STM semantics depend on interrupts arriving
-        # mid-transfer; defer to the reference step() whenever the VIC has
-        # anything pending so those windows are modelled identically.
-        return self.interruptible_ldm and bool(self.vic.queue)
+        # mid-transfer: with anything queued (even a far-future assert,
+        # whose window position we cannot bound cheaply), block transfers
+        # take the reference _step_restartable path so abandonment timing
+        # is modelled identically.  Every other instruction only interacts
+        # with interrupts at step boundaries, which the fast loop's event
+        # horizon reproduces exactly - so unlike the PR 1 engine, a queued
+        # future IRQ no longer demotes whole runs to step().
+        if not self.interruptible_ldm or not self.vic.queue:
+            return False
+        ins = self.program.instruction_at(self.regs.values[15])
+        return ins is None or ins.mnemonic in _BLOCK_OPS
 
     # ------------------------------------------------------------------
     # interrupts: classic vectored scheme + NMI + restartable LDM/STM

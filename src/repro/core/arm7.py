@@ -49,14 +49,30 @@ class Arm7Core(BaseCpu):
     # ------------------------------------------------------------------
     # memory paths: one port, I and D interleave on the same devices
     # ------------------------------------------------------------------
+    _bus_fetch = True  # fetch_stalls is a plain bus delegation
+
     def fetch_stalls(self, addr: int, size: int) -> int:
         return self.bus.fetch_stalls(addr, size)
+
+    def _data_bus_inline_guard(self) -> str:
+        return ""  # data path is the bare bus: no per-access checks
 
     def data_read(self, addr: int, size: int) -> tuple[int, int]:
         return self.bus.read(addr, size, side="D")
 
     def data_write(self, addr: int, size: int, value: int) -> int:
         return self.bus.write(addr, size, value, side="D")
+
+    # Collapse the read/write -> data_read/data_write delegation: loads and
+    # stores are the hottest non-fetch path, and the extra frame per access
+    # is pure interpreter overhead.  Identical statistics and timing.
+    def read(self, addr: int, size: int) -> int:
+        value, stalls = self.bus.read(addr, size, "D")
+        self._data_stalls += stalls
+        return value
+
+    def write(self, addr: int, size: int, value: int) -> None:
+        self._data_stalls += self.bus.write(addr, size, value, "D")
 
     # ------------------------------------------------------------------
     # published ARM7TDMI cycle counts (S/N/I cycles folded together)

@@ -58,8 +58,15 @@ class CortexM3Core(BaseCpu):
     # ------------------------------------------------------------------
     # memory paths
     # ------------------------------------------------------------------
+    _bus_fetch = True  # fetch_stalls is a plain bus delegation
+
     def fetch_stalls(self, addr: int, size: int) -> int:
         return self.bus.fetch_stalls(addr, size)
+
+    def _data_bus_inline_guard(self) -> str:
+        # checked dynamically: attaching an MPU reroutes every access
+        # through the full checked path, even in already-fused blocks
+        return "cpu.mpu is None and "
 
     def data_read(self, addr: int, size: int) -> tuple[int, int]:
         self._mpu_check(addr, size, is_write=False)
@@ -68,6 +75,20 @@ class CortexM3Core(BaseCpu):
     def data_write(self, addr: int, size: int, value: int) -> int:
         self._mpu_check(addr, size, is_write=True)
         return self.bus.write(addr, size, value, side="D")
+
+    # Collapsed load/store path (identical statistics and timing); the MPU
+    # consultation stays per-access, it just skips a frame when absent.
+    def read(self, addr: int, size: int) -> int:
+        if self.mpu is not None:
+            self._mpu_check(addr, size, is_write=False)
+        value, stalls = self.bus.read(addr, size, "D")
+        self._data_stalls += stalls
+        return value
+
+    def write(self, addr: int, size: int, value: int) -> None:
+        if self.mpu is not None:
+            self._mpu_check(addr, size, is_write=True)
+        self._data_stalls += self.bus.write(addr, size, value, "D")
 
     def _mpu_check(self, addr: int, size: int, is_write: bool) -> None:
         if self.mpu is None:

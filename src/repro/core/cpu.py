@@ -13,16 +13,42 @@ Execution semantics are shared (:mod:`repro.isa.semantics`); only *timing*
 and *interrupt architecture* differ between cores, which is precisely the
 contrast the paper draws between its two implementations.
 
-Two execution paths produce identical architectural results:
+Execution engines
+-----------------
+Three tiers produce bit-identical architectural results (registers, flags,
+cycle counts, bus statistics, traces); the property tests in
+``tests/test_fastpath_properties.py`` diff complete machine state across
+all three on randomised programs:
 
-* ``step()`` - the reference interpreter: full decode and dispatch every
-  instruction.  Always used for single-stepping, IT-block predication,
-  sleep (WFI) ticks, and anything a core defers (restartable LDM/STM).
-* ``run()`` - the **fast path**: dispatches through a predecoded micro-op
+* ``step()`` - the **reference interpreter**: full decode and dispatch
+  every instruction.  Always used for single-stepping, IT-block
+  predication, sleep (WFI) ticks, and anything a core defers (the
+  ARM1156's restartable LDM/STM windows).  This tier is the semantic
+  ground truth the other two are checked against.
+* the **predecoded engine** (``run()`` with ``superblocks = False``) -
+  dispatches one bound micro-op per loop iteration through a predecoded
   table (:mod:`repro.isa.predecode`) with per-core cycle costs prebound by
-  :meth:`BaseCpu.compile_cycles`, falling back to ``step()`` whenever the
-  architectural state demands it.  Set ``cpu.fastpath = False`` to force
-  the reference path (the equivalence benchmarks and property tests do).
+  :meth:`BaseCpu.compile_cycles`.  Polls the interrupt controller before
+  every instruction whenever requests are queued, exactly like ``step()``.
+* the **superblock engine** (``run()`` with the default
+  ``superblocks = True``) - links chainable micro-ops to their
+  fall-through successor at bind time, groups straight-line runs into
+  *superblocks*, and executes each as a single Python loop with no
+  per-step dict dispatch, no per-step interrupt poll, and slimmer bound
+  steps (pure ALU steps skip all memory/outcome bookkeeping).  Interrupt
+  exactness is preserved by an **event horizon**: the earliest
+  ``assert_cycle`` of any queued request, conservatively ignoring masking
+  and priority.  While ``cycles`` is below the horizon no controller poll
+  can have an effect, so chained execution is unobservable; once the
+  horizon is reached the engine drops to poll-per-instruction dispatch,
+  which is the predecoded engine's behaviour.  Superblocks are built
+  lazily per entry address (so a branch target mid-block simply starts its
+  own block) and invalidated with the micro-op table when the program's
+  execution index is reassigned.
+
+``cpu.fastpath = False`` forces the reference interpreter for a whole
+``run()`` (the equivalence benchmarks and property tests do); with
+``fastpath`` on, ``step()`` is still used for the states noted above.
 """
 
 from __future__ import annotations
@@ -30,7 +56,8 @@ from __future__ import annotations
 from repro.isa.assembler import Program
 from repro.isa.conditions import Condition
 from repro.isa.instructions import Instruction
-from repro.isa.predecode import MicroOp, compile_exec, predecode
+from repro.isa.predecode import compile_uop, predecode
+from repro.core.superblock import FUSE_THRESHOLD, fuse_block
 from repro.isa.registers import MASK32, Apsr, RegisterFile
 from repro.isa.semantics import Outcome, execute
 from repro.core.exceptions import ExecutionError
@@ -73,9 +100,14 @@ class BaseCpu:
         self.svc_log: list[int] = []
         #: dispatch through the predecoded micro-op table in run()
         self.fastpath = True
+        #: chain micro-ops into superblocks (the fastest engine); set to
+        #: False to fall back to per-instruction predecoded dispatch
+        self.superblocks = True
         self._fast_table: dict | None = None
         self._fast_index: dict | None = None
         self._fast_outcome = Outcome()
+        self._sb_blocks: dict[int, list] = {}
+        self._sb_steps: dict[int, object] = {}
 
     # ------------------------------------------------------------------
     # hooks for subclasses
@@ -206,17 +238,82 @@ class BaseCpu:
     @staticmethod
     def _static_cycle_fn(base: int, taken: int):
         """The common compile_cycles shape: cost static per instruction,
-        modulated only by the skipped/taken outcome flags."""
+        modulated only by the skipped/taken outcome flags.
+
+        The static costs are attached to the closure (``static_base`` /
+        ``static_taken``) so the superblock binder can inline them into
+        slim steps instead of calling the closure per instruction.
+        """
         def cycles(outcome):
             if outcome.skipped:
                 return 1
             return taken if outcome.taken else base
+        cycles.static_base = base
+        cycles.static_taken = taken
         return cycles
 
     def _fastpath_defer(self) -> bool:
         """True when the next instruction must take the reference ``step()``
         (cores with mid-instruction interrupt semantics override this)."""
         return False
+
+    #: when True, LDM/STM/PUSH/POP micro-ops are never chained into a
+    #: superblock (each forms a singleton block), so ``_fastpath_defer``
+    #: sees every block transfer before it executes.  The ARM1156 enables
+    #: this for its restartable-transfer windows.
+    @property
+    def _split_block_ops(self) -> bool:
+        return False
+
+    #: True on cores whose ``fetch_stalls`` is a plain delegation to
+    #: ``self.bus`` - the fetch hooks below then bind bus-level fast paths.
+    #: Cores that fetch through a cache leave it False (or override it as
+    #: a property) and supply their own ``_fetch_port``/``_fetch_thunk``.
+    _bus_fetch = False
+
+    def _fetch_port(self):
+        """The instruction-fetch callable bound into fast steps.
+
+        Binding the bus method directly (``_bus_fetch`` cores) shaves a
+        Python frame per executed instruction.  Must be timing- and
+        statistics-identical to :meth:`fetch_stalls`.
+        """
+        if self._bus_fetch:
+            return self.bus.fetch_stalls
+        return self.fetch_stalls
+
+    def _fetch_thunk(self, address: int, size: int):
+        """A zero-argument fetch closure prebound to one instruction
+        address (the device decode folded at bind time), or ``None`` when
+        the core has no such shortcut.  Must be timing- and
+        statistics-identical to ``fetch_stalls(address, size)``.
+        """
+        if self._bus_fetch:
+            return self.bus.fetch_thunk(address, size)
+        return None
+
+    def _fetch_bus_device(self, address: int, size: int):
+        """The bus device instruction fetches at ``address`` resolve to,
+        when the core's fetch path is the plain system bus; ``None`` when
+        fetches go elsewhere (caches) or the address is unmapped.  Lets
+        the superblock fuser inline fetch timing for known device types.
+        """
+        if self._bus_fetch:
+            device = self.bus._lookup(address)
+            if device is not None and address + size <= device.base + device.size:
+                return device
+        return None
+
+    def _data_bus_inline_guard(self) -> str | None:
+        """Whether (and how) fused code may inline the data-bus fast path.
+
+        ``None``: never inline - ``cpu.read``/``cpu.write`` must mediate
+        every access (caches, unknown cores).  Otherwise a source fragment
+        prepended to the span-hit condition: ``""`` for a direct bus path,
+        or e.g. ``"cpu.mpu is None and "`` so an MPU attached to the core
+        keeps routing through the checked path.
+        """
+        return None
 
     def _bind_uop(self, uop):
         """Close a micro-op over this CPU: one call executes one instruction."""
@@ -227,7 +324,7 @@ class BaseCpu:
         if cycle_fn is None:
             def cycle_fn(outcome, _ins=ins, _dyn=self.instruction_cycles):
                 return _dyn(_ins, outcome)
-        fetch = self.fetch_stalls
+        fetch = self._fetch_port()
         regs = self.regs
         outcome = self._fast_outcome
         address = uop.address
@@ -260,6 +357,103 @@ class BaseCpu:
 
         return fast_step
 
+    def _bind_uop_slim(self, uop):
+        """Bind a *chainable* micro-op into a slim step for superblocks.
+
+        Chainable micro-ops (kind ``alu``/``mem``) can never branch, halt,
+        sleep, or start an IT block, so the slim variants drop the
+        taken/halted bookkeeping, the shared-outcome resets, and the
+        ``current_address`` updates of the general step; pure ALU steps
+        also skip the ``_data_stalls`` round-trip.  Each slim step owns a
+        private :class:`Outcome` whose ``taken``/``skipped`` flags stay
+        False forever, so outcome-dependent cycle closures (divides, LDM)
+        read exactly what the reference path would.
+
+        Returns ``None`` when no slim variant applies (conditional
+        execution with a dynamic cycle model); callers then fall back to
+        the general bound step, which is architecturally identical.
+        """
+        if not uop.chainable:
+            return None
+        exec_fn = uop.exec
+        cond_check = uop.cond_check
+        cycle_fn = self.compile_cycles(uop.ins)
+        if cycle_fn is None:
+            def cycle_fn(outcome, _ins=uop.ins, _dyn=self.instruction_cycles):
+                return _dyn(_ins, outcome)
+        base = getattr(cycle_fn, "static_base", None)
+        if cond_check is not None and base is None:
+            return None
+        fetch = self._fetch_port()
+        regs = self.regs
+        outcome = Outcome()  # private: taken/skipped remain False
+        address = uop.address
+        size = uop.size
+        next_pc = uop.next_pc
+        mem = uop.kind == "mem"
+        if cond_check is None:
+            if not mem:
+                if base is not None:
+                    def fast_step() -> None:
+                        stalls = fetch(address, size)
+                        exec_fn(self, outcome)
+                        self.cycles += base + stalls
+                        self.instructions_executed += 1
+                        regs.values[15] = next_pc
+                    return fast_step
+
+                def fast_step() -> None:
+                    stalls = fetch(address, size)
+                    exec_fn(self, outcome)
+                    self.cycles += cycle_fn(outcome) + stalls
+                    self.instructions_executed += 1
+                    regs.values[15] = next_pc
+                return fast_step
+            if base is not None:
+                def fast_step() -> None:
+                    stalls = fetch(address, size)
+                    self._data_stalls = 0
+                    exec_fn(self, outcome)
+                    self.cycles += base + stalls + self._data_stalls
+                    self.instructions_executed += 1
+                    regs.values[15] = next_pc
+                return fast_step
+
+            def fast_step() -> None:
+                stalls = fetch(address, size)
+                self._data_stalls = 0
+                exec_fn(self, outcome)
+                self.cycles += cycle_fn(outcome) + stalls + self._data_stalls
+                self.instructions_executed += 1
+                regs.values[15] = next_pc
+            return fast_step
+        # conditional with a static cycle cost (skipped always costs 1)
+        if not mem:
+            def fast_step() -> None:
+                stalls = fetch(address, size)
+                if cond_check(self.apsr):
+                    exec_fn(self, outcome)
+                    self.cycles += base + stalls
+                else:
+                    self.cycles += 1 + stalls
+                    self.instructions_skipped += 1
+                self.instructions_executed += 1
+                regs.values[15] = next_pc
+            return fast_step
+
+        def fast_step() -> None:
+            stalls = fetch(address, size)
+            if cond_check(self.apsr):
+                self._data_stalls = 0
+                exec_fn(self, outcome)
+                self.cycles += base + stalls + self._data_stalls
+            else:
+                self.cycles += 1 + stalls
+                self.instructions_skipped += 1
+            self.instructions_executed += 1
+            regs.values[15] = next_pc
+        return fast_step
+
     def _fast_dispatch_table(self) -> dict:
         index = self.program._by_address
         if self._fast_table is None or self._fast_index is not index:
@@ -270,15 +464,84 @@ class BaseCpu:
                 for addr, uop in predecode(self.program).items()
             }
             self._fast_index = index
+            self._sb_blocks = {}
+            self._sb_steps = {}
         return self._fast_table
+
+    #: runaway guard for a single superblock (keeps lazy build bounded)
+    _SB_MAX_LEN = 128
+
+    def _sb_step(self, table: dict, addr: int, uop):
+        """The (cached) slim step for one chainable micro-op."""
+        fast_step = self._sb_steps.get(addr)
+        if fast_step is None:
+            fast_step = self._bind_uop_slim(uop)
+            if fast_step is None:
+                fast_step = table.get(addr)
+                if fast_step is None:
+                    fast_step = self._predecode_missing(table, addr)
+            self._sb_steps[addr] = fast_step
+        return fast_step
+
+    def _superblock_at(self, pc: int) -> list:
+        """Build (and cache) the superblock entered at ``pc``.
+
+        A superblock is the maximal straight-line run of chainable
+        micro-ops starting at ``pc``, optionally terminated by one
+        non-chainable micro-op executed through its general bound step.
+        Branch targets inside an existing block simply get their own block
+        on first dispatch; blocks overlap freely and share bound steps.
+
+        The cached entry is ``[steps, uops, countdown, fused]``: after
+        ``countdown`` list-mode dispatches the block is fused into a
+        single generated function (:mod:`repro.core.superblock`), so
+        compile cost is only paid for blocks that are actually hot.
+        """
+        table = self._fast_dispatch_table()
+        uop_table = predecode(self.program)
+        split_block_ops = self._split_block_ops
+        steps: list = []
+        uops: list = []
+        addr = pc
+        while len(steps) < self._SB_MAX_LEN:
+            uop = uop_table.get(addr)
+            if uop is None:
+                ins = self.program.instruction_at(addr)
+                if ins is None:
+                    break  # end of mapped code: dispatching here will fault
+                uop = compile_uop(ins, self.program.isa)
+                uop_table[addr] = uop
+            if split_block_ops and uop.is_block_op and steps:
+                break  # stop *before* the transfer: defer() must see it
+            if not uop.chainable:
+                # include the ender; its general step does full bookkeeping
+                ender = table.get(addr)
+                if ender is None:
+                    ender = self._predecode_missing(table, addr)
+                steps.append(ender)
+                uops.append(uop)
+                break
+            steps.append(self._sb_step(table, addr, uop))
+            uops.append(uop)
+            if split_block_ops and uop.is_block_op:
+                break  # singleton: defer() screens it on every dispatch
+            addr = uop.next_pc
+        if not steps:
+            raise ExecutionError(
+                f"no instruction at pc={pc:#010x} ({self.name})")
+        entry = [steps, uops, FUSE_THRESHOLD, None]
+        self._sb_blocks[pc] = entry
+        return entry
 
     def run(self, max_instructions: int = 1_000_000) -> int:
         """Run until halt; returns instructions executed.  Raises if the
         instruction budget is exhausted (runaway program guard).
 
-        Dispatches through the predecoded fast path unless ``fastpath`` is
-        False; results (registers, flags, cycles, traces) are identical
-        either way."""
+        Picks the execution engine (see the module docstring): reference
+        interpreter when ``fastpath`` is False, per-instruction predecoded
+        dispatch when ``superblocks`` is False, superblock chaining
+        otherwise.  Results (registers, flags, cycles, bus statistics,
+        traces) are identical for all three."""
         start = self.instructions_executed
         if not self.fastpath:
             while not self.halted:
@@ -287,23 +550,33 @@ class BaseCpu:
                         f"exceeded {max_instructions} instructions without halting")
                 self.step()
             return self.instructions_executed - start
-        table = self._fast_dispatch_table()
-        table_get = table.get
-        limit = start + max_instructions
-        step = self.step
-        check_interrupts = self.check_interrupts
-        pc_slot = self.regs.values
+        if self.superblocks:
+            return self._run_superblocks(start, max_instructions)
+        return self._run_uops(start, max_instructions)
+
+    def _run_loop_env(self):
+        """Shared engine state: (step, check_interrupts, defer, irq_queue,
+        poll_always); captured per run() so a controller swapped in
+        between runs is honoured.  ``raise_irq()`` mutates the same queue
+        list, so storms raised mid-run (or from handlers) stay visible.
+        """
         defer = None
         if type(self)._fastpath_defer is not BaseCpu._fastpath_defer:
             defer = self._fastpath_defer
-        # Captured per run() so a controller swapped in between runs is
-        # honoured; raise_irq() mutates the same list, so storms raised
-        # mid-run (or from handlers) stay visible.
         irq_queue = self._irq_queue
         # Unknown interrupt scheme (override without a declared queue):
         # poll unconditionally, as the reference loop does.
         poll_always = (irq_queue is None
                        and type(self).check_interrupts is not BaseCpu.check_interrupts)
+        return self.step, self.check_interrupts, defer, irq_queue, poll_always
+
+    def _run_uops(self, start: int, max_instructions: int) -> int:
+        """The predecoded engine: one micro-op dispatch per loop pass."""
+        table = self._fast_dispatch_table()
+        table_get = table.get
+        limit = start + max_instructions
+        step, check_interrupts, defer, irq_queue, poll_always = self._run_loop_env()
+        pc_slot = self.regs.values
         while not self.halted:
             if self.instructions_executed >= limit:
                 raise ExecutionError(
@@ -321,6 +594,79 @@ class BaseCpu:
             fast_step()
         return self.instructions_executed - start
 
+    def _run_superblocks(self, start: int, max_instructions: int) -> int:
+        """The superblock engine: straight-line runs execute as one loop.
+
+        The **event horizon** is the earliest ``assert_cycle`` of any
+        queued interrupt request, ignoring masking and priority (so it is
+        always at or before the cycle at which ``check_interrupts`` could
+        first do anything).  Below the horizon, polls are provably no-ops
+        and whole superblocks execute with no per-instruction checks
+        beyond a cycle comparison; at or past it, the engine polls and
+        single-steps exactly like :meth:`_run_uops` until the queue
+        drains or recedes into the future again.
+        """
+        table = self._fast_dispatch_table()
+        blocks_get = self._sb_blocks.get
+        limit = start + max_instructions
+        step, check_interrupts, defer, irq_queue, poll_always = self._run_loop_env()
+        pc_slot = self.regs.values
+        while not self.halted:
+            executed = self.instructions_executed
+            if executed >= limit:
+                raise ExecutionError(
+                    f"exceeded {max_instructions} instructions without halting")
+            if self.sleeping or self._it_queue or (defer is not None and defer()):
+                step()
+                continue
+            horizon = None
+            if irq_queue:
+                horizon = min(request.assert_cycle for request in irq_queue)
+            if poll_always or (horizon is not None and self.cycles >= horizon):
+                # an interrupt may be eligible right now (or an undeclared
+                # controller needs polling): poll-per-instruction dispatch,
+                # exactly the _run_uops iteration (no defer re-check after
+                # the poll - the reference loop executes the instruction at
+                # the post-entry PC within the same step)
+                check_interrupts()
+                if self.halted:
+                    break
+                fast_step = table.get(pc_slot[15])
+                if fast_step is None:
+                    fast_step = self._predecode_missing(table, pc_slot[15])
+                fast_step()
+                continue
+            pc = pc_slot[15]
+            entry = blocks_get(pc)
+            if entry is None:
+                entry = self._superblock_at(pc)
+            steps = entry[0]
+            if horizon is None and len(steps) <= limit - executed:
+                fused = entry[3]
+                if fused is not None:
+                    fused()
+                    continue
+                for fast_step in steps:
+                    fast_step()
+                entry[2] -= 1
+                if entry[2] <= 0:
+                    entry[3] = fuse_block(self, entry[1], steps)
+                continue
+            if len(steps) > limit - executed:
+                # budget guard: run the allowed prefix, then raise above
+                steps = steps[:limit - executed]
+            if horizon is None:
+                for fast_step in steps:
+                    fast_step()
+                continue
+            chain = iter(steps)
+            next(chain)()  # first step: horizon was checked above
+            for fast_step in chain:
+                if self.cycles >= horizon:
+                    break
+                fast_step()
+        return self.instructions_executed - start
+
     def _predecode_missing(self, table: dict, pc: int):
         """Lazily bind an address the predecode pass did not see.
 
@@ -331,7 +677,7 @@ class BaseCpu:
         if ins is None:
             raise ExecutionError(
                 f"no instruction at pc={pc:#010x} ({self.name})")
-        fast_step = self._bind_uop(MicroOp(ins, compile_exec(ins, self.program.isa)))
+        fast_step = self._bind_uop(compile_uop(ins, self.program.isa))
         table[pc] = fast_step
         return fast_step
 

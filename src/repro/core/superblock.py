@@ -1,0 +1,669 @@
+"""Superblock fusion: compile a straight-line run into one code object.
+
+The superblock engine (``BaseCpu._run_superblocks``) executes chained
+micro-op closures in a list loop, which already removes the per-step dict
+dispatch and interrupt poll.  This module removes the remaining
+per-instruction Python *frames*: once a superblock has been dispatched
+enough times to prove hot, :func:`fuse_block` generates a single function
+whose body is the block's per-step statement sequences laid out inline -
+fetch (through a prebound device thunk), execute, cycle accounting, PC
+update - and compiles it once.  The hottest operand shapes (register
+moves and ALU, compares, immediate shifts, immediate/register-offset
+loads and stores, MOVW/MOVT, zero/sign extension) are inlined as raw
+statements; everything else calls its already-bound step or exec closure,
+so partial inlining still wins.
+
+Bit-exactness contract
+----------------------
+Every emitted statement sequence is a literal transcription of the
+corresponding bound-step behaviour (``BaseCpu._bind_uop_slim``) and
+predecode closure body (:mod:`repro.isa.predecode`), in the same order:
+fetch, predicate, execute, cycle/instruction accounting, PC write.  A
+fault raised mid-block (bus fault, MPU abort) therefore leaves registers,
+counters, and bus statistics in exactly the state per-step execution
+would, and the property tests in ``tests/test_fastpath_properties.py``
+diff complete machine state across all engines to keep it that way.
+
+Fused blocks run only below the interrupt event horizon (the engine falls
+back to the per-step list when a poll could matter), and are rebuilt
+whenever the program's execution index is reassigned, alongside the
+micro-op table they were generated from.
+"""
+
+from __future__ import annotations
+
+from repro.isa.registers import MASK32, PC
+from repro.isa.semantics import _LOAD_SIZES, _SIGNED_LOADS, _STORE_SIZES, Outcome
+from repro.memory.bus import AccessRecord
+from repro.memory.flash import Flash
+from repro.memory.sram import Sram
+
+_SIGN_BIT = 0x8000_0000
+
+#: dispatches of a block through the list path before it is fused
+FUSE_THRESHOLD = 16
+
+_STORE_MASKS = {1: 0xFF, 2: 0xFFFF, 4: MASK32}
+
+
+def _no_pc(*regs):
+    return all(r is None or r != PC for r in regs)
+
+
+# ----------------------------------------------------------------------
+# exec-body emitters: return statement lines or None (-> closure call)
+# ----------------------------------------------------------------------
+
+def _emit_mov(ins):
+    rd, rm = ins.rd, ins.rm
+    if not _no_pc(rd, rm) or rd is None or ins.shift is not None:
+        return None
+    mvn = ins.mnemonic == "MVN"
+    if rm is None:
+        if ins.imm is None:
+            return None
+        value = ins.imm & MASK32
+        if mvn:
+            value = (~value) & MASK32
+        lines = [f"rvals[{rd}] = {value}"]
+        if ins.setflags:
+            lines += ["f = cpu.apsr",
+                      f"f.n = {value >= _SIGN_BIT}",
+                      f"f.z = {value == 0}"]
+        return lines
+    src = f"rvals[{rm}]"
+    if mvn:
+        lines = [f"v = (~{src}) & {MASK32}"]
+    else:
+        lines = [f"v = {src}"]
+    lines.append(f"rvals[{rd}] = v")
+    if ins.setflags:
+        lines += ["f = cpu.apsr",
+                  f"f.n = v >= {_SIGN_BIT}",
+                  "f.z = v == 0"]
+    return lines
+
+
+def _emit_add_sub(ins):
+    op = ins.mnemonic
+    rd, rn, rm = ins.rd, ins.rn, ins.rm
+    if not _no_pc(rd, rn, rm) or rd is None or rn is None:
+        return None
+    if rm is not None and ins.shift is not None:
+        return None
+    if rm is None and ins.imm is None:
+        return None
+    y = f"rvals[{rm}]" if rm is not None else str(ins.imm & MASK32)
+    sign = "+" if op == "ADD" else "-"
+    if not ins.setflags:
+        return [f"rvals[{rd}] = (rvals[{rn}] {sign} {y}) & {MASK32}"]
+    lines = [f"x = rvals[{rn}]", f"y = {y}"]
+    if op == "ADD":
+        lines += [
+            "u = x + y",
+            f"r = u & {MASK32}",
+            f"rvals[{rd}] = r",
+            "f = cpu.apsr",
+            f"f.n = r >= {_SIGN_BIT}",
+            "f.z = r == 0",
+            f"f.c = u > {MASK32}",
+            f"f.v = ((~(x ^ y)) & (x ^ r) & {_SIGN_BIT}) != 0",
+        ]
+    else:
+        lines += [
+            f"u = x + (y ^ {MASK32}) + 1",
+            f"r = u & {MASK32}",
+            f"rvals[{rd}] = r",
+            "f = cpu.apsr",
+            f"f.n = r >= {_SIGN_BIT}",
+            "f.z = r == 0",
+            f"f.c = u > {MASK32}",
+            f"f.v = ((x ^ y) & (x ^ r) & {_SIGN_BIT}) != 0",
+        ]
+    return lines
+
+
+_LOGIC_EXPR = {
+    "AND": "x & y",
+    "ORR": "x | y",
+    "EOR": "x ^ y",
+    "BIC": "x & ~y",
+    "ORN": f"x | (~y & {MASK32})",
+}
+
+
+def _emit_logic(ins):
+    rd, rn, rm = ins.rd, ins.rn, ins.rm
+    if not _no_pc(rd, rn, rm) or rd is None or rn is None:
+        return None
+    if rm is not None and ins.shift is not None:
+        return None
+    if rm is None and ins.imm is None:
+        return None
+    y = f"rvals[{rm}]" if rm is not None else str(ins.imm & MASK32)
+    lines = [f"x = rvals[{rn}]", f"y = {y}",
+             f"r = ({_LOGIC_EXPR[ins.mnemonic]}) & {MASK32}",
+             f"rvals[{rd}] = r"]
+    if ins.setflags:
+        # no-shift logic ops leave C unchanged (shifter carry == carry in)
+        lines += ["f = cpu.apsr", f"f.n = r >= {_SIGN_BIT}", "f.z = r == 0"]
+    return lines
+
+
+def _emit_shift(ins):
+    op = ins.mnemonic
+    rd, rn = ins.rd, ins.rn
+    amount = ins.imm
+    if (not _no_pc(rd, rn) or rd is None or rn is None or ins.rm is not None
+            or amount is None or not 1 <= amount <= 31):
+        return None
+    lines = [f"x = rvals[{rn}]"]
+    if op == "LSL":
+        lines += [f"e = x << {amount}",
+                  f"r = e & {MASK32}",
+                  f"c = (e & {1 << 32}) != 0"]
+    elif op == "LSR":
+        lines += [f"r = x >> {amount}",
+                  f"c = ((x >> {amount - 1}) & 1) != 0"]
+    elif op == "ASR":
+        lines += [f"s32 = x - {1 << 32} if x >= {_SIGN_BIT} else x",
+                  f"r = (s32 >> {amount}) & {MASK32}",
+                  f"c = ((x >> {amount - 1}) & 1) != 0"]
+    else:  # ROR, amount 1..31
+        lines += [f"r = ((x >> {amount}) | (x << {32 - amount})) & {MASK32}",
+                  "c = (r >> 31) != 0"]
+    lines.append(f"rvals[{rd}] = r")
+    if ins.setflags:
+        lines += ["f = cpu.apsr", f"f.n = r >= {_SIGN_BIT}", "f.z = r == 0",
+                  "f.c = c"]
+    return lines
+
+
+def _emit_compare(ins):
+    op = ins.mnemonic
+    rn, rm = ins.rn, ins.rm
+    if not _no_pc(rn, rm) or rn is None or ins.shift is not None:
+        return None
+    if rm is None and ins.imm is None:
+        return None
+    y = f"rvals[{rm}]" if rm is not None else str(ins.imm & MASK32)
+    if op == "CMP":
+        return [
+            f"x = rvals[{rn}]", f"y = {y}",
+            f"u = x + (y ^ {MASK32}) + 1",
+            f"r = u & {MASK32}",
+            "f = cpu.apsr",
+            f"f.n = r >= {_SIGN_BIT}",
+            "f.z = r == 0",
+            f"f.c = u > {MASK32}",
+            f"f.v = ((x ^ y) & (x ^ r) & {_SIGN_BIT}) != 0",
+        ]
+    if op == "CMN":
+        return [
+            f"x = rvals[{rn}]", f"y = {y}",
+            "u = x + y",
+            f"r = u & {MASK32}",
+            "f = cpu.apsr",
+            f"f.n = r >= {_SIGN_BIT}",
+            "f.z = r == 0",
+            f"f.c = u > {MASK32}",
+            f"f.v = ((~(x ^ y)) & (x ^ r) & {_SIGN_BIT}) != 0",
+        ]
+    expr = "x & y" if op == "TST" else "x ^ y"
+    return [
+        f"x = rvals[{rn}]", f"y = {y}",
+        f"r = {expr}",
+        "f = cpu.apsr",
+        f"f.n = (r & {_SIGN_BIT}) != 0",
+        f"f.z = (r & {MASK32}) == 0",
+    ]
+
+
+def _emit_mul(ins):
+    rd, rn, rm = ins.rd, ins.rn, ins.rm
+    if not _no_pc(rd, rn, rm) or rd is None or rn is None or rm is None:
+        return None
+    lines = [f"r = (rvals[{rn}] * rvals[{rm}]) & {MASK32}", f"rvals[{rd}] = r"]
+    if ins.setflags:
+        lines += ["f = cpu.apsr", f"f.n = r >= {_SIGN_BIT}", "f.z = r == 0"]
+    return lines
+
+
+def _emit_extend(ins):
+    op = ins.mnemonic
+    rd = ins.rd
+    src = ins.rm if ins.rm is not None else ins.rn
+    if not _no_pc(rd, src) or rd is None or src is None:
+        return None
+    if op == "CLZ":
+        return [f"rvals[{rd}] = 32 - rvals[{src}].bit_length()"]
+    if op in ("UXTB", "UXTH"):
+        mask = 0xFF if op == "UXTB" else 0xFFFF
+        return [f"rvals[{rd}] = rvals[{src}] & {mask}"]
+    bits = 8 if op == "SXTB" else 16
+    mask = (1 << bits) - 1
+    sign = 1 << (bits - 1)
+    ext = MASK32 ^ mask
+    return [f"v = rvals[{src}] & {mask}",
+            f"rvals[{rd}] = (v | {ext}) if v >= {sign} else v"]
+
+
+def _emit_movw_movt(ins):
+    rd = ins.rd
+    if rd is None or rd == PC or ins.imm is None:
+        return None
+    if ins.mnemonic == "MOVW":
+        return [f"rvals[{rd}] = {ins.imm & 0xFFFF}"]
+    high = (ins.imm & 0xFFFF) << 16
+    return [f"rvals[{rd}] = {high} | (rvals[{rd}] & 0xFFFF)"]
+
+
+def _emit_ubfx(ins):
+    rd, rn = ins.rd, ins.rn
+    lsb, width = ins.bf_lsb, ins.bf_width
+    if not _no_pc(rd, rn) or rd is None or rn is None:
+        return None
+    if lsb is None or width is None or not 0 < width <= 32 - lsb:
+        return None
+    mask = ((1 << width) - 1) << lsb
+    return [f"rvals[{rd}] = (rvals[{rn}] & {mask}) >> {lsb}"]
+
+
+def _load_sign_lines(sign_bits):
+    if sign_bits is None:
+        return []
+    sign = 1 << (sign_bits - 1)
+    ext = MASK32 ^ ((1 << sign_bits) - 1)
+    return [f"v = (v | {ext}) if v >= {sign} else v"]
+
+
+def _emit_load(cpu, ins, isa, index, ns):
+    mem = ins.mem
+    rd = ins.rd
+    if mem is None or rd is None or rd == PC or mem.writeback or mem.postindex:
+        return None, None
+    size = _LOAD_SIZES[ins.mnemonic]
+    sign_bits = _SIGNED_LOADS.get(ins.mnemonic)
+    guard = cpu._data_bus_inline_guard()
+    if mem.rn == PC:
+        if mem.rm is not None:
+            return None, None
+        pc_off = 8 if isa == "arm" else 4
+        address = (((ins.address + pc_off) & ~3) + mem.offset) & MASK32
+        # literal-pool load: constant address, so the device decode (and on
+        # an MPU-less core the whole bus dispatch) folds at fuse time
+        device = None if guard is None else cpu.bus._lookup(address)
+        if (guard == "" and device is not None
+                and address + size <= device.base + device.size):
+            ns[f"DL{index}"] = device.read
+            ns.setdefault("AR", AccessRecord)
+            lines = [
+                f"v, ds = DL{index}({address}, {size}, 'D')",
+                "bus.reads += 1",
+                "bus.total_stalls += ds",
+                "if bus.record:",
+                f"    bus.accesses.append(AR({address}, {size}, 'R', 'D', ds))",
+            ]
+            lines += _load_sign_lines(sign_bits)
+            lines.append(f"rvals[{rd}] = v & {MASK32}")
+            return lines, "local"
+        lines = ["cpu._data_stalls = 0", f"v = RD({address}, {size})"]
+        lines += _load_sign_lines(sign_bits)
+        lines.append(f"rvals[{rd}] = v & {MASK32}")
+        return lines, "attr"
+    if mem.rm is None:
+        addr_expr = f"(rvals[{mem.rn}] + {mem.offset}) & {MASK32}"
+    elif mem.rm == PC:
+        return None, None
+    else:
+        addr_expr = (f"(rvals[{mem.rn}] + ((rvals[{mem.rm}] << {mem.shift})"
+                     f" & {MASK32})) & {MASK32}")
+    if guard is not None:
+        # transcription of SystemBus.read's span-cache hit path; a miss
+        # (or an active MPU) falls back to the full cpu.read dispatch
+        ns.setdefault("AR", AccessRecord)
+        lines = [
+            f"a = {addr_expr}",
+            "sp = bus._span_d",
+            f"if {guard}sp[0] <= a < sp[1]:",
+            f"    v, ds = sp[2].read(a, {size}, 'D')",
+            "    bus.reads += 1",
+            "    bus.total_stalls += ds",
+            "    if bus.record:",
+            f"        bus.accesses.append(AR(a, {size}, 'R', 'D', ds))",
+            "else:",
+            "    cpu._data_stalls = 0",
+            f"    v = RD(a, {size})",
+            "    ds = cpu._data_stalls",
+        ]
+        lines += _load_sign_lines(sign_bits)
+        lines.append(f"rvals[{rd}] = v & {MASK32}")
+        return lines, "local"
+    lines = ["cpu._data_stalls = 0", f"v = RD({addr_expr}, {size})"]
+    lines += _load_sign_lines(sign_bits)
+    lines.append(f"rvals[{rd}] = v & {MASK32}")
+    return lines, "attr"
+
+
+def _emit_store(cpu, ins, index, ns):
+    mem = ins.mem
+    rd = ins.rd
+    if (mem is None or rd is None or rd == PC or mem.rn == PC
+            or mem.writeback or mem.postindex):
+        return None, None
+    size = _STORE_SIZES[ins.mnemonic]
+    vmask = _STORE_MASKS[size]
+    if mem.rm is None:
+        addr_expr = f"(rvals[{mem.rn}] + {mem.offset}) & {MASK32}"
+    elif mem.rm == PC:
+        return None, None
+    else:
+        addr_expr = (f"(rvals[{mem.rn}] + ((rvals[{mem.rm}] << {mem.shift})"
+                     f" & {MASK32})) & {MASK32}")
+    guard = cpu._data_bus_inline_guard()
+    if guard is not None:
+        ns.setdefault("AR", AccessRecord)
+        return [
+            f"a = {addr_expr}",
+            "sp = bus._span_d",
+            f"if {guard}sp[0] <= a < sp[1]:",
+            f"    ds = sp[2].write(a, {size}, rvals[{rd}] & {vmask}, 'D')",
+            "    bus.writes += 1",
+            "    bus.total_stalls += ds",
+            "    if bus.record:",
+            f"        bus.accesses.append(AR(a, {size}, 'W', 'D', ds))",
+            "else:",
+            "    cpu._data_stalls = 0",
+            f"    WR(a, {size}, rvals[{rd}] & {vmask})",
+            "    ds = cpu._data_stalls",
+        ], "local"
+    return ["cpu._data_stalls = 0",
+            f"WR({addr_expr}, {size}, rvals[{rd}] & {vmask})"], "attr"
+
+
+_NOOP_OPS = frozenset({"NOP", "DSB", "ISB", "BKPT"})
+
+
+def _emit_exec(cpu, ins, isa, index, ns):
+    """Inline statements for one exec body: ``(lines, ds_mode)``.
+
+    ``ds_mode`` tells the step emitter where the data-side stalls landed:
+    ``None`` (no data access), ``"attr"`` (accumulated in
+    ``cpu._data_stalls``, which the emitted lines reset first), or
+    ``"local"`` (left in the local ``ds``).  ``lines`` of ``None`` means
+    no inline form - the caller keeps the prebound closure, which is
+    always correct.
+    """
+    op = ins.mnemonic
+    if op in _NOOP_OPS:
+        return [], None
+    if op in ("MOV", "MVN"):
+        return _emit_mov(ins), None
+    if op in ("ADD", "SUB"):
+        return _emit_add_sub(ins), None
+    if op in _LOGIC_EXPR:
+        return _emit_logic(ins), None
+    if op in ("LSL", "LSR", "ASR", "ROR"):
+        return _emit_shift(ins), None
+    if op in ("CMP", "CMN", "TST", "TEQ"):
+        return _emit_compare(ins), None
+    if op == "MUL":
+        return _emit_mul(ins), None
+    if op in ("CLZ", "UXTB", "UXTH", "SXTB", "SXTH"):
+        return _emit_extend(ins), None
+    if op in ("MOVW", "MOVT"):
+        return _emit_movw_movt(ins), None
+    if op == "UBFX":
+        return _emit_ubfx(ins), None
+    if op in ("LDR", "LDRB", "LDRH", "LDRSB", "LDRSH"):
+        return _emit_load(cpu, ins, isa, index, ns)
+    if op in ("STR", "STRB", "STRH"):
+        return _emit_store(cpu, ins, index, ns)
+    return None, None
+
+
+# ----------------------------------------------------------------------
+# fetch emitters
+# ----------------------------------------------------------------------
+
+def _emit_fetch(cpu, uop, index, ns):
+    """Emit the instruction-fetch sequence assigning stall cycles to ``s``.
+
+    Returns ``(lines, static_stalls)``.  When the core fetches straight
+    from the bus and the (statically known) instruction address lands in a
+    plain SRAM or flash device, the whole fetch - device decode, stream
+    bookkeeping, bus statistics, access record - is emitted inline, so the
+    hot path pays no Python call at all (flash pays one ``_access`` call
+    per line crossing only).  ``static_stalls`` is the constant stall
+    count when it is statically known (SRAM), letting the caller fold it
+    into the cycle cost; otherwise ``None`` and the stalls are in ``s``.
+
+    Every inline form is a literal transcription of the corresponding
+    ``SystemBus.fetch_stalls`` + device ``fetch_stalls`` pair, in order:
+    device timing first, then read counter, stall total, access record.
+    """
+    address, size = uop.address, uop.size
+    device = cpu._fetch_bus_device(address, size)
+    if device is not None and type(device) is Sram:
+        ws = device.wait_states
+        ns[f"D{index}"] = device
+        ns.setdefault("AR", AccessRecord)
+        lines = [
+            f"D{index}.reads += 1",
+            "bus.reads += 1",
+            f"bus.total_stalls += {ws}",
+            "if bus.record:",
+            f"    bus.accesses.append(AR({address}, {size}, 'R', 'I', {ws}))",
+        ]
+        return lines, ws
+    if device is not None and type(device) is Flash:
+        line = address & ~(device.line_bytes - 1)
+        straddles = address + size > line + device.line_bytes
+        ns[f"D{index}"] = device
+        ns[f"DA{index}"] = device._access
+        ns.setdefault("AR", AccessRecord)
+        lines = [
+            f"if D{index}._buffered_line == {line}:",
+            f"    D{index}.sequential_hits += 1",
+            "    s = 0",
+            "else:",
+            f"    s = DA{index}({address})",
+        ]
+        if straddles:
+            lines.append(f"s += DA{index}({address + size - 1})")
+        lines += [
+            "bus.reads += 1",
+            "bus.total_stalls += s",
+            "if bus.record:",
+            f"    bus.accesses.append(AR({address}, {size}, 'R', 'I', s))",
+        ]
+        return lines, None
+    thunk = cpu._fetch_thunk(address, size)
+    if thunk is not None:
+        ns[f"F{index}"] = thunk
+        return [f"s = F{index}()"], None
+    ns[f"F{index}"] = cpu._fetch_port()
+    return [f"s = F{index}({address}, {size})"], None
+
+
+# ----------------------------------------------------------------------
+# block fusion
+# ----------------------------------------------------------------------
+
+def _emit_step(cpu, uop, index, ns, isa):
+    """Emit the full per-step sequence for one chainable micro-op.
+
+    Transcribes ``_bind_uop_slim`` statement for statement: fetch,
+    (predicate,) execute, cycle accounting, instruction count, PC write.
+    Returns None when the micro-op has no slim form (the caller then calls
+    its bound step closure).
+    """
+    ins = uop.ins
+    cycle_fn = cpu.compile_cycles(ins)
+    base = getattr(cycle_fn, "static_base", None) if cycle_fn is not None else None
+    if uop.cond_check is not None and base is None:
+        return None
+    fetch_lines, static_stalls = _emit_fetch(cpu, uop, index, ns)
+    stall_expr = "s" if static_stalls is None else str(static_stalls)
+    mem = uop.kind == "mem"
+    body, ds_mode = _emit_exec(cpu, ins, isa, index, ns)
+    if body is None:
+        ns[f"E{index}"] = uop.exec
+        ns[f"O{index}"] = Outcome()
+        body = [f"E{index}(cpu, O{index})"]
+        ds_mode = "attr" if mem else None
+        if mem:
+            body.insert(0, "cpu._data_stalls = 0")
+    if base is not None:
+        if static_stalls is not None:
+            cost = str(base + static_stalls)
+        else:
+            cost = f"{base} + s"
+    else:
+        if cycle_fn is None:
+            def cycle_fn(outcome, _ins=ins, _dyn=cpu.instruction_cycles):
+                return _dyn(_ins, outcome)
+        ns[f"K{index}"] = cycle_fn
+        if f"O{index}" not in ns:
+            ns[f"O{index}"] = Outcome()
+        cost = f"K{index}(O{index}) + {stall_expr}"
+    if ds_mode == "attr":
+        cost += " + cpu._data_stalls"
+    elif ds_mode == "local":
+        cost += " + ds"
+    lines = list(fetch_lines)
+    if uop.cond_check is None:
+        lines += body
+        lines.append(f"cpu.cycles += {cost}")
+    else:
+        ns[f"C{index}"] = uop.cond_check
+        lines.append(f"if C{index}(cpu.apsr):")
+        lines += ["    " + b for b in body]
+        lines.append(f"    cpu.cycles += {cost}")
+        lines.append("else:")
+        skipped_cost = "1 + s" if static_stalls is None else str(1 + static_stalls)
+        lines.append(f"    cpu.cycles += {skipped_cost}")
+        lines.append("    cpu.instructions_skipped += 1")
+    lines.append("cpu.instructions_executed += 1")
+    lines.append(f"rvals[15] = {uop.next_pc}")
+    return lines
+
+
+def _emit_branch_ender(cpu, uop, index, ns):
+    """Inline a superblock's terminating branch, or None for closure call.
+
+    Covers exactly the shapes ``_compile_branch`` specialises (resolved
+    targets, register BX/BLX not via the PC), transcribing the general
+    bound step's bookkeeping around them: a taken branch counts in
+    ``branches_taken`` and skips the PC advance; a condition-failed branch
+    costs 1 cycle, counts as skipped, and falls through.  The
+    ``cpu.branch`` call is kept - halt detection and the cores' exception-
+    return hooks live there.
+    """
+    ins = uop.ins
+    op = ins.mnemonic
+    if op not in ("B", "BL", "BX", "BLX"):
+        return None
+    cycle_fn = cpu.compile_cycles(ins)
+    base = getattr(cycle_fn, "static_base", None) if cycle_fn is not None else None
+    taken = getattr(cycle_fn, "static_taken", None) if cycle_fn is not None else None
+    if base is None or taken is None:
+        return None
+    taken_lines = []
+    if op in ("BX", "BLX") and ins.rm is not None:
+        if ins.rm == PC:
+            return None
+        if op == "BLX":
+            # read the target before writing LR: `blx lr` must branch to
+            # the OLD link register (same order as _compile_branch)
+            taken_lines.append(f"t = rvals[{ins.rm}]")
+            taken_lines.append(f"rvals[14] = {(ins.address + ins.size) & MASK32}")
+            taken_lines.append("BR(t & ~1)")
+        else:
+            taken_lines.append(f"BR(rvals[{ins.rm}] & ~1)")
+    elif ins.target is not None:
+        if op == "BL":
+            taken_lines.append(f"rvals[14] = {(ins.address + ins.size) & MASK32}")
+        elif op != "B":
+            return None  # BX/BLX without rm: fallback handler raises
+        taken_lines.append(f"BR({ins.target})")
+    else:
+        return None  # unresolved label: generic path raises
+    ns.setdefault("BR", cpu.branch)
+    fetch_lines, static_stalls = _emit_fetch(cpu, uop, index, ns)
+    if static_stalls is not None:
+        taken_cost = str(taken + static_stalls)
+        skip_cost = str(1 + static_stalls)
+    else:
+        taken_cost = f"{taken} + s"
+        skip_cost = "1 + s"
+    lines = list(fetch_lines)
+    if uop.cond_check is None:
+        lines += taken_lines
+        lines.append("cpu.branches_taken += 1")
+        lines.append(f"cpu.cycles += {taken_cost}")
+        lines.append("cpu.instructions_executed += 1")
+        return lines
+    ns[f"C{index}"] = uop.cond_check
+    lines.append(f"if C{index}(cpu.apsr):")
+    lines += ["    " + t for t in taken_lines]
+    lines.append("    cpu.branches_taken += 1")
+    lines.append(f"    cpu.cycles += {taken_cost}")
+    lines.append("else:")
+    lines.append(f"    cpu.cycles += {skip_cost}")
+    lines.append("    cpu.instructions_skipped += 1")
+    lines.append(f"    rvals[15] = {uop.next_pc}")
+    lines.append("cpu.instructions_executed += 1")
+    return lines
+
+
+def fuse_block(cpu, uops, steps):
+    """Compile one superblock into a single callable.
+
+    ``uops`` are the block's micro-ops and ``steps`` the matching bound
+    step closures (the list the engine executes pre-fusion); positions
+    that cannot be inlined fall back to calling their bound step, so the
+    fused function is behaviourally the list loop with the frames removed.
+    """
+    ns = {
+        "cpu": cpu,
+        "rvals": cpu.regs.values,
+        "RD": cpu.read,
+        "WR": cpu.write,
+    }
+    if getattr(cpu, "bus", None) is not None:
+        ns["bus"] = cpu.bus
+    lines = []
+    for index, (uop, fast_step) in enumerate(zip(uops, steps)):
+        if uop.chainable:
+            emitted = _emit_step(cpu, uop, index, ns, cpu.program.isa)
+        else:
+            emitted = _emit_branch_ender(cpu, uop, index, ns)
+        if emitted is None:
+            ns[f"S{index}"] = fast_step
+            lines.append(f"S{index}()")
+        else:
+            lines.extend(emitted)
+    # every bound object becomes a default parameter, so the generated
+    # body resolves them as locals (LOAD_FAST) instead of dict lookups
+    params = ", ".join(f"{name}={name}" for name in ns)
+    body = "\n    ".join(lines) if lines else "pass"
+    source = f"def _fused({params}):\n    {body}\n"
+    code = _CODE_CACHE.get(source)
+    if code is None:
+        if len(_CODE_CACHE) >= _CODE_CACHE_MAX:
+            _CODE_CACHE.clear()  # crude bound; refilling is cheap
+        code = compile(source, f"<superblock@{uops[0].address:#x}>", "exec")
+        _CODE_CACHE[source] = code
+    scope = dict(ns)
+    exec(code, scope)
+    return scope["_fused"]
+
+
+#: compiled code objects memoised by generated source: campaign runs build
+#: thousands of short-lived machines over identical programs and machine
+#: configs, and ``compile()`` dwarfs a cold block's execution time.  The
+#: bound objects differ per machine, so only the *code* is shared; binding
+#: happens in the (cheap) ``exec`` of the cached code object.
+_CODE_CACHE: dict[str, object] = {}
+_CODE_CACHE_MAX = 4096

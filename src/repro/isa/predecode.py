@@ -15,12 +15,22 @@ compiles each :class:`~repro.isa.instructions.Instruction` **once** into a
 * the semantics dispatch dict lookup disappears: each micro-op carries a
   specialised closure ``exec(cpu, outcome)``.
 
-Anything the specialiser does not recognise (write-back addressing, data
-ops targeting the PC, table branches, LDM/STM) falls back to a thin wrapper
-around the interpreter's own handler, so predecoded execution is
+Anything the specialiser does not recognise (data ops targeting the PC,
+table branches, block transfers touching the PC) falls back to a thin
+wrapper around the interpreter's own handler, so predecoded execution is
 *architecturally identical* to the slow path by construction; the property
 tests in ``tests/test_fastpath_properties.py`` assert bit-equality of
-registers, flags, cycles, and traces on randomised programs.
+registers, flags, cycles, and traces on randomised programs.  LDM/STM and
+write-back addressing modes are specialised here (not fallback), so block
+copies and pointer-walking loops stay on the fast path.
+
+Each micro-op also carries a *kind* - ``"alu"`` (pure register state),
+``"mem"`` (touches the data bus, cannot branch) or ``"ctl"`` (may branch,
+halt, sleep, predicate, or is a fallback whose behaviour is unknown) - and
+a derived ``chainable`` flag.  The superblock engine
+(``BaseCpu._run_superblocks``) links chainable micro-ops to their
+fall-through successor and executes straight-line runs as a single Python
+loop with no per-step dispatch; ``ctl`` micro-ops terminate a superblock.
 
 The table is keyed by program address and cached on the
 :class:`~repro.isa.assembler.Program`, so every core model running the same
@@ -75,11 +85,24 @@ COND_CHECKS: dict[Condition, Callable] = {
 
 
 class MicroOp:
-    """One predecoded instruction, ready for the fast execution loop."""
+    """One predecoded instruction, ready for the fast execution loop.
 
-    __slots__ = ("ins", "address", "size", "next_pc", "cond_check", "exec", "is_it")
+    ``kind`` classifies the bound closure for the superblock engine:
 
-    def __init__(self, ins: Instruction, exec_fn: ExecFn) -> None:
+    * ``"alu"``  - mutates registers/flags only; cannot branch, halt,
+      sleep, touch memory, or start an IT block;
+    * ``"mem"``  - additionally performs data-side accesses (so the
+      executor must account ``_data_stalls``), still cannot branch;
+    * ``"ctl"``  - everything else: branches, IT, WFI, SVC, CPS, POP-to-PC
+      and every generic fallback (whose behaviour is not statically known).
+
+    Only ``alu``/``mem`` micro-ops are ``chainable`` into superblocks.
+    """
+
+    __slots__ = ("ins", "address", "size", "next_pc", "cond_check", "exec",
+                 "is_it", "kind", "chainable", "is_block_op")
+
+    def __init__(self, ins: Instruction, exec_fn: ExecFn, kind: str = "ctl") -> None:
         self.ins = ins
         self.address = ins.address
         self.size = ins.size
@@ -91,6 +114,9 @@ class MicroOp:
         else:
             self.cond_check = COND_CHECKS[cond]
         self.exec = exec_fn
+        self.kind = kind
+        self.is_block_op = ins.mnemonic in ("LDM", "STM", "PUSH", "POP")
+        self.chainable = kind != "ctl"
 
 
 # ----------------------------------------------------------------------
@@ -497,13 +523,69 @@ def _compile_bitfield(ins: Instruction):
     return ex
 
 
+def _compile_load_wb(ins: Instruction):
+    """Pre-indexed (``[rn, #off]!``) and post-indexed (``[rn], #off``) loads.
+
+    Matches ``_exec_load`` exactly: the base register is written *before*
+    the destination, so ``ldr rX, [rX], #4`` leaves the loaded value in rX.
+    """
+    mem = ins.mem
+    rd, rn = ins.rd, mem.rn
+    if rn == PC or (mem.rm is not None and mem.rm == PC):
+        return None
+    size = _LOAD_SIZES[ins.mnemonic]
+    sign_bits = _SIGNED_LOADS.get(ins.mnemonic)
+    rm, lshift, offset = mem.rm, mem.shift, mem.offset
+    postindex = mem.postindex
+
+    def ex(cpu, outcome, rd=rd, rn=rn, rm=rm, lshift=lshift, offset=offset,
+           size=size, sign_bits=sign_bits, postindex=postindex):
+        rv = cpu.regs.values
+        base = rv[rn]
+        if rm is not None:
+            offset = (rv[rm] << lshift) & MASK32
+        offset_addr = (base + offset) & MASK32
+        address = base if postindex else offset_addr
+        value = cpu.read(address, size)
+        outcome.reads += 1
+        if sign_bits is not None:
+            value = _sign_extend(value, sign_bits)
+        rv[rn] = offset_addr
+        rv[rd] = value & MASK32
+    return ex
+
+
+def _compile_store_wb(ins: Instruction):
+    """Pre/post-indexed stores; base write-back happens after the store."""
+    mem = ins.mem
+    rd, rn = ins.rd, mem.rn
+    if rn == PC or (mem.rm is not None and mem.rm == PC):
+        return None
+    size = _STORE_SIZES[ins.mnemonic]
+    vmask = {1: 0xFF, 2: 0xFFFF, 4: MASK32}[size]
+    rm, lshift, offset = mem.rm, mem.shift, mem.offset
+    postindex = mem.postindex
+
+    def ex(cpu, outcome, rd=rd, rn=rn, rm=rm, lshift=lshift, offset=offset,
+           size=size, vmask=vmask, postindex=postindex):
+        rv = cpu.regs.values
+        base = rv[rn]
+        if rm is not None:
+            offset = (rv[rm] << lshift) & MASK32
+        offset_addr = (base + offset) & MASK32
+        cpu.write(base if postindex else offset_addr, size, rv[rd] & vmask)
+        outcome.writes += 1
+        rv[rn] = offset_addr
+    return ex
+
+
 def _compile_load(ins: Instruction, isa: str):
     mem = ins.mem
     rd = ins.rd
     if mem is None or rd is None or rd == PC:
         return None
     if mem.writeback or mem.postindex:
-        return None
+        return _compile_load_wb(ins)
     size = _LOAD_SIZES[ins.mnemonic]
     sign_bits = _SIGNED_LOADS.get(ins.mnemonic)
     if mem.rn == PC:
@@ -553,7 +635,7 @@ def _compile_store(ins: Instruction):
     if mem is None or rd is None or rd == PC or mem.rn == PC:
         return None
     if mem.writeback or mem.postindex:
-        return None
+        return _compile_store_wb(ins)
     size = _STORE_SIZES[ins.mnemonic]
     vmask = {1: 0xFF, 2: 0xFFFF, 4: MASK32}[size]
     rn = mem.rn
@@ -616,6 +698,50 @@ def _compile_push_pop(ins: Instruction):
         if pops_pc:
             cpu.branch(target & ~1)
             outcome.taken = True
+    return ex
+
+
+def _compile_ldm_stm(ins: Instruction):
+    """LDM/STM (IA) without the PC in the transfer list.
+
+    Mirrors ``_exec_block``: registers transfer in ascending order, and an
+    LDM that loads its own base register suppresses the write-back (the
+    loaded value wins) - that suppression is folded at compile time.
+    """
+    rn = ins.rn
+    regs = tuple(sorted(ins.reglist))
+    if rn is None or rn == PC or PC in regs:
+        return None
+    count = len(regs)
+    if ins.mnemonic == "STM":
+        writeback = ins.writeback
+
+        def ex(cpu, outcome, rn=rn, regs=regs, count=count, writeback=writeback):
+            outcome.regs_transferred = count
+            rv = cpu.regs.values
+            address = rv[rn]
+            write = cpu.write
+            for reg in regs:
+                write(address, 4, rv[reg])
+                address += 4
+            outcome.writes += count
+            if writeback:
+                rv[rn] = address & MASK32
+        return ex
+    # LDM: write-back is suppressed when the base is in the transfer list
+    writeback = ins.writeback and rn not in regs
+
+    def ex(cpu, outcome, rn=rn, regs=regs, count=count, writeback=writeback):
+        outcome.regs_transferred = count
+        rv = cpu.regs.values
+        address = rv[rn]
+        read = cpu.read
+        for reg in regs:
+            rv[reg] = read(address, 4) & MASK32
+            address += 4
+        outcome.reads += count
+        if writeback:
+            rv[rn] = address & MASK32
     return ex
 
 
@@ -732,13 +858,21 @@ _UNARY_OPS = frozenset({"CLZ", "RBIT", "REV", "REV16", "SXTB", "SXTH", "UXTB", "
 _BITFIELD_OPS = frozenset({"BFI", "BFC", "UBFX", "SBFX"})
 _SYSTEM_OPS = frozenset({"NOP", "DSB", "ISB", "BKPT", "CPSID", "CPSIE", "SVC", "WFI"})
 
+#: specialised mnemonics that touch the data bus but never the PC
+_MEM_OPS = frozenset({"LDR", "LDRB", "LDRH", "LDRSB", "LDRSH",
+                      "STR", "STRB", "STRH", "LDM", "STM", "PUSH", "POP"})
+#: specialised mnemonics that may branch, sleep, predicate, or mask IRQs
+_CTL_OPS = frozenset({"B", "BL", "BX", "BLX", "TBB", "TBH", "IT",
+                      "WFI", "CPSID", "CPSIE", "SVC"})
 
-def compile_exec(ins: Instruction, isa: str) -> ExecFn:
-    """Compile one instruction into an ``exec(cpu, outcome)`` closure.
+
+def compile_exec(ins: Instruction, isa: str) -> tuple[ExecFn, str]:
+    """Compile one instruction into ``(exec(cpu, outcome), kind)``.
 
     Falls back to the interpreter's own handler (prebound, so the dispatch
     dict lookup still disappears) whenever the operand shape is outside the
-    specialised fast cases.
+    specialised fast cases; fallbacks are always classified ``"ctl"``
+    because their behaviour is not statically known.
     """
     op = ins.mnemonic
     specialised = None
@@ -764,6 +898,8 @@ def compile_exec(ins: Instruction, isa: str) -> ExecFn:
         specialised = _compile_store(ins)
     elif op in ("PUSH", "POP"):
         specialised = _compile_push_pop(ins)
+    elif op in ("LDM", "STM"):
+        specialised = _compile_ldm_stm(ins)
     elif op in ("B", "BL", "BX", "BLX"):
         specialised = _compile_branch(ins)
     elif op in _SYSTEM_OPS:
@@ -771,16 +907,28 @@ def compile_exec(ins: Instruction, isa: str) -> ExecFn:
     elif op in ("MOVW", "MOVT", "ADR", "IT"):
         specialised = _compile_misc(ins, isa)
     if specialised is not None:
-        return specialised
+        if op in _CTL_OPS or (op == "POP" and PC in ins.reglist):
+            kind = "ctl"
+        elif op in _MEM_OPS:
+            kind = "mem"
+        else:
+            kind = "alu"
+        return specialised, kind
     handler = _DISPATCH.get(op)
     if handler is None:
         def ex(cpu, outcome, op=op):
             raise UndefinedInstruction(op)
-        return ex
+        return ex, "ctl"
 
     def ex(cpu, outcome, handler=handler, ins=ins):
         handler(cpu, ins, outcome)
-    return ex
+    return ex, "ctl"
+
+
+def compile_uop(ins: Instruction, isa: str) -> MicroOp:
+    """Compile one instruction straight into a classified :class:`MicroOp`."""
+    exec_fn, kind = compile_exec(ins, isa)
+    return MicroOp(ins, exec_fn, kind)
 
 
 def predecode(program) -> dict[int, MicroOp]:
@@ -800,7 +948,7 @@ def predecode(program) -> dict[int, MicroOp]:
     if cached is not None and getattr(program, "_uop_index", None) is program._by_address:
         return cached
     table = {
-        address: MicroOp(ins, compile_exec(ins, program.isa))
+        address: compile_uop(ins, program.isa)
         for address, ins in program._by_address.items()
     }
     program._uop_table = table

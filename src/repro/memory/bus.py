@@ -7,6 +7,7 @@ core already charges, so core cycle models simply add the returned stalls.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Protocol
 
@@ -41,11 +42,27 @@ class AccessRecord:
     stalls: int
 
 
+#: never-matching span sentinel for the last-hit device caches
+_NO_SPAN = (1, 0, None)
+
+
 class SystemBus:
-    """Decodes addresses to devices and accumulates stall statistics."""
+    """Decodes addresses to devices and accumulates stall statistics.
+
+    Address decode is a bisect over the (sorted, non-overlapping) device
+    bases, fronted by two last-hit caches - one for the data side, one for
+    the instruction-fetch side, so the ARM7-style I/D interleave on a
+    shared port does not thrash a single slot.  Sequential access patterns
+    (the overwhelmingly common case: code streaming from flash, data
+    walking SRAM) therefore resolve with one tuple compare instead of a
+    linear scan per access.
+    """
 
     def __init__(self, record: bool = False) -> None:
         self._devices: list = []
+        self._bases: list[int] = []
+        self._span_d: tuple = _NO_SPAN   # (lo, hi, device) last data hit
+        self._span_i: tuple = _NO_SPAN   # (lo, hi, device) last fetch hit
         self.record = record
         self.accesses: list[AccessRecord] = []
         self.total_stalls = 0
@@ -53,7 +70,8 @@ class SystemBus:
         self.writes = 0
 
     def attach(self, device) -> None:
-        """Add a device; regions must not overlap."""
+        """Add a device; regions must not overlap.  Keeps ``_devices``
+        sorted by base address so lookups can bisect."""
         for existing in self._devices:
             if not (device.base + device.size <= existing.base
                     or existing.base + existing.size <= device.base):
@@ -61,18 +79,37 @@ class SystemBus:
                     f"device at {device.base:#x} overlaps one at {existing.base:#x}")
         self._devices.append(device)
         self._devices.sort(key=lambda d: d.base)
+        self._bases = [d.base for d in self._devices]
+        self._span_d = self._span_i = _NO_SPAN
 
-    def device_at(self, addr: int):
-        for device in self._devices:
-            if device.base <= addr < device.base + device.size:
+    def _lookup(self, addr: int):
+        """Bisect the sorted device list; None when unmapped."""
+        index = bisect_right(self._bases, addr) - 1
+        if index >= 0:
+            device = self._devices[index]
+            if addr < device.base + device.size:
                 return device
         return None
 
+    def device_at(self, addr: int):
+        span = self._span_d
+        if span[0] <= addr < span[1]:
+            return span[2]
+        device = self._lookup(addr)
+        if device is not None:
+            self._span_d = (device.base, device.base + device.size, device)
+        return device
+
     def read(self, addr: int, size: int, side: str = "D") -> tuple[int, int]:
         """Read ``size`` bytes; returns (value, stall_cycles)."""
-        device = self.device_at(addr)
-        if device is None:
-            raise BusFault(addr)
+        span = self._span_d
+        if span[0] <= addr < span[1]:
+            device = span[2]
+        else:
+            device = self._lookup(addr)
+            if device is None:
+                raise BusFault(addr)
+            self._span_d = (device.base, device.base + device.size, device)
         value, stalls = device.read(addr, size, side)
         self.reads += 1
         self.total_stalls += stalls
@@ -87,14 +124,19 @@ class SystemBus:
         :meth:`read` exactly, so fast-path and reference execution leave
         identical bus statistics behind.
         """
-        device = self.device_at(addr)
-        if device is None:
-            raise BusFault(addr)
-        fetch = getattr(device, "fetch_stalls", None)
-        if fetch is not None:
-            stalls = fetch(addr, size)
+        span = self._span_i
+        if span[0] <= addr < span[1]:
+            fetch = span[2]
         else:
-            _, stalls = device.read(addr, size, "I")
+            device = self._lookup(addr)
+            if device is None:
+                raise BusFault(addr)
+            fetch = getattr(device, "fetch_stalls", None)
+            if fetch is None:
+                def fetch(addr, size, _read=device.read):
+                    return _read(addr, size, "I")[1]
+            self._span_i = (device.base, device.base + device.size, fetch)
+        stalls = fetch(addr, size)
         self.reads += 1
         self.total_stalls += stalls
         if self.record:
@@ -103,15 +145,47 @@ class SystemBus:
 
     def write(self, addr: int, size: int, value: int, side: str = "D") -> int:
         """Write ``size`` bytes; returns stall_cycles."""
-        device = self.device_at(addr)
-        if device is None:
-            raise BusFault(addr)
+        span = self._span_d
+        if span[0] <= addr < span[1]:
+            device = span[2]
+        else:
+            device = self._lookup(addr)
+            if device is None:
+                raise BusFault(addr)
+            self._span_d = (device.base, device.base + device.size, device)
         stalls = device.write(addr, size, value, side)
         self.writes += 1
         self.total_stalls += stalls
         if self.record:
             self.accesses.append(AccessRecord(addr, size, "W", side, stalls))
         return stalls
+
+    def fetch_thunk(self, addr: int, size: int):
+        """A zero-argument fetch closure prebound to the device at ``addr``.
+
+        The execution engines predecode instruction addresses once, so the
+        device decode for an instruction fetch can be done at bind time
+        instead of per execution; the returned thunk performs the fetch
+        with statistics accounting **identical** to :meth:`fetch_stalls`
+        (read counter, stall total, access record).  Returns ``None`` when
+        ``[addr, addr+size)`` is not wholly inside one mapped device - the
+        caller then falls back to the per-access decode path.
+        """
+        device = self._lookup(addr)
+        if device is None or addr + size > device.base + device.size:
+            return None
+        fetch = getattr(device, "fetch_stalls", None)
+        if fetch is None:
+            def fetch(a, s, _read=device.read):
+                return _read(a, s, "I")[1]
+        def thunk(bus=self, addr=addr, size=size, fetch=fetch):
+            stalls = fetch(addr, size)
+            bus.reads += 1
+            bus.total_stalls += stalls
+            if bus.record:
+                bus.accesses.append(AccessRecord(addr, size, "R", "I", stalls))
+            return stalls
+        return thunk
 
     # ------------------------------------------------------------------
     # debug/loader access (no timing, no recording)

@@ -15,7 +15,7 @@ flash-based parts.  Experiment E3 sweeps it.
 
 from __future__ import annotations
 
-from repro.memory.bus import RamBackedDevice
+from repro.memory.bus import BusFault, RamBackedDevice
 
 
 class Flash(RamBackedDevice):
@@ -78,18 +78,30 @@ class Flash(RamBackedDevice):
         stalls = self._access(addr)
         if addr + size > self._line_of(addr) + self.line_bytes:
             stalls += self._access(addr + size - 1)  # straddles two lines
-        return self._get(addr, size), stalls
+        offset = addr - self.base
+        if offset < 0 or offset > self.size - size:
+            raise BusFault(addr, "access beyond device")
+        return int.from_bytes(self.data[offset:offset + size], "little"), stalls
 
     def fetch_stalls(self, addr: int, size: int) -> int:
         """Timing of an instruction fetch without materialising the value.
 
         The stream/prefetch state advances exactly as :meth:`read` would;
         only the (discarded) data extraction is skipped.  The execution
-        engine fetches through this on the hot path.
+        engine fetches through this on the hot path - the bounds check and
+        stream update are inlined (no helper frames) for that reason.
         """
-        self._offset(addr, size)  # same bounds check as a real read
-        stalls = self._access(addr)
-        if addr + size > self._line_of(addr) + self.line_bytes:
+        offset = addr - self.base  # same bounds check as a real read
+        if offset < 0 or offset > self.size - size:
+            raise BusFault(addr, "access beyond device")
+        line = addr & ~(self.line_bytes - 1)
+        buffered = self._buffered_line
+        if buffered is not None and line == buffered:
+            self.sequential_hits += 1
+            stalls = 0
+        else:
+            stalls = self._access(addr)
+        if addr + size > line + self.line_bytes:
             stalls += self._access(addr + size - 1)
         return stalls
 

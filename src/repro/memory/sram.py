@@ -1,8 +1,15 @@
-"""On-chip SRAM: fixed (usually zero) wait states."""
+"""On-chip SRAM: fixed (usually zero) wait states.
+
+The access methods inline the bounds check and byte (de)serialisation that
+:class:`~repro.memory.bus.RamBackedDevice` provides as helpers: SRAM is the
+hot data device on every core, and the helper frames are pure overhead on
+the fast execution path.  Behaviour (including the :class:`BusFault` on an
+out-of-range access) is identical to the helper-based form.
+"""
 
 from __future__ import annotations
 
-from repro.memory.bus import RamBackedDevice
+from repro.memory.bus import BusFault, RamBackedDevice
 
 
 class Sram(RamBackedDevice):
@@ -15,16 +22,26 @@ class Sram(RamBackedDevice):
         self.writes = 0
 
     def read(self, addr: int, size: int, side: str = "D") -> tuple[int, int]:
+        offset = addr - self.base
+        if offset < 0 or offset > self.size - size:
+            raise BusFault(addr, "access beyond device")
         self.reads += 1
-        return self._get(addr, size), self.wait_states
+        return (int.from_bytes(self.data[offset:offset + size], "little"),
+                self.wait_states)
 
     def fetch_stalls(self, addr: int, size: int) -> int:
         """Instruction-fetch timing (value discarded); counts as a read."""
-        self._offset(addr, size)
+        offset = addr - self.base
+        if offset < 0 or offset > self.size - size:
+            raise BusFault(addr, "access beyond device")
         self.reads += 1
         return self.wait_states
 
     def write(self, addr: int, size: int, value: int, side: str = "D") -> int:
+        offset = addr - self.base
+        if offset < 0 or offset > self.size - size:
+            raise BusFault(addr, "access beyond device")
         self.writes += 1
-        self._set(addr, size, value)
+        self.data[offset:offset + size] = \
+            (value & ((1 << (8 * size)) - 1)).to_bytes(size, "little")
         return self.wait_states

@@ -130,6 +130,22 @@ class ScenarioRecord:
         )
 
 
+def _record_json(record: ScenarioRecord) -> str:
+    """One record in the canonical form (sorted keys, no whitespace)."""
+    return json.dumps(vars(record), sort_keys=True, separators=(",", ":"))
+
+
+def read_campaign_stream(path) -> list[ScenarioRecord]:
+    """Load the records a ``run_campaign(..., stream_path=...)`` run wrote."""
+    records = []
+    with open(path, encoding="utf-8") as stream:
+        for line in stream:
+            line = line.strip()
+            if line:
+                records.append(ScenarioRecord(**json.loads(line)))
+    return records
+
+
 @dataclass
 class CampaignResult:
     """All scenario records, in input order."""
@@ -216,18 +232,46 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioRecord:
     )
 
 
-def run_campaign(specs: list[ScenarioSpec], workers: int | None = None) -> CampaignResult:
+def run_campaign(specs: list[ScenarioSpec], workers: int | None = None,
+                 stream_path=None, collect: bool | None = None) -> CampaignResult:
     """Run a scenario matrix, optionally across worker processes.
 
     ``workers`` of ``None``, 0, or 1 runs serially in-process.  Output is
     identical (byte-for-byte once serialised) for every worker count.
+
+    ``stream_path`` appends each :class:`ScenarioRecord` to that file as
+    one canonical JSON line (the same serialisation ``to_json`` uses) as
+    soon as it comes off a worker, in input order - so million-scenario
+    sweeps can be tailed while running, survive interruption up to the
+    last completed scenario, and need not hold every record in memory:
+    ``collect`` defaults to False when streaming (the returned
+    ``CampaignResult`` is then empty; read the file back with
+    :func:`read_campaign_stream`) and True otherwise.
     """
     specs = list(specs)
-    if workers is None or workers <= 1 or len(specs) <= 1:
-        return CampaignResult(records=[run_scenario(s) for s in specs])
-    workers = min(workers, len(specs))
-    with multiprocessing.Pool(processes=workers) as pool:
-        records = pool.map(run_scenario, specs, chunksize=1)
+    if collect is None:
+        collect = stream_path is None
+    records: list[ScenarioRecord] = []
+    stream = open(stream_path, "a", encoding="utf-8") if stream_path is not None else None
+
+    def consume(record: ScenarioRecord) -> None:
+        if stream is not None:
+            stream.write(_record_json(record) + "\n")
+        if collect:
+            records.append(record)
+
+    try:
+        if workers is None or workers <= 1 or len(specs) <= 1:
+            for spec in specs:
+                consume(run_scenario(spec))
+        else:
+            with multiprocessing.Pool(processes=min(workers, len(specs))) as pool:
+                # imap (not map): records arrive incrementally, in input order
+                for record in pool.imap(run_scenario, specs, chunksize=1):
+                    consume(record)
+    finally:
+        if stream is not None:
+            stream.close()
     return CampaignResult(records=records)
 
 

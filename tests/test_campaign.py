@@ -9,6 +9,7 @@ from repro.sim.campaign import (
     InterruptProfile,
     ScenarioSpec,
     interrupt_sweep_matrix,
+    read_campaign_stream,
     run_campaign,
     run_scenario,
     table1_matrix,
@@ -105,3 +106,33 @@ def test_campaign_interrupt_storm_deterministic_and_parallel():
     assert serial.to_json() == parallel.to_json()
     assert serial.all_verified
     assert any(r.irqs_serviced for r in serial.records)
+
+
+def test_campaign_streams_records_to_jsonl(tmp_path):
+    """stream_path appends one canonical JSON line per scenario, in input
+    order, byte-identical across worker counts, without keeping records
+    in memory unless asked."""
+    matrix = small_matrix()
+    collected = run_campaign(matrix, workers=1)
+
+    serial_path = tmp_path / "serial.jsonl"
+    streamed = run_campaign(matrix, workers=1, stream_path=serial_path)
+    assert streamed.records == []          # collect defaults off when streaming
+    loaded = read_campaign_stream(serial_path)
+    assert loaded == collected.records
+
+    parallel_path = tmp_path / "parallel.jsonl"
+    run_campaign(matrix, workers=2, stream_path=parallel_path)
+    assert parallel_path.read_bytes() == serial_path.read_bytes()
+
+    # append semantics: a second run extends the file (resumable sweeps)
+    run_campaign(matrix[:2], workers=1, stream_path=serial_path)
+    assert read_campaign_stream(serial_path) == collected.records + collected.records[:2]
+
+
+def test_campaign_stream_with_collect_keeps_records(tmp_path):
+    matrix = small_matrix()[:3]
+    path = tmp_path / "both.jsonl"
+    result = run_campaign(matrix, workers=1, stream_path=path, collect=True)
+    assert len(result.records) == 3
+    assert read_campaign_stream(path) == result.records
