@@ -1,0 +1,57 @@
+"""Scenario-domain campaign matrix benchmark.
+
+Runs every built-in campaign matrix - CPU kernels (Table 1), OSEK task
+sets, CAN traffic matrices, soft-error sweeps - through the sharded
+campaign runner and reports scenario throughput per domain.  The series
+of CI artifacts across PRs tracks how scenario-matrix cost evolves as the
+engines and domains grow.
+
+``REPRO_BENCH_REDUCED=1`` shrinks each matrix to a few cells (CI smoke);
+``REPRO_BENCH_WORKERS`` sets the worker-pool size (results are identical
+for any value - that is the campaign runner's core guarantee).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+from conftest import report
+
+from repro.sim.campaign import available_matrices, run_campaign
+
+REDUCED = os.environ.get("REPRO_BENCH_REDUCED") == "1"
+WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "2"))
+
+#: matrix name -> cells kept in reduced mode
+DOMAIN_MATRICES = {
+    "table1": 6,
+    "osek": 3,
+    "can": 3,
+    "soft-error": 2,
+}
+
+
+@pytest.mark.parametrize("matrix", sorted(DOMAIN_MATRICES))
+def test_campaign_domain_matrix(benchmark, matrix):
+    specs = available_matrices()[matrix](2005, 1)
+    if REDUCED:
+        specs = specs[:DOMAIN_MATRICES[matrix]]
+
+    result = benchmark.pedantic(
+        lambda: run_campaign(specs, workers=WORKERS),
+        rounds=1, iterations=1)
+
+    assert len(result.records) == len(specs)
+    assert result.all_verified, [r.label for r in result.records
+                                 if not r.verified]
+
+    seconds = benchmark.stats["mean"]
+    lines = [f"{len(specs)} scenarios in {seconds:.2f}s "
+             f"({len(specs) / seconds:.1f}/s, workers={WORKERS})"]
+    for domain, count in sorted(result.by_domain().items()):
+        lines.append(f"  {domain:11} {count:3} cells, all verified")
+    report(f"campaign matrix '{matrix}'"
+           + (" [reduced]" if REDUCED else ""), lines)
+    benchmark.extra_info["scenarios"] = len(specs)
+    benchmark.extra_info["workers"] = WORKERS

@@ -12,12 +12,17 @@ from repro.sim.trace import TraceRecord, TraceRecorder
 # workloads) inside its functions, never at module import time.
 from repro.sim.campaign import (
     CampaignResult,
+    CampaignStreamError,
     InterruptProfile,
     ScenarioRecord,
     ScenarioSpec,
+    available_matrices,
     interrupt_sweep_matrix,
+    read_campaign_stream,
     run_campaign,
     run_scenario,
+    shard_bounds,
+    smoke_matrix,
     table1_matrix,
 )
 
@@ -29,11 +34,16 @@ __all__ = [
     "TraceRecord",
     "TraceRecorder",
     "CampaignResult",
+    "CampaignStreamError",
     "InterruptProfile",
     "ScenarioRecord",
     "ScenarioSpec",
+    "available_matrices",
     "interrupt_sweep_matrix",
+    "read_campaign_stream",
     "run_campaign",
     "run_scenario",
+    "shard_bounds",
+    "smoke_matrix",
     "table1_matrix",
 ]

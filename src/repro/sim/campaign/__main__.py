@@ -1,0 +1,6 @@
+"""``python -m repro.sim.campaign`` - the sharded campaign CLI."""
+
+from repro.sim.campaign import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

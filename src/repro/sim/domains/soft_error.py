@@ -1,0 +1,173 @@
+"""The soft-error scenario domain: upset sweeps into real CPU runs.
+
+Each cell models a mission window (paper section 3.1.3): a kernel's input
+table lives in TCM while the kernel re-runs periodically; cosmic-ray
+upsets arrive as a Poisson process (:mod:`repro.memory.faults`) and flip
+stored bits between runs.  Every kernel pass reads the whole table, so
+each simulated run scrubs the TCM through the ECC path - single-bit
+errors are repaired by hold-and-repair before they can accumulate into
+double-bit ones.  At the end of the mission the (possibly corrupted)
+table image is fed to a *real CPU run* of the kernel and the result is
+compared against the clean-run golden answer.
+
+A protected cell verifies when every upset was corrected (or detected as
+uncorrectable - a detected double flip is the ECC doing its job, not a
+silent failure).  Unprotected cells are the measurement arm: they verify
+whenever the accounting holds (every flip either corrupted a word
+silently or landed back on a flipped bit), and their ``wrong`` field is
+the observable damage.
+
+Params (via ``ScenarioSpec.params``):
+
+* ``protected`` - fault-tolerant TCM on/off (default True)
+* ``rate_per_mcycle`` - upset rate per million cycles (default 10.0)
+* ``mission_factor`` - mission length as a multiple of one kernel run,
+  multiplied by ``spec.scale`` (default 5000)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.memory.faults import SoftErrorInjector
+from repro.memory.tcm import EccUncorrectable, Tcm
+from repro.sim.domains import ScenarioDomain
+
+
+@dataclass
+class SoftErrorRecord:
+    """Outcome of one upset-sweep cell."""
+
+    label: str
+    core: str
+    isa: str
+    workload: str
+    seed: int
+    scale: int
+    protected: bool
+    rate_per_mcycle: float
+    mission_cycles: int
+    run_cycles: int             # one clean kernel run (the scrub interval)
+    upsets: int
+    corrected: int
+    hold_cycles: int            # stalls spent in hold-and-repair
+    silent_corruptions: int     # flips into the unprotected array
+    uncorrectable: int          # distinct double-bit words detected (protected)
+    golden: int                 # clean-run kernel result
+    result: int                 # kernel result on the post-mission image
+    wrong: bool                 # result != golden (silent data corruption)
+    domain: str = "soft_error"
+
+    @property
+    def verified(self) -> bool:
+        if self.protected:
+            # every upset either corrected or *detected*; never silent
+            return not self.wrong or self.uncorrectable > 0
+        # measurement arm: the flips must all be accounted for
+        return self.silent_corruptions == self.upsets
+
+
+def _scrub(tcm: Tcm) -> set[int]:
+    """Read every word through the ECC path (what a kernel pass does);
+    returns the word offsets detected as uncorrectable.  Hold-and-repair
+    cannot fix a double-bit word, so the same offset shows up on every
+    scrub - callers union the sets to count *distinct* bad words."""
+    detected = set()
+    for offset in range(0, tcm.size, 4):
+        try:
+            tcm.read(offset, 4)
+        except EccUncorrectable:
+            detected.add(offset)
+    return detected
+
+
+class SoftErrorDomain(ScenarioDomain):
+    """Poisson upsets into a TCM-resident table feeding real CPU runs."""
+
+    name = "soft_error"
+    record_class = SoftErrorRecord
+
+    def build(self, spec):
+        from repro.sim.domains.kernel import execute_workload
+
+        if not (spec.core and spec.isa and spec.workload):
+            raise ValueError(
+                f"soft_error domain needs core/isa/workload, got {spec!r}")
+        # the clean run: the golden answer and the scrub interval
+        return execute_workload(spec.core, spec.isa, spec.workload,
+                                spec.seed, spec.scale,
+                                machine_kwargs=spec.machine_kwargs,
+                                fastpath=spec.fastpath)
+
+    def execute(self, spec, clean):
+        from repro.sim.domains.kernel import execute_workload
+
+        protected = bool(spec.param("protected", True))
+        rate = float(spec.param("rate_per_mcycle", 10.0))
+        mission = clean.cycles * int(spec.param("mission_factor", 5000)) \
+            * max(spec.scale, 1)
+
+        size = max((len(clean.data) + 3) & ~3, 64)
+        tcm = Tcm(base=0, size=size, fault_tolerant=protected)
+        tcm.write_raw(0, clean.data)
+
+        injector = SoftErrorInjector(spec.rng(), rate_per_mcycle=rate)
+        injector.add_target("tcm", tcm.flip_random_bit, tcm.bit_capacity)
+
+        # Upsets land between kernel passes; each pass re-reads the whole
+        # table, so crossing a run boundary scrubs the accumulated flips.
+        bad_words: set[int] = set()
+        window = 0
+        for arrival in injector.arrival_times(mission):
+            this_window = arrival // max(clean.cycles, 1)
+            if protected and this_window != window:
+                bad_words |= _scrub(tcm)
+            window = this_window
+            injector.inject_one(arrival)
+        if protected:
+            bad_words |= _scrub(tcm)
+        uncorrectable = len(bad_words)
+
+        # Post-mission: run the kernel - on a real core model - over the
+        # surviving image.  Detected-uncorrectable words pass through
+        # as-stored (the raw array), which is what a real hold-and-repair
+        # TCM hands the core after signalling the fault.
+        image = bytes(tcm.data[:len(clean.data)])
+        outcome = execute_workload(spec.core, spec.isa, spec.workload,
+                                   spec.seed, spec.scale,
+                                   machine_kwargs=spec.machine_kwargs,
+                                   fastpath=spec.fastpath, data=image)
+
+        return SoftErrorRecord(
+            label=spec.label, core=spec.core, isa=spec.isa,
+            workload=spec.workload, seed=spec.seed, scale=spec.scale,
+            protected=protected, rate_per_mcycle=rate,
+            mission_cycles=mission, run_cycles=clean.cycles,
+            upsets=len(injector.log),
+            corrected=tcm.corrected_errors,
+            hold_cycles=tcm.hold_cycles,
+            silent_corruptions=tcm.silent_corruptions,
+            uncorrectable=uncorrectable,
+            golden=clean.result, result=outcome.result,
+            wrong=outcome.result != clean.result,
+        )
+
+
+def soft_error_matrix(seed: int = 2005, scale: int = 1) -> list:
+    """Protection on/off x rate sweep on the table-driven kernels."""
+    from repro.sim.campaign import ScenarioSpec
+
+    return [
+        ScenarioSpec(label=f"soft {workload} rate={rate:g} "
+                           f"{'ecc' if protected else 'raw'}",
+                     core="arm1156", isa="thumb2", workload=workload,
+                     seed=seed, scale=scale, domain="soft_error",
+                     params=(("protected", protected),
+                             ("rate_per_mcycle", rate)))
+        for workload in ("tblook", "canrdr")
+        for protected in (True, False)
+        for rate in (5.0, 20.0)
+    ]
+
+
+DOMAIN = SoftErrorDomain()

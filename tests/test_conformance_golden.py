@@ -1,0 +1,254 @@
+"""Cross-engine conformance against a committed golden corpus.
+
+The property tests in ``test_fastpath_properties.py`` prove the three
+execution engines agree with *each other*; this corpus pins them all to
+committed fingerprints (registers, flags, cycle counts, bus statistics,
+scratch memory) for representative programs on all three cores, so future
+engine work - trace superblocks, an ARM1156 fused icache path - cannot
+silently drift the absolute scenario results either.
+
+The corpus lives in ``tests/golden/conformance_<core>_<isa>.json``.  To
+regenerate after an *intentional* timing-model change::
+
+    PYTHONPATH=src python tests/test_conformance_golden.py
+
+then review the diff like any other code change: every altered number is
+a behaviour change across every campaign domain that runs on the cores.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.codegen import compile_program
+from repro.core import FLASH_BASE, SRAM_BASE, build_machine
+from repro.isa import assemble
+from repro.sim.rng import DeterministicRng
+from repro.workloads.kernels import WORKLOADS_BY_NAME
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: (core, isa) pairs: all three cores, every ISA each one runs.
+CONFIGS = (
+    ("arm7", "arm"),
+    ("arm7", "thumb"),
+    ("m3", "thumb2"),
+    ("arm1156", "thumb2"),
+)
+
+#: (label, fastpath, superblocks) - reference interpreter, predecoded
+#: micro-op dispatch, superblock chaining (see repro/core/cpu.py).
+ENGINES = (
+    ("reference", False, False),
+    ("uops", True, False),
+    ("superblock", True, True),
+)
+
+#: AutoIndy kernels in the corpus: table-driven, bit-twiddling, and
+#: control-heavy shapes (the golden seed/scale match the Table 1 harness).
+KERNEL_PROGRAMS = ("ttsprk", "tblook", "canrdr", "bitmnp")
+KERNEL_SEED = 2005
+KERNEL_SCALE = 1
+
+#: Hand-written programs covering engine-sensitive shapes the kernels
+#: don't force: tight backward-branch loops (superblock re-entry), LDM/STM
+#:  with write-back (specialised predecode), IT predication (Thumb-2 only).
+ASM_ALU_LOOP = """
+main:
+    push {r4, r5, r6, r7}
+    movs r4, #0
+    movs r5, #25
+loop:
+    adds r4, r4, r5
+    eors r4, r4, r5
+    lsls r6, r4, #1
+    lsrs r6, r6, #3
+    subs r5, r5, #1
+    bne loop
+    str r4, [r0, #0]
+    ldr r6, [r0, #0]
+    adds r0, r4, r6
+    pop {r4, r5, r6, r7}
+    bx lr
+"""
+
+ASM_BLOCK_COPY = """
+main:
+    push {r4, r5, r6, r7}
+    movs r4, #17
+    movs r5, #99
+    movs r6, #3
+    movs r7, #250
+    mov r3, r0
+    stm r3!, {r4, r5, r6, r7}
+    mov r3, r0
+    ldm r3!, {r5, r6}
+    str r3, [r0, #16]
+    adds r0, r5, r6
+    pop {r4, r5, r6, r7}
+    bx lr
+"""
+
+ASM_IT_BLOCKS = """
+main:
+    movs r4, #0
+    cmp r1, r2
+    itte ge
+    addge r4, r4, #7
+    addge r4, r4, #1
+    addlt r4, r4, #3
+    cmp r2, r1
+    it lt
+    addlt r4, r4, #16
+    mov r0, r4
+    bx lr
+"""
+
+ASM_PROGRAMS: dict[str, tuple[str, tuple[int, ...], tuple[str, ...]]] = {
+    # name -> (source, extra args after the scratch pointer, isas)
+    "alu_loop": (ASM_ALU_LOOP, (), ("arm", "thumb", "thumb2")),
+    "block_copy": (ASM_BLOCK_COPY, (), ("arm", "thumb", "thumb2")),
+    "it_blocks": (ASM_IT_BLOCKS, (9, 4), ("thumb2",)),
+}
+
+SCRATCH_BYTES = 64
+
+
+def golden_path(core: str, isa: str) -> Path:
+    return GOLDEN_DIR / f"conformance_{core}_{isa}.json"
+
+
+def _fingerprint(machine, result: int) -> dict:
+    cpu = machine.cpu
+    return {
+        "result": result,
+        "regs": list(cpu.regs.snapshot()),
+        "apsr": str(cpu.apsr),
+        "cycles": cpu.cycles,
+        "instructions": cpu.instructions_executed,
+        "skipped": cpu.instructions_skipped,
+        "branches": cpu.branches_taken,
+        "bus_reads": machine.bus.reads,
+        "bus_writes": machine.bus.writes,
+        "bus_stalls": machine.bus.total_stalls,
+        "sram": bytes(machine.sram.data[:SCRATCH_BYTES]).hex(),
+    }
+
+
+def _run_kernel(core: str, isa: str, name: str,
+                fastpath: bool, superblocks: bool) -> dict:
+    workload = WORKLOADS_BY_NAME[name]
+    fn = workload.build()
+    program = compile_program([fn], isa, base=FLASH_BASE)
+    machine = build_machine(core, program)
+    machine.cpu.fastpath = fastpath
+    machine.cpu.superblocks = superblocks
+    prepared = workload.make_input(DeterministicRng(KERNEL_SEED), KERNEL_SCALE)
+    machine.load_data(SRAM_BASE, prepared.data)
+    result = machine.call(fn.name, *prepared.args(SRAM_BASE))
+    assert result == workload.reference(prepared.data, *prepared.args(0))
+    return _fingerprint(machine, result)
+
+
+def _run_asm(core: str, isa: str, name: str,
+             fastpath: bool, superblocks: bool) -> dict:
+    source, extra_args, _ = ASM_PROGRAMS[name]
+    program = assemble(source, isa, base=FLASH_BASE)
+    machine = build_machine(core, program)
+    machine.cpu.fastpath = fastpath
+    machine.cpu.superblocks = superblocks
+    result = machine.call("main", SRAM_BASE, *extra_args,
+                          max_instructions=100_000)
+    return _fingerprint(machine, result)
+
+
+def corpus_programs(core: str, isa: str) -> list[str]:
+    names = list(KERNEL_PROGRAMS)
+    names += [name for name, (_, _, isas) in ASM_PROGRAMS.items()
+              if isa in isas]
+    return names
+
+
+def compute_fingerprints(core: str, isa: str,
+                         fastpath: bool, superblocks: bool) -> dict:
+    fingerprints = {}
+    for name in corpus_programs(core, isa):
+        if name in ASM_PROGRAMS:
+            fingerprints[name] = _run_asm(core, isa, name, fastpath, superblocks)
+        else:
+            fingerprints[name] = _run_kernel(core, isa, name,
+                                             fastpath, superblocks)
+    return fingerprints
+
+
+@pytest.fixture(scope="module")
+def golden() -> dict:
+    corpora = {}
+    for core, isa in CONFIGS:
+        path = golden_path(core, isa)
+        if not path.exists():
+            pytest.fail(
+                f"missing golden corpus {path}; regenerate with "
+                f"'PYTHONPATH=src python tests/test_conformance_golden.py'")
+        with open(path, encoding="utf-8") as stream:
+            corpora[(core, isa)] = json.load(stream)
+    return corpora
+
+
+@pytest.mark.parametrize("engine,fastpath,superblocks", ENGINES,
+                         ids=[e[0] for e in ENGINES])
+@pytest.mark.parametrize("core,isa", CONFIGS,
+                         ids=[f"{c}-{i}" for c, i in CONFIGS])
+def test_engine_matches_golden_corpus(golden, core, isa,
+                                      engine, fastpath, superblocks):
+    """Every engine on every core must reproduce the committed corpus."""
+    expected = golden[(core, isa)]["programs"]
+    computed = compute_fingerprints(core, isa, fastpath, superblocks)
+    assert sorted(computed) == sorted(expected), (
+        f"{core}/{isa}: corpus program set changed; regenerate the corpus")
+    for name, fingerprint in computed.items():
+        drift = {key: (fingerprint[key], expected[name][key])
+                 for key in fingerprint if fingerprint[key] != expected[name][key]}
+        assert fingerprint == expected[name], (
+            f"{engine} engine drifted from golden corpus on "
+            f"{core}/{isa}/{name}: {drift}")
+
+
+def test_corpus_covers_all_cores_and_isas(golden):
+    """The corpus spans all three cores and all three ISAs."""
+    cores = {core for core, _ in golden}
+    isas = {isa for _, isa in golden}
+    assert cores == {"arm7", "m3", "arm1156"}
+    assert isas == {"arm", "thumb", "thumb2"}
+    for (core, isa), corpus in golden.items():
+        assert sorted(corpus["programs"]) == sorted(corpus_programs(core, isa))
+
+
+def regenerate() -> None:
+    """Recompute the corpus from the reference interpreter and write it."""
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for core, isa in CONFIGS:
+        payload = {
+            "_comment": (
+                "Golden cross-engine conformance fingerprints; regenerate "
+                "with 'PYTHONPATH=src python tests/test_conformance_golden.py' "
+                "and review every changed number as a behaviour change."),
+            "core": core,
+            "isa": isa,
+            "seed": KERNEL_SEED,
+            "scale": KERNEL_SCALE,
+            "programs": compute_fingerprints(core, isa,
+                                             fastpath=False, superblocks=False),
+        }
+        path = golden_path(core, isa)
+        with open(path, "w", encoding="utf-8") as stream:
+            json.dump(payload, stream, indent=1, sort_keys=True)
+            stream.write("\n")
+        print(f"wrote {path} ({len(payload['programs'])} programs)")
+
+
+if __name__ == "__main__":
+    regenerate()
