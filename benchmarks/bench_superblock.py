@@ -27,7 +27,7 @@ from __future__ import annotations
 import os
 import time
 
-from conftest import report
+from conftest import record_summary, report
 
 from repro.codegen import compile_program
 from repro.core import FLASH_BASE, SRAM_BASE, build_machine
@@ -61,6 +61,9 @@ def run_config(core: str, isa: str, engine: str) -> tuple[float, list[tuple]]:
             machine = build_machine(core, program)
             machine.cpu.fastpath = engine != "reference"
             machine.cpu.superblocks = engine == "superblock"
+            # the trace tier has its own benchmark (bench_trace_superblock);
+            # here "superblock" means exactly the PR 2 engine
+            machine.cpu.trace_superblocks = False
             machine.load_data(SRAM_BASE, prepared.data)
             t0 = time.perf_counter()
             result = machine.call(fn.name, *prepared.args(SRAM_BASE))
@@ -85,6 +88,8 @@ def compute_superblock():
         for engine in ENGINES:
             times[engine], records[engine] = run_config(core, isa, engine)
             totals[engine] += times[engine]
+            instructions = sum(record[3] for record in records[engine])
+            record_summary(engine, label, times[engine] * 1e9 / instructions)
         assert records["superblock"] == records["uops"] == records["reference"], (
             f"engines diverged on {label} (registers/cycles/bus statistics)")
         rows.append((label, times["superblock"], times["uops"], times["reference"]))

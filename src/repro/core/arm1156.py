@@ -21,7 +21,7 @@ reproduced for the experiments:
 
 from __future__ import annotations
 
-from repro.core.cpu import BaseCpu
+from repro.core.cpu import BaseCpu, return_stack_branch_inline
 from repro.core.exceptions import DataAbort, InterruptRecord
 from repro.core.vic import VicController
 from repro.isa.assembler import Program
@@ -96,10 +96,16 @@ class Arm1156Core(BaseCpu):
             return icache_read(addr, size, "I")[1]
         return thunk
 
-    def _data_bus_inline_guard(self) -> str | None:
+    def _data_inline_plan(self) -> str | None:
         if self.dcache is not None:
             return None  # every access goes through the cache model
-        return "cpu.mpu is None and "
+        return "mpu"
+
+    def _fetch_cache(self):
+        # lets the fuser emit the cached fetch inline (hit/miss/parity
+        # accounting transcribed from Cache.read) instead of a per
+        # instruction closure-call thunk
+        return self.icache
 
     def data_read(self, addr: int, size: int) -> tuple[int, int]:
         self._mpu_check(addr, size, is_write=False)
@@ -234,6 +240,9 @@ class Arm1156Core(BaseCpu):
             self.regs.lr = banked_lr
             self.interrupts_enabled = True
             self.trace.emit(self.cycles, "irq", "exit", number=record.number)
+
+    def _branch_inline(self, target: int):
+        return return_stack_branch_inline(target)
 
     # ------------------------------------------------------------------
     # restartable block transfers (experiment E6)

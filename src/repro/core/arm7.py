@@ -16,7 +16,7 @@ ISA decides), which is exactly how the paper's ARM7 rows differ.
 
 from __future__ import annotations
 
-from repro.core.cpu import BaseCpu
+from repro.core.cpu import BaseCpu, return_stack_branch_inline
 from repro.core.exceptions import InterruptRecord
 from repro.core.vic import VicController
 from repro.isa.assembler import Program
@@ -54,8 +54,8 @@ class Arm7Core(BaseCpu):
     def fetch_stalls(self, addr: int, size: int) -> int:
         return self.bus.fetch_stalls(addr, size)
 
-    def _data_bus_inline_guard(self) -> str:
-        return ""  # data path is the bare bus: no per-access checks
+    def _data_inline_plan(self) -> str:
+        return "direct"  # data path is the bare bus: no per-access checks
 
     def data_read(self, addr: int, size: int) -> tuple[int, int]:
         return self.bus.read(addr, size, side="D")
@@ -160,3 +160,6 @@ class Arm7Core(BaseCpu):
             self.regs.lr = banked_lr        # un-bank the user-mode LR
             self.interrupts_enabled = True  # CPSR restored on return
             self.trace.emit(self.cycles, "irq", "exit", number=record.number)
+
+    def _branch_inline(self, target: int):
+        return return_stack_branch_inline(target)

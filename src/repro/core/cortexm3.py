@@ -63,10 +63,16 @@ class CortexM3Core(BaseCpu):
     def fetch_stalls(self, addr: int, size: int) -> int:
         return self.bus.fetch_stalls(addr, size)
 
-    def _data_bus_inline_guard(self) -> str:
-        # checked dynamically: attaching an MPU reroutes every access
-        # through the full checked path, even in already-fused blocks
-        return "cpu.mpu is None and "
+    def _data_inline_plan(self) -> str:
+        # fused accesses stay inline with an MPU attached: the emitted
+        # code consults cpu.mpu per access (read dynamically, so an MPU
+        # attached after fusion is honoured) and faults bit-exactly
+        return "mpu"
+
+    def _exception_return_static(self, target: int) -> bool:
+        # the hook only fires on the EXC_RETURN magic value; any other
+        # constant target can be written to the PC directly
+        return target != (EXC_RETURN & ~1)
 
     def data_read(self, addr: int, size: int) -> tuple[int, int]:
         self._mpu_check(addr, size, is_write=False)

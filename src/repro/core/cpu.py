@@ -15,36 +15,52 @@ contrast the paper draws between its two implementations.
 
 Execution engines
 -----------------
-Three tiers produce bit-identical architectural results (registers, flags,
+Four tiers produce bit-identical architectural results (registers, flags,
 cycle counts, bus statistics, traces); the property tests in
 ``tests/test_fastpath_properties.py`` diff complete machine state across
-all three on randomised programs:
+all four on randomised programs:
 
 * ``step()`` - the **reference interpreter**: full decode and dispatch
   every instruction.  Always used for single-stepping, IT-block
   predication, sleep (WFI) ticks, and anything a core defers (the
   ARM1156's restartable LDM/STM windows).  This tier is the semantic
-  ground truth the other two are checked against.
+  ground truth the other three are checked against.
 * the **predecoded engine** (``run()`` with ``superblocks = False``) -
   dispatches one bound micro-op per loop iteration through a predecoded
   table (:mod:`repro.isa.predecode`) with per-core cycle costs prebound by
   :meth:`BaseCpu.compile_cycles`.  Polls the interrupt controller before
   every instruction whenever requests are queued, exactly like ``step()``.
-* the **superblock engine** (``run()`` with the default
-  ``superblocks = True``) - links chainable micro-ops to their
+* the **superblock engine** (``superblocks = True`` with
+  ``trace_superblocks = False``) - links chainable micro-ops to their
   fall-through successor at bind time, groups straight-line runs into
   *superblocks*, and executes each as a single Python loop with no
   per-step dict dispatch, no per-step interrupt poll, and slimmer bound
-  steps (pure ALU steps skip all memory/outcome bookkeeping).  Interrupt
-  exactness is preserved by an **event horizon**: the earliest
-  ``assert_cycle`` of any queued request, conservatively ignoring masking
-  and priority.  While ``cycles`` is below the horizon no controller poll
-  can have an effect, so chained execution is unobservable; once the
-  horizon is reached the engine drops to poll-per-instruction dispatch,
-  which is the predecoded engine's behaviour.  Superblocks are built
-  lazily per entry address (so a branch target mid-block simply starts its
-  own block) and invalidated with the micro-op table when the program's
-  execution index is reassigned.
+  steps (pure ALU steps skip all memory/outcome bookkeeping).  Hot blocks
+  are *fused* into single generated code objects
+  (:mod:`repro.core.superblock`).  Interrupt exactness is preserved by an
+  **event horizon**: the earliest ``assert_cycle`` of any queued request,
+  conservatively ignoring masking and priority.  While ``cycles`` is
+  below the horizon no controller poll can have an effect, so chained
+  execution is unobservable; once the horizon is reached the engine drops
+  to poll-per-instruction dispatch, which is the predecoded engine's
+  behaviour.  Superblocks are built lazily per entry address (so a branch
+  target mid-block simply starts its own block) and invalidated with the
+  micro-op table when the program's execution index is reassigned.
+* the **trace engine** (the default: ``trace_superblocks = True``) -
+  everything the superblock engine does, plus a predictable taken branch
+  no longer terminates fusion: a fused block ending in a loop *back-edge*
+  (a direct branch whose target is the block's own head) loops inside the
+  generated code object under an inline guard that revalidates the branch
+  condition and the event horizon each iteration, so a whole loop
+  iteration is one generated function executed N times with zero engine
+  dispatch between iterations.  When the guard fails (loop exit, an IRQ
+  entering the queue, instruction budget) the function returns with the
+  machine bit-exactly where per-step execution would have left it.  The
+  fuser also closes the two per-core fetch/data fast-path holes: the
+  ARM1156's cached instruction fetch is emitted inline (hit/miss/parity
+  accounting transcribed from ``Cache.read``), and MPU-guarded data
+  accesses (Cortex-M3, cacheless ARM1156) inline the bus fast path behind
+  a per-access MPU check that faults bit-exactly mid-block.
 
 ``cpu.fastpath = False`` forces the reference interpreter for a whole
 ``run()`` (the equivalence benchmarks and property tests do); with
@@ -65,6 +81,23 @@ from repro.sim.trace import TraceRecorder
 
 #: Branching here halts the simulation (the reset value of LR).
 HALT_ADDRESS = 0xFFFFFFFE
+
+#: sentinel: no interrupt queue has been bound into fused blocks yet
+_UNBOUND_QUEUE = object()
+
+
+def return_stack_branch_inline(target: int) -> list[str] | None:
+    """Constant-target ``branch()`` inline for the VIC cores (ARM7 and
+    ARM1156 share the same override shape): a plain PC write, with the
+    rare interrupt return-stack unwind routed through the real method -
+    re-running its PC write is idempotent."""
+    target &= MASK32
+    if target == HALT_ADDRESS:
+        return None
+    return [f"rvals[15] = {target}",
+            "rs = cpu._return_stack",
+            f"if rs and rs[-1][1] == {target}:",
+            f"    BR({target})"]
 
 
 class BaseCpu:
@@ -100,14 +133,29 @@ class BaseCpu:
         self.svc_log: list[int] = []
         #: dispatch through the predecoded micro-op table in run()
         self.fastpath = True
-        #: chain micro-ops into superblocks (the fastest engine); set to
-        #: False to fall back to per-instruction predecoded dispatch
+        #: chain micro-ops into superblocks; set to False to fall back to
+        #: per-instruction predecoded dispatch
         self.superblocks = True
+        #: fuse across loop back-edges (the trace engine, the fastest
+        #: tier); False reproduces the plain superblock engine, which
+        #: breaks fusion at every taken branch
+        self.trace_superblocks = True
+        #: instruction ceiling of the current run(), read by fused loop
+        #: guards (set per run by _run_superblocks)
+        self._sb_limit = 0
         self._fast_table: dict | None = None
         self._fast_index: dict | None = None
         self._fast_outcome = Outcome()
         self._sb_blocks: dict[int, list] = {}
         self._sb_steps: dict[int, object] = {}
+        #: the interrupt queue fused blocks were bound over (loop guards
+        #: bind the queue list at fuse time); a controller swap between
+        #: runs drops the fused blocks so they rebind
+        self._sb_bound_queue: object = _UNBOUND_QUEUE
+        #: the trace_superblocks value the cached blocks were built under:
+        #: block shapes (goto chaining) and fused emission both depend on
+        #: it, so toggling the engine tier drops the cache
+        self._sb_trace_mode: object = _UNBOUND_QUEUE
 
     # ------------------------------------------------------------------
     # hooks for subclasses
@@ -304,16 +352,46 @@ class BaseCpu:
                 return device
         return None
 
-    def _data_bus_inline_guard(self) -> str | None:
+    def _data_inline_plan(self) -> str | None:
         """Whether (and how) fused code may inline the data-bus fast path.
 
         ``None``: never inline - ``cpu.read``/``cpu.write`` must mediate
-        every access (caches, unknown cores).  Otherwise a source fragment
-        prepended to the span-hit condition: ``""`` for a direct bus path,
-        or e.g. ``"cpu.mpu is None and "`` so an MPU attached to the core
-        keeps routing through the checked path.
+        every access (data caches, unknown cores).  ``"direct"``: the data
+        path is the bare system bus with no per-access checks, so the
+        span-cache hit path is emitted as raw statements.  ``"mpu"``: same
+        inline bus path, but preceded by a per-access MPU consultation
+        (``cpu._mpu_check`` when ``cpu.mpu`` is attached) that faults
+        bit-exactly mid-block; an MPU attached *after* fusion is honoured
+        because the emitted check reads ``cpu.mpu`` dynamically.
         """
         return None
+
+    def _fetch_cache(self):
+        """The instruction cache fetches go through, or ``None``.
+
+        Cores whose ``fetch_stalls`` is a :class:`~repro.memory.cache.Cache`
+        read return it here so the superblock fuser can emit the cached
+        fetch (hit/miss/parity/LRU accounting) as raw statements instead of
+        a per-instruction closure call.
+        """
+        return None
+
+    def _exception_return_static(self, target: int) -> bool:
+        """True when ``_exception_return_hook(target)`` provably returns
+        False for this *constant* target, letting fused code write the PC
+        directly instead of calling :meth:`branch`."""
+        return type(self)._exception_return_hook is BaseCpu._exception_return_hook
+
+    def _branch_inline(self, target: int) -> list[str] | None:
+        """Statements equivalent to ``branch(target)`` for a constant
+        target, or ``None`` when only the real call is safe (halt address,
+        overridden ``branch``, a possibly-live exception-return hook)."""
+        target &= MASK32
+        if type(self).branch is not BaseCpu.branch:
+            return None
+        if target == HALT_ADDRESS or not self._exception_return_static(target):
+            return None
+        return [f"rvals[15] = {target}"]
 
     def _bind_uop(self, uop):
         """Close a micro-op over this CPU: one call executes one instruction."""
@@ -489,8 +567,16 @@ class BaseCpu:
         A superblock is the maximal straight-line run of chainable
         micro-ops starting at ``pc``, optionally terminated by one
         non-chainable micro-op executed through its general bound step.
-        Branch targets inside an existing block simply get their own block
-        on first dispatch; blocks overlap freely and share bound steps.
+        With ``trace_superblocks`` on, an *unconditional direct branch*
+        does not terminate the run: the walk continues at the branch
+        target (a goto is just a straight line with a relocated next
+        address - the branch's own step sets the PC, and the following
+        steps are exactly the target's), so diamond join points and loop
+        preheaders chain into one trace.  Targets already in the trace,
+        halt-address branches, and targets with exception-return semantics
+        end the trace as before.  Branch targets inside an existing block
+        simply get their own block on first dispatch; blocks overlap
+        freely and share bound steps.
 
         The cached entry is ``[steps, uops, countdown, fused]``: after
         ``countdown`` list-mode dispatches the block is fused into a
@@ -500,9 +586,11 @@ class BaseCpu:
         table = self._fast_dispatch_table()
         uop_table = predecode(self.program)
         split_block_ops = self._split_block_ops
+        chain_gotos = self.trace_superblocks
         steps: list = []
         uops: list = []
         addr = pc
+        visited = {pc}
         while len(steps) < self._SB_MAX_LEN:
             uop = uop_table.get(addr)
             if uop is None:
@@ -520,12 +608,22 @@ class BaseCpu:
                     ender = self._predecode_missing(table, addr)
                 steps.append(ender)
                 uops.append(uop)
+                target = uop.branch_target
+                if (chain_gotos and uop.ins.mnemonic == "B"
+                        and uop.cond_check is None and target is not None
+                        and target != HALT_ADDRESS
+                        and target not in visited
+                        and self._exception_return_static(target)):
+                    visited.add(target)
+                    addr = target  # goto: the trace continues at the target
+                    continue
                 break
             steps.append(self._sb_step(table, addr, uop))
             uops.append(uop)
             if split_block_ops and uop.is_block_op:
                 break  # singleton: defer() screens it on every dispatch
             addr = uop.next_pc
+            visited.add(addr)
         if not steps:
             raise ExecutionError(
                 f"no instruction at pc={pc:#010x} ({self.name})")
@@ -609,7 +707,21 @@ class BaseCpu:
         table = self._fast_dispatch_table()
         blocks_get = self._sb_blocks.get
         limit = start + max_instructions
+        # fused loop guards compare against the same ceiling this loop
+        # enforces, so a loop-fused block never overruns the budget the
+        # per-block dispatch would have respected
+        self._sb_limit = limit
         step, check_interrupts, defer, irq_queue, poll_always = self._run_loop_env()
+        if (self._sb_bound_queue is not irq_queue
+                or self._sb_trace_mode is not self.trace_superblocks):
+            # fused loop guards bound the previous controller's queue, or
+            # the engine tier changed (block walks and fused emission both
+            # depend on trace_superblocks): drop the cached blocks so this
+            # run rebuilds them against the live configuration
+            if self._sb_blocks:
+                self._sb_blocks = {}
+            self._sb_bound_queue = irq_queue
+            self._sb_trace_mode = self.trace_superblocks
         pc_slot = self.regs.values
         while not self.halted:
             executed = self.instructions_executed

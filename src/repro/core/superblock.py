@@ -6,12 +6,26 @@ dispatch and interrupt poll.  This module removes the remaining
 per-instruction Python *frames*: once a superblock has been dispatched
 enough times to prove hot, :func:`fuse_block` generates a single function
 whose body is the block's per-step statement sequences laid out inline -
-fetch (through a prebound device thunk), execute, cycle accounting, PC
+fetch (through a prebound device thunk, inline SRAM/flash timing, or an
+inline transcription of a cached fetch), execute, cycle accounting, PC
 update - and compiles it once.  The hottest operand shapes (register
 moves and ALU, compares, immediate shifts, immediate/register-offset
 loads and stores, MOVW/MOVT, zero/sign extension) are inlined as raw
 statements; everything else calls its already-bound step or exec closure,
 so partial inlining still wins.
+
+**Trace superblocks** (``cpu.trace_superblocks``, the default engine) go
+one step further: a block terminated by a predictable taken branch - a
+loop *back-edge* whose target is the block's own head - does not end
+fusion at the branch.  The generated function wraps the body in a loop
+whose taken path revalidates the branch condition inline and re-enters
+the body directly, so a whole loop iteration is one code object executed
+N times under the interrupt event horizon; the guard falls back to the
+engine (bit-exactly, at an instruction boundary) on loop exit, on any
+queued interrupt, and at the instruction budget
+(:func:`_emit_loop_backedge`).  Conditional execution inside fused code
+costs no closure call either - condition checks are emitted as flag
+expressions (``_COND_EXPRS``).
 
 Bit-exactness contract
 ----------------------
@@ -45,9 +59,75 @@ FUSE_THRESHOLD = 16
 
 _STORE_MASKS = {1: 0xFF, 2: 0xFFFF, 4: MASK32}
 
+#: per-condition source fragments over ``f = cpu.apsr`` - literal
+#: transcriptions of ``repro.isa.predecode.COND_CHECKS`` (the exhaustive
+#: agreement test in tests/test_fastpath_properties.py covers the
+#: predicates these transcribe), so fused code pays no closure call per
+#: predicated instruction or branch
+_COND_EXPRS = {
+    "EQ": "f.z",
+    "NE": "not f.z",
+    "CS": "f.c",
+    "CC": "not f.c",
+    "MI": "f.n",
+    "PL": "not f.n",
+    "VS": "f.v",
+    "VC": "not f.v",
+    "HI": "f.c and not f.z",
+    "LS": "not (f.c and not f.z)",
+    "GE": "f.n == f.v",
+    "LT": "f.n != f.v",
+    "GT": "not f.z and f.n == f.v",
+    "LE": "f.z or f.n != f.v",
+}
+
+
+def _cond_test(ins) -> str:
+    """``["f = cpu.apsr", "if <expr>:"]``-ready test for a conditional."""
+    return _COND_EXPRS[ins.cond.name]
+
 
 def _no_pc(*regs):
     return all(r is None or r != PC for r in regs)
+
+
+def _shift_operand_lines(ins, value_var: str, carry_var: str | None):
+    """Statements computing the shifted second operand into ``value_var``
+    and the shifter carry (a bool) into ``carry_var``, or ``None``.
+
+    A literal transcription of ``shift_c`` for a constant amount in
+    1..31 (amount 0 is the no-shift path and 32 keeps the closure), with
+    the register value pre-masked as all ``rvals`` entries are.  A
+    ``carry_var`` of ``None`` skips the carry computation (consumers that
+    discard the shifter carry, like the adder-flagged ADD/SUB).
+    """
+    kind, amount = ins.shift.kind, ins.shift.amount
+    if not 1 <= amount <= 31 or ins.rm is None or ins.rm == PC:
+        return None
+    x = f"rvals[{ins.rm}]"
+    if kind == "LSL":
+        if carry_var is None:
+            return [f"{value_var} = ({x} << {amount}) & {MASK32}"]
+        return [f"e = {x} << {amount}",
+                f"{value_var} = e & {MASK32}",
+                f"{carry_var} = (e & {1 << 32}) != 0"]
+    if kind == "LSR":
+        lines = [f"{value_var} = {x} >> {amount}"]
+        if carry_var is not None:
+            lines.append(f"{carry_var} = (({x} >> {amount - 1}) & 1) != 0")
+        return lines
+    if kind == "ASR":
+        lines = [f"s32 = {x} - {1 << 32} if {x} >= {_SIGN_BIT} else {x}",
+                 f"{value_var} = (s32 >> {amount}) & {MASK32}"]
+        if carry_var is not None:
+            lines.append(f"{carry_var} = (({x} >> {amount - 1}) & 1) != 0")
+        return lines
+    # ROR, amount 1..31
+    lines = [f"{value_var} = (({x} >> {amount}) | ({x} << {32 - amount}))"
+             f" & {MASK32}"]
+    if carry_var is not None:
+        lines.append(f"{carry_var} = ({value_var} >> 31) != 0")
+    return lines
 
 
 # ----------------------------------------------------------------------
@@ -56,9 +136,23 @@ def _no_pc(*regs):
 
 def _emit_mov(ins):
     rd, rm = ins.rd, ins.rm
-    if not _no_pc(rd, rm) or rd is None or ins.shift is not None:
+    if not _no_pc(rd, rm) or rd is None:
         return None
     mvn = ins.mnemonic == "MVN"
+    if ins.shift is not None:
+        shift = _shift_operand_lines(ins, "v", "c" if ins.setflags else None)
+        if shift is None:
+            return None
+        lines = list(shift)
+        if mvn:
+            lines.append(f"v = (~v) & {MASK32}")
+        lines.append(f"rvals[{rd}] = v")
+        if ins.setflags:
+            lines += ["f = cpu.apsr",
+                      f"f.n = v >= {_SIGN_BIT}",
+                      "f.z = v == 0",
+                      "f.c = c"]
+        return lines
     if rm is None:
         if ins.imm is None:
             return None
@@ -89,15 +183,25 @@ def _emit_add_sub(ins):
     rd, rn, rm = ins.rd, ins.rn, ins.rm
     if not _no_pc(rd, rn, rm) or rd is None or rn is None:
         return None
+    shift_lines = None
     if rm is not None and ins.shift is not None:
-        return None
+        # the shifter carry is discarded: ADD/SUB flags come from the adder
+        shift_lines = _shift_operand_lines(ins, "y", None)
+        if shift_lines is None:
+            return None
     if rm is None and ins.imm is None:
         return None
-    y = f"rvals[{rm}]" if rm is not None else str(ins.imm & MASK32)
     sign = "+" if op == "ADD" else "-"
-    if not ins.setflags:
-        return [f"rvals[{rd}] = (rvals[{rn}] {sign} {y}) & {MASK32}"]
-    lines = [f"x = rvals[{rn}]", f"y = {y}"]
+    if shift_lines is not None:
+        if not ins.setflags:
+            return shift_lines + [
+                f"rvals[{rd}] = (rvals[{rn}] {sign} y) & {MASK32}"]
+        lines = shift_lines + [f"x = rvals[{rn}]"]
+    else:
+        y = f"rvals[{rm}]" if rm is not None else str(ins.imm & MASK32)
+        if not ins.setflags:
+            return [f"rvals[{rd}] = (rvals[{rn}] {sign} {y}) & {MASK32}"]
+        lines = [f"x = rvals[{rn}]", f"y = {y}"]
     if op == "ADD":
         lines += [
             "u = x + y",
@@ -137,7 +241,17 @@ def _emit_logic(ins):
     if not _no_pc(rd, rn, rm) or rd is None or rn is None:
         return None
     if rm is not None and ins.shift is not None:
-        return None
+        # shifted operand: flag-setting forms take C from the shifter
+        shift = _shift_operand_lines(ins, "y", "c" if ins.setflags else None)
+        if shift is None:
+            return None
+        lines = shift + [f"x = rvals[{rn}]",
+                         f"r = ({_LOGIC_EXPR[ins.mnemonic]}) & {MASK32}",
+                         f"rvals[{rd}] = r"]
+        if ins.setflags:
+            lines += ["f = cpu.apsr", f"f.n = r >= {_SIGN_BIT}",
+                      "f.z = r == 0", "f.c = c"]
+        return lines
     if rm is None and ins.imm is None:
         return None
     y = f"rvals[{rm}]" if rm is not None else str(ins.imm & MASK32)
@@ -277,28 +391,101 @@ def _load_sign_lines(sign_bits):
     return [f"v = (v | {ext}) if v >= {sign} else v"]
 
 
-def _emit_load(cpu, ins, isa, index, ns):
+def _active_plan(cpu) -> str | None:
+    """The data-inline plan for the engine tier being fused.
+
+    The plain superblock tier (``trace_superblocks`` off, the PR 2
+    engine) only ever inlined the *unchecked* bus fast path; the
+    ``"mpu"`` plan - inline access with a per-access protection check -
+    belongs to the trace tier, so fusing with the flag off falls back to
+    the mediated ``cpu.read``/``cpu.write`` calls exactly as before.
+    """
+    plan = cpu._data_inline_plan()
+    if plan == "mpu" and not cpu.trace_superblocks:
+        return None
+    return plan
+
+
+def _mpu_preamble(cpu, ns, addr_expr: str, size: int, is_write: bool) -> list:
+    """The per-access MPU consultation of an ``"mpu"`` inline plan.
+
+    ``cpu.mpu`` is read dynamically (an MPU attached after fusion is
+    honoured); the bound ``cpu._mpu_check`` raises the same
+    :class:`~repro.core.exceptions.DataAbort` mid-block that the
+    ``cpu.read``/``cpu.write`` path would, with identical partial state
+    and an identical ``mpu.faults`` count.
+    """
+    ns.setdefault("MC", cpu._mpu_check)
+    return [
+        "m = cpu.mpu",
+        "if m is not None:",
+        f"    MC({addr_expr}, {size}, {is_write})",
+    ]
+
+
+def _emit_load(cpu, ins, isa, index, ns, ftrack):
     mem = ins.mem
     rd = ins.rd
     if mem is None or rd is None or rd == PC or mem.writeback or mem.postindex:
         return None, None
     size = _LOAD_SIZES[ins.mnemonic]
     sign_bits = _SIGNED_LOADS.get(ins.mnemonic)
-    guard = cpu._data_bus_inline_guard()
+    plan = _active_plan(cpu)
     if mem.rn == PC:
         if mem.rm is not None:
             return None, None
         pc_off = 8 if isa == "arm" else 4
         address = (((ins.address + pc_off) & ~3) + mem.offset) & MASK32
-        # literal-pool load: constant address, so the device decode (and on
-        # an MPU-less core the whole bus dispatch) folds at fuse time
-        device = None if guard is None else cpu.bus._lookup(address)
-        if (guard == "" and device is not None
+        # literal-pool load: constant address, so the device decode (and
+        # the whole bus dispatch) folds at fuse time; an "mpu" plan keeps
+        # the per-access protection check in front of the folded access.
+        # Plain SRAM and flash devices fold further - the device *read*
+        # itself is transcribed (bounds proven at fuse time), so the hot
+        # literal fetch pays no Python call at all (flash pays its
+        # ``_access`` stream-state call, which is the timing model).
+        device = None if plan is None else cpu.bus._lookup(address)
+        if (plan is not None and device is not None
                 and address + size <= device.base + device.size):
-            ns[f"DL{index}"] = device.read
             ns.setdefault("AR", AccessRecord)
-            lines = [
-                f"v, ds = DL{index}({address}, {size}, 'D')",
+            lines = []
+            if plan == "mpu":
+                lines += _mpu_preamble(cpu, ns, str(address), size, False)
+            offset = address - device.base
+            if type(device) is Sram:
+                ns[f"DV{index}"] = device
+                ns.setdefault("IFB", int.from_bytes)
+                lines += [
+                    f"DV{index}.reads += 1",
+                    f"v = IFB(DV{index}.data[{offset}:{offset + size}], 'little')",
+                    f"ds = {device.wait_states}",
+                ]
+            elif type(device) is Flash:
+                dev = f"DV{index}"
+                ns[dev] = device
+                ns[f"DA{index}"] = device._access
+                ns.setdefault("IFB", int.from_bytes)
+                # Flash.read opens with the same _access sequence a fetch
+                # does (a literal load breaks the instruction stream -
+                # that is the timing model), so the fetch forms serve here
+                static = _flash_static_parts(device, dev, address, size,
+                                             ftrack)
+                if static is not None:
+                    stmts, counters, stalls = static
+                    lines += stmts
+                    lines += [f"{name}.{attr} += 1"
+                              for name, attr in counters]
+                    lines.append(f"ds = {stalls}")
+                else:
+                    _flash_track_dynamic(device, address, size, ftrack)
+                    lines += _flash_fetch_lines(device, dev, f"DA{index}",
+                                                address, size, "ds",
+                                                inline_access=True)
+                lines.append(
+                    f"v = IFB(DV{index}.data[{offset}:{offset + size}], 'little')")
+            else:
+                ns[f"DL{index}"] = device.read
+                lines.append(f"v, ds = DL{index}({address}, {size}, 'D')")
+            lines += [
                 "bus.reads += 1",
                 "bus.total_stalls += ds",
                 "if bus.record:",
@@ -307,6 +494,7 @@ def _emit_load(cpu, ins, isa, index, ns):
             lines += _load_sign_lines(sign_bits)
             lines.append(f"rvals[{rd}] = v & {MASK32}")
             return lines, "local"
+        ftrack.clear()  # mediated literal read may reach a flash device
         lines = ["cpu._data_stalls = 0", f"v = RD({address}, {size})"]
         lines += _load_sign_lines(sign_bits)
         lines.append(f"rvals[{rd}] = v & {MASK32}")
@@ -318,15 +506,32 @@ def _emit_load(cpu, ins, isa, index, ns):
     else:
         addr_expr = (f"(rvals[{mem.rn}] + ((rvals[{mem.rm}] << {mem.shift})"
                      f" & {MASK32})) & {MASK32}")
-    if guard is not None:
-        # transcription of SystemBus.read's span-cache hit path; a miss
-        # (or an active MPU) falls back to the full cpu.read dispatch
+    ftrack.clear()  # runtime-addressed access: may land on a flash device
+    if plan is not None:
+        # transcription of SystemBus.read's span-cache hit path, with the
+        # SRAM device read itself inlined behind a type test (the span
+        # guarantees the bounds, so the inline arm cannot fault); a span
+        # miss - or an access overrunning the span's device - falls back
+        # to the full cpu.read dispatch, which re-checks the MPU (a pure
+        # re-pass, since a denied access raised in MC above) and raises
+        # the same faults the reference path would
         ns.setdefault("AR", AccessRecord)
-        lines = [
-            f"a = {addr_expr}",
+        ns.setdefault("SRT", Sram)
+        ns.setdefault("IFB", int.from_bytes)
+        lines = [f"a = {addr_expr}"]
+        if plan == "mpu":
+            lines += _mpu_preamble(cpu, ns, "a", size, False)
+        lines += [
             "sp = bus._span_d",
-            f"if {guard}sp[0] <= a < sp[1]:",
-            f"    v, ds = sp[2].read(a, {size}, 'D')",
+            f"if sp[0] <= a and a + {size} <= sp[1]:",
+            "    d = sp[2]",
+            "    if type(d) is SRT:",
+            "        d.reads += 1",
+            "        o = a - d.base",
+            f"        v = IFB(d.data[o:o + {size}], 'little')",
+            "        ds = d.wait_states",
+            "    else:",
+            f"        v, ds = d.read(a, {size}, 'D')",
             "    bus.reads += 1",
             "    bus.total_stalls += ds",
             "    if bus.record:",
@@ -345,7 +550,7 @@ def _emit_load(cpu, ins, isa, index, ns):
     return lines, "attr"
 
 
-def _emit_store(cpu, ins, index, ns):
+def _emit_store(cpu, ins, index, ns, ftrack):
     mem = ins.mem
     rd = ins.rd
     if (mem is None or rd is None or rd == PC or mem.rn == PC
@@ -360,14 +565,26 @@ def _emit_store(cpu, ins, index, ns):
     else:
         addr_expr = (f"(rvals[{mem.rn}] + ((rvals[{mem.rm}] << {mem.shift})"
                      f" & {MASK32})) & {MASK32}")
-    guard = cpu._data_bus_inline_guard()
-    if guard is not None:
+    ftrack.clear()  # runtime-addressed access: may land on a flash device
+    plan = _active_plan(cpu)
+    if plan is not None:
         ns.setdefault("AR", AccessRecord)
-        return [
-            f"a = {addr_expr}",
+        ns.setdefault("SRT", Sram)
+        lines = [f"a = {addr_expr}"]
+        if plan == "mpu":
+            lines += _mpu_preamble(cpu, ns, "a", size, True)
+        lines += [
             "sp = bus._span_d",
-            f"if {guard}sp[0] <= a < sp[1]:",
-            f"    ds = sp[2].write(a, {size}, rvals[{rd}] & {vmask}, 'D')",
+            f"if sp[0] <= a and a + {size} <= sp[1]:",
+            "    d = sp[2]",
+            "    if type(d) is SRT:",
+            "        d.writes += 1",
+            "        o = a - d.base",
+            f"        d.data[o:o + {size}] = (rvals[{rd}] & {vmask})"
+            f".to_bytes({size}, 'little')",
+            "        ds = d.wait_states",
+            "    else:",
+            f"        ds = d.write(a, {size}, rvals[{rd}] & {vmask}, 'D')",
             "    bus.writes += 1",
             "    bus.total_stalls += ds",
             "    if bus.record:",
@@ -376,7 +593,8 @@ def _emit_store(cpu, ins, index, ns):
             "    cpu._data_stalls = 0",
             f"    WR(a, {size}, rvals[{rd}] & {vmask})",
             "    ds = cpu._data_stalls",
-        ], "local"
+        ]
+        return lines, "local"
     return ["cpu._data_stalls = 0",
             f"WR({addr_expr}, {size}, rvals[{rd}] & {vmask})"], "attr"
 
@@ -384,7 +602,7 @@ def _emit_store(cpu, ins, index, ns):
 _NOOP_OPS = frozenset({"NOP", "DSB", "ISB", "BKPT"})
 
 
-def _emit_exec(cpu, ins, isa, index, ns):
+def _emit_exec(cpu, ins, isa, index, ns, ftrack):
     """Inline statements for one exec body: ``(lines, ds_mode)``.
 
     ``ds_mode`` tells the step emitter where the data-side stalls landed:
@@ -416,9 +634,9 @@ def _emit_exec(cpu, ins, isa, index, ns):
     if op == "UBFX":
         return _emit_ubfx(ins), None
     if op in ("LDR", "LDRB", "LDRH", "LDRSB", "LDRSH"):
-        return _emit_load(cpu, ins, isa, index, ns)
+        return _emit_load(cpu, ins, isa, index, ns, ftrack)
     if op in ("STR", "STRB", "STRH"):
-        return _emit_store(cpu, ins, index, ns)
+        return _emit_store(cpu, ins, index, ns, ftrack)
     return None, None
 
 
@@ -426,7 +644,202 @@ def _emit_exec(cpu, ins, isa, index, ns):
 # fetch emitters
 # ----------------------------------------------------------------------
 
-def _emit_fetch(cpu, uop, index, ns):
+def _flash_static_parts(device, dev, address, size, ftrack):
+    """Statically resolved flash access at ``address``, or ``None``.
+
+    ``ftrack`` maps a flash device to its stream state as known at this
+    point of the fused code: ``(buffered_line, streaming)`` with
+    ``streaming`` of ``None`` when unknown.  Every fused access leaves the
+    stream in a statically known line, so after the first (dynamic) fetch
+    the whole rest of the trace resolves each access to exactly one
+    ``Flash._access`` arm at fuse time: a same-line hit, a sequential
+    stream advance, or a stream break - each a couple of state updates
+    plus counter increments with a *constant* stall count.  Returns
+    ``(state_stmts, counters, const_stalls)`` where ``counters`` are
+    ``(name, attr)`` unit increments the caller may defer; updates
+    ``ftrack``.  Accesses straddling a line, or with unknown prior state,
+    return ``None`` (the dynamic form then re-establishes the state).
+    """
+    line = address & ~(device.line_bytes - 1)
+    if address + size > line + device.line_bytes:
+        return None
+    state = ftrack.get(id(device))
+    if state is None:
+        return None
+    known_line, streaming = state
+    if known_line == line:
+        # hit arm: counters only, stream state untouched
+        return [], [(dev, "sequential_hits")], 0
+    if known_line + device.line_bytes == line:
+        if streaming is not True:
+            return None  # adjacent line, unknown streaming: stay dynamic
+        ftrack[id(device)] = (line, True)
+        stmts = [f"{dev}._buffered_line = {line}"]
+        counters = [(dev, "array_accesses")]
+        if device.prefetch:
+            counters.append((dev, "sequential_hits"))
+            return stmts, counters, 0
+        return stmts, counters, device.access_cycles
+    # non-sequential: statically a stream break (buffered is known set)
+    ftrack[id(device)] = (line, True)
+    stmts = [f"{dev}._buffered_line = {line}",
+             f"{dev}._streaming = True"]
+    return (stmts, [(dev, "stream_breaks"), (dev, "array_accesses")],
+            device.access_cycles)
+
+
+def _flash_track_dynamic(device, address, size, ftrack) -> None:
+    """Record the stream state a dynamic access at ``address`` leaves."""
+    line = address & ~(device.line_bytes - 1)
+    if address + size > line + device.line_bytes:
+        # the straddle's second _access deterministically misses into the
+        # next line, leaving the stream established there
+        ftrack[id(device)] = (line + device.line_bytes, True)
+    else:
+        # hit arm leaves prior streaming state, miss arms set it: unknown
+        ftrack[id(device)] = (line, None)
+
+
+def _flash_fetch_lines(device, dev, da, address, size, stall_var,
+                       inline_access: bool) -> list[str]:
+    """The flash instruction-fetch sequence leaving stalls in ``stall_var``.
+
+    The buffered-line hit test is always inline (PR 2 form).  With
+    ``inline_access`` (the trace tier) the miss arm additionally
+    transcribes ``Flash._access`` statement for statement - stream-state
+    reads stay dynamic, the geometry (line address, line width, array
+    latency, prefetch mode) folds at fuse time like the SRAM wait states
+    do - so steady-state line crossings pay no Python call.  A fetch
+    straddling two lines keeps the bound ``_access`` call for its second
+    line (rare, and the first access just rewrote the stream state).
+    """
+    line = address & ~(device.line_bytes - 1)
+    straddles = address + size > line + device.line_bytes
+    lines = [
+        f"if {dev}._buffered_line == {line}:",
+        f"    {dev}.sequential_hits += 1",
+        f"    {stall_var} = 0",
+        "else:",
+    ]
+    if inline_access:
+        miss = [
+            f"b = {dev}._buffered_line",
+            f"if {dev}._streaming and b is not None and b == {line - device.line_bytes}:",
+            f"    {dev}._buffered_line = {line}",
+            f"    {dev}.array_accesses += 1",
+        ]
+        if device.prefetch:
+            miss += [f"    {dev}.sequential_hits += 1",
+                     f"    {stall_var} = 0"]
+        else:
+            miss.append(f"    {stall_var} = {device.access_cycles}")
+        miss += [
+            "else:",
+            "    if b is not None:",
+            f"        {dev}.stream_breaks += 1",
+            f"    {dev}._buffered_line = {line}",
+            f"    {dev}._streaming = True",
+            f"    {dev}.array_accesses += 1",
+            f"    {stall_var} = {device.access_cycles}",
+        ]
+        lines += ["    " + stmt for stmt in miss]
+    else:
+        lines.append(f"    {stall_var} = {da}({address})")
+    if straddles:
+        lines.append(f"{stall_var} += {da}({address + size - 1})")
+    return lines
+
+
+def _parity_fold(var: str) -> list[str]:
+    """Statements folding ``var`` to its even-parity bit in bit 0 - a
+    literal transcription of :func:`repro.memory.cache.parity32`."""
+    return [f"{var} ^= {var} >> 16",
+            f"{var} ^= {var} >> 8",
+            f"{var} ^= {var} >> 4",
+            f"{var} ^= {var} >> 2",
+            f"{var} ^= {var} >> 1"]
+
+
+def _emit_cache_fetch(cpu, cache, address, size, index, ns):
+    """Inline one cached instruction fetch, leaving the stalls in ``s``.
+
+    A statement-for-statement transcription of ``Cache.read`` for a
+    constant address (geometry folded at fuse time via
+    :meth:`~repro.memory.cache.Cache.lookup_plan`): way lookup with
+    tag-parity screening, hit/miss counters, fill on miss, data-parity
+    verification (the rare mismatch falls back to the bound
+    ``_check_parity``, which recounts and recovers exactly as the
+    reference would), and the LRU touch.  The value read is dropped -
+    instruction fetches are timing-only.  Fetches that straddle a cache
+    line, and a disabled cache, fall back to the prebound thunk.
+    """
+    plan = cache.lookup_plan(address, size)
+    if plan is None:
+        return None  # line-straddling fetch: keep the closure-call thunk
+    thunk = cpu._fetch_thunk(address, size)
+    if thunk is None:
+        return None
+    tag, set_index, offset, ways = plan
+    ns.setdefault("IC", cache)
+    ns.setdefault("ICS", cache.stats)
+    ns.setdefault("ICF", cache._fill)
+    ns.setdefault("ICP", cache._check_parity)
+    ns[f"W{index}"] = ways
+    ns[f"F{index}"] = thunk
+    ln = f"ln{index}"
+    body = [
+        f"{ln} = None",
+        f"for _c in W{index}:",
+        "    if not _c.valid:",
+        "        continue",
+        "    _t = _c.tag",
+    ]
+    body += ["    " + stmt for stmt in _parity_fold("_t")]
+    body += [
+        "    if (_t & 1) != _c.tag_parity:",
+        "        ICS.tag_errors += 1",
+        "        _c.valid = False",
+        "        continue",
+        f"    if _c.tag == {tag}:",
+        f"        {ln} = _c",
+        "        break",
+        f"if {ln} is None:",
+        "    ICS.misses += 1",
+        f"    {ln}, s = ICF({tag}, {set_index}, 'I')",
+        "else:",
+        "    ICS.hits += 1",
+        "    s = 0",
+        f"_d = {ln}.data",
+    ]
+    first_word = offset // 4
+    last_word = (offset + size - 1) // 4
+    recover = f"s += ICP({ln}, {offset}, {size}, {tag}, {set_index}, 'I')"
+    indent = ""
+    for word in range(first_word, last_word + 1):
+        o = word * 4
+        body += [indent + stmt for stmt in (
+            [f"_w = _d[{o}] | (_d[{o + 1}] << 8) | (_d[{o + 2}] << 16)"
+             f" | (_d[{o + 3}] << 24)"]
+            + _parity_fold("_w")
+            + [f"if (_w & 1) != {ln}.word_parity[{word}]:",
+               "    " + recover]
+        )]
+        if word != last_word:
+            # _check_parity stops at the first mismatch: later words are
+            # only verified when the earlier ones were clean
+            body.append(indent + "else:")
+            indent += "    "
+    body += [
+        "IC._lru_clock += 1",
+        f"{ln}.lru = IC._lru_clock",
+    ]
+    lines = ["if IC.enabled:"]
+    lines += ["    " + stmt for stmt in body]
+    lines += ["else:", f"    s = F{index}()"]
+    return lines
+
+
+def _emit_fetch(cpu, uop, index, ns, ftrack):
     """Emit the instruction-fetch sequence assigning stall cycles to ``s``.
 
     Returns ``(lines, static_stalls)``.  When the core fetches straight
@@ -441,6 +854,8 @@ def _emit_fetch(cpu, uop, index, ns):
     Every inline form is a literal transcription of the corresponding
     ``SystemBus.fetch_stalls`` + device ``fetch_stalls`` pair, in order:
     device timing first, then read counter, stall total, access record.
+    Cores that fetch through an instruction cache (``cpu._fetch_cache``)
+    get the cached fetch emitted inline instead (:func:`_emit_cache_fetch`).
     """
     address, size = uop.address, uop.size
     device = cpu._fetch_bus_device(address, size)
@@ -457,20 +872,28 @@ def _emit_fetch(cpu, uop, index, ns):
         ]
         return lines, ws
     if device is not None and type(device) is Flash:
-        line = address & ~(device.line_bytes - 1)
-        straddles = address + size > line + device.line_bytes
-        ns[f"D{index}"] = device
+        dev = f"D{index}"
+        ns[dev] = device
         ns[f"DA{index}"] = device._access
         ns.setdefault("AR", AccessRecord)
-        lines = [
-            f"if D{index}._buffered_line == {line}:",
-            f"    D{index}.sequential_hits += 1",
-            "    s = 0",
-            "else:",
-            f"    s = DA{index}({address})",
-        ]
-        if straddles:
-            lines.append(f"s += DA{index}({address + size - 1})")
+        if cpu.trace_superblocks:
+            static = _flash_static_parts(device, dev, address, size, ftrack)
+            if static is not None:
+                stmts, counters, stalls = static
+                lines = list(stmts)
+                lines += [f"{name}.{attr} += 1" for name, attr in counters]
+                lines += [
+                    "bus.reads += 1",
+                    f"bus.total_stalls += {stalls}",
+                    "if bus.record:",
+                    f"    bus.accesses.append("
+                    f"AR({address}, {size}, 'R', 'I', {stalls}))",
+                ]
+                return lines, stalls
+            _flash_track_dynamic(device, address, size, ftrack)
+        lines = _flash_fetch_lines(device, dev, f"DA{index}",
+                                   address, size, "s",
+                                   inline_access=cpu.trace_superblocks)
         lines += [
             "bus.reads += 1",
             "bus.total_stalls += s",
@@ -478,6 +901,14 @@ def _emit_fetch(cpu, uop, index, ns):
             f"    bus.accesses.append(AR({address}, {size}, 'R', 'I', s))",
         ]
         return lines, None
+    # fetches through caches or opaque ports may reach flash devices
+    # behind the scenes: forget any statically tracked stream state
+    ftrack.clear()
+    cache = cpu._fetch_cache() if cpu.trace_superblocks else None
+    if cache is not None:
+        lines = _emit_cache_fetch(cpu, cache, address, size, index, ns)
+        if lines is not None:
+            return lines, None
     thunk = cpu._fetch_thunk(address, size)
     if thunk is not None:
         ns[f"F{index}"] = thunk
@@ -490,7 +921,7 @@ def _emit_fetch(cpu, uop, index, ns):
 # block fusion
 # ----------------------------------------------------------------------
 
-def _emit_step(cpu, uop, index, ns, isa):
+def _emit_step(cpu, uop, index, ns, isa, ftrack):
     """Emit the full per-step sequence for one chainable micro-op.
 
     Transcribes ``_bind_uop_slim`` statement for statement: fetch,
@@ -503,10 +934,18 @@ def _emit_step(cpu, uop, index, ns, isa):
     base = getattr(cycle_fn, "static_base", None) if cycle_fn is not None else None
     if uop.cond_check is not None and base is None:
         return None
-    fetch_lines, static_stalls = _emit_fetch(cpu, uop, index, ns)
+    fetch_lines, static_stalls = _emit_fetch(cpu, uop, index, ns, ftrack)
     stall_expr = "s" if static_stalls is None else str(static_stalls)
     mem = uop.kind == "mem"
-    body, ds_mode = _emit_exec(cpu, ins, isa, index, ns)
+    if uop.cond_check is None:
+        body, ds_mode = _emit_exec(cpu, ins, isa, index, ns, ftrack)
+    else:
+        # a predicated body may or may not run: emit it without static
+        # flash-state folding (a throwaway tracker), and treat the device
+        # state as unknown afterwards when the body touches memory
+        body, ds_mode = _emit_exec(cpu, ins, isa, index, ns, {})
+        if mem:
+            ftrack.clear()
     if body is None:
         ns[f"E{index}"] = uop.exec
         ns[f"O{index}"] = Outcome()
@@ -514,6 +953,7 @@ def _emit_step(cpu, uop, index, ns, isa):
         ds_mode = "attr" if mem else None
         if mem:
             body.insert(0, "cpu._data_stalls = 0")
+            ftrack.clear()  # closure-run accesses may reach flash
     if base is not None:
         if static_stalls is not None:
             cost = str(base + static_stalls)
@@ -536,8 +976,8 @@ def _emit_step(cpu, uop, index, ns, isa):
         lines += body
         lines.append(f"cpu.cycles += {cost}")
     else:
-        ns[f"C{index}"] = uop.cond_check
-        lines.append(f"if C{index}(cpu.apsr):")
+        lines.append("f = cpu.apsr")
+        lines.append(f"if {_cond_test(ins)}:")
         lines += ["    " + b for b in body]
         lines.append(f"    cpu.cycles += {cost}")
         lines.append("else:")
@@ -549,7 +989,7 @@ def _emit_step(cpu, uop, index, ns, isa):
     return lines
 
 
-def _emit_branch_ender(cpu, uop, index, ns):
+def _emit_branch_ender(cpu, uop, index, ns, ftrack):
     """Inline a superblock's terminating branch, or None for closure call.
 
     Covers exactly the shapes ``_compile_branch`` specialises (resolved
@@ -586,11 +1026,16 @@ def _emit_branch_ender(cpu, uop, index, ns):
             taken_lines.append(f"rvals[14] = {(ins.address + ins.size) & MASK32}")
         elif op != "B":
             return None  # BX/BLX without rm: fallback handler raises
-        taken_lines.append(f"BR({ins.target})")
+        inline = cpu._branch_inline(ins.target)
+        if inline is not None:
+            taken_lines += inline
+        else:
+            taken_lines.append(f"BR({ins.target})")
     else:
         return None  # unresolved label: generic path raises
+    # always bound: core inline forms route their rare arms through it
     ns.setdefault("BR", cpu.branch)
-    fetch_lines, static_stalls = _emit_fetch(cpu, uop, index, ns)
+    fetch_lines, static_stalls = _emit_fetch(cpu, uop, index, ns, ftrack)
     if static_stalls is not None:
         taken_cost = str(taken + static_stalls)
         skip_cost = str(1 + static_stalls)
@@ -604,8 +1049,8 @@ def _emit_branch_ender(cpu, uop, index, ns):
         lines.append(f"cpu.cycles += {taken_cost}")
         lines.append("cpu.instructions_executed += 1")
         return lines
-    ns[f"C{index}"] = uop.cond_check
-    lines.append(f"if C{index}(cpu.apsr):")
+    lines.append("f = cpu.apsr")
+    lines.append(f"if {_cond_test(ins)}:")
     lines += ["    " + t for t in taken_lines]
     lines.append("    cpu.branches_taken += 1")
     lines.append(f"    cpu.cycles += {taken_cost}")
@@ -617,6 +1062,495 @@ def _emit_branch_ender(cpu, uop, index, ns):
     return lines
 
 
+def _backedge_eligible(cpu, uop, entry) -> bool:
+    """Whether the block's ender is a fusable loop back-edge: a direct
+    branch to the block's own head with a statically known cycle cost."""
+    if not uop.is_back_edge or uop.branch_target != entry:
+        return False
+    cycle_fn = cpu.compile_cycles(uop.ins)
+    return (cycle_fn is not None
+            and getattr(cycle_fn, "static_base", None) is not None
+            and getattr(cycle_fn, "static_taken", None) is not None)
+
+
+def _emit_loop_backedge(cpu, uop, index, ns, entry, count, ftrack):
+    """Inline a loop back-edge that *continues* the enclosing while-loop.
+
+    The trace-engine variant of :func:`_emit_branch_ender` for a direct
+    branch whose target is the block's own head: the taken path performs
+    the identical branch bookkeeping, then revalidates the conditions the
+    engine's dispatch loop would have checked before re-entering the block
+    - PC really back at the head and not halted (only when the real
+    ``cpu.branch`` had to be called), interrupt queue still empty (the
+    event horizon: with an empty queue no poll can have an effect), and
+    one more full iteration inside the instruction budget.  When every
+    guard holds the generated loop continues with zero engine dispatch;
+    otherwise the function returns with the machine exactly where per-step
+    execution would have left it, and the engine takes over.  Returns
+    ``None`` when the back-edge has no static-cost inline form (the block
+    then fuses as a plain straight-line superblock).
+    """
+    ins = uop.ins
+    if ins.mnemonic != "B" or uop.branch_target != entry:
+        return None
+    cycle_fn = cpu.compile_cycles(ins)
+    base = getattr(cycle_fn, "static_base", None) if cycle_fn is not None else None
+    taken = getattr(cycle_fn, "static_taken", None) if cycle_fn is not None else None
+    if base is None or taken is None:
+        return None
+    ns.setdefault("BR", cpu.branch)  # core inline forms use it for rare arms
+    inline = cpu._branch_inline(entry)
+    if inline is not None:
+        # the inline contract: pc ends at the constant target, not halted
+        taken_lines = list(inline)
+        recheck = []
+    else:
+        taken_lines = [f"BR({entry})"]
+        # a full branch() call may halt or redirect: revalidate before
+        # looping
+        recheck = [f"if cpu.halted or rvals[15] != {entry}:",
+                   "    return"]
+    fetch_lines, static_stalls = _emit_fetch(cpu, uop, index, ns, ftrack)
+    if static_stalls is not None:
+        taken_cost = str(taken + static_stalls)
+        skip_cost = str(1 + static_stalls)
+    else:
+        taken_cost = f"{taken} + s"
+        skip_cost = "1 + s"
+    taken_lines += [
+        "cpu.branches_taken += 1",
+        f"cpu.cycles += {taken_cost}",
+        "cpu.instructions_executed += 1",
+    ]
+    taken_lines += recheck
+    # IRQQ is the controller queue bound at fuse time (the engine drops
+    # all fused blocks if the controller is swapped between runs), so the
+    # event-horizon revalidation is one truthiness test per iteration
+    taken_lines += [
+        f"if IRQQ or cpu.instructions_executed + {count} > cpu._sb_limit:",
+        "    return",
+        "continue",
+    ]
+    lines = list(fetch_lines)
+    if uop.cond_check is None:
+        return lines + taken_lines
+    lines.append("f = cpu.apsr")
+    lines.append(f"if {_cond_test(ins)}:")
+    lines += ["    " + t for t in taken_lines]
+    # every taken path continued or returned: falling through means the
+    # branch direction changed (loop exit) - the bit-exact fallback
+    lines.append(f"cpu.cycles += {skip_cost}")
+    lines.append("cpu.instructions_skipped += 1")
+    lines.append("cpu.instructions_executed += 1")
+    lines.append(f"rvals[15] = {uop.next_pc}")
+    lines.append("return")
+    return lines
+
+
+# ----------------------------------------------------------------------
+# span coalescing: deferred accounting across provably raise-free runs
+# ----------------------------------------------------------------------
+
+_FLAGS = ("n", "z", "c", "v")
+
+#: mnemonics whose inline exec bodies are pure ALU (registers and flags
+#: only - no memory, no calls, nothing that can raise): the only ops a
+#: coalesced span may contain
+_LEAN_OPS = frozenset({
+    "NOP", "DSB", "ISB", "BKPT", "MOV", "MVN", "ADD", "SUB", "LSL", "LSR",
+    "ASR", "ROR", "CMP", "CMN", "TST", "TEQ", "MUL", "CLZ", "UXTB", "UXTH",
+    "SXTB", "SXTH", "MOVW", "MOVT", "UBFX",
+}) | frozenset(_LOGIC_EXPR)
+
+
+def _lean_step(cpu, uop, index, ns, isa, ftrack):
+    """One step prepared for *span coalescing*, or ``None``.
+
+    A lean step is an unconditional chainable micro-op whose inline form
+    provably cannot raise: a pure-ALU body (no data access, no closure
+    call) fetched straight from a plain SRAM or flash device with a static
+    cycle cost.  For a run of such steps nothing outside the CPU's own
+    registers can observe the boundaries between them, so the counter
+    updates (cycles, instruction count, bus reads/stalls, access records)
+    and intermediate PC writes are deferred to the end of the span
+    (:func:`_flush_span`) - the sums are identical, and any *barrier* (a
+    step that can fault or call out) flushes first, so a mid-block
+    exception still observes exactly the per-step state.
+
+    Returns a dict of the step's parts: fetch statements (flash stream
+    bookkeeping stays in place - its order against other flash traffic is
+    device state), value statements, and per-flag assignments kept
+    separate so :func:`_flush_span` can drop writes that are dead within
+    the span (overwritten before the span ends; the span end itself is a
+    full barrier, so flags that survive to it are always materialised).
+    """
+    if not uop.chainable or uop.cond_check is not None:
+        return None
+    ins = uop.ins
+    if ins.mnemonic not in _LEAN_OPS:
+        return None
+    cycle_fn = cpu.compile_cycles(ins)
+    base = getattr(cycle_fn, "static_base", None) if cycle_fn is not None else None
+    if base is None:
+        return None
+    body, ds_mode = _emit_exec(cpu, ins, isa, index, ns, ftrack)
+    if body is None or ds_mode is not None:
+        return None
+    entry = _lean_fetch(cpu, uop, index, ns, ftrack, base)
+    if entry is None:
+        return None
+    for stmt in body:
+        if stmt == "f = cpu.apsr":
+            continue
+        if stmt.startswith("f."):
+            entry["flags"][stmt[2]] = stmt
+        else:
+            entry["body"].append(stmt)
+    return entry
+
+
+def _lean_fetch(cpu, uop, index, ns, ftrack, base):
+    """A span entry with the fetch parts filled in, or ``None``.
+
+    Only plain SRAM and flash fetches qualify (provably raise-free); the
+    flash form uses the statically resolved stream arm when the fuse-time
+    tracker knows the state, the dynamic transcription otherwise.
+    """
+    address, size = uop.address, uop.size
+    device = cpu._fetch_bus_device(address, size)
+    entry = {
+        "fetch": [], "stall_consts": 0, "stall_vars": [], "records": [],
+        "counters": (), "reads": 1, "writes": 0, "branches": 0,
+        "escape": False, "body": [], "flags": {}, "base": base,
+        "next_pc": uop.next_pc,
+    }
+    if device is not None and type(device) is Sram:
+        ns[f"D{index}"] = device
+        ns.setdefault("AR", AccessRecord)
+        ws = device.wait_states
+        entry["stall_consts"] = ws
+        entry["counters"] = ((f"D{index}", "reads"),)
+        entry["records"].append(f"AR({address}, {size}, 'R', 'I', {ws})")
+        return entry
+    if device is not None and type(device) is Flash:
+        dev = f"D{index}"
+        ns[dev] = device
+        ns[f"DA{index}"] = device._access
+        ns.setdefault("AR", AccessRecord)
+        static = _flash_static_parts(device, dev, address, size, ftrack)
+        if static is not None:
+            stmts, counters, stalls = static
+            entry["fetch"] = list(stmts)
+            entry["counters"] = tuple(counters)
+            entry["stall_consts"] = stalls
+            entry["records"].append(f"AR({address}, {size}, 'R', 'I', {stalls})")
+        else:
+            _flash_track_dynamic(device, address, size, ftrack)
+            stall_var = f"s{index}"
+            entry["fetch"] = _flash_fetch_lines(device, dev, f"DA{index}",
+                                                address, size, stall_var,
+                                                inline_access=True)
+            entry["stall_vars"].append(stall_var)
+            entry["records"].append(
+                f"AR({address}, {size}, 'R', 'I', {stall_var})")
+        return entry
+    return None
+
+
+def _lean_mem_step(cpu, uop, index, ns, ftrack, span):
+    """A plain load/store prepared for span membership, or ``None``.
+
+    The common path - span-cache hit on an SRAM device (and, for a
+    literal pool, a constant SRAM/flash address proven in bounds at fuse
+    time) - is raise-free, so the step's accounting defers with the rest
+    of the span.  Every rare path (span miss, device overrun, an MPU
+    attached after fusion) first materialises the deferred state
+    (:func:`_span_accounting` with the step's own fetch as the partial
+    contribution - exactly what the per-step engine would have committed
+    before the faulting body), then completes the instruction through the
+    mediated ``cpu.read``/``cpu.write`` path and returns to the engine;
+    a fault raised there observes bit-exact per-step state.  Only fused
+    without a fuse-time MPU: a protected core keeps the barrier form,
+    whose inline MPU check stays on the fast path.
+    """
+    if not uop.chainable or uop.cond_check is not None:
+        return None
+    ins = uop.ins
+    op = ins.mnemonic
+    if op in _LOAD_SIZES:
+        load = True
+        size = _LOAD_SIZES[op]
+    elif op in _STORE_SIZES:
+        load = False
+        size = _STORE_SIZES[op]
+    else:
+        return None
+    mem = ins.mem
+    rd = ins.rd
+    if mem is None or rd is None or rd == PC or mem.writeback or mem.postindex:
+        return None
+    if mem.rm == PC or (not load and mem.rn == PC):
+        return None
+    plan = _active_plan(cpu)
+    if plan is None or (plan == "mpu" and cpu.mpu is not None):
+        return None
+    cycle_fn = cpu.compile_cycles(ins)
+    base = getattr(cycle_fn, "static_base", None) if cycle_fn is not None else None
+    if base is None:
+        return None
+    sign_bits = _SIGNED_LOADS.get(op) if load else None
+    literal_device = None
+    literal_address = None
+    if load and mem.rn == PC:
+        # resolve the literal before any tracker-mutating emission so a
+        # rejection leaves the fuse-time stream state untouched
+        pc_off = 8 if cpu.program.isa == "arm" else 4
+        literal_address = (((ins.address + pc_off) & ~3) + mem.offset) & MASK32
+        literal_device = cpu.bus._lookup(literal_address)
+        if (literal_device is None
+                or literal_address + size > literal_device.base + literal_device.size
+                or type(literal_device) not in (Sram, Flash)):
+            return None
+    entry = _lean_fetch(cpu, uop, index, ns, ftrack, base)
+    if entry is None:
+        return None
+    if entry["stall_vars"]:
+        fetch_stalls = entry["stall_vars"][0]
+    else:
+        fetch_stalls = str(entry["stall_consts"])
+    vmask = None if load else _STORE_MASKS[size]
+
+    def completion(access_expr: str) -> list[str]:
+        """The mediated rest-of-instruction an escape arm runs."""
+        done = ["cpu._data_stalls = 0", access_expr]
+        if load:
+            done += _load_sign_lines(sign_bits)
+            done.append(f"rvals[{rd}] = v & {MASK32}")
+        done += [
+            f"cpu.cycles += {base} + {fetch_stalls} + cpu._data_stalls",
+            "cpu.instructions_executed += 1",
+            f"rvals[15] = {uop.next_pc}",
+            "return",
+        ]
+        return done
+
+    body = entry["body"]
+    ns.setdefault("AR", AccessRecord)
+    ns.setdefault("IFB", int.from_bytes)
+    if load and mem.rn == PC:
+        # literal pool: constant address, device and bounds proven above;
+        # only SRAM and flash are known raise-free
+        address = literal_address
+        device = literal_device
+        if plan == "mpu":
+            # an MPU attached after fusion reroutes through the mediated
+            # path (which consults it and faults bit-exactly)
+            entry["escape"] = True
+            body.append("if cpu.mpu is not None:")
+            body += ["    " + stmt for stmt in
+                     _span_accounting(list(span), uop.address, partial=entry)
+                     + completion(f"v = RD({address}, {size})")]
+        offset = address - device.base
+        dev = f"DV{index}"
+        ns[dev] = device
+        if type(device) is Sram:
+            entry["counters"] += ((dev, "reads"),)
+            entry["stall_consts"] += device.wait_states
+            entry["records"].append(
+                f"AR({address}, {size}, 'R', 'D', {device.wait_states})")
+        else:
+            ns[f"DAL{index}"] = device._access
+            static = _flash_static_parts(device, dev, address, size, ftrack)
+            if static is not None:
+                stmts, counters, stalls = static
+                body += stmts
+                entry["counters"] += tuple(counters)
+                entry["stall_consts"] += stalls
+                entry["records"].append(
+                    f"AR({address}, {size}, 'R', 'D', {stalls})")
+            else:
+                _flash_track_dynamic(device, address, size, ftrack)
+                stall_var = f"ds{index}"
+                body += _flash_fetch_lines(device, dev, f"DAL{index}",
+                                           address, size, stall_var,
+                                           inline_access=True)
+                entry["stall_vars"].append(stall_var)
+                entry["records"].append(
+                    f"AR({address}, {size}, 'R', 'D', {stall_var})")
+        body.append(f"v = IFB({dev}.data[{offset}:{offset + size}], 'little')")
+        body += _load_sign_lines(sign_bits)
+        body.append(f"rvals[{rd}] = v & {MASK32}")
+        entry["reads"] += 1
+        return entry
+    # register-addressed: span-cache hit on an SRAM device is the lean
+    # path (the span bounds prove the access in range, SRAM cannot fault,
+    # and an SRAM access cannot disturb tracked flash stream state)
+    addr = f"a{index}"
+    stall_var = f"ds{index}"
+    if mem.rn == PC:
+        return None
+    if mem.rm is None:
+        body.append(f"{addr} = (rvals[{mem.rn}] + {mem.offset}) & {MASK32}")
+    else:
+        body.append(f"{addr} = (rvals[{mem.rn}] + ((rvals[{mem.rm}]"
+                    f" << {mem.shift}) & {MASK32})) & {MASK32}")
+    ns.setdefault("SRT", Sram)
+    guard = "cpu.mpu is None and " if plan == "mpu" else ""
+    entry["escape"] = True
+    body.append("sp = bus._span_d")
+    body.append(f"if {guard}sp[0] <= {addr} and {addr} + {size} <= sp[1]"
+                " and type(sp[2]) is SRT:")
+    lean_arm = [
+        "d = sp[2]",
+        f"d.{'reads' if load else 'writes'} += 1",
+        f"o = {addr} - d.base",
+    ]
+    if load:
+        lean_arm.append(f"v = IFB(d.data[o:o + {size}], 'little')")
+    else:
+        lean_arm.append(f"d.data[o:o + {size}] = "
+                        f"(rvals[{rd}] & {vmask}).to_bytes({size}, 'little')")
+    lean_arm.append(f"{stall_var} = d.wait_states")
+    body += ["    " + stmt for stmt in lean_arm]
+    body.append("else:")
+    if load:
+        access = f"v = RD({addr}, {size})"
+    else:
+        access = f"WR({addr}, {size}, rvals[{rd}] & {vmask})"
+    body += ["    " + stmt for stmt in
+             _span_accounting(list(span), uop.address, partial=entry)
+             + completion(access)]
+    if load:
+        body += _load_sign_lines(sign_bits)
+        body.append(f"rvals[{rd}] = v & {MASK32}")
+        entry["reads"] += 1
+        entry["records"].append(f"AR({addr}, {size}, 'R', 'D', {stall_var})")
+    else:
+        entry["writes"] += 1
+        entry["records"].append(f"AR({addr}, {size}, 'W', 'D', {stall_var})")
+    entry["stall_vars"].append(stall_var)
+    return entry
+
+
+def _lean_branch_step(cpu, uop, index, ns, ftrack):
+    """An unconditional direct goto prepared for span membership, or None.
+
+    A mid-trace ``B`` whose core inlines to a pure constant PC write is
+    fully raise-free and observes nothing: the PC write defers with the
+    span (subsequent entries' ``next_pc`` values already follow the
+    jump) and the taken-branch count joins the deferred accounting.
+    Always taken, so the step costs the static taken cycles.
+    """
+    ins = uop.ins
+    if (uop.chainable or uop.cond_check is not None or ins.mnemonic != "B"
+            or uop.branch_target is None):
+        return None
+    cycle_fn = cpu.compile_cycles(ins)
+    taken = getattr(cycle_fn, "static_taken", None) if cycle_fn is not None else None
+    if taken is None:
+        return None
+    inline = cpu._branch_inline(uop.branch_target)
+    if inline != [f"rvals[15] = {uop.branch_target}"]:
+        # only a pure PC write may defer with the span: a core inline form
+        # with extra arms (the VIC return-stack unwind reads cpu.cycles)
+        # must observe exact per-step state, so those gotos keep the
+        # barrier ender - still chained into the trace, just flushed around
+        return None
+    entry = _lean_fetch(cpu, uop, index, ns, ftrack, taken)
+    if entry is None:
+        return None
+    # the PC write itself is deferred: the span's PC chain continues at
+    # the branch target
+    entry["next_pc"] = uop.branch_target
+    entry["branches"] = 1
+    return entry
+
+
+def _span_accounting(span, pc, partial=None) -> list[str]:
+    """The deferred-accounting statements for ``span`` (in emission order:
+    device counters, bus counters, access records, cycles, instruction
+    count, PC).  With ``partial`` - the escaping step's entry - only that
+    step's *fetch-side* contribution joins the bus statistics (the
+    reference charges an instruction's cycles after its body, so a body
+    that faults has its fetch on the bus but not on the cycle counter),
+    and its instruction count/cycles are left to the escape arm."""
+    lines = []
+    counter_totals: dict[tuple, int] = {}
+    entries = span if partial is None else span + [partial]
+    for entry in entries:
+        for counter in entry["counters"]:
+            counter_totals[counter] = counter_totals.get(counter, 0) + 1
+    for (dev, attr), count in counter_totals.items():
+        lines.append(f"{dev}.{attr} += {count}")
+    reads = sum(e["reads"] for e in span)
+    writes = sum(e["writes"] for e in span)
+    stall_const = sum(e["stall_consts"] for e in span)
+    stall_vars = [v for e in span for v in e["stall_vars"]]
+    records = [r for e in span for r in e["records"]]
+    bus_const, bus_vars = stall_const, list(stall_vars)
+    if partial is not None:
+        reads += 1  # the escaping step's fetch went out on the bus
+        bus_const += partial["stall_consts"]
+        bus_vars += partial["stall_vars"]
+        records += partial["records"]
+    if reads:
+        lines.append(f"bus.reads += {reads}")
+    if writes:
+        lines.append(f"bus.writes += {writes}")
+    branches = sum(e["branches"] for e in span)
+    if branches:
+        lines.append(f"cpu.branches_taken += {branches}")
+    bus_tail = "".join(f" + {v}" for v in bus_vars)
+    if bus_const or bus_tail:
+        lines.append(f"bus.total_stalls += {bus_const}{bus_tail}")
+    if records:
+        lines.append("if bus.record:")
+        lines += [f"    bus.accesses.append({record})" for record in records]
+    if span:
+        base_total = sum(e["base"] for e in span)
+        cycle_tail = "".join(f" + {v}" for v in stall_vars)
+        lines.append(f"cpu.cycles += {base_total + stall_const}{cycle_tail}")
+        lines.append(f"cpu.instructions_executed += {len(span)}")
+    lines.append(f"rvals[15] = {pc}")
+    return lines
+
+
+def _flush_span(span, lines):
+    """Emit a coalesced span: bodies in order, then the deferred accounting.
+
+    Flag liveness runs backwards over the span - a flag write is dead only
+    when a later step in the *same* span overwrites it before any point
+    where the flags are observable: the span end (a full barrier) and
+    every escape arm (a memory step's rare fallback exits the function
+    mid-span), so entries carrying an escape reset the liveness to "all
+    live" for everything before them.  The deferred counters are emitted
+    as single aggregated statements, the access records in access order
+    under one ``bus.record`` test, and the PC once, at the span's final
+    next-PC.
+    """
+    if not span:
+        return
+    live = set(_FLAGS)
+    for entry in reversed(span):
+        entry["dead"] = set(entry["flags"]) - live
+        live -= set(entry["flags"])
+        if entry["escape"]:
+            live = set(_FLAGS)
+    flags_bound = False
+    for entry in span:
+        lines.extend(entry["fetch"])
+        lines.extend(entry["body"])
+        kept = [stmt for flag, stmt in entry["flags"].items()
+                if flag not in entry["dead"]]
+        if kept:
+            if not flags_bound:
+                lines.append("f = cpu.apsr")
+                flags_bound = True
+            lines.extend(kept)
+    lines += _span_accounting(span, span[-1]["next_pc"])
+    span.clear()
+
+
 def fuse_block(cpu, uops, steps):
     """Compile one superblock into a single callable.
 
@@ -624,6 +1558,17 @@ def fuse_block(cpu, uops, steps):
     step closures (the list the engine executes pre-fusion); positions
     that cannot be inlined fall back to calling their bound step, so the
     fused function is behaviourally the list loop with the frames removed.
+    Runs of raise-free pure-ALU steps coalesce their accounting
+    (:func:`_lean_step` / :func:`_flush_span`); every other position is a
+    barrier that flushes first, keeping mid-block faults bit-exact.
+
+    With ``cpu.trace_superblocks`` set and the block terminated by a loop
+    back-edge (a direct branch back to the block's own head), the whole
+    body is wrapped in a ``while True:`` whose taken-branch path continues
+    in place (see :func:`_emit_loop_backedge`): a full loop iteration runs
+    as one generated code object executed N times, with the per-iteration
+    guard limited to the branch condition, the interrupt queue, and the
+    instruction budget.
     """
     ns = {
         "cpu": cpu,
@@ -633,17 +1578,45 @@ def fuse_block(cpu, uops, steps):
     }
     if getattr(cpu, "bus", None) is not None:
         ns["bus"] = cpu.bus
+    last = len(uops) - 1
+    is_loop = (cpu.trace_superblocks and not uops[last].chainable
+               and _backedge_eligible(cpu, uops[last], uops[0].address))
+    if is_loop:
+        ns["IRQQ"] = cpu._irq_queue
     lines = []
+    span: list = []
+    isa = cpu.program.isa
+    coalesce = cpu.trace_superblocks
+    ftrack: dict = {}
     for index, (uop, fast_step) in enumerate(zip(uops, steps)):
+        if is_loop and index == last:
+            _flush_span(span, lines)
+            lines.extend(_emit_loop_backedge(cpu, uop, index, ns,
+                                             uops[0].address, len(uops),
+                                             ftrack))
+            continue
+        lean = _lean_step(cpu, uop, index, ns, isa, ftrack) if coalesce else None
+        if lean is None and coalesce:
+            lean = _lean_mem_step(cpu, uop, index, ns, ftrack, span)
+        if lean is None and coalesce:
+            lean = _lean_branch_step(cpu, uop, index, ns, ftrack)
+        if lean is not None:
+            span.append(lean)
+            continue
+        _flush_span(span, lines)
         if uop.chainable:
-            emitted = _emit_step(cpu, uop, index, ns, cpu.program.isa)
+            emitted = _emit_step(cpu, uop, index, ns, isa, ftrack)
         else:
-            emitted = _emit_branch_ender(cpu, uop, index, ns)
+            emitted = _emit_branch_ender(cpu, uop, index, ns, ftrack)
         if emitted is None:
             ns[f"S{index}"] = fast_step
             lines.append(f"S{index}()")
+            ftrack.clear()  # the bound step fetches/accesses opaquely
         else:
             lines.extend(emitted)
+    _flush_span(span, lines)
+    if is_loop:
+        lines = ["while True:"] + ["    " + stmt for stmt in lines]
     # every bound object becomes a default parameter, so the generated
     # body resolves them as locals (LOAD_FAST) instead of dict lookups
     params = ", ".join(f"{name}={name}" for name in ns)

@@ -97,10 +97,17 @@ class MicroOp:
       and every generic fallback (whose behaviour is not statically known).
 
     Only ``alu``/``mem`` micro-ops are ``chainable`` into superblocks.
+
+    ``branch_target`` is the statically resolved branch destination for
+    direct ``B``/``BL`` micro-ops (``None`` otherwise), and
+    ``is_back_edge`` marks a direct ``B`` whose target is at or before its
+    own address - the loop back-edge shape the trace-superblock fuser
+    chains across (:mod:`repro.core.superblock`).
     """
 
     __slots__ = ("ins", "address", "size", "next_pc", "cond_check", "exec",
-                 "is_it", "kind", "chainable", "is_block_op")
+                 "is_it", "kind", "chainable", "is_block_op",
+                 "branch_target", "is_back_edge")
 
     def __init__(self, ins: Instruction, exec_fn: ExecFn, kind: str = "ctl") -> None:
         self.ins = ins
@@ -117,6 +124,13 @@ class MicroOp:
         self.kind = kind
         self.is_block_op = ins.mnemonic in ("LDM", "STM", "PUSH", "POP")
         self.chainable = kind != "ctl"
+        if ins.mnemonic in ("B", "BL") and ins.target is not None and ins.rm is None:
+            self.branch_target = ins.target & MASK32
+        else:
+            self.branch_target = None
+        self.is_back_edge = (self.branch_target is not None
+                             and ins.mnemonic == "B"
+                             and self.branch_target <= self.address)
 
 
 # ----------------------------------------------------------------------
@@ -188,7 +202,33 @@ def _compile_arith(ins: Instruction):
     if not _no_pc(rd, rn, rm) or rd is None or rn is None:
         return None
     if rm is not None and ins.shift is not None:
-        return None  # shifted operand: keep the generic path
+        if op not in ("ADD", "SUB"):
+            return None  # shifted ADC/SBC/RSB: keep the generic path
+        # shifted-operand ADD/SUB: the shifter carry is discarded (flags
+        # come from the adder), exactly as _exec_arith computes it
+        kind, amount = ins.shift.kind, ins.shift.amount
+        sub = op == "SUB"
+
+        def ex(cpu, outcome, rd=rd, rn=rn, rm=rm, kind=kind, amount=amount,
+               sub=sub, setflags=ins.setflags):
+            rv = cpu.regs.values
+            apsr = cpu.apsr
+            y, _ = shift_c(rv[rm], kind, amount, apsr.c)
+            x = rv[rn]
+            if sub:
+                unsigned_sum = x + (y ^ MASK32) + 1
+                overflow = ((x ^ y) & (x ^ (unsigned_sum & MASK32)) & _SIGN_BIT) != 0
+            else:
+                unsigned_sum = x + y
+                overflow = ((~(x ^ y)) & (x ^ (unsigned_sum & MASK32)) & _SIGN_BIT) != 0
+            result = unsigned_sum & MASK32
+            rv[rd] = result
+            if setflags:
+                apsr.n = result >= _SIGN_BIT
+                apsr.z = result == 0
+                apsr.c = unsigned_sum > MASK32
+                apsr.v = overflow
+        return ex
     if rm is None and ins.imm is None:
         return None
     imm = None if rm is not None else ins.imm & MASK32

@@ -101,6 +101,22 @@ class Cache:
         last = (addr + nbytes - 1) // self.line_bytes
         return last - first + 1
 
+    def lookup_plan(self, addr: int, size: int):
+        """Fuse-time geometry for one constant-address access.
+
+        Returns ``(tag, set_index, offset, ways)`` - everything the
+        superblock fuser needs to emit this cache's :meth:`read` as raw
+        statements (``ways`` is the live per-set line list, stable for the
+        cache's lifetime; ``self.stats`` is likewise a stable binding for
+        the emitted hit/miss/parity counters).  Returns ``None`` when the
+        access straddles a line boundary - the split/recurse path stays a
+        real :meth:`read` call.
+        """
+        tag, set_index, offset = self._split(addr)
+        if offset + size > self.line_bytes:
+            return None
+        return tag, set_index, offset, self._lines[set_index]
+
     # ------------------------------------------------------------------
     # lookup / fill
     # ------------------------------------------------------------------

@@ -290,7 +290,7 @@ def shard_bounds(total: int, shard: tuple[int, int]) -> tuple[int, int]:
 def run_campaign(specs: list[ScenarioSpec], workers: int | None = None,
                  stream_path=None, collect: bool | None = None,
                  shard: tuple[int, int] | None = None,
-                 on_record=None) -> CampaignResult:
+                 on_record=None, cache=None) -> CampaignResult:
     """Run a scenario matrix, optionally across worker processes and hosts.
 
     ``workers`` of ``None``, 0, or 1 runs serially in-process.  Output is
@@ -312,13 +312,24 @@ def run_campaign(specs: list[ScenarioSpec], workers: int | None = None,
 
     ``on_record`` is called with each record as it completes, in input
     order - incremental statistics over huge sweeps without collecting.
+
+    ``cache`` - a directory path or :class:`~repro.sim.campaign.cache.
+    RecordCache` - replays already-computed cells instead of re-running
+    them and stores fresh ones as they complete, so a resumed or
+    re-sharded sweep only pays for cells it has never seen.  Because
+    records are pure functions of their specs, a cache-assisted run's
+    output (stream bytes included) is identical to a cold run's.
     """
+    from repro.sim.campaign.cache import RecordCache
+
     specs = list(specs)
     if shard is not None:
         low, high = shard_bounds(len(specs), shard)
         specs = specs[low:high]
     if collect is None:
         collect = stream_path is None
+    if cache is not None and not isinstance(cache, RecordCache):
+        cache = RecordCache(cache)
     records: list = []
     stream = open(stream_path, "a", encoding="utf-8") if stream_path is not None else None
 
@@ -330,15 +341,29 @@ def run_campaign(specs: list[ScenarioSpec], workers: int | None = None,
         if on_record is not None:
             on_record(record)
 
+    cached = [None] * len(specs) if cache is None else [cache.get(s) for s in specs]
+    misses = [s for s, hit in zip(specs, cached) if hit is None]
+
+    def computed(record, spec) -> object:
+        if cache is not None:
+            cache.put(spec, record)
+        return record
+
     try:
-        if workers is None or workers <= 1 or len(specs) <= 1:
-            for spec in specs:
-                consume(run_scenario(spec))
+        if workers is None or workers <= 1 or len(misses) <= 1:
+            for spec, hit in zip(specs, cached):
+                consume(hit if hit is not None
+                        else computed(run_scenario(spec), spec))
         else:
-            with multiprocessing.Pool(processes=min(workers, len(specs))) as pool:
-                # imap (not map): records arrive incrementally, in input order
-                for record in pool.imap(run_scenario, specs, chunksize=1):
-                    consume(record)
+            with multiprocessing.Pool(processes=min(workers, len(misses))) as pool:
+                # imap (not map): records arrive incrementally, and pulling
+                # the miss iterator while walking specs in input order keeps
+                # cache replays interleaved exactly where a cold run would
+                # have produced those records
+                miss_records = pool.imap(run_scenario, misses, chunksize=1)
+                for spec, hit in zip(specs, cached):
+                    consume(hit if hit is not None
+                            else computed(next(miss_records), spec))
     finally:
         if stream is not None:
             stream.close()
@@ -460,6 +485,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="write records to PATH as canonical JSONL "
                              "(truncated first: shard retries must replace, "
                              "not append)")
+    parser.add_argument("--cache", default=None, metavar="DIR",
+                        help="record cache directory: cells already "
+                             "computed by any earlier run are replayed "
+                             "instead of re-run (output stays byte-"
+                             "identical to a cold run)")
     args = parser.parse_args(argv)
 
     matrices = mod.available_matrices()
@@ -493,8 +523,14 @@ def main(argv: list[str] | None = None) -> int:
         verified += record.verified
         domains[record.domain] = domains.get(record.domain, 0) + 1
 
+    cache = None
+    if args.cache:
+        from repro.sim.campaign.cache import RecordCache
+
+        cache = RecordCache(args.cache)
     mod.run_campaign(specs, workers=args.workers, stream_path=args.stream,
-                     collect=False, shard=args.shard, on_record=tally)
+                     collect=False, shard=args.shard, on_record=tally,
+                     cache=cache)
     shard_note = ""
     if args.shard is not None:
         low, high = mod.shard_bounds(total, args.shard)
@@ -504,6 +540,9 @@ def main(argv: list[str] | None = None) -> int:
                           for name, count in sorted(domains.items()))
     print(f"{args.matrix}: {ran} scenarios{shard_note}, "
           f"{verified} verified [{by_domain}]")
+    if cache is not None:
+        print(f"cache: {cache.hits} replayed, {cache.misses} computed "
+              f"({args.cache})")
     if args.stream:
         print(f"stream: {args.stream}")
     return 0 if verified == ran else 2

@@ -136,3 +136,72 @@ def test_campaign_stream_with_collect_keeps_records(tmp_path):
     result = run_campaign(matrix, workers=1, stream_path=path, collect=True)
     assert len(result.records) == 3
     assert read_campaign_stream(path) == result.records
+
+
+def test_record_cache_resumed_run_byte_identical(tmp_path):
+    """A cache-assisted (resumed) run must reproduce a cold run's stream
+    byte for byte - and actually replay instead of recomputing."""
+    from repro.sim.campaign.cache import RecordCache
+
+    matrix = small_matrix()
+    cold_path = tmp_path / "cold.jsonl"
+    run_campaign(matrix, workers=1, stream_path=cold_path)
+
+    cache = RecordCache(tmp_path / "cache")
+    first_path = tmp_path / "first.jsonl"
+    run_campaign(matrix, workers=1, stream_path=first_path, cache=cache)
+    assert first_path.read_bytes() == cold_path.read_bytes()
+    assert cache.hits == 0 and cache.misses == len(matrix)
+
+    # resume: every cell replays from the cache, bytes unchanged
+    resumed = RecordCache(tmp_path / "cache")
+    resumed_path = tmp_path / "resumed.jsonl"
+    run_campaign(matrix, workers=1, stream_path=resumed_path, cache=resumed)
+    assert resumed_path.read_bytes() == cold_path.read_bytes()
+    assert resumed.hits == len(matrix) and resumed.misses == 0
+
+
+def test_record_cache_partial_resume_and_workers(tmp_path):
+    """A half-warm cache recomputes only the missing cells, interleaves
+    replays in input order, and stays byte-exact under a worker pool."""
+    from repro.sim.campaign.cache import RecordCache
+
+    matrix = small_matrix()
+    cold = run_campaign(matrix, workers=1)
+
+    cache = RecordCache(tmp_path / "cache")
+    # warm every second cell, as an interrupted sweep would have
+    for spec, record in list(zip(matrix, cold.records))[::2]:
+        cache.put(spec, record)
+    path = tmp_path / "resumed.jsonl"
+    result = run_campaign(matrix, workers=2, stream_path=path, cache=cache,
+                          collect=True)
+    assert result.to_json() == cold.to_json()
+    assert cache.hits == (len(matrix) + 1) // 2
+    assert cache.misses == len(matrix) // 2
+    assert read_campaign_stream(path) == cold.records
+
+
+def test_record_cache_ignores_corrupt_and_foreign_files(tmp_path):
+    """Damaged cache files are misses (recomputed and overwritten), never
+    trusted."""
+    from repro.sim.campaign.cache import RecordCache
+
+    spec = small_matrix()[0]
+    cache = RecordCache(tmp_path / "cache")
+    record = run_scenario(spec)
+    cache.put(spec, record)
+
+    # corrupt the stored file: not JSON at all
+    cache.path_for(spec).write_text("not json", encoding="utf-8")
+    assert cache.get(spec) is None
+    cache.put(spec, record)
+    # wrong key (foreign file / collision): also a miss
+    payload = cache.path_for(spec).read_text(encoding="utf-8")
+    cache.path_for(spec).write_text(payload.replace(spec.key(), "other"),
+                                    encoding="utf-8")
+    assert cache.get(spec) is None
+    # a fresh put repairs it
+    cache.put(spec, record)
+    replayed = cache.get(spec)
+    assert replayed == record

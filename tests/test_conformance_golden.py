@@ -39,12 +39,14 @@ CONFIGS = (
     ("arm1156", "thumb2"),
 )
 
-#: (label, fastpath, superblocks) - reference interpreter, predecoded
-#: micro-op dispatch, superblock chaining (see repro/core/cpu.py).
+#: (label, fastpath, superblocks, trace_superblocks) - reference
+#: interpreter, predecoded micro-op dispatch, superblock chaining, and
+#: trace superblocks with loop fusion (see repro/core/cpu.py).
 ENGINES = (
-    ("reference", False, False),
-    ("uops", True, False),
-    ("superblock", True, True),
+    ("reference", False, False, False),
+    ("uops", True, False, False),
+    ("superblock", True, True, False),
+    ("trace", True, True, True),
 )
 
 #: AutoIndy kernels in the corpus: table-driven, bit-twiddling, and
@@ -54,8 +56,11 @@ KERNEL_SEED = 2005
 KERNEL_SCALE = 1
 
 #: Hand-written programs covering engine-sensitive shapes the kernels
-#: don't force: tight backward-branch loops (superblock re-entry), LDM/STM
-#:  with write-back (specialised predecode), IT predication (Thumb-2 only).
+#: don't force: tight backward-branch loops (superblock re-entry and
+#: trace-engine loop fusion), LDM/STM with write-back (specialised
+#: predecode), IT predication (Thumb-2 only), IRQs landing on loop
+#: back-edges, the ARM1156 cached fetch path, and Cortex-M3 literal-pool
+#: loads under an MPU.
 ASM_ALU_LOOP = """
 main:
     push {r4, r5, r6, r7}
@@ -107,11 +112,136 @@ main:
     bx lr
 """
 
-ASM_PROGRAMS: dict[str, tuple[str, tuple[int, ...], tuple[str, ...]]] = {
-    # name -> (source, extra args after the scratch pointer, isas)
-    "alu_loop": (ASM_ALU_LOOP, (), ("arm", "thumb", "thumb2")),
-    "block_copy": (ASM_BLOCK_COPY, (), ("arm", "thumb", "thumb2")),
-    "it_blocks": (ASM_IT_BLOCKS, (9, 4), ("thumb2",)),
+ASM_COUNTED_LOOP = """
+main:
+    movs r2, #0
+    movs r3, #200
+loop:
+    adds r2, r2, r3
+    eors r2, r2, r3
+    adds r2, r2, #7
+    subs r3, r3, #1
+    bne loop
+    str r2, [r0, #0]
+    ldr r3, [r0, #0]
+    adds r0, r2, r3
+    bx lr
+"""
+
+# The handler restores scratch registers with a plain pop and returns via
+# bx lr: restart-safe on the ARM1156 (a pop-to-PC return could be
+# abandoned mid-transfer after its unwind side effects) and a valid
+# EXC_RETURN path on the M3.  The counter word sits inside the
+# fingerprinted scratch window.
+ASM_LOOP_IRQ_BACKEDGE = """
+main:
+    movs r0, #0
+    movs r2, #0
+loop:
+    adds r2, r2, #3
+    eors r2, r2, r0
+    adds r0, r0, #1
+    cmp r0, #150
+    bne loop
+    mov r0, r2
+    bx lr
+handler:
+    push {r1, r2}
+    ldr r1, =0x20000030
+    ldr r2, [r1]
+    adds r2, r2, #1
+    str r2, [r1]
+    pop {r1, r2}
+    bx lr
+"""
+
+#: a loop body long enough to span several 32-byte icache lines, so the
+#: ARM1156's cached-fetch inline path sees hits, sequential misses, and
+#: the back-edge's non-sequential re-fetch every iteration
+ASM_ICACHE_LOOP = """
+main:
+    movs r0, #0
+    movs r2, #0
+    movs r3, #7
+loop:
+    adds r2, r2, r3
+    eors r2, r2, r0
+    lsls r4, r2, #3
+    lsrs r5, r2, #2
+    adds r4, r4, r5
+    subs r4, r4, #1
+    ands r2, r2, r4
+    orrs r2, r2, r3
+    adds r2, r2, #13
+    rev r5, r2
+    eors r2, r2, r5
+    uxth r2, r2
+    adds r0, r0, #1
+    cmp r0, #90
+    bne loop
+    mov r0, r2
+    bx lr
+"""
+
+#: literal-pool loads (constant flash addresses) inside a hot loop, with
+#: SRAM traffic alongside - run on the M3 under a configured MPU, every
+#: access pays the protection check, fused superblocks included
+ASM_LITERAL_MPU_LOOP = """
+main:
+    movs r2, #0
+    movs r4, #0
+loop:
+    ldr r5, =0x12345678
+    adds r4, r4, r5
+    ldr r6, =0xCAFE0000
+    eors r4, r4, r6
+    str r4, [r0, #8]
+    ldr r7, [r0, #8]
+    adds r4, r4, r7
+    adds r2, r2, #1
+    cmp r2, #80
+    bne loop
+    mov r0, r4
+    bx lr
+"""
+
+
+def _golden_mpu():
+    from repro.core.machines import DEFAULT_FLASH_SIZE, DEFAULT_SRAM_SIZE
+    from repro.memory.mpu import Mpu
+
+    mpu = Mpu(num_regions=8, min_region_size=4096, background_perms="none")
+    mpu.configure(0, FLASH_BASE, DEFAULT_FLASH_SIZE, perms="ro")
+    mpu.configure(1, SRAM_BASE, DEFAULT_SRAM_SIZE, perms="rw")
+    return mpu
+
+
+ASM_PROGRAMS: dict[str, dict] = {
+    # name -> source, extra args after the scratch pointer, isas, and
+    # optionally: cores (restrict configs), irqs ((number, cycle) pairs
+    # raised on the core's controller against the "handler" symbol), and
+    # mpu (factory for a machine-kwarg MPU)
+    "alu_loop": {"source": ASM_ALU_LOOP, "args": (),
+                 "isas": ("arm", "thumb", "thumb2")},
+    "block_copy": {"source": ASM_BLOCK_COPY, "args": (),
+                   "isas": ("arm", "thumb", "thumb2")},
+    "it_blocks": {"source": ASM_IT_BLOCKS, "args": (9, 4),
+                  "isas": ("thumb2",)},
+    "counted_loop": {"source": ASM_COUNTED_LOOP, "args": (),
+                     "isas": ("arm", "thumb", "thumb2")},
+    # assert cycles 60/66 are exact back-edge execution cycles on the M3
+    # timeline (the loop branch runs every 6 cycles from 6), and land
+    # mid-loop on the other cores; 800 sits in the storm-free tail - the
+    # trace engine's fused loop must bail out of its generated while-loop
+    # at exactly these points
+    "loop_irq_backedge": {"source": ASM_LOOP_IRQ_BACKEDGE, "args": (),
+                          "isas": ("arm", "thumb", "thumb2"),
+                          "irqs": ((1, 60), (2, 66), (3, 800))},
+    "icache_loop": {"source": ASM_ICACHE_LOOP, "args": (),
+                    "isas": ("thumb2",), "cores": ("arm1156",)},
+    "literal_mpu_loop": {"source": ASM_LITERAL_MPU_LOOP, "args": (),
+                         "isas": ("thumb2",), "cores": ("m3",),
+                         "mpu": _golden_mpu},
 }
 
 SCRATCH_BYTES = 64
@@ -138,14 +268,20 @@ def _fingerprint(machine, result: int) -> dict:
     }
 
 
-def _run_kernel(core: str, isa: str, name: str,
-                fastpath: bool, superblocks: bool) -> dict:
+def _set_engine(machine, fastpath: bool, superblocks: bool,
+                trace_superblocks: bool) -> None:
+    machine.cpu.fastpath = fastpath
+    machine.cpu.superblocks = superblocks
+    machine.cpu.trace_superblocks = trace_superblocks
+
+
+def _run_kernel(core: str, isa: str, name: str, fastpath: bool,
+                superblocks: bool, trace_superblocks: bool) -> dict:
     workload = WORKLOADS_BY_NAME[name]
     fn = workload.build()
     program = compile_program([fn], isa, base=FLASH_BASE)
     machine = build_machine(core, program)
-    machine.cpu.fastpath = fastpath
-    machine.cpu.superblocks = superblocks
+    _set_engine(machine, fastpath, superblocks, trace_superblocks)
     prepared = workload.make_input(DeterministicRng(KERNEL_SEED), KERNEL_SCALE)
     machine.load_data(SRAM_BASE, prepared.data)
     result = machine.call(fn.name, *prepared.args(SRAM_BASE))
@@ -153,34 +289,43 @@ def _run_kernel(core: str, isa: str, name: str,
     return _fingerprint(machine, result)
 
 
-def _run_asm(core: str, isa: str, name: str,
-             fastpath: bool, superblocks: bool) -> dict:
-    source, extra_args, _ = ASM_PROGRAMS[name]
-    program = assemble(source, isa, base=FLASH_BASE)
-    machine = build_machine(core, program)
-    machine.cpu.fastpath = fastpath
-    machine.cpu.superblocks = superblocks
-    result = machine.call("main", SRAM_BASE, *extra_args,
+def _run_asm(core: str, isa: str, name: str, fastpath: bool,
+             superblocks: bool, trace_superblocks: bool) -> dict:
+    spec = ASM_PROGRAMS[name]
+    program = assemble(spec["source"], isa, base=FLASH_BASE)
+    kwargs = {}
+    if "mpu" in spec:
+        kwargs["mpu"] = spec["mpu"]()
+    machine = build_machine(core, program, **kwargs)
+    _set_engine(machine, fastpath, superblocks, trace_superblocks)
+    for number, cycle in spec.get("irqs", ()):
+        controller = getattr(machine.cpu, "nvic", None)
+        if controller is None:
+            controller = machine.cpu.vic
+        controller.raise_irq(number, handler=program.symbols["handler"],
+                             at_cycle=cycle)
+    result = machine.call("main", SRAM_BASE, *spec["args"],
                           max_instructions=100_000)
     return _fingerprint(machine, result)
 
 
 def corpus_programs(core: str, isa: str) -> list[str]:
     names = list(KERNEL_PROGRAMS)
-    names += [name for name, (_, _, isas) in ASM_PROGRAMS.items()
-              if isa in isas]
+    names += [name for name, spec in ASM_PROGRAMS.items()
+              if isa in spec["isas"] and core in spec.get("cores", (core,))]
     return names
 
 
-def compute_fingerprints(core: str, isa: str,
-                         fastpath: bool, superblocks: bool) -> dict:
+def compute_fingerprints(core: str, isa: str, fastpath: bool,
+                         superblocks: bool, trace_superblocks: bool) -> dict:
     fingerprints = {}
     for name in corpus_programs(core, isa):
         if name in ASM_PROGRAMS:
-            fingerprints[name] = _run_asm(core, isa, name, fastpath, superblocks)
+            fingerprints[name] = _run_asm(core, isa, name, fastpath,
+                                          superblocks, trace_superblocks)
         else:
-            fingerprints[name] = _run_kernel(core, isa, name,
-                                             fastpath, superblocks)
+            fingerprints[name] = _run_kernel(core, isa, name, fastpath,
+                                             superblocks, trace_superblocks)
     return fingerprints
 
 
@@ -198,15 +343,16 @@ def golden() -> dict:
     return corpora
 
 
-@pytest.mark.parametrize("engine,fastpath,superblocks", ENGINES,
-                         ids=[e[0] for e in ENGINES])
+@pytest.mark.parametrize("engine,fastpath,superblocks,trace_superblocks",
+                         ENGINES, ids=[e[0] for e in ENGINES])
 @pytest.mark.parametrize("core,isa", CONFIGS,
                          ids=[f"{c}-{i}" for c, i in CONFIGS])
-def test_engine_matches_golden_corpus(golden, core, isa,
-                                      engine, fastpath, superblocks):
+def test_engine_matches_golden_corpus(golden, core, isa, engine, fastpath,
+                                      superblocks, trace_superblocks):
     """Every engine on every core must reproduce the committed corpus."""
     expected = golden[(core, isa)]["programs"]
-    computed = compute_fingerprints(core, isa, fastpath, superblocks)
+    computed = compute_fingerprints(core, isa, fastpath, superblocks,
+                                    trace_superblocks)
     assert sorted(computed) == sorted(expected), (
         f"{core}/{isa}: corpus program set changed; regenerate the corpus")
     for name, fingerprint in computed.items():
@@ -240,8 +386,9 @@ def regenerate() -> None:
             "isa": isa,
             "seed": KERNEL_SEED,
             "scale": KERNEL_SCALE,
-            "programs": compute_fingerprints(core, isa,
-                                             fastpath=False, superblocks=False),
+            "programs": compute_fingerprints(core, isa, fastpath=False,
+                                             superblocks=False,
+                                             trace_superblocks=False),
         }
         path = golden_path(core, isa)
         with open(path, "w", encoding="utf-8") as stream:

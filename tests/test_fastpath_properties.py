@@ -1,15 +1,17 @@
 """Property tests: every execution engine == reference interpreter.
 
-The predecoded engine and the superblock engine (:mod:`repro.isa.predecode`
-+ ``BaseCpu.run``, see the execution-engines section of
-:mod:`repro.core.cpu`) must be *architecturally indistinguishable* from
-single-stepping the reference interpreter: same registers, flags, memory,
-cycle counts, bus statistics, and trace - on every core, for arbitrary
-programs, with and without interrupts.  These tests generate randomised
-programs (hypothesis) including LDM/STM, write-back addressing, and
-predicated skips, and run curated worst cases (IT blocks, WFI, interrupt
-storms landing mid-superblock, restartable LDM windows, access-record
-streams), executing each on all three engines and diffing the complete
+The predecoded engine, the superblock engine, and the trace engine
+(:mod:`repro.isa.predecode` + ``BaseCpu.run``, see the execution-engines
+section of :mod:`repro.core.cpu`) must be *architecturally
+indistinguishable* from single-stepping the reference interpreter: same
+registers, flags, memory, cycle counts, bus statistics, and trace - on
+every core, for arbitrary programs, with and without interrupts.  These
+tests generate randomised programs (hypothesis) including LDM/STM,
+write-back addressing, predicated skips, and loopy control flow
+(back-edges, loop-carried flags, IT blocks inside loops), and run curated
+worst cases (IT blocks, WFI, interrupt storms landing mid-superblock and
+exactly on loop back-edge cycles, restartable LDM windows, access-record
+streams), executing each on all four engines and diffing the complete
 machine state.
 """
 
@@ -69,22 +71,29 @@ def _state(machine) -> dict:
     }
 
 
-#: (label, fastpath, superblocks) for the three execution engines
+#: (label, fastpath, superblocks, trace_superblocks) for the four engines
 ENGINES = (
-    ("superblock", True, True),
-    ("uops", True, False),
-    ("reference", False, False),
+    ("trace", True, True, True),
+    ("superblock", True, True, False),
+    ("uops", True, False, False),
+    ("reference", False, False, False),
 )
+
+
+def set_engine(machine, fastpath: bool, superblocks: bool,
+               trace_superblocks: bool) -> None:
+    machine.cpu.fastpath = fastpath
+    machine.cpu.superblocks = superblocks
+    machine.cpu.trace_superblocks = trace_superblocks
 
 
 def run_engines(isa: str, source: str, args=(), core: str = "",
                 trace: bool = False) -> list[dict]:
-    """Run ``source`` through all three engines; return the final states."""
+    """Run ``source`` through all four engines; return the final states."""
     states = []
-    for _, fastpath, superblocks in ENGINES:
+    for _, fastpath, superblocks, trace_sb in ENGINES:
         machine = _build_machine(isa, source, core=core, trace=trace)
-        machine.cpu.fastpath = fastpath
-        machine.cpu.superblocks = superblocks
+        set_engine(machine, fastpath, superblocks, trace_sb)
         machine.call("main", *args, max_instructions=200_000)
         states.append(_state(machine))
     return states
@@ -94,14 +103,14 @@ def run_both(isa: str, source: str, args=(), core: str = "",
              trace: bool = False) -> tuple[dict, dict]:
     """Back-compat helper: (superblock-engine state, reference state)."""
     states = run_engines(isa, source, args=args, core=core, trace=trace)
-    return states[0], states[2]
+    return states[0], states[-1]
 
 
 def assert_equivalent(isa: str, source: str, args=(), core: str = "",
                       trace: bool = False) -> None:
     states = run_engines(isa, source, args=args, core=core, trace=trace)
     reference = states[-1]
-    for (label, _, _), state in zip(ENGINES, states):
+    for (label, _, _, _), state in zip(ENGINES, states):
         assert state == reference, (
             f"{label} engine diverged on {core or isa}: "
             f"{ {k: (state[k], reference[k]) for k in state if state[k] != reference[k]} }")
@@ -229,6 +238,223 @@ def test_random_programs_bit_identical(ops, args):
         assert_equivalent(isa, source, args=(SRAM_BASE, r1, r2, r3), core=core)
 
 
+# ----------------------------------------------------------------------
+# loopy control flow: back-edges, loop-carried flags, IT inside loops
+# ----------------------------------------------------------------------
+
+#: body ops for loop programs keep scratch word 14 (the trip counter at
+#: [r0, #56]) out of reach so the loop always terminates
+WOFF_LOOP = st.integers(min_value=0, max_value=12)
+
+_LOOP_OPS = st.one_of(
+    st.tuples(st.just("alu3"),
+              st.sampled_from(["adds", "subs", "ands", "orrs", "eors", "bics"]),
+              REG, REG, REG),
+    st.tuples(st.just("alu_imm"),
+              st.sampled_from(["adds", "subs"]), REG, REG, IMM8),
+    st.tuples(st.just("mov_imm"), st.just("movs"), REG, IMM8),
+    st.tuples(st.just("shift"),
+              st.sampled_from(["lsls", "lsrs", "asrs"]), REG, REG, SHIFT),
+    st.tuples(st.just("mul"), st.just("mul"), REG, REG, REG),
+    st.tuples(st.just("cmp_reg"), st.sampled_from(["cmp", "cmn", "tst"]),
+              REG, REG),
+    st.tuples(st.just("store"), st.sampled_from(["str", "strb", "strh"]),
+              REG, WOFF_LOOP),
+    st.tuples(st.just("load"),
+              st.sampled_from(["ldr", "ldrb", "ldrh", "ldrsb", "ldrsh"]),
+              REG, WOFF_LOOP),
+    st.tuples(st.just("skip"),
+              st.sampled_from(["beq", "bne", "bcs", "bcc", "bge", "blt",
+                               "bgt", "ble", "bmi", "bpl"]),
+              st.sampled_from(["adds", "subs", "eors"]), REG, REG, REG),
+    # an IT block inside the loop (thumb2 only; other ISAs skip via the
+    # assembly try/except) - predication forces the engines' step() path
+    st.tuples(st.just("it"), st.sampled_from(["eq", "ne", "ge", "lt"]),
+              REG, REG, REG),
+)
+
+
+def render_loop(ops: list[tuple], trips: int) -> str:
+    """A counted loop whose body is the generated ops: the trip counter
+    lives in scratch memory (word 14) so arbitrary body ops cannot
+    clobber it, and the back-edge flags are loop-carried state the trace
+    engine's guard must revalidate every iteration."""
+    lines = ["main:", "    push {r4, r5, r6, r7}",
+             f"    movs r1, #{trips}",
+             "    str r1, [r0, #56]",
+             "loop:"]
+    for index, op in enumerate(ops):
+        kind = op[0]
+        if kind == "alu3":
+            _, mnem, rd, rn, rm = op
+            lines.append(f"    {mnem} r{rd}, r{rn}, r{rm}")
+        elif kind == "alu_imm":
+            _, mnem, rd, rn, imm = op
+            lines.append(f"    {mnem} r{rd}, r{rn}, #{imm}")
+        elif kind == "mov_imm":
+            _, mnem, rd, imm = op
+            lines.append(f"    {mnem} r{rd}, #{imm}")
+        elif kind == "shift":
+            _, mnem, rd, rn, amount = op
+            lines.append(f"    {mnem} r{rd}, r{rn}, #{amount}")
+        elif kind == "mul":
+            _, mnem, rd, rn, rm = op
+            lines.append(f"    {mnem} r{rd}, r{rn}, r{rm}")
+        elif kind == "cmp_reg":
+            _, mnem, rn, rm = op
+            lines.append(f"    {mnem} r{rn}, r{rm}")
+        elif kind in ("store", "load"):
+            _, mnem, rd, word = op
+            lines.append(f"    {mnem} r{rd}, [r0, #{word * 4}]")
+        elif kind == "skip":
+            _, branch, mnem, rd, rn, rm = op
+            lines.append(f"    {branch} lskip_{index}")
+            lines.append(f"    {mnem} r{rd}, r{rn}, r{rm}")
+            lines.append(f"lskip_{index}:")
+        elif kind == "it":
+            _, cond, rn, rm, rd = op
+            from repro.isa import Condition
+
+            inverse = Condition.parse(cond).inverse.name.lower()
+            lines.append(f"    cmp r{rn}, r{rm}")
+            lines.append(f"    ite {cond}")
+            lines.append(f"    add{cond} r{rd}, r{rd}, #1")
+            lines.append(f"    add{inverse} r{rd}, r{rd}, #3")
+    lines += [
+        "    ldr r1, [r0, #56]",
+        "    subs r1, r1, #1",
+        "    str r1, [r0, #56]",
+        "    bne loop",
+        "    pop {r4, r5, r6, r7}",
+        "    bx lr",
+    ]
+    return "\n".join(lines)
+
+
+@given(st.lists(_LOOP_OPS, min_size=1, max_size=12),
+       st.integers(min_value=1, max_value=24),
+       st.tuples(IMM8, IMM8, IMM8))
+@settings(max_examples=40, deadline=None)
+def test_random_loop_programs_bit_identical(ops, trips, args):
+    """Random counted loops - the trace engine fuses the back-edge into a
+    generated while-loop - must leave identical machine state on every
+    core and engine, for every loop body shape and trip count."""
+    source = render_loop(ops, trips)
+    r1, r2, r3 = args
+    for isa, core in ((ISA_ARM, ""), (ISA_THUMB, ""),
+                      (ISA_THUMB2, ""), (ISA_THUMB2, "arm1156")):
+        try:
+            assemble(source, isa, base=FLASH_BASE)
+        except (AssemblyError, EncodingError):
+            continue  # e.g. IT blocks outside Thumb-2: not this test's concern
+        assert_equivalent(isa, source, args=(SRAM_BASE, r1, r2, r3), core=core)
+
+
+def _backedge_cycles(isa: str, source: str, core: str = "",
+                     args=()) -> list[int]:
+    """The cycle counts at which the reference interpreter sits at the
+    loop's back-edge branch, about to execute it."""
+    machine = _build_machine(isa, source, core=core)
+    cpu = machine.cpu
+    set_engine(machine, False, False, False)
+    program = cpu.program
+    loop_head = program.symbols["loop"]
+    backedge = None
+    for address, ins in program._by_address.items():
+        if ins.mnemonic == "B" and ins.target == loop_head:
+            backedge = address
+    assert backedge is not None, "no back-edge branch found"
+    # drive the reference interpreter by hand, sampling at the back-edge
+    cpu.regs.write(0, SRAM_BASE)
+    for register, value in enumerate(args, start=1):
+        cpu.regs.write(register, value)
+    cpu.regs.pc = program.symbols["main"]
+    cycles = []
+    while not cpu.halted:
+        if cpu.regs.pc == backedge:
+            cycles.append(cpu.cycles)
+        cpu.step()
+    return cycles
+
+
+@given(st.integers(min_value=1, max_value=5), st.integers(min_value=0, max_value=2))
+@settings(max_examples=20, deadline=None)
+def test_irq_storms_exactly_on_backedge_cycles(stride, offset):
+    """IRQ storms whose assert cycles land *exactly* on the cycles at
+    which the loop's back-edge executes (and one cycle around them) must
+    be taken at the same instruction boundary with identical latency
+    records on every engine - the trace engine's fused loop has to bail
+    out of its generated while-loop at precisely those points."""
+    edges = _backedge_cycles(ISA_THUMB2, STRAIGHTLINE_LOOP_SOURCE)
+    asserts = [cycle + offset - 1 for cycle in edges[::stride]][:12]
+    states = []
+    for _, fastpath, superblocks, trace_sb in ENGINES:
+        machine = _build_machine(ISA_THUMB2, STRAIGHTLINE_LOOP_SOURCE,
+                                 trace=True)
+        set_engine(machine, fastpath, superblocks, trace_sb)
+        handler = machine.cpu.program.symbols["handler"]
+        for number, cycle in enumerate(asserts, start=1):
+            machine.cpu.nvic.raise_irq(number, handler=handler,
+                                       at_cycle=cycle, priority=number % 3)
+        machine.call("main")
+        state = _state(machine)
+        state["irq_records"] = [
+            (r.number, r.assert_cycle, r.entry_cycle, r.exit_cycle,
+             r.tail_chained)
+            for r in machine.cpu.nvic.stats.records
+        ]
+        states.append(state)
+    assert all(state == states[0] for state in states)
+    assert states[0]["irq_records"], "storm never delivered"
+
+
+def test_vic_irqs_on_backedge_cycles_bit_identical():
+    """The same back-edge-exact storm on the VIC cores (ARM7 and the
+    cached-fetch ARM1156), whose handlers carry the software preamble."""
+    for isa, core in ((ISA_THUMB, ""), (ISA_THUMB2, "arm1156")):
+        edges = _backedge_cycles(isa, VIC_LOOP_SOURCE, core=core)
+        asserts = [cycle for cycle in edges[::4]][:8]
+        states = []
+        for _, fastpath, superblocks, trace_sb in ENGINES:
+            machine = _build_machine(isa, VIC_LOOP_SOURCE, core=core,
+                                     trace=True)
+            set_engine(machine, fastpath, superblocks, trace_sb)
+            handler = machine.cpu.program.symbols["handler"]
+            for number, cycle in enumerate(asserts, start=1):
+                machine.cpu.vic.raise_irq(number, handler=handler,
+                                          at_cycle=cycle)
+            machine.call("main")
+            states.append(_state(machine))
+        assert all(state == states[0] for state in states), (isa, core)
+
+
+# The software-preamble handler restores its scratch registers with a
+# plain (restart-safe) pop and returns via bx lr: a pop-to-PC interrupt
+# return could itself be abandoned mid-transfer on the ARM1156 after its
+# return-unwind side effects, which real handlers avoid for this reason.
+VIC_LOOP_SOURCE = """
+main:
+    movs r0, #0
+    movs r2, #0
+loop:
+    adds r2, r2, #3
+    eors r2, r2, r0
+    adds r0, r0, #1
+    cmp r0, #150
+    bne loop
+    mov r0, r2
+    bx lr
+handler:
+    push {r1, r2}
+    ldr r1, =0x20000030
+    ldr r2, [r1]
+    adds r2, r2, #1
+    str r2, [r1]
+    pop {r1, r2}
+    bx lr
+"""
+
+
 _IT_CONDS = ["eq", "ne", "cs", "cc", "ge", "lt", "gt", "le"]
 
 
@@ -309,10 +535,9 @@ handler:
 def test_m3_interrupt_storm_bit_identical():
     """NVIC stacking, tail-chaining, and EXC_RETURN through the fast loop."""
     states = []
-    for _, fastpath, superblocks in ENGINES:
+    for _, fastpath, superblocks, trace_sb in ENGINES:
         machine = _build_machine(ISA_THUMB2, INTERRUPT_SOURCE, trace=True)
-        machine.cpu.fastpath = fastpath
-        machine.cpu.superblocks = superblocks
+        set_engine(machine, fastpath, superblocks, trace_sb)
         handler = machine.cpu.program.symbols["handler"]
         for number, cycle in ((1, 60), (2, 60), (3, 200), (4, 205)):
             machine.cpu.nvic.raise_irq(number, handler=handler,
@@ -324,7 +549,7 @@ def test_m3_interrupt_storm_bit_identical():
             for r in machine.cpu.nvic.stats.records
         ]
         states.append(state)
-    assert states[0] == states[1] == states[2]
+    assert all(state == states[0] for state in states)
     assert states[0]["irq_records"], "storm never delivered"
 
 
@@ -337,11 +562,10 @@ def test_irq_asserts_land_mid_superblock(cycles):
     must be taken at exactly the same instruction boundary on every
     engine (the event-horizon guarantee)."""
     states = []
-    for _, fastpath, superblocks in ENGINES:
+    for _, fastpath, superblocks, trace_sb in ENGINES:
         machine = _build_machine(ISA_THUMB2, STRAIGHTLINE_LOOP_SOURCE,
                                  trace=True)
-        machine.cpu.fastpath = fastpath
-        machine.cpu.superblocks = superblocks
+        set_engine(machine, fastpath, superblocks, trace_sb)
         handler = machine.cpu.program.symbols["handler"]
         for number, cycle in enumerate(cycles, start=1):
             machine.cpu.nvic.raise_irq(number, handler=handler,
@@ -355,7 +579,7 @@ def test_irq_asserts_land_mid_superblock(cycles):
             for r in machine.cpu.nvic.stats.records
         ]
         states.append(state)
-    assert states[0] == states[1] == states[2]
+    assert all(state == states[0] for state in states)
 
 
 STRAIGHTLINE_LOOP_SOURCE = """
@@ -386,16 +610,15 @@ handler:
 
 def test_arm7_interrupts_bit_identical():
     states = []
-    for _, fastpath, superblocks in ENGINES:
+    for _, fastpath, superblocks, trace_sb in ENGINES:
         machine = _build_machine(ISA_THUMB, ARM7_IRQ_SOURCE, trace=True)
-        machine.cpu.fastpath = fastpath
-        machine.cpu.superblocks = superblocks
+        set_engine(machine, fastpath, superblocks, trace_sb)
         handler = machine.cpu.program.symbols["handler"]
         machine.cpu.vic.raise_irq(1, handler=handler, at_cycle=80)
         machine.cpu.vic.raise_irq(2, handler=handler, at_cycle=90, priority=1)
         assert machine.call("main") == 200
         states.append(_state(machine))
-    assert states[0] == states[1] == states[2]
+    assert all(state == states[0] for state in states)
 
 
 ARM7_IRQ_SOURCE = """
@@ -431,15 +654,14 @@ def test_wfi_wakeup_bit_identical():
     """Sleep ticks take the reference path inside run(); the wake-up and
     subsequent fast dispatch must agree with pure slow-path execution."""
     states = []
-    for _, fastpath, superblocks in ENGINES:
+    for _, fastpath, superblocks, trace_sb in ENGINES:
         machine = _build_machine(ISA_THUMB2, WFI_SOURCE)
-        machine.cpu.fastpath = fastpath
-        machine.cpu.superblocks = superblocks
+        set_engine(machine, fastpath, superblocks, trace_sb)
         handler = machine.cpu.program.symbols["handler"]
         machine.cpu.nvic.raise_irq(1, handler=handler, at_cycle=40)
         assert machine.call("main") == 1
         states.append(_state(machine))
-    assert states[0] == states[1] == states[2]
+    assert all(state == states[0] for state in states)
 
 
 LDM_SOURCE = """
@@ -469,10 +691,9 @@ def test_arm1156_restartable_ldm_bit_identical():
     (the event horizon replaces the old defer-everything rule).  A
     far-future IRQ left in the queue exercises exactly that split."""
     states = []
-    for _, fastpath, superblocks in ENGINES:
+    for _, fastpath, superblocks, trace_sb in ENGINES:
         machine = _build_machine(ISA_THUMB2, LDM_SOURCE, core="arm1156")
-        machine.cpu.fastpath = fastpath
-        machine.cpu.superblocks = superblocks
+        set_engine(machine, fastpath, superblocks, trace_sb)
         machine.load_data(SRAM_BASE, bytes(range(16)))
         handler = machine.cpu.program.symbols["handler"]
         machine.cpu.vic.raise_irq(1, handler=handler, at_cycle=70)
@@ -483,7 +704,7 @@ def test_arm1156_restartable_ldm_bit_identical():
         state = _state(machine)
         state["abandoned"] = machine.cpu.abandoned_transfers
         states.append(state)
-    assert states[0] == states[1] == states[2]
+    assert all(state == states[0] for state in states)
 
 
 def test_merged_program_images_use_lazy_predecode():
@@ -514,10 +735,9 @@ def test_merged_program_images_use_lazy_predecode():
         ISA_THUMB2, base=FLASH_BASE + 0x4000,
     )
     states = []
-    for _, fastpath, superblocks in ENGINES:
+    for _, fastpath, superblocks, trace_sb in ENGINES:
         machine = build_cortexm3(kernel)
-        machine.cpu.fastpath = fastpath
-        machine.cpu.superblocks = superblocks
+        set_engine(machine, fastpath, superblocks, trace_sb)
         machine.load_program(isr)
         merged = dict(kernel._by_address)
         merged.update(isr._by_address)
@@ -526,7 +746,7 @@ def test_merged_program_images_use_lazy_predecode():
                                    at_cycle=30)
         assert machine.call("main") == 100
         states.append(_state(machine))
-    assert states[0] == states[1] == states[2]
+    assert all(state == states[0] for state in states)
 
 
 def test_compile_cycles_agrees_with_instruction_cycles_everywhere():
@@ -590,15 +810,14 @@ def test_access_records_bit_identical():
     kind, side, stalls - fetches and data interleaved) must be identical
     on every engine, fused superblocks included."""
     streams = []
-    for _, fastpath, superblocks in ENGINES:
+    for _, fastpath, superblocks, trace_sb in ENGINES:
         machine = _build_machine(ISA_THUMB2, RECORDED_SOURCE)
-        machine.cpu.fastpath = fastpath
-        machine.cpu.superblocks = superblocks
+        set_engine(machine, fastpath, superblocks, trace_sb)
         machine.bus.record = True
         machine.call("main", SRAM_BASE)
         streams.append([(a.addr, a.size, a.kind, a.side, a.stalls)
                         for a in machine.bus.accesses])
-    assert streams[0] == streams[1] == streams[2]
+    assert all(stream == streams[0] for stream in streams)
     assert any(side == "D" for _, _, _, side, _ in streams[0])
 
 
@@ -627,13 +846,12 @@ def test_fused_blx_through_lr_reads_target_before_linking():
         bx lr
     """
     states = []
-    for _, fastpath, superblocks in ENGINES:
+    for _, fastpath, superblocks, trace_sb in ENGINES:
         machine = _build_machine(ISA_THUMB2, source)
-        machine.cpu.fastpath = fastpath
-        machine.cpu.superblocks = superblocks
+        set_engine(machine, fastpath, superblocks, trace_sb)
         assert machine.call("main") == 100
         states.append(_state(machine))
-    assert states[0] == states[1] == states[2]
+    assert all(state == states[0] for state in states)
 
 
 def test_mpu_faults_identical_across_engines():
@@ -661,12 +879,11 @@ def test_mpu_faults_identical_across_engines():
     """
     program = _asm(source, ISA_THUMB2, base=FLASH_BASE)
     states = []
-    for _, fastpath, superblocks in ENGINES:
+    for _, fastpath, superblocks, trace_sb in ENGINES:
         mpu = Mpu(background_perms="none")
         mpu.configure(0, SRAM_BASE, 0x1000, perms="rw")
         machine = build_cortexm3(program, mpu=mpu)
-        machine.cpu.fastpath = fastpath
-        machine.cpu.superblocks = superblocks
+        set_engine(machine, fastpath, superblocks, trace_sb)
         with pytest.raises(DataAbort):
             # the hot loop (fused well before iteration 60) stays legal;
             # the post-loop store hits unmapped MPU space and aborts
@@ -674,8 +891,26 @@ def test_mpu_faults_identical_across_engines():
         state = _state(machine)
         state["mpu_faults"] = mpu.faults
         states.append(state)
-    assert states[0] == states[1] == states[2]
+    assert all(state == states[0] for state in states)
     assert states[0]["mpu_faults"] == 1
+
+
+def test_trace_flag_toggle_rebuilds_cached_blocks():
+    """Toggling the engine tier on a *reused* machine must not serve the
+    other tier's cached fused blocks: block shapes (goto chaining) and
+    emission both depend on trace_superblocks."""
+    machine = _build_machine(ISA_THUMB2, STRAIGHTLINE_LOOP_SOURCE)
+    machine.call("main")
+    fused_before = {pc: entry[3]
+                    for pc, entry in machine.cpu._sb_blocks.items()}
+    assert any(fn is not None for fn in fused_before.values()), \
+        "trace run never fused its hot loop"
+    machine.cpu.trace_superblocks = False
+    machine.call("main")
+    for pc, entry in machine.cpu._sb_blocks.items():
+        if entry[3] is not None and fused_before.get(pc) is not None:
+            assert entry[3] is not fused_before[pc], \
+                "stale trace-tier fused block survived the engine toggle"
 
 
 def test_hot_superblocks_fuse():
