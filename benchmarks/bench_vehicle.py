@@ -1,0 +1,76 @@
+"""Virtual-vehicle co-simulation throughput.
+
+Two headline rates for the cycle-coupled multi-ECU layer:
+
+* **simulated-bus-seconds per wall second** - how much vehicle time the
+  whole network (3 ECUs + CAN + LIN) advances per host second, the
+  metric that decides how many co-sim scenarios a campaign host clears;
+* **guest ns/instruction under co-simulation** - what the quantum pump,
+  MMIO devices, and interrupt coupling cost on top of the bare trace
+  engine, recorded into the flat ``BENCH_summary.json`` trajectory.
+
+``REPRO_BENCH_REDUCED=1`` shrinks the horizon for CI smoke.
+"""
+
+from __future__ import annotations
+
+import os
+
+from conftest import record_summary, report
+
+from repro.vehicle import BodyNetworkSpec, SensorNode, build_body_network
+
+REDUCED = os.environ.get("REPRO_BENCH_REDUCED") == "1"
+
+HORIZON_US = 200_000 if REDUCED else 1_000_000
+
+SPEC = BodyNetworkSpec(sensors=(
+    SensorNode("wheel", "m3", 80, 0x120, 20_000),
+    SensorNode("seat", "arm1156", 160, 0x180, 25_000, raw_salt=7),
+    SensorNode("door", "arm7", 48, 0x200, 50_000, raw_salt=3),
+))
+
+
+def test_body_network_cosim_throughput(benchmark):
+    built = {}
+
+    def run():
+        network = build_body_network(SPEC)
+        network.run(horizon_us=HORIZON_US)
+        built["network"] = network
+        return network
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    network = built["network"]
+    report_data = network.report()
+    assert report_data.healthy, "benchmark network must verify end to end"
+
+    seconds = benchmark.stats["mean"]
+    instructions = sum(ecu.cpu.instructions_executed
+                      for ecu in network.vehicle.ecus)
+    guest_cycles = sum(ecu.cpu.cycles for ecu in network.vehicle.ecus)
+    bus_seconds = HORIZON_US / 1e6
+    ns_per_instruction = seconds * 1e9 / instructions
+
+    record_summary("cosim", "body-network-3ecu", ns_per_instruction)
+    report(
+        "virtual vehicle co-simulation"
+        + (" [reduced]" if REDUCED else ""),
+        [
+            f"horizon {bus_seconds:.2f} simulated bus-seconds, "
+            f"{len(network.vehicle.ecus)} ECUs "
+            f"(m3 + arm7 + arm1156), CAN + LIN",
+            f"{bus_seconds / seconds:8.1f} simulated-bus-seconds / wall-second",
+            f"{instructions:8d} guest instructions "
+            f"({ns_per_instruction:.0f} ns/instruction under co-sim)",
+            f"{guest_cycles:8d} guest cycles, "
+            f"{len(network.vehicle.can.deliveries)} CAN frames, "
+            f"{len(network.vehicle.lin.deliveries)} LIN frames",
+            f"{report_data.gateway_applied + report_data.actuator_applied}"
+            f" signal observations, worst latency "
+            f"{report_data.worst_latency_us}us <= bound "
+            f"{report_data.worst_bound_us}us",
+        ])
+    benchmark.extra_info["bus_seconds_per_second"] = round(
+        bus_seconds / seconds, 2)
+    benchmark.extra_info["guest_instructions"] = instructions

@@ -55,6 +55,17 @@ def main() -> None:
         elif record.domain == "can":
             headline = (f"worst {record.worst_response_us}us "
                         f"<= bound {record.worst_bound_us}us")
+        elif record.domain == "vehicle":
+            headline = (f"{record.sensors} ECUs ({record.cores}), worst "
+                        f"{record.worst_latency_us}us "
+                        f"<= bound {record.worst_bound_us}us")
+        elif record.domain == "lin":
+            headline = (f"worst {record.worst_latency_us}us "
+                        f"<= table bound {record.worst_bound_us}us")
+        elif record.domain == "wcet":
+            headline = (f"{record.workload}/{record.core}: "
+                        f"wcet {record.wcet_cycles} cycles "
+                        f"({record.wcet_us}us @{record.reference_mhz}MHz)")
         else:
             headline = (f"{record.upsets} upsets, {record.corrected} corrected, "
                         f"wrong={record.wrong}")

@@ -264,6 +264,15 @@ class Arm1156Core(BaseCpu):
         ins = self.program.instruction_at(pc)
         if ins is None or ins.mnemonic not in _BLOCK_OPS:
             return super().step()
+        if 15 in ins.reglist:
+            # PC-popping transfers are NON-restartable: popping the PC
+            # runs the interrupt-return unwind in branch() (return-stack
+            # pop, I-bit restore), a side effect that cannot be rolled
+            # back by the register snapshot below.  The transfer commits
+            # atomically and a mid-flight assert is taken at the next
+            # instruction boundary instead - the semantics pinned by
+            # test_arm1156_pop_pc_is_not_restartable.
+            return self._commit_step(pc, ins)
         # snapshot architectural state so the transfer can be abandoned
         regs_snapshot = self.regs.snapshot()
         apsr_snapshot = self.apsr.copy()
@@ -298,3 +307,25 @@ class Arm1156Core(BaseCpu):
         self.cycles = arrival + self.ABANDON_PENALTY
         self.trace.emit(self.cycles, "ldm", "abandoned", pc=pc, cost=cost)
         return True
+
+    def _commit_step(self, pc: int, ins) -> bool:
+        """Execute one instruction unconditionally (no abandonment window).
+
+        The poll already happened in :meth:`_step_restartable`; this is
+        :meth:`BaseCpu.step`'s commit path for a block transfer that must
+        run atomically (PC in the register list)."""
+        self.current_address = pc
+        self.current_size = ins.size
+        fetch = self.fetch_stalls(pc, ins.size)
+        self._data_stalls = 0
+        condition = self._next_condition(ins)
+        outcome = execute(self, ins, condition)
+        self.cycles += self.instruction_cycles(ins, outcome) + fetch + self._data_stalls
+        self.instructions_executed += 1
+        if outcome.skipped:
+            self.instructions_skipped += 1
+        if outcome.taken:
+            self.branches_taken += 1
+        if not outcome.taken and not self.halted:
+            self.regs.pc = pc + ins.size
+        return not self.halted

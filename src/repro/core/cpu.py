@@ -65,6 +65,14 @@ all four on randomised programs:
 ``cpu.fastpath = False`` forces the reference interpreter for a whole
 ``run()`` (the equivalence benchmarks and property tests do); with
 ``fastpath`` on, ``step()`` is still used for the states noted above.
+
+:meth:`BaseCpu.run_until_cycle` is the **cycle-coupled** entry used by the
+multi-ECU co-simulation (:mod:`repro.vehicle`): it runs the configured
+engine tier up to a cycle ceiling, stopping at the first instruction
+boundary at or past it, with the quantum folded into the event horizon so
+fused trace superblocks stay fused between bus events.  Bounded runs
+compose exactly: any sequence of ceilings executes the same instruction
+stream as one run to the final ceiling.
 """
 
 from __future__ import annotations
@@ -106,6 +114,12 @@ class BaseCpu:
     #: human-readable core name, overridden by subclasses
     name = "base"
 
+    #: True while the cycle-coupled engine (:meth:`run_until_cycle`) owns
+    #: the superblock cache: fused loop guards then also test the cycle
+    #: ceiling, so co-simulation quanta join the interrupt event horizon
+    #: instead of breaking fusion.  Toggling engines drops cached blocks.
+    _sb_cycle_coupled = False
+
     #: the live interrupt-controller queue, overridden as a property by
     #: cores: when it is an empty list the fast loop may skip
     #: check_interrupts(), which returns None for an empty queue on every
@@ -114,7 +128,9 @@ class BaseCpu:
 
     def __init__(self, program: Program, trace: TraceRecorder | None = None) -> None:
         self.program = program
-        self.trace = trace or TraceRecorder(enabled=False)
+        # "trace or ..." would drop an *empty* recorder (TraceRecorder
+        # defines __len__, so a fresh one is falsy): test for None.
+        self.trace = trace if trace is not None else TraceRecorder(enabled=False)
         self.regs = RegisterFile()
         self.apsr = Apsr()
         self.cycles = 0
@@ -143,6 +159,11 @@ class BaseCpu:
         #: instruction ceiling of the current run(), read by fused loop
         #: guards (set per run by _run_superblocks)
         self._sb_limit = 0
+        #: cycle ceiling read by fused loop guards in cycle-coupled mode
+        #: (set per block dispatch by _run_superblocks_until)
+        self._sb_cycle_limit = 0
+        #: per-entry worst-case cycle caps (cycle-coupled dispatch only)
+        self._sb_caps: dict[int, int] = {}
         self._fast_table: dict | None = None
         self._fast_index: dict | None = None
         self._fast_outcome = Outcome()
@@ -544,6 +565,7 @@ class BaseCpu:
             self._fast_index = index
             self._sb_blocks = {}
             self._sb_steps = {}
+            self._sb_caps = {}
         return self._fast_table
 
     #: runaway guard for a single superblock (keeps lazy build bounded)
@@ -692,6 +714,26 @@ class BaseCpu:
             fast_step()
         return self.instructions_executed - start
 
+    def _sync_sb_cache(self, irq_queue, cycle_coupled: bool) -> None:
+        """Drop cached superblocks when the bound configuration changed.
+
+        Fused loop guards bind the controller's queue list and their
+        emission depends on the engine tier (``trace_superblocks``) and
+        on whether the run is cycle-coupled (which adds the
+        ``_sb_cycle_limit`` guard): any change means the cached blocks
+        were generated against a stale configuration, so the run rebuilds
+        them.  Both engine loops share this one invalidation rule.
+        """
+        self._sb_cycle_coupled = cycle_coupled
+        mode = (self.trace_superblocks, cycle_coupled)
+        if (self._sb_bound_queue is not irq_queue
+                or self._sb_trace_mode != mode):
+            if self._sb_blocks:
+                self._sb_blocks = {}
+            self._sb_caps = {}
+            self._sb_bound_queue = irq_queue
+            self._sb_trace_mode = mode
+
     def _run_superblocks(self, start: int, max_instructions: int) -> int:
         """The superblock engine: straight-line runs execute as one loop.
 
@@ -705,23 +747,14 @@ class BaseCpu:
         drains or recedes into the future again.
         """
         table = self._fast_dispatch_table()
-        blocks_get = self._sb_blocks.get
         limit = start + max_instructions
         # fused loop guards compare against the same ceiling this loop
         # enforces, so a loop-fused block never overruns the budget the
         # per-block dispatch would have respected
         self._sb_limit = limit
         step, check_interrupts, defer, irq_queue, poll_always = self._run_loop_env()
-        if (self._sb_bound_queue is not irq_queue
-                or self._sb_trace_mode is not self.trace_superblocks):
-            # fused loop guards bound the previous controller's queue, or
-            # the engine tier changed (block walks and fused emission both
-            # depend on trace_superblocks): drop the cached blocks so this
-            # run rebuilds them against the live configuration
-            if self._sb_blocks:
-                self._sb_blocks = {}
-            self._sb_bound_queue = irq_queue
-            self._sb_trace_mode = self.trace_superblocks
+        self._sync_sb_cache(irq_queue, cycle_coupled=False)
+        blocks_get = self._sb_blocks.get
         pc_slot = self.regs.values
         while not self.halted:
             executed = self.instructions_executed
@@ -775,6 +808,190 @@ class BaseCpu:
             next(chain)()  # first step: horizon was checked above
             for fast_step in chain:
                 if self.cycles >= horizon:
+                    break
+                fast_step()
+        return self.instructions_executed - start
+
+    # ------------------------------------------------------------------
+    # cycle-coupled execution (co-simulation quanta)
+    # ------------------------------------------------------------------
+    def run_until_cycle(self, until: int,
+                        max_instructions: int = 10_000_000) -> int:
+        """Advance to the first instruction boundary at or past ``until``.
+
+        The co-simulation entry point (:mod:`repro.vehicle`): the CPU runs
+        under the configured engine tier until its cycle counter reaches
+        ``until``, stopping at an exact instruction boundary so repeated
+        bounded runs compose: running to ``t1`` and then to ``t2`` executes
+        the identical instruction stream (and leaves bit-identical state)
+        as one run straight to ``t2``, for any split.  The quantum joins
+        the interrupt event horizon rather than replacing it - fused trace
+        superblocks keep looping below both ceilings (their generated
+        guard also tests ``_sb_cycle_limit`` in this mode), so guest code
+        stays on the trace engine between bus events.
+
+        Returns the number of instructions executed.  The method returns
+        early when the core goes to sleep (WFI): idle time is the
+        caller's to fast-forward (sleep ticks are pure ``cycles += 1``
+        polls, which :class:`repro.vehicle.Ecu` skips in O(1)).
+        """
+        start = self.instructions_executed
+        if not self.fastpath:
+            while (not self.halted and not self.sleeping
+                   and self.cycles < until):
+                if self.instructions_executed - start >= max_instructions:
+                    raise ExecutionError(
+                        f"exceeded {max_instructions} instructions "
+                        f"without reaching cycle {until}")
+                self.step()
+            return self.instructions_executed - start
+        if self.superblocks:
+            return self._run_superblocks_until(start, max_instructions, until)
+        return self._run_uops_until(start, max_instructions, until)
+
+    def _run_uops_until(self, start: int, max_instructions: int,
+                        until: int) -> int:
+        """Predecoded dispatch with a cycle ceiling (no superblocks)."""
+        table = self._fast_dispatch_table()
+        table_get = table.get
+        limit = start + max_instructions
+        step, check_interrupts, defer, irq_queue, poll_always = self._run_loop_env()
+        pc_slot = self.regs.values
+        while not self.halted and not self.sleeping and self.cycles < until:
+            if self.instructions_executed >= limit:
+                raise ExecutionError(
+                    f"exceeded {max_instructions} instructions "
+                    f"without reaching cycle {until}")
+            if self._it_queue or (defer is not None and defer()):
+                step()
+                continue
+            if poll_always or irq_queue:
+                check_interrupts()
+                if self.halted:
+                    break
+            fast_step = table_get(pc_slot[15])
+            if fast_step is None:
+                fast_step = self._predecode_missing(table, pc_slot[15])
+            fast_step()
+        return self.instructions_executed - start
+
+    #: flat per-block allowance folded into every cycle cap: covers the
+    #: dynamic parts a static walk cannot see (flash stream breaks, cache
+    #: fills, div worst cases) without inspecting the memory system
+    _CAP_SLACK = 128
+
+    def _block_cycle_cap(self, uops) -> int:
+        """A worst-case cycle estimate for one superblock execution.
+
+        Used only by the cycle-coupled engine to decide whether a whole
+        block (or one more fused-loop iteration) fits under the quantum
+        ceiling - and only while the interrupt queue is empty, so an IRQ
+        can never be serviced late because of it.  The estimate is
+        heuristic, not proven: an underestimate merely lets the block
+        overrun the *quantum* by the shortfall, which the fixed interrupt
+        delivery latency absorbs and :meth:`repro.vehicle.Ecu.raise_irq`
+        guards loudly.  An overestimate only means per-step dispatch near
+        the boundary.
+        """
+        total = self._CAP_SLACK
+        for uop in uops:
+            cycle_fn = self.compile_cycles(uop.ins)
+            static = (getattr(cycle_fn, "static_taken", None)
+                      if cycle_fn is not None else None)
+            if static is None:
+                static = 16
+            accesses = 1  # the instruction fetch
+            reglist = getattr(uop.ins, "reglist", ())
+            if reglist:
+                accesses += len(reglist)
+            elif uop.kind == "mem":
+                accesses += 1
+            total += static + 4 * accesses
+        return total
+
+    def _run_superblocks_until(self, start: int, max_instructions: int,
+                               until: int) -> int:
+        """The superblock engine under a cycle ceiling (the co-sim quantum).
+
+        Identical engine-selection rules to :meth:`_run_superblocks`, with
+        the quantum folded into the event horizon: ``bound`` is the lower
+        of the IRQ horizon and ``until``.  A block (or fused loop) runs
+        free of per-step checks only while the interrupt queue is empty
+        *and* its worst-case cycle cap fits under ``until``; fused
+        back-edge loops additionally re-test ``_sb_cycle_limit`` per
+        iteration (emitted only in this mode), so hot guest loops stay
+        fused between bus events.  With a live horizon, or within the
+        final sub-cap window, the engine falls back to per-step slim
+        dispatch with an exact cycle test, which pins the stop point to
+        the first instruction boundary at or past ``until`` (and IRQ
+        service to the horizon, exactly as the unbounded engine does)
+        regardless of quantum splits, fusion state, or cap accuracy.
+        """
+        table = self._fast_dispatch_table()
+        limit = start + max_instructions
+        self._sb_limit = limit
+        step, check_interrupts, defer, irq_queue, poll_always = self._run_loop_env()
+        self._sync_sb_cache(irq_queue, cycle_coupled=True)
+        blocks_get = self._sb_blocks.get
+        caps = self._sb_caps
+        pc_slot = self.regs.values
+        while not self.halted and not self.sleeping:
+            if self.cycles >= until:
+                break
+            executed = self.instructions_executed
+            if executed >= limit:
+                raise ExecutionError(
+                    f"exceeded {max_instructions} instructions "
+                    f"without reaching cycle {until}")
+            if self._it_queue or (defer is not None and defer()):
+                step()
+                continue
+            horizon = None
+            if irq_queue:
+                horizon = min(request.assert_cycle for request in irq_queue)
+            if poll_always or (horizon is not None and self.cycles >= horizon):
+                check_interrupts()
+                if self.halted:
+                    break
+                fast_step = table.get(pc_slot[15])
+                if fast_step is None:
+                    fast_step = self._predecode_missing(table, pc_slot[15])
+                fast_step()
+                continue
+            bound = until if horizon is None or horizon > until else horizon
+            pc = pc_slot[15]
+            entry = blocks_get(pc)
+            if entry is None:
+                entry = self._superblock_at(pc)
+            steps = entry[0]
+            if horizon is None and len(steps) <= limit - executed:
+                cap = caps.get(pc)
+                if cap is None:
+                    caps[pc] = cap = self._block_cycle_cap(entry[1])
+                if self.cycles + cap <= until:
+                    # empty queue and comfortably inside the quantum: run
+                    # exactly like the unbounded engine (which also only
+                    # dispatches whole blocks below the event horizon, so
+                    # a cap shortfall can only overrun the *quantum*, a
+                    # boundary the IRQ delivery latency already absorbs);
+                    # a fused loop keeps iterating while it stays below
+                    # _sb_cycle_limit (one cap of headroom)
+                    self._sb_cycle_limit = until - cap
+                    fused = entry[3]
+                    if fused is not None:
+                        fused()
+                        continue
+                    for fast_step in steps:
+                        fast_step()
+                    entry[2] -= 1
+                    if entry[2] <= 0:
+                        entry[3] = fuse_block(self, entry[1], steps)
+                    continue
+            if len(steps) > limit - executed:
+                # budget guard: run the allowed prefix, then raise above
+                steps = steps[:limit - executed]
+            for fast_step in steps:
+                if self.cycles >= bound:
                     break
                 fast_step()
         return self.instructions_executed - start

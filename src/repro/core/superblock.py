@@ -1125,9 +1125,17 @@ def _emit_loop_backedge(cpu, uop, index, ns, entry, count, ftrack):
     taken_lines += recheck
     # IRQQ is the controller queue bound at fuse time (the engine drops
     # all fused blocks if the controller is swapped between runs), so the
-    # event-horizon revalidation is one truthiness test per iteration
+    # event-horizon revalidation is one truthiness test per iteration.
+    # Under the cycle-coupled engine (co-simulation quanta) the guard
+    # additionally tests the cycle ceiling, so a fused loop keeps looping
+    # between bus events and returns, bit-exactly at an iteration
+    # boundary, when the quantum (minus the block's cycle cap) is reached.
+    guard = f"IRQQ or cpu.instructions_executed + {count} > cpu._sb_limit"
+    if cpu._sb_cycle_coupled:
+        guard = ("IRQQ or cpu.cycles >= cpu._sb_cycle_limit"
+                 f" or cpu.instructions_executed + {count} > cpu._sb_limit")
     taken_lines += [
-        f"if IRQQ or cpu.instructions_executed + {count} > cpu._sb_limit:",
+        f"if {guard}:",
         "    return",
         "continue",
     ]

@@ -36,6 +36,7 @@ from repro.network.distributed import (
     analyse_system,
     count_binaries,
     harmonize,
+    tasks_from_wcet,
 )
 
 __all__ = [
@@ -46,6 +47,7 @@ __all__ = [
     "worst_case_frame_bits",
     "DistributedTask", "Ecu", "Placement", "SystemAnalysis",
     "allocate_tasks", "analyse_system", "count_binaries", "harmonize",
+    "tasks_from_wcet",
     "LinDelivery", "LinMaster", "ScheduleSlot", "check_protected_id",
     "classic_checksum", "enhanced_checksum", "frame_bits", "protected_id",
 ]

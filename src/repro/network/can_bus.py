@@ -53,7 +53,8 @@ class CanBus:
         self.bitrate = bitrate_bps
         self.error_rate = error_rate
         self.rng = rng or DeterministicRng(0)
-        self.trace = trace or TraceRecorder(enabled=False)
+        # not "trace or ...": an empty TraceRecorder is falsy (__len__)
+        self.trace = trace if trace is not None else TraceRecorder(enabled=False)
         self.pending: list[QueuedMessage] = []
         self.busy_until = 0
         self.transmitting: QueuedMessage | None = None

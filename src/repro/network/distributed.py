@@ -146,3 +146,36 @@ def harmonize(tasks: list[DistributedTask], isa: str) -> list[DistributedTask]:
 def count_binaries(tasks: list[DistributedTask]) -> int:
     """Total compiled artefacts the fleet must maintain."""
     return sum(len(t.binaries) for t in tasks)
+
+
+def tasks_from_wcet(estimates, periods_us: dict[str, int],
+                    reference_mhz: int = 80,
+                    produces: dict[str, tuple[MessageSpec, ...]] | None = None,
+                    ) -> list[DistributedTask]:
+    """Build placement tasks from *executed* WCET measurements.
+
+    ``estimates`` are :class:`~repro.rtos.wcet.WcetEstimate`-shaped
+    records (``workload``, ``isa``, margin-padded ``wcet`` in cycles, or a
+    precomputed ``wcet_us``): the bridge that replaces assumed
+    ``DistributedTask.wcet_us`` numbers with measured kernel cycles, so
+    placement experiments (:func:`allocate_tasks` / :func:`analyse_system`)
+    rest on executed rather than pencilled-in timing.  ``periods_us`` maps
+    workload name to its activation period; ``reference_mhz`` converts
+    cycles at the measurement core's clock into the reference-speed
+    microseconds the ECU model scales from.
+    """
+    tasks = []
+    for estimate in estimates:
+        name = estimate.workload
+        if name not in periods_us:
+            raise KeyError(f"no period for measured workload {name!r}")
+        wcet_us = getattr(estimate, "wcet_us", None)
+        if wcet_us is None:
+            wcet_us = -(-estimate.wcet // reference_mhz)
+        tasks.append(DistributedTask(
+            name=name, wcet_us=max(int(wcet_us), 1),
+            period_us=periods_us[name],
+            binaries=frozenset({estimate.isa}),
+            produces=(produces or {}).get(name, ()),
+        ))
+    return tasks

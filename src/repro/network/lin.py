@@ -116,12 +116,19 @@ class LinMaster:
         self.scheduler = scheduler or EventScheduler()
         self.slaves: dict[int, object] = {}
         self.deliveries: list[LinDelivery] = []
+        self.listeners: list = []   # callables(delivery), at frame completion
         self.no_response: int = 0
         self._position = 0
 
     def attach_slave(self, frame_id: int, responder) -> None:
         check_protected_id(protected_id(frame_id))  # validates range
         self.slaves[frame_id] = responder
+
+    def subscribe(self, callback) -> None:
+        """Register a listener fired *at the frame's completion time* for
+        every delivered frame - the controller-facing bus hook the
+        co-simulation's LIN cells receive through."""
+        self.listeners.append(callback)
 
     # ------------------------------------------------------------------
     def start(self, offset_us: int = 0) -> None:
@@ -141,9 +148,15 @@ class LinMaster:
                         else classic_checksum(data))
             verify = (enhanced_checksum(pid, data) if self.enhanced
                       else classic_checksum(data))
-            self.deliveries.append(LinDelivery(
+            delivery = LinDelivery(
                 frame_id=slot.frame_id, data=data,
-                checksum_ok=checksum == verify, at_us=finish))
+                checksum_ok=checksum == verify, at_us=finish)
+            self.deliveries.append(delivery)
+            if self.listeners:
+                # receivers see the frame when its last byte lands on the
+                # wire, not at the slot's header time
+                self.scheduler.at(finish, lambda d=delivery: [
+                    listener(d) for listener in self.listeners])
         self.scheduler.after(slot.slot_us, self._run_slot)
 
     # ------------------------------------------------------------------

@@ -139,7 +139,8 @@ class OsekKernel:
                  strict: bool = False) -> None:
         self.scheduler = scheduler or EventScheduler()
         self.context_switch_cost = context_switch_cost
-        self.trace = trace or TraceRecorder(enabled=False)
+        # not "trace or ...": an empty TraceRecorder is falsy (__len__)
+        self.trace = trace if trace is not None else TraceRecorder(enabled=False)
         self.strict = strict
         self.tasks: dict[str, Task] = {}
         self.resources: dict[str, Resource] = {}

@@ -411,8 +411,11 @@ def smoke_matrix(seed: int = 2005, scale: int = 1) -> list[ScenarioSpec]:
     both protected and unprotected soft-error arms.
     """
     from repro.sim.domains.can import can_matrix
+    from repro.sim.domains.lin import lin_matrix
     from repro.sim.domains.osek import osek_matrix
     from repro.sim.domains.soft_error import soft_error_matrix
+    from repro.sim.domains.vehicle import vehicle_matrix
+    from repro.sim.domains.wcet import wcet_matrix
 
     kernel_cells = [
         ScenarioSpec(label="smoke m3", core="m3", isa="thumb2",
@@ -428,14 +431,36 @@ def smoke_matrix(seed: int = 2005, scale: int = 1) -> list[ScenarioSpec]:
             + osek_matrix(seed=seed, scale=scale)[:3]
             + can_matrix(seed=seed, scale=scale)[:3]
             + [cell for cell in cells if cell.param("rate_per_mcycle") == 20.0
-               and cell.workload == "tblook"])
+               and cell.workload == "tblook"]
+            + vehicle_matrix(seed=seed, scale=scale)[:2]
+            + lin_matrix(seed=seed, scale=scale)[:2]
+            + wcet_matrix(seed=seed, scale=scale)[:2])
+
+
+def vehicle_smoke_matrix(seed: int = 2005, scale: int = 1) -> list[ScenarioSpec]:
+    """The co-simulation smoke mix: vehicle fleets plus the LIN sub-bus.
+
+    Small enough for CI (a handful of seconds) while exercising all
+    three guest cores, two bitrates, a non-default quantum, and the
+    standalone LIN schedule model.
+    """
+    from repro.sim.domains.lin import lin_matrix
+    from repro.sim.domains.vehicle import vehicle_matrix
+
+    cells = vehicle_matrix(seed=seed, scale=scale)
+    fleet = [cell for cell in cells if cell.param("sensors") in (1, 3)][:3]
+    fine = [cell for cell in cells if cell.param("quantum_us") is not None]
+    return fleet + fine + lin_matrix(seed=seed, scale=scale)[:2]
 
 
 def available_matrices() -> dict:
     """Built-in matrix builders by CLI name; each is ``f(seed, scale)``."""
     from repro.sim.domains.can import can_matrix
+    from repro.sim.domains.lin import lin_matrix
     from repro.sim.domains.osek import osek_matrix
     from repro.sim.domains.soft_error import soft_error_matrix
+    from repro.sim.domains.vehicle import vehicle_matrix
+    from repro.sim.domains.wcet import wcet_matrix
 
     return {
         "table1": table1_matrix,
@@ -444,6 +469,10 @@ def available_matrices() -> dict:
         "osek": osek_matrix,
         "can": can_matrix,
         "soft-error": soft_error_matrix,
+        "vehicle": vehicle_matrix,
+        "lin": lin_matrix,
+        "wcet": wcet_matrix,
+        "vehicle-smoke": vehicle_smoke_matrix,
         "smoke": smoke_matrix,
     }
 
@@ -458,6 +487,57 @@ def _parse_shard(text: str) -> tuple[int, int]:
         return int(k), int(n)
     except ValueError as exc:
         raise ValueError(f"--shard wants K/N (e.g. 0/4), got {text!r}") from exc
+
+
+def launch_shards(argv_base: list[str], count: int, stream_path: str,
+                  retries: int = 2, echo=print) -> int:
+    """Spawn ``count`` shard subprocesses and concatenate their streams.
+
+    The distribution recipe, automated: every child runs the same matrix
+    with a distinct ``--shard k/count`` and its own stream file; failed
+    shards are retried (records are pure functions of specs, so a retry
+    is always safe and, with a shared ``--cache``, cheap); the shard
+    streams are concatenated in ``k`` order into ``stream_path``, which
+    is byte-identical to an unsharded run.  Returns the worst child exit
+    code (0 = all ran and verified).
+    """
+    import subprocess
+    import sys
+
+    shard_paths = [f"{stream_path}.shard{k}" for k in range(count)]
+    commands = [
+        [sys.executable, "-m", "repro.sim.campaign", *argv_base,
+         "--shard", f"{k}/{count}", "--stream", shard_paths[k]]
+        for k in range(count)
+    ]
+    exit_codes = [None] * count
+    procs = [subprocess.Popen(cmd) for cmd in commands]
+    for k, proc in enumerate(procs):
+        exit_codes[k] = proc.wait()
+    for attempt in range(retries):
+        failed = [k for k in range(count)
+                  if exit_codes[k] not in (0, 2)]  # 2 = ran, unverified
+        if not failed:
+            break
+        echo(f"retrying shards {failed} (attempt {attempt + 1}/{retries})")
+        retry_procs = {k: subprocess.Popen(commands[k]) for k in failed}
+        for k, proc in retry_procs.items():
+            exit_codes[k] = proc.wait()
+    worst = max((code if code is not None else 1) for code in exit_codes)
+    if any(code not in (0, 2) for code in exit_codes):
+        echo(f"shard exit codes: {exit_codes}; stream not assembled")
+        return worst
+    with open(stream_path, "wb") as out:
+        for path in shard_paths:
+            with open(path, "rb") as shard_stream:
+                out.write(shard_stream.read())
+    import os
+
+    for path in shard_paths:
+        os.remove(path)
+    echo(f"launched {count} shards -> {stream_path} "
+         f"(exit codes {exit_codes})")
+    return worst
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -480,6 +560,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--scale", type=int, default=1)
     parser.add_argument("--shard", type=_parse_shard, default=None,
                         metavar="K/N", help="run the K-th of N partitions")
+    parser.add_argument("--launch", type=int, default=None, metavar="N",
+                        help="orchestrate: spawn N --shard subprocesses "
+                             "(sharing --cache when given), retry failures, "
+                             "and concatenate their streams into --stream "
+                             "in shard order")
+    parser.add_argument("--retries", type=int, default=2,
+                        help="retry budget per failed shard under --launch")
     parser.add_argument("--workers", type=int, default=None)
     parser.add_argument("--stream", default=None, metavar="PATH",
                         help="write records to PATH as canonical JSONL "
@@ -504,6 +591,20 @@ def main(argv: list[str] | None = None) -> int:
     if args.matrix not in matrices:
         parser.error(f"unknown matrix {args.matrix!r}; "
                      f"pick from {', '.join(sorted(matrices))}")
+
+    if args.launch is not None:
+        if args.launch < 1:
+            parser.error("--launch wants a positive shard count")
+        if args.shard is not None:
+            parser.error("--launch and --shard are mutually exclusive")
+        if not args.stream:
+            parser.error("--launch needs --stream for the assembled output")
+        argv_base = ["--matrix", args.matrix, "--seed", str(args.seed),
+                     "--scale", str(args.scale)]
+        if args.cache:
+            argv_base += ["--cache", args.cache]
+        return mod.launch_shards(argv_base, args.launch, args.stream,
+                                 retries=args.retries)
 
     specs = matrices[args.matrix](args.seed, args.scale)
     total = len(specs)

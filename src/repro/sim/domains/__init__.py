@@ -78,10 +78,13 @@ def record_class_for(name: str) -> type:
 # but irrelevant: registration is name-keyed and side-effect free).
 from repro.sim.domains import can as _can            # noqa: E402
 from repro.sim.domains import kernel as _kernel      # noqa: E402
+from repro.sim.domains import lin as _lin            # noqa: E402
 from repro.sim.domains import osek as _osek          # noqa: E402
 from repro.sim.domains import soft_error as _soft    # noqa: E402
+from repro.sim.domains import vehicle as _vehicle    # noqa: E402
+from repro.sim.domains import wcet as _wcet          # noqa: E402
 
-for _module in (_kernel, _osek, _can, _soft):
+for _module in (_kernel, _osek, _can, _soft, _vehicle, _lin, _wcet):
     register_domain(_module.DOMAIN)
 
 __all__ = [

@@ -1,0 +1,182 @@
+"""The LIN scenario domain: schedule-table latency sweeps.
+
+Each cell synthesizes a LIN schedule table (slot count, payload sizes,
+and padding from ``spec.rng()``), attaches counter-backed slave
+responders, fires signal updates at deterministic but rng-chosen times,
+and replays the whole thing on the schedule-table master
+(:mod:`repro.network.lin`).  LIN has no arbitration, so the worst-case
+latency is read straight off the schedule - and the cell verifies it:
+every update must appear on the wire within
+``LinMaster.worst_case_latency_us`` of its frame, every response
+checksum must verify, and slot accounting must balance (deliveries +
+no-response slots == slots elapsed).
+
+Params (via ``ScenarioSpec.params``):
+
+* ``slots`` - schedule-table length (default 4)
+* ``baud`` - bus baud rate (default 19_200)
+* ``updates`` - signal updates fired across the horizon (default 12)
+* ``horizon_us`` - simulated horizon, multiplied by ``spec.scale``
+  (default 600_000)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.network.lin import LinMaster, ScheduleSlot, frame_bits
+from repro.sim.domains import ScenarioDomain
+from repro.sim.events import EventScheduler
+
+
+@dataclass
+class LinRecord:
+    """Outcome of one schedule-table cell: simulation vs the table bound."""
+
+    label: str
+    seed: int
+    scale: int
+    slots: int
+    baud: int
+    cycle_us: int
+    utilisation: float
+    horizon_us: int
+    deliveries: int
+    no_response: int
+    checksum_errors: int
+    updates: int
+    updates_delivered: int
+    worst_latency_us: int
+    worst_bound_us: int
+    bound_violations: int
+    slot_balance_ok: bool
+    domain: str = "lin"
+
+    @property
+    def verified(self) -> bool:
+        """The deterministic schedule keeps its promise: every observed
+        update latency is at or under the table bound, checksums hold,
+        and slot accounting balances."""
+        return (self.deliveries > 0 and self.updates_delivered > 0
+                and self.bound_violations == 0
+                and self.checksum_errors == 0 and self.slot_balance_ok)
+
+
+def synthesize_schedule(rng, count: int, baud: int) -> list[ScheduleSlot]:
+    """A schedule table with rng-padded slots (all of them responsive)."""
+    if count < 1:
+        raise ValueError(f"need at least one slot, got {count}")
+    slots = []
+    used = set()
+    for _ in range(count):
+        frame_id = rng.randint(0, 0x3B)
+        while frame_id in used:
+            frame_id = (frame_id + 1) & 0x3F
+        used.add(frame_id)
+        payload = rng.randint(1, 8)
+        wire_us = -(-frame_bits(payload) * 1_000_000 // baud)
+        slots.append(ScheduleSlot(
+            frame_id=frame_id, payload_bytes=payload,
+            slot_us=wire_us + rng.randint(200, 2_000)))
+    return slots
+
+
+class LinDomain(ScenarioDomain):
+    """Synthesized schedule tables: simulated master vs the table bound."""
+
+    name = "lin"
+    record_class = LinRecord
+
+    def build(self, spec):
+        count = int(spec.param("slots", 4))
+        baud = int(spec.param("baud", 19_200))
+        return synthesize_schedule(spec.rng().fork(1), count, baud)
+
+    def execute(self, spec, schedule):
+        baud = int(spec.param("baud", 19_200))
+        updates = int(spec.param("updates", 12))
+        horizon = int(spec.param("horizon_us", 600_000)) * max(spec.scale, 1)
+
+        scheduler = EventScheduler()
+        master = LinMaster(schedule, baud=baud, scheduler=scheduler)
+        signals = {slot.frame_id: 0 for slot in schedule}
+        for slot in schedule:
+            def respond(frame_id=slot.frame_id,
+                        size=slot.payload_bytes) -> bytes:
+                return signals[frame_id].to_bytes(4, "little")[:size]
+            master.attach_slave(slot.frame_id, respond)
+
+        # deterministic update plan: (time, frame, value); latencies are
+        # measured from these instants against the schedule-table bound
+        rng = spec.rng().fork(2)
+        pending: list[tuple[int, int, int]] = []
+        for index in range(updates):
+            slot = schedule[rng.randint(0, len(schedule) - 1)]
+            at_us = rng.randint(0, max(horizon - 2 * master.cycle_us, 1))
+            value = (index + 1) & 0xFFFFFF
+
+            def fire(frame_id=slot.frame_id, value=value) -> None:
+                signals[frame_id] = value
+                pending.append((scheduler.now, frame_id, value))
+
+            scheduler.at(at_us, fire)
+
+        master.start(offset_us=0)
+        scheduler.run(until=horizon)
+
+        worst_latency = 0
+        worst_bound = 0
+        violations = 0
+        delivered = 0
+        for at_us, frame_id, value in pending:
+            slot = next(s for s in schedule if s.frame_id == frame_id)
+            expected = value.to_bytes(4, "little")[:slot.payload_bytes]
+            arrival = next((d.at_us for d in master.deliveries
+                            if d.frame_id == frame_id and d.at_us > at_us
+                            and d.data == expected), None)
+            if arrival is None:
+                continue  # a later update overwrote it, or horizon tail
+            delivered += 1
+            bound = master.worst_case_latency_us(frame_id)
+            latency = arrival - at_us
+            worst_latency = max(worst_latency, latency)
+            worst_bound = max(worst_bound, bound)
+            if latency > bound:
+                violations += 1
+
+        slots_elapsed = horizon // master.cycle_us * len(schedule)
+        balance_ok = (len(master.deliveries) + master.no_response
+                      >= slots_elapsed)
+        return LinRecord(
+            label=spec.label, seed=spec.seed, scale=spec.scale,
+            slots=len(schedule), baud=baud,
+            cycle_us=master.cycle_us,
+            utilisation=round(master.utilisation(), 6),
+            horizon_us=horizon,
+            deliveries=len(master.deliveries),
+            no_response=master.no_response,
+            checksum_errors=sum(1 for d in master.deliveries
+                                if not d.checksum_ok),
+            updates=len(pending),
+            updates_delivered=delivered,
+            worst_latency_us=worst_latency,
+            worst_bound_us=worst_bound,
+            bound_violations=violations,
+            slot_balance_ok=balance_ok,
+        )
+
+
+def lin_matrix(seed: int = 2005, scale: int = 1) -> list:
+    """Schedule sweep: table length x baud grid."""
+    from repro.sim.campaign import ScenarioSpec
+
+    return [
+        ScenarioSpec(label=f"lin slots={count} baud={baud}",
+                     seed=seed, scale=scale, domain="lin",
+                     params=(("slots", count), ("baud", baud)))
+        for count in (2, 4, 6)
+        for baud in (9_600, 19_200)
+    ]
+
+
+DOMAIN = LinDomain()

@@ -1,0 +1,111 @@
+"""The WCET scenario domain: measured kernel timing as campaign records.
+
+Each cell runs measurement-based worst-case-execution-time extraction
+(:mod:`repro.rtos.wcet`) for one AutoIndy kernel on one core model -
+max observed cycles over many seeded inputs, padded by a certification
+margin - and streams the estimate as a campaign record.  The point
+(ROADMAP item): placement experiments over the paper's distributed-ECU
+vision consume these *executed* numbers via
+:func:`repro.network.distributed.tasks_from_wcet` instead of assumed
+``DistributedTask.wcet_us`` values.
+
+Params (via ``ScenarioSpec.params``):
+
+* ``samples`` - measured inputs per estimate (default 5, scaled by
+  ``spec.scale``)
+* ``margin`` - safety padding over the observed maximum (default 0.2)
+* ``reference_mhz`` - clock used to express the estimate in microseconds
+  (default 80)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.domains import ScenarioDomain
+
+
+@dataclass
+class WcetRecord:
+    """One measurement-based WCET estimate, campaign-streamable."""
+
+    label: str
+    seed: int
+    scale: int
+    workload: str
+    core: str
+    isa: str
+    samples: int
+    margin: float
+    observed_min: int
+    observed_max: int
+    wcet_cycles: int            # observed_max padded by the margin
+    reference_mhz: int
+    wcet_us: int                # wcet_cycles at the reference clock
+    spread: float               # (max - min) / max: input sensitivity
+    domain: str = "wcet"
+
+    @property
+    def verified(self) -> bool:
+        """Every measured run verified against the reference (or
+        measure_wcet would have raised), and the estimate is coherent."""
+        return (0 < self.observed_min <= self.observed_max
+                < self.wcet_cycles + 1
+                and self.wcet_us >= 1)
+
+
+class WcetDomain(ScenarioDomain):
+    """Measured kernel WCETs feeding the distributed placement model."""
+
+    name = "wcet"
+    record_class = WcetRecord
+
+    def build(self, spec):
+        from repro.workloads.kernels import WORKLOADS_BY_NAME
+
+        if not (spec.core and spec.isa and spec.workload):
+            raise ValueError(
+                f"wcet domain needs core/isa/workload, got {spec!r}")
+        if spec.workload not in WORKLOADS_BY_NAME:
+            raise KeyError(f"unknown workload {spec.workload!r}")
+        return WORKLOADS_BY_NAME[spec.workload]
+
+    def execute(self, spec, workload):
+        from repro.rtos.wcet import measure_wcet
+
+        samples = int(spec.param("samples", 5)) * max(spec.scale, 1)
+        margin = float(spec.param("margin", 0.2))
+        mhz = int(spec.param("reference_mhz", 80))
+        estimate = measure_wcet(workload, core=spec.core, isa=spec.isa,
+                                samples=samples, margin=margin,
+                                machine_kwargs=dict(spec.machine_kwargs))
+        spread = ((estimate.observed_max - estimate.observed_min)
+                  / estimate.observed_max if estimate.observed_max else 0.0)
+        return WcetRecord(
+            label=spec.label, seed=spec.seed, scale=spec.scale,
+            workload=spec.workload, core=spec.core, isa=spec.isa,
+            samples=samples, margin=margin,
+            observed_min=estimate.observed_min,
+            observed_max=estimate.observed_max,
+            wcet_cycles=estimate.wcet,
+            reference_mhz=mhz,
+            wcet_us=max(-(-estimate.wcet // mhz), 1),
+            spread=round(spread, 6),
+        )
+
+
+def wcet_matrix(seed: int = 2005, scale: int = 1) -> list:
+    """The whole suite on both Table 1 configurations."""
+    from repro.sim.campaign import ScenarioSpec
+    from repro.workloads.kernels import AUTOINDY_SUITE
+
+    return [
+        ScenarioSpec(label=f"wcet {workload.name} {core}",
+                     core=core, isa=isa, workload=workload.name,
+                     seed=seed, scale=scale, domain="wcet")
+        for core, isa in (("m3", "thumb2"), ("arm7", "thumb"))
+        for workload in AUTOINDY_SUITE
+    ]
+
+
+DOMAIN = WcetDomain()

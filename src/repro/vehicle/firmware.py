@@ -1,0 +1,256 @@
+"""Guest ECU firmware: real assembled kernels for the virtual vehicle.
+
+Every ECU role is a tiny interrupt-driven firmware written in the common
+Thumb subset (assembles unchanged for the ARM7's Thumb and the
+Cortex-M3/ARM1156's Thumb-2): the main program parks on ``WFI`` and all
+work happens in ISRs that do real MMIO against the node's network
+controllers (:mod:`repro.vehicle.controllers`).
+
+Handlers deliberately use only ``r0-r3``:
+
+* on the VIC cores (ARM7, ARM1156) the idle main loop owns no registers
+  and interrupts are masked for the handler's duration, so no software
+  preamble is needed;
+* on the Cortex-M3 the NVIC's hardware stacking covers exactly
+  ``r0-r3, r12`` - the paper's section 3.2.1 "handlers are plain
+  functions" point - which also makes same-priority re-raises tail-chain
+  safely.
+
+Each template is instantiated per node (CAN identifiers, device bases)
+via :class:`string.Template`, and every transform an ISR applies has a
+pure-Python mirror here so end-to-end values can be verified exactly.
+"""
+
+from __future__ import annotations
+
+from string import Template
+
+from repro.vehicle.controllers import (
+    ACTUATOR_BASE,
+    CAN_CONTROLLER_BASE,
+    LIN_CONTROLLER_BASE,
+    SENSOR_BASE,
+)
+
+MASK16 = 0xFFFF
+
+#: SRAM scratch addresses guest firmware owns (far below the stack)
+GATEWAY_CHECKSUM_ADDR = 0x2000_0040
+ROUNDTRIP_SEQ_ADDR = 0x2000_0020
+ROUNDTRIP_ACC_ADDR = 0x2000_0030
+
+#: sensor ISR filter iterations (a real loop for the trace engine to fuse)
+FILTER_ITERATIONS = 6
+
+_IDLE = """
+main:
+    wfi
+    b main
+"""
+
+#: sample in, filter loop, CAN frame out (sensor ECU)
+SENSOR_TEMPLATE = Template(_IDLE + """
+timer_isr:
+    ldr r0, =$sensor_base
+    ldr r1, [r0, #0]
+    lsls r2, r1, #16
+    lsrs r2, r2, #16
+    movs r3, #$filter_iters
+    movs r0, #0
+filter:
+    adds r0, r0, r2
+    lsrs r0, r0, #1
+    adds r0, r0, #3
+    subs r3, r3, #1
+    bne filter
+    lsls r0, r0, #16
+    lsrs r0, r0, #16
+    lsrs r1, r1, #16
+    lsls r1, r1, #16
+    orrs r1, r1, r0
+    ldr r0, =$can_base
+    ldr r2, =$can_id
+    str r2, [r0, #0]
+    str r1, [r0, #4]
+    str r2, [r0, #8]
+    bx lr
+""")
+
+
+def sensor_filter(raw: int, iterations: int = FILTER_ITERATIONS) -> int:
+    """Python mirror of the sensor ISR's filter loop."""
+    acc = 0
+    for _ in range(iterations):
+        acc = ((acc + raw) >> 1) + 3
+    return acc & MASK16
+
+
+#: CAN in; the designated signal is transformed and published to LIN,
+#: everything else folds into a checksum; every receipt is tap-logged
+GATEWAY_TEMPLATE = Template(_IDLE + """
+can_rx_isr:
+    ldr r0, =$can_base
+poll:
+    ldr r1, [r0, #0x14]
+    cmp r1, #0
+    beq done
+    ldr r1, [r0, #0x0C]
+    ldr r2, [r0, #0x10]
+    str r1, [r0, #0x14]
+    ldr r3, =$forward_id
+    cmp r1, r3
+    bne other
+    lsls r3, r2, #16
+    lsrs r3, r3, #16
+    lsrs r2, r2, #16
+    lsls r2, r2, #16
+    lsls r1, r3, #1
+    adds r3, r3, r1
+    adds r3, r3, #7
+    lsls r3, r3, #16
+    lsrs r3, r3, #16
+    orrs r2, r2, r3
+    ldr r3, =$lin_base
+    str r2, [r3, #0]
+    ldr r3, =$act_base
+    ldr r1, =$forward_id
+    str r1, [r3, #8]
+    str r2, [r3, #0]
+    b poll
+other:
+    ldr r3, =$act_base
+    str r1, [r3, #8]
+    str r2, [r3, #0]
+    ldr r3, =$checksum_addr
+    ldr r1, [r3, #0]
+    eors r1, r1, r2
+    adds r1, r1, #1
+    str r1, [r3, #0]
+    b poll
+done:
+    bx lr
+""")
+
+
+def gateway_transform(value: int) -> int:
+    """Python mirror of the gateway's forward-path transform."""
+    return (3 * value + 7) & MASK16
+
+
+def gateway_checksum(checksum: int, word: int) -> int:
+    """Python mirror of the gateway's non-forwarded accumulation."""
+    return ((checksum ^ word) + 1) & 0xFFFFFFFF
+
+
+#: LIN in, actuator register out (window-lift slave ECU)
+ACTUATOR_TEMPLATE = Template(_IDLE + """
+lin_rx_isr:
+    ldr r0, =$lin_base
+poll:
+    ldr r1, [r0, #0x0C]
+    cmp r1, #0
+    beq done
+    ldr r1, [r0, #0x04]
+    ldr r2, [r0, #0x08]
+    str r1, [r0, #0x0C]
+    ldr r3, =$act_base
+    str r1, [r3, #8]
+    str r2, [r3, #0]
+    b poll
+done:
+    bx lr
+""")
+
+#: two-node round trip, requester side: timer sends an incrementing
+#: sequence word, responses accumulate into SRAM (checksum + count)
+ROUNDTRIP_REQUESTER_TEMPLATE = Template(_IDLE + """
+timer_isr:
+    ldr r0, =$seq_addr
+    ldr r1, [r0, #0]
+    adds r1, r1, #1
+    str r1, [r0, #0]
+    ldr r0, =$can_base
+    ldr r2, =$tx_id
+    str r2, [r0, #0]
+    str r1, [r0, #4]
+    str r2, [r0, #8]
+    bx lr
+
+can_rx_isr:
+    ldr r0, =$can_base
+poll:
+    ldr r1, [r0, #0x14]
+    cmp r1, #0
+    beq done
+    ldr r1, [r0, #0x0C]
+    ldr r2, [r0, #0x10]
+    str r1, [r0, #0x14]
+    ldr r3, =$acc_addr
+    ldr r1, [r3, #0]
+    eors r1, r1, r2
+    adds r1, r1, #5
+    str r1, [r3, #0]
+    ldr r1, [r3, #4]
+    adds r1, r1, #1
+    str r1, [r3, #4]
+    b poll
+done:
+    bx lr
+""")
+
+#: round trip, responder side: word + 1 comes straight back
+ROUNDTRIP_RESPONDER_TEMPLATE = Template(_IDLE + """
+can_rx_isr:
+    ldr r0, =$can_base
+poll:
+    ldr r1, [r0, #0x14]
+    cmp r1, #0
+    beq done
+    ldr r1, [r0, #0x0C]
+    ldr r2, [r0, #0x10]
+    str r1, [r0, #0x14]
+    adds r2, r2, #1
+    ldr r3, =$tx_id
+    str r3, [r0, #0]
+    str r2, [r0, #4]
+    str r3, [r0, #8]
+    b poll
+done:
+    bx lr
+""")
+
+
+def requester_accumulate(acc: int, word: int) -> int:
+    """Python mirror of the requester's response accumulation."""
+    return ((acc ^ word) + 5) & 0xFFFFFFFF
+
+
+def sensor_source(can_id: int) -> str:
+    return SENSOR_TEMPLATE.substitute(
+        sensor_base=f"{SENSOR_BASE:#x}", can_base=f"{CAN_CONTROLLER_BASE:#x}",
+        can_id=f"{can_id:#x}", filter_iters=FILTER_ITERATIONS)
+
+
+def gateway_source(forward_id: int) -> str:
+    return GATEWAY_TEMPLATE.substitute(
+        can_base=f"{CAN_CONTROLLER_BASE:#x}",
+        lin_base=f"{LIN_CONTROLLER_BASE:#x}",
+        act_base=f"{ACTUATOR_BASE:#x}", forward_id=f"{forward_id:#x}",
+        checksum_addr=f"{GATEWAY_CHECKSUM_ADDR:#x}")
+
+
+def actuator_source() -> str:
+    return ACTUATOR_TEMPLATE.substitute(
+        lin_base=f"{LIN_CONTROLLER_BASE:#x}", act_base=f"{ACTUATOR_BASE:#x}")
+
+
+def requester_source(tx_id: int) -> str:
+    return ROUNDTRIP_REQUESTER_TEMPLATE.substitute(
+        can_base=f"{CAN_CONTROLLER_BASE:#x}", tx_id=f"{tx_id:#x}",
+        seq_addr=f"{ROUNDTRIP_SEQ_ADDR:#x}",
+        acc_addr=f"{ROUNDTRIP_ACC_ADDR:#x}")
+
+
+def responder_source(tx_id: int) -> str:
+    return ROUNDTRIP_RESPONDER_TEMPLATE.substitute(
+        can_base=f"{CAN_CONTROLLER_BASE:#x}", tx_id=f"{tx_id:#x}")

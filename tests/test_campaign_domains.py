@@ -39,8 +39,9 @@ from repro.sim.domains import (
 # registry
 # ----------------------------------------------------------------------
 
-def test_registry_knows_all_four_domains():
-    assert domain_names() == ["can", "kernel", "osek", "soft_error"]
+def test_registry_knows_all_builtin_domains():
+    assert domain_names() == ["can", "kernel", "lin", "osek", "soft_error",
+                              "vehicle", "wcet"]
     for name in domain_names():
         domain = get_domain(name)
         assert domain.name == name
@@ -344,9 +345,12 @@ def test_stream_reader_rejects_unknown_domain_and_bad_fields(tmp_path):
 def test_builtin_matrices_cover_all_domains():
     matrices = available_matrices()
     assert set(matrices) == {"table1", "irq-sweep", "osek", "can",
-                             "soft-error", "smoke"}
+                             "soft-error", "smoke", "vehicle", "lin",
+                             "wcet", "vehicle-smoke"}
     smoke = smoke_matrix()
-    assert {s.domain for s in smoke} == {"kernel", "osek", "can", "soft_error"}
+    assert {s.domain for s in smoke} == {"kernel", "osek", "can",
+                                         "soft_error", "vehicle", "lin",
+                                         "wcet"}
     for name, builder in matrices.items():
         specs = builder(2005, 1)
         assert specs, name
@@ -391,3 +395,114 @@ def test_cli_list_and_errors(capsys):
         main(["--matrix", "no-such-matrix"])
     with pytest.raises(SystemExit):
         main([])
+
+
+# ----------------------------------------------------------------------
+# the vehicle / lin / wcet domains (PR 5)
+# ----------------------------------------------------------------------
+
+def test_lin_domain_schedule_bounds_simulation():
+    spec = ScenarioSpec(label="lin", domain="lin", seed=7,
+                        params=(("slots", 3), ("horizon_us", 300_000)))
+    record = run_scenario(spec)
+    assert record.domain == "lin"
+    assert record.deliveries > 0
+    assert record.updates_delivered > 0
+    assert record.bound_violations == 0
+    assert record.worst_latency_us <= record.worst_bound_us
+    assert record.verified
+
+
+def test_wcet_domain_measures_executed_cycles():
+    spec = ScenarioSpec(label="wcet", domain="wcet", core="m3",
+                        isa="thumb2", workload="bitmnp", seed=3,
+                        params=(("samples", 3),))
+    record = run_scenario(spec)
+    assert record.domain == "wcet"
+    assert 0 < record.observed_min <= record.observed_max
+    assert record.wcet_cycles == int(record.observed_max * 1.2)
+    assert record.wcet_us >= 1
+    assert record.verified
+
+
+def test_wcet_domain_requires_cpu_fields():
+    with pytest.raises(ValueError, match="core/isa/workload"):
+        run_scenario(ScenarioSpec(label="bad", domain="wcet"))
+
+
+def test_wcet_feeds_distributed_placement():
+    """The ROADMAP bridge: measured WCETs -> DistributedTask.wcet_us."""
+    from repro.network.distributed import (
+        Ecu,
+        allocate_tasks,
+        analyse_system,
+        tasks_from_wcet,
+    )
+
+    estimates = [
+        run_scenario(ScenarioSpec(label=f"wcet {w}", domain="wcet",
+                                  core="m3", isa="thumb2", workload=w,
+                                  seed=3, params=(("samples", 2),)))
+        for w in ("bitmnp", "canrdr")
+    ]
+    periods = {"bitmnp": 10_000, "canrdr": 20_000}
+    tasks = tasks_from_wcet(estimates, periods)
+    assert [t.wcet_us for t in tasks] == [e.wcet_us for e in estimates]
+    assert all(t.binaries == frozenset({"thumb2"}) for t in tasks)
+    ecus = [Ecu(name="body1", isa="thumb2"), Ecu(name="body2", isa="thumb2")]
+    placement = allocate_tasks(tasks, ecus)
+    assert placement.fully_placed
+    analysis = analyse_system(tasks, ecus, placement)
+    assert analysis.schedulable
+    with pytest.raises(KeyError, match="no period"):
+        tasks_from_wcet(estimates, {"bitmnp": 10_000})
+
+
+def test_vehicle_domain_runs_and_verifies():
+    spec = ScenarioSpec(label="vehicle", domain="vehicle", seed=11,
+                        params=(("sensors", 2), ("horizon_us", 150_000)))
+    record = run_scenario(spec)
+    assert record.domain == "vehicle"
+    assert record.gateway_applied > 0 and record.actuator_applied > 0
+    assert record.bound_violations == 0 and record.value_errors == 0
+    assert record.conservation_ok and record.checksum_ok
+    assert record.fused_blocks > 0          # the trace engine actually ran
+    assert record.worst_latency_us <= record.worst_bound_us
+    assert record.frames_queued == record.frames_delivered + record.frames_backlog
+    assert record.verified
+
+
+def test_vehicle_records_are_pure_functions_of_the_spec():
+    spec = ScenarioSpec(label="vehicle", domain="vehicle", seed=23,
+                        params=(("sensors", 1), ("horizon_us", 120_000)))
+    assert vars(run_scenario(spec)) == vars(run_scenario(spec))
+
+
+def test_launch_orchestrator_assembles_byte_identical_stream(tmp_path):
+    """python -m repro.sim.campaign --launch N: spawned shards share a
+    cache and their concatenation equals the pooled stream."""
+    pooled = tmp_path / "pooled.jsonl"
+    code = main(["--matrix", "smoke", "--stream", str(pooled)])
+    assert code == 0
+    launched = tmp_path / "launched.jsonl"
+    code = main(["--matrix", "smoke", "--launch", "3",
+                 "--stream", str(launched), "--cache",
+                 str(tmp_path / "cache")])
+    assert code == 0
+    assert launched.read_bytes() == pooled.read_bytes()
+    assert not list(tmp_path.glob("launched.jsonl.shard*"))
+    # a relaunch with a different shard count replays from the cache
+    relaunched = tmp_path / "relaunched.jsonl"
+    code = main(["--matrix", "smoke", "--launch", "2",
+                 "--stream", str(relaunched), "--cache",
+                 str(tmp_path / "cache")])
+    assert code == 0
+    assert relaunched.read_bytes() == pooled.read_bytes()
+
+
+def test_launch_flag_validation(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["--matrix", "smoke", "--launch", "2"])          # no --stream
+    with pytest.raises(SystemExit):
+        main(["--matrix", "smoke", "--launch", "2", "--shard", "0/2",
+              "--stream", str(tmp_path / "x.jsonl")])

@@ -316,3 +316,100 @@ def test_restartable_ldm_still_produces_correct_values():
     # registers r2..r11 must hold the loaded values despite the restart
     for index, reg in enumerate(range(2, 12)):
         assert machine.cpu.regs.read(reg) == 100 + index
+
+
+# ----------------------------------------------------------------------
+# ARM1156 PC-popping transfers are non-restartable (pinned semantics)
+# ----------------------------------------------------------------------
+
+# The handler returns via ``pop {..., pc}``: the pop's PC write runs the
+# interrupt-return unwind in branch() (return-stack pop, I-bit restore),
+# a side effect a register-snapshot rollback cannot undo.  The pinned
+# semantics: a PC-popping transfer commits atomically - an NMI asserting
+# mid-transfer is taken at the next instruction boundary instead of
+# abandoning the pop.  The handler's ``push`` stays restartable.
+ARM1156_POP_PC_RETURN = """
+main:
+    movs r0, #0
+loop:
+    adds r0, r0, #1
+    cmp r0, #120
+    bne loop
+    bx lr
+
+handler:
+    push {r1, r2, lr}
+    ldr r1, =0x20000040
+    ldr r2, [r1]
+    adds r2, r2, #1
+    str r2, [r1]
+    pop {r1, r2, pc}
+
+nmi_handler:
+    push {r1, r2, lr}
+    ldr r1, =0x20000048
+    ldr r2, [r1]
+    adds r2, r2, #1
+    str r2, [r1]
+    pop {r1, r2, pc}
+"""
+
+
+def _pop_pc_machine(nmi_cycle: int):
+    from repro.sim.trace import TraceRecorder
+
+    program = assemble(ARM1156_POP_PC_RETURN, ISA_THUMB2, base=FLASH_BASE)
+    trace = TraceRecorder(enabled=True, categories={"ldm", "irq"})
+    machine = build_arm1156(program, interruptible_ldm=True, trace=trace)
+    machine.cpu.vic.raise_irq(1, handler=program.symbols["handler"], at_cycle=40)
+    machine.cpu.vic.raise_irq(2, handler=program.symbols["nmi_handler"],
+                              at_cycle=nmi_cycle, nmi=True)
+    pop_addr = next(ins.address for ins in program.instructions
+                    if ins.mnemonic == "POP" and 15 in ins.reglist)
+    return machine, trace, pop_addr
+
+
+def _pop_pc_step_window():
+    """(start, end] cycles of the first handler activation's ``pop {..,pc}``
+    as its own reference step (NMI parked far in the future keeps the
+    restartable machinery engaged without firing)."""
+    machine, trace, pop_addr = _pop_pc_machine(10**9)
+    cpu = machine.cpu
+    cpu.fastpath = False
+    cpu.regs.sp = machine.stack_top
+    cpu.regs.lr = 0xFFFFFFFE
+    cpu.regs.pc = cpu.program.symbols["main"]
+    while not cpu.halted:
+        before = cpu.cycles
+        at_pop = cpu.regs.pc == pop_addr
+        cpu.step()
+        if at_pop:
+            return before, cpu.cycles
+    raise AssertionError("pop {.., pc} never executed")
+
+
+def test_arm1156_pop_pc_is_not_restartable():
+    """An NMI asserting anywhere inside the ``pop {..., pc}`` execution
+    window must NOT abandon the transfer (the PC write runs the
+    interrupt-return unwind, which a snapshot rollback cannot undo): the
+    pop commits atomically and the NMI is taken at the very next
+    instruction boundary."""
+    from repro.core.arm1156 import Arm1156Core
+
+    start, end = _pop_pc_step_window()
+    assert end - start >= 2, "window too narrow to place an NMI inside"
+    for nmi_cycle in range(start + 1, end + 1):
+        machine, trace, pop_addr = _pop_pc_machine(nmi_cycle)
+        result = machine.call("main")
+        assert result == 120, nmi_cycle
+        assert machine.cpu.abandoned_transfers == 0, nmi_cycle
+        assert not trace.by_category("ldm"), nmi_cycle
+        assert machine.bus.read_raw(0x2000_0040, 4) == 1, nmi_cycle
+        assert machine.bus.read_raw(0x2000_0048, 4) == 1, nmi_cycle
+        assert machine.cpu.vic.stats.serviced == 2, nmi_cycle
+        # the NMI waited for the transfer to commit, then entered at the
+        # next boundary: entry = pop end + the fixed entry overhead
+        nmi_entry = [r for r in trace.by_category("irq")
+                     if r.label == "enter" and r.data["number"] == 2]
+        assert len(nmi_entry) == 1, nmi_cycle
+        assert nmi_entry[0].time == end + Arm1156Core.ENTRY_OVERHEAD, nmi_cycle

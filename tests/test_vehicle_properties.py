@@ -1,0 +1,194 @@
+"""Co-simulation determinism properties.
+
+The hard guarantees that make the virtual vehicle campaign-distributable:
+
+* **quantum invariance** - a whole-network run is byte-identical for any
+  co-simulation quantum (the quantum joins the engine's event horizon;
+  nothing about a pause point is architecturally observable);
+* **engine invariance** - all four execution tiers (reference, predecoded,
+  superblock, trace) produce the identical co-simulated network;
+* **distribution invariance** - vehicle campaign records stream
+  byte-identically across worker counts and shard splits, like every
+  other domain.
+
+Plus the composition property of the cycle-coupled engine itself: any
+sequence of ``run_until_cycle`` targets executes the same instruction
+stream as one unbounded run.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codegen import compile_program
+from repro.core import FLASH_BASE, SRAM_BASE, build_machine
+from repro.sim.campaign import ScenarioSpec, run_campaign
+from repro.sim.domains.vehicle import vehicle_matrix
+from repro.sim.rng import DeterministicRng
+from repro.vehicle import (
+    BodyNetworkSpec,
+    RoundTripSpec,
+    SensorNode,
+    build_body_network,
+    build_round_trip,
+)
+from repro.workloads.kernels import WORKLOADS_BY_NAME
+
+ENGINES = (
+    ("reference", False, False, False),
+    ("uops", True, False, False),
+    ("superblock", True, True, False),
+    ("trace", True, True, True),
+)
+
+
+def _round_trip_fingerprint(quantum_us: int, engine=(True, True, True)) -> str:
+    rt = build_round_trip(RoundTripSpec())
+    for ecu in rt.vehicle.ecus:
+        (ecu.cpu.fastpath, ecu.cpu.superblocks,
+         ecu.cpu.trace_superblocks) = engine
+    rt.run(horizon_us=45_000, quantum_us=quantum_us)
+    return json.dumps(rt.fingerprint(), sort_keys=True)
+
+
+def test_round_trip_byte_identical_across_quantum_sizes():
+    reference = _round_trip_fingerprint(100)
+    for quantum in (17, 50, 250, 499):
+        assert _round_trip_fingerprint(quantum) == reference, quantum
+
+
+@pytest.mark.parametrize("name,fastpath,superblocks,trace", ENGINES,
+                         ids=[e[0] for e in ENGINES])
+def test_round_trip_byte_identical_across_engines(name, fastpath,
+                                                  superblocks, trace):
+    reference = _round_trip_fingerprint(100)
+    engine = (fastpath, superblocks, trace)
+    assert _round_trip_fingerprint(100, engine) == reference, name
+    assert _round_trip_fingerprint(333, engine) == reference, name
+
+
+def _body_fingerprint(quantum_us: int) -> str:
+    spec = BodyNetworkSpec(sensors=(
+        SensorNode("wheel", "m3", 80, 0x120, 20_000),
+        SensorNode("seat", "arm1156", 160, 0x180, 25_000, raw_salt=7),
+        SensorNode("door", "arm7", 48, 0x200, 50_000, raw_salt=3),
+    ))
+    net = build_body_network(spec)
+    net.run(horizon_us=180_000, quantum_us=quantum_us)
+    state = {
+        "frames": [(d.can_id, d.node, d.queued_at, d.completed_at,
+                    d.attempts) for d in net.vehicle.can.deliveries],
+        "lin": [(d.frame_id, d.data.hex(), d.at_us)
+                for d in net.vehicle.lin.deliveries],
+        "tap": [(a.ident, a.word, a.at_us) for a in net.gateway_tap.applied],
+        "out": [(a.ident, a.word, a.at_us)
+                for a in net.actuator_out.applied],
+    }
+    for ecu in net.vehicle.ecus:
+        cpu = ecu.cpu
+        state[ecu.name] = [list(cpu.regs.snapshot()), str(cpu.apsr),
+                           cpu.cycles, cpu.instructions_executed,
+                           ecu.machine.bus.reads, ecu.machine.bus.writes,
+                           ecu.machine.bus.total_stalls,
+                           bytes(ecu.machine.sram.data[:0x80]).hex()]
+    return json.dumps(state, sort_keys=True)
+
+
+def test_body_network_byte_identical_across_quantum_sizes():
+    reference = _body_fingerprint(200)
+    for quantum in (37, 100, 433):
+        assert _body_fingerprint(quantum) == reference, quantum
+
+
+# ----------------------------------------------------------------------
+# campaign distribution invariance
+# ----------------------------------------------------------------------
+
+def _vehicle_specs() -> list[ScenarioSpec]:
+    return [
+        ScenarioSpec(label="vp a", domain="vehicle", seed=5,
+                     params=(("sensors", 1), ("horizon_us", 90_000))),
+        ScenarioSpec(label="vp b", domain="vehicle", seed=5,
+                     params=(("sensors", 2), ("horizon_us", 90_000),
+                             ("quantum_us", 100))),
+        ScenarioSpec(label="vp lin", domain="lin", seed=5,
+                     params=(("slots", 3), ("horizon_us", 200_000))),
+    ]
+
+
+def test_vehicle_campaign_byte_identical_across_workers_and_shards(tmp_path):
+    specs = _vehicle_specs()
+
+    def stream_bytes(name: str, workers=None, shard=None) -> bytes:
+        path = tmp_path / f"{name}.jsonl"
+        run_campaign(specs, workers=workers, stream_path=path, shard=shard)
+        return path.read_bytes()
+
+    serial = stream_bytes("serial")
+    assert serial
+    assert stream_bytes("pooled", workers=2) == serial
+    shards = b"".join(stream_bytes(f"shard{k}", shard=(k, 2))
+                      for k in range(2))
+    assert shards == serial
+
+
+def test_vehicle_matrix_cells_have_unique_keys():
+    specs = vehicle_matrix()
+    assert len({spec.key() for spec in specs}) == len(specs)
+
+
+# ----------------------------------------------------------------------
+# run_until_cycle composition (the engine primitive under everything)
+# ----------------------------------------------------------------------
+
+@given(st.sampled_from(["ttsprk", "canrdr", "bitmnp"]),
+       st.sampled_from([("arm7", "thumb"), ("m3", "thumb2"),
+                        ("arm1156", "thumb2")]),
+       st.lists(st.integers(min_value=1, max_value=2_000),
+                min_size=1, max_size=6))
+@settings(max_examples=12, deadline=None)
+def test_run_until_cycle_composes_bit_exactly(workload_name, config, deltas):
+    """Running to an arbitrary ladder of cycle targets and then to
+    completion leaves the machine bit-identical to one straight run()."""
+    core, isa = config
+    workload = WORKLOADS_BY_NAME[workload_name]
+    fn = workload.build()
+    program = compile_program([fn], isa, base=FLASH_BASE)
+    prepared = workload.make_input(DeterministicRng(2005), 1)
+
+    def build():
+        machine = build_machine(core, program)
+        machine.load_data(SRAM_BASE, prepared.data)
+        machine.cpu.regs.sp = machine.stack_top
+        for index, value in enumerate(prepared.args(SRAM_BASE)):
+            machine.cpu.regs.write(index, value)
+        machine.cpu.regs.lr = 0xFFFFFFFE
+        machine.cpu.regs.pc = program.symbols[fn.name]
+        return machine
+
+    def fingerprint(machine):
+        cpu = machine.cpu
+        return (list(cpu.regs.snapshot()), str(cpu.apsr), cpu.cycles,
+                cpu.instructions_executed, cpu.instructions_skipped,
+                cpu.branches_taken, machine.bus.reads, machine.bus.writes,
+                machine.bus.total_stalls)
+
+    straight = build()
+    straight.cpu.run()
+    expected = fingerprint(straight)
+
+    laddered = build()
+    target = 0
+    for delta in deltas:
+        target += delta
+        laddered.cpu.run_until_cycle(target)
+        if laddered.cpu.halted:
+            break
+    while not laddered.cpu.halted:
+        target += 10_000
+        laddered.cpu.run_until_cycle(target)
+    assert fingerprint(laddered) == expected
