@@ -18,7 +18,7 @@ import os
 import pytest
 from conftest import report
 
-from repro.sim.campaign import available_matrices, run_campaign
+from repro.sim.campaign import CampaignRequest, available_matrices, execute_request
 
 REDUCED = os.environ.get("REPRO_BENCH_REDUCED") == "1"
 WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "2"))
@@ -38,8 +38,9 @@ def test_campaign_domain_matrix(benchmark, matrix):
     if REDUCED:
         specs = specs[:DOMAIN_MATRICES[matrix]]
 
+    request = CampaignRequest(specs=tuple(specs), workers=WORKERS)
     result = benchmark.pedantic(
-        lambda: run_campaign(specs, workers=WORKERS),
+        lambda: execute_request(request),
         rounds=1, iterations=1)
 
     assert len(result.records) == len(specs)

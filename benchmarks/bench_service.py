@@ -1,0 +1,114 @@
+"""Campaign service load benchmark: concurrent overlapping clients.
+
+Starts the resident sweep service in-process, fans out several TCP
+clients whose requests overlap (consecutive windows over one spec pool),
+and streams every request to completion.  Reports requests/sec,
+cells/sec, and the dedup rate - the fraction of requested cells served
+from the cache or joined in flight instead of recomputed - and asserts
+the service's core economy claim: the number of cells actually executed
+equals the size of the union, not the sum, of the requests.
+
+``REPRO_BENCH_REDUCED=1`` shrinks the pool and client count (CI smoke);
+``REPRO_BENCH_WORKERS`` sizes the service's worker pool.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+
+from conftest import record_summary, report
+
+from repro.sim.campaign import CampaignRequest, ScenarioSpec
+from repro.sim.service import CampaignClient, CampaignService, serve_tcp
+
+REDUCED = os.environ.get("REPRO_BENCH_REDUCED") == "1"
+WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "2"))
+CLIENTS = 3 if REDUCED else 6
+POOL_CELLS = 6 if REDUCED else 18
+WINDOW = 4 if REDUCED else 9            # cells per request (windows overlap)
+
+
+def spec_pool() -> list[ScenarioSpec]:
+    """Cheap pure-Python cells: the load is scheduling, not simulation."""
+    pool = []
+    for i in range(POOL_CELLS):
+        if i % 2:
+            pool.append(ScenarioSpec(
+                label=f"osek {i}", domain="osek", seed=i,
+                params=(("tasks", 3 + i % 3), ("utilisation", 0.5),
+                        ("horizon_us", 200_000))))
+        else:
+            pool.append(ScenarioSpec(
+                label=f"can {i}", domain="can", seed=i,
+                params=(("messages", 4 + i % 3), ("load", 0.4),
+                        ("horizon_us", 200_000))))
+    return pool
+
+
+async def drive(service: CampaignService, port: int,
+                requests: list[CampaignRequest]) -> list[dict]:
+    async def one_client(request: CampaignRequest) -> dict:
+        client = await CampaignClient.connect(port=port)
+        try:
+            rid = await client.submit(request)
+            return await client.stream(rid)
+        finally:
+            await client.close()
+
+    return list(await asyncio.gather(*(one_client(r) for r in requests)))
+
+
+def test_service_concurrent_overlapping_load(benchmark):
+    pool = spec_pool()
+    step = max(1, (POOL_CELLS - WINDOW) // max(1, CLIENTS - 1))
+    requests = [
+        CampaignRequest(specs=tuple(
+            pool[(k * step + i) % POOL_CELLS] for i in range(WINDOW)))
+        for k in range(CLIENTS)
+    ]
+    unique = {s.key() for r in requests for s in r.specs}
+
+    async def run_load() -> tuple[list[dict], CampaignService]:
+        service = CampaignService(workers=WORKERS,
+                                  max_pending=CLIENTS + 1)
+        await service.start()
+        server = await serve_tcp(service)
+        try:
+            summaries = await drive(
+                service, server.sockets[0].getsockname()[1], requests)
+        finally:
+            server.close()
+            await server.wait_closed()
+            await service.shutdown()
+        return summaries, service
+
+    summaries, service = benchmark.pedantic(
+        lambda: asyncio.run(run_load()), rounds=1, iterations=1)
+
+    requested = sum(len(r.specs) for r in requests)
+    delivered = sum(s["ran"] for s in summaries)
+    deduped = sum(s["replayed"] + s["joined"] for s in summaries)
+    assert all(s["status"] == "ok" for s in summaries)
+    assert delivered == requested
+    assert service.computed == len(unique)      # the union ran exactly once
+    assert deduped == requested - len(unique)
+
+    seconds = benchmark.stats["mean"]
+    requests_per_sec = CLIENTS / seconds
+    cells_per_sec = delivered / seconds
+    dedup_pct = 100.0 * deduped / requested
+    report(f"campaign service load ({CLIENTS} clients, workers={WORKERS})"
+           + (" [reduced]" if REDUCED else ""),
+           [f"{CLIENTS} overlapping requests ({requested} cells, "
+            f"{len(unique)} unique) in {seconds:.2f}s",
+            f"{requests_per_sec:.1f} requests/s, {cells_per_sec:.1f} cells/s "
+            f"streamed",
+            f"{deduped}/{requested} cells deduped ({dedup_pct:.0f}%): "
+            f"computed {service.computed}, joined/replayed the rest"])
+    record_summary("service", "requests_per_sec", requests_per_sec)
+    record_summary("service", "cells_per_sec", cells_per_sec)
+    record_summary("service", "dedup_pct", dedup_pct)
+    benchmark.extra_info["clients"] = CLIENTS
+    benchmark.extra_info["cells"] = requested
+    benchmark.extra_info["unique_cells"] = len(unique)

@@ -18,11 +18,13 @@ Run:  python examples/campaign_domains.py
 import tempfile
 from pathlib import Path
 
-from repro.sim import read_campaign_stream, run_campaign, smoke_matrix
+from repro.sim import CampaignRequest, execute_request, read_campaign_stream
+
+REQUEST = CampaignRequest(matrix="smoke")
 
 
 def main() -> None:
-    specs = smoke_matrix()
+    specs = REQUEST.resolve_specs()
     domains = {}
     for spec in specs:
         domains[spec.domain] = domains.get(spec.domain, 0) + 1
@@ -31,14 +33,15 @@ def main() -> None:
 
     with tempfile.TemporaryDirectory() as tmp:
         tmp = Path(tmp)
-        # "host 0" and "host 1": same spec list, different shard index
+        # "host 0" and "host 1": the same request, a different shard index
         for k in (0, 1):
-            run_campaign(specs, shard=(k, 2), stream_path=tmp / f"shard{k}.jsonl")
+            execute_request(REQUEST.with_shard((k, 2)),
+                            stream_path=tmp / f"shard{k}.jsonl")
         combined = ((tmp / "shard0.jsonl").read_bytes()
                     + (tmp / "shard1.jsonl").read_bytes())
 
         # the control: one process, no shards
-        run_campaign(specs, stream_path=tmp / "full.jsonl")
+        execute_request(REQUEST, stream_path=tmp / "full.jsonl")
         full = (tmp / "full.jsonl").read_bytes()
 
         print(f"shard 0 + shard 1 == unsharded stream: {combined == full}")

@@ -11,12 +11,14 @@ from repro.sim.trace import TraceRecord, TraceRecorder
 # campaign last: it lazily imports the higher layers (codegen, core,
 # workloads) inside its functions, never at module import time.
 from repro.sim.campaign import (
+    CampaignRequest,
     CampaignResult,
     CampaignStreamError,
     InterruptProfile,
     ScenarioRecord,
     ScenarioSpec,
     available_matrices,
+    execute_request,
     interrupt_sweep_matrix,
     read_campaign_stream,
     run_campaign,
@@ -33,12 +35,14 @@ __all__ = [
     "DeterministicRng",
     "TraceRecord",
     "TraceRecorder",
+    "CampaignRequest",
     "CampaignResult",
     "CampaignStreamError",
     "InterruptProfile",
     "ScenarioRecord",
     "ScenarioSpec",
     "available_matrices",
+    "execute_request",
     "interrupt_sweep_matrix",
     "read_campaign_stream",
     "run_campaign",

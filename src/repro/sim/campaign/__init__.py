@@ -38,12 +38,60 @@ shard0.jsonl`` exposes the same thing on the command line (``--list``
 names the built-in matrices); the CI ``campaign-smoke`` step runs a
 two-shard sweep over all four domains and diffs the concatenation against
 a single-process run on every push.
+
+One request shape, many front doors
+-----------------------------------
+
+Every way a campaign runs goes through :class:`CampaignRequest`
+(:mod:`repro.sim.campaign.request`): the library call
+(:func:`execute_request`), the CLI (which parses its flags *into* a
+request), the ``--launch N`` shard launcher (which derives each child's
+argv *from* the request via :meth:`CampaignRequest.cli_argv`), and the
+resident campaign service.  :func:`run_campaign` survives as a thin
+backward-compatible shim over the same core.
+
+The campaign service (``repro.sim.service``)
+--------------------------------------------
+
+``python -m repro.sim.service`` runs a long-lived asyncio sweep server
+over the same worker pools; ``python -m repro.sim.campaign --connect
+HOST:PORT`` (or :class:`repro.sim.service.CampaignClient`) submits
+requests to it instead of running locally.  The wire protocol is
+line-oriented JSON (one message per ``\\n``-terminated line, canonical
+``sort_keys`` encoding) over TCP or stdio:
+
+* ``{"op": "submit", "seq": S, "id": RID?, "request": <CampaignRequest
+  .to_obj()>, "priority": P?}`` registers a sweep (named matrix or
+  explicit specs, optionally sharded).  Reply: ``{"op": "submitted",
+  "seq": S, "id": RID, "cells": N, "priority": P}`` or a typed error.
+* ``{"op": "stream", "seq": S, "id": RID}`` subscribes: the server pushes
+  ``{"op": "record", "seq": S, "id": RID, "index": I, "record": {...}}``
+  for every cell **in spec order** (index 0 first, no gaps, regardless of
+  worker completion order), then one ``{"op": "done", "seq": S, "status":
+  "ok"|"cancelled"|"error", "cells": N, "ran": R, "verified": V,
+  "replayed": ..., "joined": ..., "computed": ...}``.
+* ``{"op": "status", "seq": S}`` reports global and per-request counters;
+  ``{"op": "cancel", "seq": S, "id": RID}`` stops a request and frees its
+  queue slots.
+* Errors are typed: ``{"op": "error", "ok": false, "seq": S, "error":
+  CODE, "message": ...}`` with codes such as ``bad-request``,
+  ``queue-full`` (back-pressure: the bounded request/cell queues are
+  full), ``unknown-request``, ``duplicate-request``, ``unknown-op``.
+
+Ordering and dedup guarantees: a request's record stream is exactly the
+bytes a local pooled run of the same request would write (records are
+pure functions of specs; the client re-serialises each record in the same
+canonical form).  Cells are deduplicated **across requests** through the
+shared content-addressed record cache keyed by ``spec.key()`` - two
+clients sweeping overlapping matrices pay for the union once: a cell
+finished earlier replays from the cache (``replayed``), a cell currently
+in flight for another request is joined, not recomputed (``joined``), and
+only the remainder is computed (``computed``).
 """
 
 from __future__ import annotations
 
 import json
-import multiprocessing
 import zlib
 from dataclasses import dataclass, field
 
@@ -271,6 +319,18 @@ def run_scenario(spec: ScenarioSpec):
     return get_domain(spec.domain).run(spec)
 
 
+# The request core lives in its own module; import it here (after the
+# spec/record definitions it rebuilds) so `repro.sim.campaign` stays the
+# one public namespace.  See request.py's module docstring.
+from repro.sim.campaign.request import (  # noqa: E402
+    CampaignRequest,
+    execute_request,
+    record_from_obj,
+    spec_from_obj,
+    spec_to_obj,
+)
+
+
 def shard_bounds(total: int, shard: tuple[int, int]) -> tuple[int, int]:
     """[lo, hi) of the ``k``-th of ``n`` contiguous, balanced partitions.
 
@@ -287,11 +347,19 @@ def shard_bounds(total: int, shard: tuple[int, int]) -> tuple[int, int]:
     return (total * k) // n, (total * (k + 1)) // n
 
 
-def run_campaign(specs: list[ScenarioSpec], workers: int | None = None,
+def run_campaign(specs: list[ScenarioSpec], *, workers: int | None = None,
                  stream_path=None, collect: bool | None = None,
                  shard: tuple[int, int] | None = None,
                  on_record=None, cache=None) -> CampaignResult:
     """Run a scenario matrix, optionally across worker processes and hosts.
+
+    .. deprecated::
+        Thin backward-compatible shim: new code should build a
+        :class:`CampaignRequest` and call :func:`execute_request` (one
+        request shape shared by the library, the CLI, the shard launcher,
+        and the campaign service).  This wrapper only packs its arguments
+        into a request; behaviour and output bytes are identical.  Its
+        arguments past ``specs`` are keyword-only.
 
     ``workers`` of ``None``, 0, or 1 runs serially in-process.  Output is
     identical (byte-for-byte once serialised) for every worker count.
@@ -302,72 +370,12 @@ def run_campaign(specs: list[ScenarioSpec], workers: int | None = None,
     all ``n`` shard streams in ``k`` order is byte-identical to the
     unsharded stream.
 
-    ``stream_path`` appends each record to that file as one canonical JSON
-    line as soon as it comes off a worker, in input order - so
-    million-scenario sweeps can be tailed while running, survive
-    interruption up to the last completed scenario, and need not hold
-    every record in memory: ``collect`` defaults to False when streaming
-    (the returned ``CampaignResult`` is then empty; read the file back
-    with :func:`read_campaign_stream`) and True otherwise.
-
-    ``on_record`` is called with each record as it completes, in input
-    order - incremental statistics over huge sweeps without collecting.
-
-    ``cache`` - a directory path or :class:`~repro.sim.campaign.cache.
-    RecordCache` - replays already-computed cells instead of re-running
-    them and stores fresh ones as they complete, so a resumed or
-    re-sharded sweep only pays for cells it has never seen.  Because
-    records are pure functions of their specs, a cache-assisted run's
-    output (stream bytes included) is identical to a cold run's.
+    ``stream_path``, ``collect``, ``on_record``, and ``cache`` behave as
+    documented on :func:`execute_request`.
     """
-    from repro.sim.campaign.cache import RecordCache
-
-    specs = list(specs)
-    if shard is not None:
-        low, high = shard_bounds(len(specs), shard)
-        specs = specs[low:high]
-    if collect is None:
-        collect = stream_path is None
-    if cache is not None and not isinstance(cache, RecordCache):
-        cache = RecordCache(cache)
-    records: list = []
-    stream = open(stream_path, "a", encoding="utf-8") if stream_path is not None else None
-
-    def consume(record) -> None:
-        if stream is not None:
-            stream.write(_record_json(record) + "\n")
-        if collect:
-            records.append(record)
-        if on_record is not None:
-            on_record(record)
-
-    cached = [None] * len(specs) if cache is None else [cache.get(s) for s in specs]
-    misses = [s for s, hit in zip(specs, cached) if hit is None]
-
-    def computed(record, spec) -> object:
-        if cache is not None:
-            cache.put(spec, record)
-        return record
-
-    try:
-        if workers is None or workers <= 1 or len(misses) <= 1:
-            for spec, hit in zip(specs, cached):
-                consume(hit if hit is not None
-                        else computed(run_scenario(spec), spec))
-        else:
-            with multiprocessing.Pool(processes=min(workers, len(misses))) as pool:
-                # imap (not map): records arrive incrementally, and pulling
-                # the miss iterator while walking specs in input order keeps
-                # cache replays interleaved exactly where a cold run would
-                # have produced those records
-                miss_records = pool.imap(run_scenario, misses, chunksize=1)
-                for spec, hit in zip(specs, cached):
-                    consume(hit if hit is not None
-                            else computed(next(miss_records), spec))
-    finally:
-        if stream is not None:
-            stream.close()
-    return CampaignResult(records=records)
+    request = CampaignRequest(specs=tuple(specs), shard=shard, workers=workers)
+    return execute_request(request, stream_path=stream_path, collect=collect,
+                           on_record=on_record, cache=cache)
 
 
 # ----------------------------------------------------------------------
@@ -489,25 +497,34 @@ def _parse_shard(text: str) -> tuple[int, int]:
         raise ValueError(f"--shard wants K/N (e.g. 0/4), got {text!r}") from exc
 
 
-def launch_shards(argv_base: list[str], count: int, stream_path: str,
+def launch_shards(request: CampaignRequest, count: int, stream_path: str,
                   retries: int = 2, echo=print) -> int:
     """Spawn ``count`` shard subprocesses and concatenate their streams.
 
-    The distribution recipe, automated: every child runs the same matrix
-    with a distinct ``--shard k/count`` and its own stream file; failed
-    shards are retried (records are pure functions of specs, so a retry
-    is always safe and, with a shared ``--cache``, cheap); the shard
-    streams are concatenated in ``k`` order into ``stream_path``, which
-    is byte-identical to an unsharded run.  Returns the worst child exit
-    code (0 = all ran and verified).
+    The distribution recipe, automated: every child runs the same
+    named-matrix :class:`CampaignRequest` with a distinct ``shard=
+    (k, count)`` and its own stream file; failed shards are retried
+    (records are pure functions of specs, so a retry is always safe and,
+    with a shared cache, cheap); the shard streams are concatenated in
+    ``k`` order into ``stream_path``, which is byte-identical to an
+    unsharded run.  Returns the worst child exit code (0 = all ran and
+    verified).
+
+    Each child's command line is derived from the request itself
+    (:meth:`CampaignRequest.cli_argv`), not rebuilt flag by flag - so a
+    request field added tomorrow flows through the launcher automatically.
     """
     import subprocess
     import sys
 
+    if request.shard is not None:
+        raise ValueError("launch_shards partitions the whole request; "
+                         "it cannot start from an already-sharded one")
     shard_paths = [f"{stream_path}.shard{k}" for k in range(count)]
     commands = [
-        [sys.executable, "-m", "repro.sim.campaign", *argv_base,
-         "--shard", f"{k}/{count}", "--stream", shard_paths[k]]
+        [sys.executable, "-m", "repro.sim.campaign",
+         *request.with_shard((k, count)).cli_argv(),
+         "--stream", shard_paths[k]]
         for k in range(count)
     ]
     exit_codes = [None] * count
@@ -540,14 +557,12 @@ def launch_shards(argv_base: list[str], count: int, stream_path: str,
     return worst
 
 
-def main(argv: list[str] | None = None) -> int:
-    """CLI: run one (optionally sharded) campaign matrix to a JSONL stream."""
+def build_parser():
+    """The CLI flag parser.  Flags parse into a :class:`CampaignRequest`
+    via :func:`request_from_args`; :meth:`CampaignRequest.cli_argv` is the
+    inverse, and the two are round-trip tested so launcher-spawned shard
+    commands can never drift from the parser."""
     import argparse
-
-    # Use the canonically-imported module, not this (possibly __main__)
-    # namespace: worker processes and stream readers must see one set of
-    # spec/record classes regardless of how the CLI was launched.
-    from repro.sim import campaign as mod
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.sim.campaign",
@@ -577,6 +592,40 @@ def main(argv: list[str] | None = None) -> int:
                              "computed by any earlier run are replayed "
                              "instead of re-run (output stays byte-"
                              "identical to a cold run)")
+    parser.add_argument("--priority", type=int, default=0,
+                        help="service-side scheduling priority (higher "
+                             "runs first; only meaningful with --connect)")
+    parser.add_argument("--connect", default=None, metavar="HOST:PORT",
+                        help="submit to a running campaign service "
+                             "(python -m repro.sim.service) instead of "
+                             "executing locally; records stream back in "
+                             "spec order, byte-identical to a local run")
+    return parser
+
+
+def request_from_args(args) -> CampaignRequest:
+    """The parsed CLI flags as a :class:`CampaignRequest`."""
+    return CampaignRequest(matrix=args.matrix, seed=args.seed,
+                           scale=args.scale, shard=args.shard,
+                           workers=args.workers, cache=args.cache,
+                           priority=args.priority)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI: run one (optionally sharded) campaign matrix to a JSONL stream.
+
+    A thin client over the request core: flags parse into one
+    :class:`CampaignRequest`, which is then executed locally
+    (:func:`execute_request`), fanned out as shard subprocesses
+    (``--launch``), or submitted to a resident campaign service
+    (``--connect``).
+    """
+    # Use the canonically-imported module, not this (possibly __main__)
+    # namespace: worker processes and stream readers must see one set of
+    # spec/record classes regardless of how the CLI was launched.
+    from repro.sim import campaign as mod
+
+    parser = mod.build_parser()
     args = parser.parse_args(argv)
 
     matrices = mod.available_matrices()
@@ -591,6 +640,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.matrix not in matrices:
         parser.error(f"unknown matrix {args.matrix!r}; "
                      f"pick from {', '.join(sorted(matrices))}")
+    request = mod.request_from_args(args)
 
     if args.launch is not None:
         if args.launch < 1:
@@ -599,15 +649,13 @@ def main(argv: list[str] | None = None) -> int:
             parser.error("--launch and --shard are mutually exclusive")
         if not args.stream:
             parser.error("--launch needs --stream for the assembled output")
-        argv_base = ["--matrix", args.matrix, "--seed", str(args.seed),
-                     "--scale", str(args.scale)]
-        if args.cache:
-            argv_base += ["--cache", args.cache]
-        return mod.launch_shards(argv_base, args.launch, args.stream,
+        if args.connect:
+            parser.error("--launch runs locally; a service already fans "
+                         "out by itself (submit the request via --connect)")
+        return mod.launch_shards(request, args.launch, args.stream,
                                  retries=args.retries)
 
-    specs = matrices[args.matrix](args.seed, args.scale)
-    total = len(specs)
+    total = len(matrices[args.matrix](args.seed, args.scale))
     if args.stream:
         # Fresh file: the sharding recipe retries failed shards, and a
         # retry that appended would break the byte-identity guarantee.
@@ -624,14 +672,32 @@ def main(argv: list[str] | None = None) -> int:
         verified += record.verified
         domains[record.domain] = domains.get(record.domain, 0) + 1
 
+    summary = None
     cache = None
-    if args.cache:
-        from repro.sim.campaign.cache import RecordCache
+    if args.connect:
+        from repro.sim.service.client import submit_and_stream
+        from repro.sim.service.protocol import CampaignServiceError
 
-        cache = RecordCache(args.cache)
-    mod.run_campaign(specs, workers=args.workers, stream_path=args.stream,
-                     collect=False, shard=args.shard, on_record=tally,
-                     cache=cache)
+        host, _, port = args.connect.rpartition(":")
+        if not port.isdigit():
+            parser.error(f"--connect wants HOST:PORT, got {args.connect!r}")
+        try:
+            summary = submit_and_stream(host or "127.0.0.1", int(port),
+                                        request, stream_path=args.stream,
+                                        on_record=tally)
+        except CampaignServiceError as exc:
+            print(f"service error [{exc.code}]: {exc.detail}")
+            return 2
+        except OSError as exc:
+            print(f"cannot reach service at {args.connect}: {exc}")
+            return 2
+    else:
+        if args.cache:
+            from repro.sim.campaign.cache import RecordCache
+
+            cache = RecordCache(args.cache)
+        mod.execute_request(request, stream_path=args.stream,
+                            collect=False, on_record=tally, cache=cache)
     shard_note = ""
     if args.shard is not None:
         low, high = mod.shard_bounds(total, args.shard)
@@ -644,6 +710,13 @@ def main(argv: list[str] | None = None) -> int:
     if cache is not None:
         print(f"cache: {cache.hits} replayed, {cache.misses} computed "
               f"({args.cache})")
+    if summary is not None:
+        print(f"service: {summary.get('replayed', 0)} replayed, "
+              f"{summary.get('joined', 0)} joined, "
+              f"{summary.get('computed', 0)} computed "
+              f"[{summary.get('status', 'ok')}, id {summary.get('id')}]")
+        if summary.get("status") != "ok":
+            return 2
     if args.stream:
         print(f"stream: {args.stream}")
     return 0 if verified == ran else 2

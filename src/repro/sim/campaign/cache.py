@@ -70,3 +70,35 @@ class RecordCache:
         with open(tmp, "w", encoding="utf-8") as stream:
             json.dump(payload, stream, sort_keys=True, separators=(",", ":"))
         os.replace(tmp, path)
+
+
+class MemoryRecordCache(RecordCache):
+    """The same cache contract held in a plain dict - no disk at all.
+
+    The campaign service uses this when started without a cache
+    directory: cross-request dedup still works for the life of the
+    process (two clients sweeping overlapping matrices pay for the union
+    once), it just doesn't survive a restart.  Also handy for repeated
+    in-process sweeps: ``execute_request(request,
+    cache=MemoryRecordCache())``.
+    """
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self._records: dict[str, object] = {}
+
+    def path_for(self, spec):
+        raise TypeError("MemoryRecordCache keeps records in memory; "
+                        "there is no file path")
+
+    def get(self, spec):
+        record = self._records.get(spec.key())
+        if record is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return record
+
+    def put(self, spec, record) -> None:
+        self._records[spec.key()] = record

@@ -1,0 +1,248 @@
+"""The one campaign request shape - and the one runner core under it.
+
+Every way a campaign is run - the library call, the ``python -m
+repro.sim.campaign`` CLI, the ``--launch N`` shard launcher, and the
+resident service (:mod:`repro.sim.service`) - describes the sweep with the
+same :class:`CampaignRequest`: either an explicit spec list or a named
+matrix plus ``seed``/``scale``, an optional ``shard=(k, n)`` partition,
+worker-pool and cache settings, and a service-side ``priority``.  The
+request is a frozen dataclass with a canonical JSON form
+(:meth:`CampaignRequest.to_obj` / :meth:`CampaignRequest.from_obj`), so the
+same object rides the service's wire protocol, and a CLI-equivalent argv
+(:meth:`CampaignRequest.cli_argv`), so the shard launcher can never drift
+from the flag parser: both are derived from the request, not rebuilt by
+hand.
+
+:func:`execute_request` is the single local runner core (the body that
+used to live in ``run_campaign``, which is now a thin shim over it).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+from dataclasses import dataclass
+
+
+def _thaw(value):
+    """JSON arrays -> tuples, recursively.
+
+    Spec fields (``params``, ``machine_kwargs``) are tuples *because* specs
+    must stay hashable, so any list arriving from JSON can only have been a
+    tuple before serialisation - restoring tuple-ness exactly is what keeps
+    ``spec.key()`` (which formats values with ``str``) stable across the
+    wire.
+    """
+    if isinstance(value, list):
+        return tuple(_thaw(item) for item in value)
+    return value
+
+
+def spec_to_obj(spec) -> dict:
+    """One :class:`~repro.sim.campaign.ScenarioSpec` as a JSON-able dict."""
+    obj = dict(vars(spec))
+    if spec.interrupts is not None:
+        obj["interrupts"] = dict(vars(spec.interrupts))
+    return obj
+
+
+def spec_from_obj(obj: dict):
+    """Rebuild a :class:`~repro.sim.campaign.ScenarioSpec` from its dict.
+
+    The round trip is exact: ``spec_from_obj(json.loads(json.dumps(
+    spec_to_obj(spec)))) == spec``, including nested tuples and the
+    interrupt profile.
+    """
+    from repro.sim.campaign import InterruptProfile, ScenarioSpec
+
+    data = dict(obj)
+    interrupts = data.get("interrupts")
+    if interrupts is not None:
+        data["interrupts"] = InterruptProfile(**interrupts)
+    data["machine_kwargs"] = _thaw(data.get("machine_kwargs", ()))
+    data["params"] = _thaw(data.get("params", ()))
+    return ScenarioSpec(**data)
+
+
+def record_from_obj(payload: dict):
+    """Rebuild a domain record from its JSON dict (``domain``-tag dispatch)."""
+    from repro.sim.domains import record_class_for
+
+    return record_class_for(payload.get("domain", "kernel"))(**payload)
+
+
+@dataclass(frozen=True)
+class CampaignRequest:
+    """Everything one campaign run needs, as one serialisable value.
+
+    Exactly one of ``matrix`` (a built-in matrix name, resolved with
+    ``seed``/``scale``) or ``specs`` (explicit cells) may be set; ``shard``
+    selects the ``k``-th of ``n`` contiguous partitions of the resolved
+    list.  ``workers`` and ``cache`` configure local execution
+    (:func:`execute_request`); a service executing the request uses its own
+    shared pool and cache and ignores them.  ``priority`` orders the
+    request against other clients' sweeps on a service (higher runs
+    first); local execution ignores it.
+    """
+
+    matrix: str | None = None
+    specs: tuple = ()
+    seed: int = 2005
+    scale: int = 1
+    shard: tuple[int, int] | None = None
+    workers: int | None = None
+    cache: str | None = None
+    priority: int = 0
+
+    def __post_init__(self):
+        object.__setattr__(self, "specs", tuple(self.specs))
+        if self.shard is not None:
+            object.__setattr__(self, "shard", tuple(self.shard))
+        if self.matrix and self.specs:
+            raise ValueError(
+                "a campaign request takes a named matrix or explicit specs, not both")
+
+    def resolve_specs(self) -> list:
+        """The concrete spec list: matrix lookup, then shard slicing."""
+        from repro.sim.campaign import available_matrices, shard_bounds
+
+        if self.matrix:
+            matrices = available_matrices()
+            if self.matrix not in matrices:
+                raise ValueError(
+                    f"unknown matrix {self.matrix!r}; "
+                    f"pick from {', '.join(sorted(matrices))}")
+            specs = matrices[self.matrix](self.seed, self.scale)
+        else:
+            specs = list(self.specs)
+        if self.shard is not None:
+            low, high = shard_bounds(len(specs), self.shard)
+            specs = specs[low:high]
+        return specs
+
+    def with_shard(self, shard: tuple[int, int] | None) -> CampaignRequest:
+        """The same request restricted to one shard partition."""
+        return dataclasses.replace(self, shard=shard)
+
+    def cli_argv(self) -> list[str]:
+        """``python -m repro.sim.campaign`` flags reproducing this request.
+
+        Only named-matrix requests can ride an argv (explicit specs have
+        no flag form).  The shard launcher builds every child command from
+        this - one encoding of the request shape, shared with the flag
+        parser, so a new request field cannot silently miss the launcher
+        path (see ``test_request_cli_argv_round_trip``).
+        """
+        if not self.matrix:
+            raise ValueError(
+                "only named-matrix requests can be rebuilt as a command line; "
+                "this request carries explicit specs")
+        argv = ["--matrix", self.matrix,
+                "--seed", str(self.seed), "--scale", str(self.scale)]
+        if self.shard is not None:
+            argv += ["--shard", f"{self.shard[0]}/{self.shard[1]}"]
+        if self.workers is not None:
+            argv += ["--workers", str(self.workers)]
+        if self.cache:
+            argv += ["--cache", self.cache]
+        if self.priority:
+            argv += ["--priority", str(self.priority)]
+        return argv
+
+    def to_obj(self) -> dict:
+        """The canonical JSON-able form (the service ``submit`` payload)."""
+        return {
+            "matrix": self.matrix,
+            "specs": [spec_to_obj(spec) for spec in self.specs],
+            "seed": self.seed,
+            "scale": self.scale,
+            "shard": list(self.shard) if self.shard is not None else None,
+            "workers": self.workers,
+            "cache": self.cache,
+            "priority": self.priority,
+        }
+
+    @classmethod
+    def from_obj(cls, obj: dict) -> CampaignRequest:
+        """Rebuild a request from :meth:`to_obj` output (exact round trip)."""
+        if not isinstance(obj, dict):
+            raise ValueError(f"campaign request must be an object, got {type(obj).__name__}")
+        shard = obj.get("shard")
+        return cls(
+            matrix=obj.get("matrix"),
+            specs=tuple(spec_from_obj(spec) for spec in obj.get("specs", ())),
+            seed=obj.get("seed", 2005),
+            scale=obj.get("scale", 1),
+            shard=tuple(shard) if shard is not None else None,
+            workers=obj.get("workers"),
+            cache=obj.get("cache"),
+            priority=obj.get("priority", 0),
+        )
+
+
+def execute_request(request: CampaignRequest, *, stream_path=None,
+                    collect: bool | None = None, on_record=None, cache=None):
+    """Run a :class:`CampaignRequest` locally - the one runner core.
+
+    ``stream_path`` appends each record to that file as one canonical JSON
+    line as soon as it comes off a worker, in input order; ``collect``
+    defaults to False when streaming and True otherwise; ``on_record`` is
+    called with each record in input order.  ``cache`` (a directory path
+    or a :class:`~repro.sim.campaign.cache.RecordCache`) overrides
+    ``request.cache``; either way, replayed cells interleave exactly where
+    a cold run would have produced them, so the output - stream bytes
+    included - is byte-identical to a cold run.
+
+    Output is byte-identical for every ``workers`` value: records are pure
+    functions of their specs and come back in input order regardless of
+    worker scheduling.
+    """
+    from repro.sim.campaign import CampaignResult, _record_json, run_scenario
+    from repro.sim.campaign.cache import RecordCache
+
+    specs = request.resolve_specs()
+    workers = request.workers
+    if cache is None:
+        cache = request.cache
+    if cache is not None and not isinstance(cache, RecordCache):
+        cache = RecordCache(cache)
+    if collect is None:
+        collect = stream_path is None
+    records: list = []
+    stream = open(stream_path, "a", encoding="utf-8") if stream_path is not None else None
+
+    def consume(record) -> None:
+        if stream is not None:
+            stream.write(_record_json(record) + "\n")
+        if collect:
+            records.append(record)
+        if on_record is not None:
+            on_record(record)
+
+    cached = [None] * len(specs) if cache is None else [cache.get(s) for s in specs]
+    misses = [s for s, hit in zip(specs, cached) if hit is None]
+
+    def computed(record, spec) -> object:
+        if cache is not None:
+            cache.put(spec, record)
+        return record
+
+    try:
+        if workers is None or workers <= 1 or len(misses) <= 1:
+            for spec, hit in zip(specs, cached):
+                consume(hit if hit is not None
+                        else computed(run_scenario(spec), spec))
+        else:
+            with multiprocessing.Pool(processes=min(workers, len(misses))) as pool:
+                # imap (not map): records arrive incrementally, and pulling
+                # the miss iterator while walking specs in input order keeps
+                # cache replays interleaved exactly where a cold run would
+                # have produced those records
+                miss_records = pool.imap(run_scenario, misses, chunksize=1)
+                for spec, hit in zip(specs, cached):
+                    consume(hit if hit is not None
+                            else computed(next(miss_records), spec))
+    finally:
+        if stream is not None:
+            stream.close()
+    return CampaignResult(records=records)

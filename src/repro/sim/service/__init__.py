@@ -1,0 +1,47 @@
+"""Campaign-as-a-service: a resident async sweep server for heavy traffic.
+
+The one-shot campaign CLI pays full price for every sweep; this package
+turns the runner into a long-lived **service** that many concurrent
+clients submit :class:`~repro.sim.campaign.CampaignRequest`\\ s to, with:
+
+* per-request **streaming** of records as cells complete, always in spec
+  order, byte-identical to a local pooled run of the same request;
+* **cross-request dedup** through the shared content-addressed record
+  cache (``spec.key()``): overlapping sweeps from concurrent clients
+  compute the union of cells once;
+* per-request **priorities**, bounded queues with typed ``queue-full``
+  **back-pressure**, **cancellation** that frees queue slots, and crash
+  **resume** from the cache.
+
+Run it:  ``python -m repro.sim.service --port 0 --port-file port.txt
+--workers 4 --cache sweep-cache`` (or ``--stdio`` for a single piped
+client).  Talk to it: ``python -m repro.sim.campaign --matrix smoke
+--connect 127.0.0.1:PORT --stream out.jsonl``, or programmatically via
+:class:`CampaignClient` / :func:`submit_and_stream`.
+
+The wire protocol (line-oriented JSON) is specified in
+:mod:`repro.sim.service.protocol` and in the campaign module docstring;
+the server design invariants are documented in
+:mod:`repro.sim.service.server`.
+"""
+
+from repro.sim.service.protocol import (
+    PROTOCOL_VERSION,
+    CampaignServiceError,
+    decode_message,
+    encode_message,
+)
+from repro.sim.service.client import CampaignClient, submit_and_stream
+from repro.sim.service.server import CampaignService, serve_stdio, serve_tcp
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "CampaignService",
+    "CampaignServiceError",
+    "CampaignClient",
+    "decode_message",
+    "encode_message",
+    "serve_stdio",
+    "serve_tcp",
+    "submit_and_stream",
+]

@@ -1,0 +1,106 @@
+"""``python -m repro.sim.service`` - run the resident campaign server."""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import os
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sim.service",
+        description="Long-running campaign sweep service: clients submit "
+        "CampaignRequests over a line-oriented JSON protocol and stream "
+        "records back in spec order; overlapping sweeps dedup through "
+        "the shared record cache.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port (0 picks an ephemeral one; the chosen port is "
+        "printed and, with --port-file, written to a file)",
+    )
+    parser.add_argument(
+        "--port-file",
+        default=None,
+        metavar="PATH",
+        help="write the bound port number to PATH once listening (for "
+        "scripts that started the service with --port 0)",
+    )
+    parser.add_argument(
+        "--stdio",
+        action="store_true",
+        help="serve exactly one client over stdin/stdout instead of TCP",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="cell worker pool size (2+ uses a process pool; default serial)",
+    )
+    parser.add_argument(
+        "--cache",
+        default=None,
+        metavar="DIR",
+        help="shared record cache directory (cross-request and cross-"
+        "restart dedup); default is in-memory for the service lifetime",
+    )
+    parser.add_argument(
+        "--max-pending",
+        type=int,
+        default=8,
+        help="bounded queue: max simultaneously-active requests before submits get 'queue-full'",
+    )
+    parser.add_argument(
+        "--max-cells",
+        type=int,
+        default=100_000,
+        help="bounded queue: max total cells across active requests",
+    )
+    return parser
+
+
+async def _amain(args) -> int:
+    from repro.sim.service.server import CampaignService, serve_stdio, serve_tcp
+
+    service = CampaignService(
+        workers=args.workers,
+        cache=args.cache,
+        max_pending=args.max_pending,
+        max_active_cells=args.max_cells,
+    )
+    await service.start()
+    try:
+        if args.stdio:
+            await serve_stdio(service)
+            return 0
+        server = await serve_tcp(service, args.host, args.port)
+        host, port = server.sockets[0].getsockname()[:2]
+        print(f"campaign service listening on {host}:{port}", flush=True)
+        if args.port_file:
+            # write-then-rename: a polling launcher never reads a
+            # half-written port number
+            tmp = f"{args.port_file}.{os.getpid()}.tmp"
+            with open(tmp, "w", encoding="utf-8") as stream:
+                stream.write(f"{port}\n")
+            os.replace(tmp, args.port_file)
+        async with server:
+            await server.serve_forever()
+        return 0
+    finally:
+        await service.shutdown()
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return asyncio.run(_amain(args))
+    except KeyboardInterrupt:
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,90 @@
+"""Wire protocol for the campaign service: one JSON message per line.
+
+Both directions speak the same framing: a message is one JSON object,
+canonically encoded (sorted keys, no whitespace), terminated by a single
+``\\n``.  Clients tag each message with a ``seq`` number; the server
+echoes that ``seq`` on every reply the message provoked - the direct
+acknowledgement, and, for ``stream``, every pushed ``record`` plus the
+final ``done`` - so one connection can multiplex many operations.
+
+Failures are *typed*: the server never closes a connection on a bad
+message, it answers ``{"op": "error", "ok": false, "error": <code>,
+"message": ...}``.  Codes:
+
+=================  =====================================================
+``bad-message``    the line was not a JSON object with an ``op``
+``unknown-op``     the ``op`` is not one of submit/stream/status/cancel
+``bad-request``    the submit payload is not a valid CampaignRequest
+``queue-full``     back-pressure: the bounded request/cell queues are at
+                   capacity; retry after a request finishes or is
+                   cancelled
+``duplicate-request``  the client-chosen request id is already taken
+``unknown-request``    no request with that id
+``request-failed``     a cell raised while computing (stream ``done``
+                       with ``status: "error"``)
+``shutting-down``  the service is draining and takes no new work
+``connection-closed``  client-side: the transport dropped mid-operation
+=================  =====================================================
+
+:class:`CampaignServiceError` is the client-facing exception carrying the
+code; tests match on ``exc.code``, not message text.
+"""
+
+from __future__ import annotations
+
+import json
+
+#: protocol revision carried nowhere yet; bump on incompatible change
+PROTOCOL_VERSION = 1
+
+#: client -> server operations
+OPS = ("submit", "stream", "status", "cancel")
+
+
+class CampaignServiceError(Exception):
+    """A typed failure from the campaign service (or its transport)."""
+
+    def __init__(self, code: str, message: str = ""):
+        super().__init__(f"{code}: {message}" if message else code)
+        self.code = code
+        self.detail = message
+
+
+def encode_message(message: dict) -> bytes:
+    """One message in the canonical frame: sorted keys, one line."""
+    return (json.dumps(message, sort_keys=True, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def decode_message(line) -> dict:
+    """Parse one frame; raise ``bad-message`` on anything malformed."""
+    if isinstance(line, bytes):
+        line = line.decode("utf-8", errors="replace")
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise CampaignServiceError("bad-message", f"not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise CampaignServiceError(
+            "bad-message",
+            f"expected an object, got {type(payload).__name__}",
+        )
+    if "op" not in payload:
+        raise CampaignServiceError("bad-message", "missing 'op'")
+    return payload
+
+
+def error_payload(code: str, message: str, *, seq=None, rid=None) -> dict:
+    """The server's typed-error reply frame."""
+    payload = {"op": "error", "ok": False, "error": code, "message": message}
+    if seq is not None:
+        payload["seq"] = seq
+    if rid is not None:
+        payload["id"] = rid
+    return payload
+
+
+def raise_on_error(payload: dict) -> dict:
+    """Client side: turn an error frame into :class:`CampaignServiceError`."""
+    if payload.get("op") == "error" or payload.get("ok") is False:
+        raise CampaignServiceError(payload.get("error", "unknown"), payload.get("message", ""))
+    return payload

@@ -1,0 +1,516 @@
+"""The resident campaign sweep server: asyncio over the worker pools.
+
+:class:`CampaignService` holds the shared state - one worker pool, one
+content-addressed record cache, one priority queue of cells - and any
+number of transports feed it connections (:func:`serve_tcp`,
+:func:`serve_stdio`, or tests calling :meth:`CampaignService.submit`
+directly).  The design invariants:
+
+* **Spec-order streaming.**  Each request's records are delivered in spec
+  order no matter how workers interleave; a streaming client's file is
+  byte-identical to a local pooled run of the same request.
+* **Cross-request dedup.**  A cell is identified by ``spec.key()``.
+  Before computing, a request consults the shared cache (cells finished
+  by *anyone*, ever, with a disk cache) and the in-flight table (cells
+  being computed *right now* for another request, joined instead of
+  recomputed).  Overlapping sweeps from concurrent clients therefore pay
+  for the union once.
+* **Priorities.**  Cells enter one global priority queue ordered by
+  (request priority desc, submit order); a high-priority sweep overtakes
+  the undispatched tail of earlier work without preempting running cells.
+* **Back-pressure.**  ``max_pending`` bounds simultaneously-active
+  requests and ``max_active_cells`` bounds their total cells; a submit
+  that would exceed either is rejected with a typed ``queue-full`` error.
+  Cancelling a request frees its slots immediately.
+* **Crash resume.**  Every computed cell is ``put`` into the cache as it
+  completes, so a service killed mid-sweep and restarted on the same
+  cache directory replays the finished cells and computes only the rest.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+from repro.sim.campaign import run_scenario
+from repro.sim.campaign.cache import MemoryRecordCache, RecordCache
+from repro.sim.campaign.request import CampaignRequest
+from repro.sim.service.protocol import (
+    CampaignServiceError,
+    decode_message,
+    encode_message,
+    error_payload,
+)
+
+
+class _CellJob:
+    """One unique cell being (or waiting to be) computed.
+
+    ``waiters`` counts the active requests that still want the result; a
+    job whose waiters all cancelled is dropped unstarted when the
+    dispatcher reaches it.  The future resolves for every joiner at once.
+    """
+
+    __slots__ = ("key", "spec", "future", "waiters", "started")
+
+    def __init__(self, key, spec, future):
+        self.key = key
+        self.spec = spec
+        self.future = future
+        self.waiters = 0
+        self.started = False
+
+
+class _RequestState:
+    """Server-side bookkeeping for one submitted request."""
+
+    def __init__(self, rid: str, request: CampaignRequest, specs: list, priority: int):
+        self.rid = rid
+        self.request = request
+        self.specs = specs
+        self.priority = priority
+        self.records: list = []  # delivered records, spec order
+        self.done = False
+        self.cancelled = False
+        self.error: str | None = None
+        self.finished = False  # slots released (done or cancelled)
+        self.cond = asyncio.Condition()  # notifies streamers of progress
+        self.jobs: list[_CellJob] = []  # jobs this request holds a waiter on
+        self.replayed = 0  # cells served from the cache
+        self.joined = 0  # cells joined in flight
+        self.computed = 0  # cells this request had to schedule
+
+    @property
+    def status(self) -> str:
+        if self.cancelled:
+            return "cancelled"
+        if self.error:
+            return "error"
+        return "ok" if self.done else "running"
+
+    def summary(self) -> dict:
+        return {
+            "id": self.rid,
+            "status": self.status,
+            "message": self.error or "",
+            "priority": self.priority,
+            "cells": len(self.specs),
+            "ran": len(self.records),
+            "verified": sum(1 for r in self.records if r.verified),
+            "replayed": self.replayed,
+            "joined": self.joined,
+            "computed": self.computed,
+        }
+
+
+class CampaignService:
+    """A long-running sweep server many concurrent clients submit to.
+
+    ``workers`` sizes the cell pool: 2+ uses a process pool (the same
+    worker entry the campaign runner forks, ``run_scenario``); 0/1/None
+    computes serially on a single thread (determinism is unaffected -
+    records are pure functions of specs).  ``cache`` is a directory path,
+    a :class:`RecordCache`, or None for a process-lifetime in-memory
+    cache.  Call :meth:`start` inside a running event loop, then hand
+    :meth:`handle_connection` to any stream transport.
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: int | None = None,
+        cache=None,
+        max_pending: int = 8,
+        max_active_cells: int = 100_000,
+    ):
+        if cache is None:
+            cache = MemoryRecordCache()
+        elif not isinstance(cache, RecordCache):
+            cache = RecordCache(cache)
+        self.cache = cache
+        self.workers = max(1, workers or 1)
+        self.max_pending = max_pending
+        self.max_active_cells = max_active_cells
+        self.requests: dict[str, _RequestState] = {}
+        self.computed = 0  # cells actually executed
+        self.dispatch_log: list[str] = []  # cell keys in dispatch order
+        self._inflight: dict[str, _CellJob] = {}
+        self._seq = itertools.count()
+        self._active = 0  # unfinished requests
+        self._active_cells = 0  # their total cells
+        self._closing = False
+        self._executor = None
+        self._dispatcher: asyncio.Task | None = None
+        self._tasks: set[asyncio.Task] = set()
+        self._queue: asyncio.PriorityQueue | None = None
+        self._slots: asyncio.Semaphore | None = None
+        self._unpaused: asyncio.Event | None = None
+
+    # -- lifecycle ------------------------------------------------------
+
+    async def start(self) -> None:
+        """Create the worker pool and start the cell dispatcher."""
+        if self.workers >= 2:
+            self._executor = ProcessPoolExecutor(max_workers=self.workers)
+        else:
+            self._executor = ThreadPoolExecutor(max_workers=1, thread_name_prefix="campaign-cell")
+        self._queue = asyncio.PriorityQueue()
+        self._slots = asyncio.Semaphore(self.workers)
+        self._unpaused = asyncio.Event()
+        self._unpaused.set()
+        self._dispatcher = asyncio.create_task(self._dispatch_loop())
+
+    async def shutdown(self) -> None:
+        """Stop abruptly: cancel everything, abandon queued cells.
+
+        Deliberately kill-like (the resume tests depend on it): cells
+        already cached stay cached, everything else is dropped.  A new
+        service started on the same cache directory completes the sweep
+        from there.
+        """
+        self._closing = True
+        tasks = [t for t in self._tasks if not t.done()]
+        if self._dispatcher is not None:
+            tasks.append(self._dispatcher)
+        for task in tasks:
+            task.cancel()
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+        for job in list(self._inflight.values()):
+            if not job.future.done():
+                job.future.cancel()
+        self._inflight.clear()
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+
+    def pause(self) -> None:
+        """Hold the dispatcher (cells queue but none start).  Tests use
+        this to make priority ordering and back-pressure deterministic."""
+        self._unpaused.clear()
+
+    def resume(self) -> None:
+        self._unpaused.set()
+
+    def _track(self, task: asyncio.Task) -> None:
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    # -- the core API (transport-free) ----------------------------------
+
+    def submit(
+        self,
+        request: CampaignRequest,
+        *,
+        rid: str | None = None,
+        priority: int | None = None,
+    ) -> _RequestState:
+        """Register a sweep; raises typed errors, returns its state."""
+        if self._closing:
+            raise CampaignServiceError("shutting-down", "the service is draining")
+        try:
+            specs = request.resolve_specs()
+        except (TypeError, ValueError) as exc:
+            raise CampaignServiceError("bad-request", str(exc)) from exc
+        if rid is None:
+            rid = f"req-{next(self._seq)}"
+        if rid in self.requests:
+            raise CampaignServiceError("duplicate-request", f"request id {rid!r} already exists")
+        if self._active >= self.max_pending:
+            raise CampaignServiceError(
+                "queue-full",
+                f"{self._active} requests already pending "
+                f"(max_pending={self.max_pending}); cancel one or retry "
+                f"after a sweep finishes",
+            )
+        if self._active_cells + len(specs) > self.max_active_cells:
+            raise CampaignServiceError(
+                "queue-full",
+                f"{len(specs)} cells would exceed the bounded queue "
+                f"({self._active_cells} active, "
+                f"max_active_cells={self.max_active_cells})",
+            )
+        if priority is None:
+            priority = request.priority
+        state = _RequestState(rid, request, specs, priority)
+        self.requests[rid] = state
+        self._active += 1
+        self._active_cells += len(specs)
+        self._track(asyncio.create_task(self._serve_request(state)))
+        return state
+
+    async def cancel(self, rid: str) -> dict:
+        """Stop a request and free its queue slots immediately."""
+        state = self._get(rid)
+        if not state.finished:
+            state.cancelled = True
+            for job in state.jobs:
+                if not job.future.done():
+                    job.waiters -= 1
+            await self._finish(state)
+        return state.summary()
+
+    def status(self) -> dict:
+        """Global and per-request counters (the ``status`` op payload)."""
+        return {
+            "op": "status",
+            "active": self._active,
+            "active_cells": self._active_cells,
+            "computed": self.computed,
+            "cache_hits": self.cache.hits,
+            "cache_misses": self.cache.misses,
+            "inflight": len(self._inflight),
+            "workers": self.workers,
+            "max_pending": self.max_pending,
+            "max_active_cells": self.max_active_cells,
+            "requests": {rid: state.summary() for rid, state in self.requests.items()},
+        }
+
+    def _get(self, rid) -> _RequestState:
+        state = self.requests.get(rid)
+        if state is None:
+            raise CampaignServiceError("unknown-request", f"no request with id {rid!r}")
+        return state
+
+    async def stream_records(self, state: _RequestState):
+        """Yield ``(index, record)`` in spec order until the request ends.
+
+        Already-delivered records replay from the buffer first, so a
+        streamer attaching late (or re-attaching after a dropped
+        connection) still sees the complete, gapless sequence.
+        """
+        index = 0
+        while True:
+            async with state.cond:
+                await state.cond.wait_for(lambda: len(state.records) > index or state.done)
+                fresh = state.records[index:]
+            for record in fresh:
+                yield index, record
+                index += 1
+            if state.done and index >= len(state.records):
+                return
+
+    # -- internals ------------------------------------------------------
+
+    async def _finish(self, state: _RequestState) -> None:
+        if state.finished:
+            return
+        state.finished = True
+        self._active -= 1
+        self._active_cells -= len(state.specs)
+        async with state.cond:
+            state.done = True
+            state.cond.notify_all()
+
+    async def _serve_request(self, state: _RequestState) -> None:
+        """Resolve every cell (cache replay, in-flight join, or fresh
+        compute) and deliver records in spec order."""
+        loop = asyncio.get_running_loop()
+        pending: list = []
+        for spec in state.specs:
+            if state.cancelled:
+                # cancelled before this task first ran: enqueue nothing, or
+                # the cells would hold phantom waiters and compute for nobody
+                break
+            record = self.cache.get(spec)
+            if record is not None:
+                state.replayed += 1
+                pending.append(record)
+                continue
+            key = spec.key()
+            job = self._inflight.get(key)
+            if job is None:
+                job = _CellJob(key, spec, loop.create_future())
+                self._inflight[key] = job
+                self._queue.put_nowait((-state.priority, next(self._seq), job))
+                state.computed += 1
+            else:
+                state.joined += 1
+            job.waiters += 1
+            state.jobs.append(job)
+            pending.append(job)
+        try:
+            for item in pending:
+                if state.cancelled:
+                    break
+                if isinstance(item, _CellJob):
+                    # shield: the job may be shared with other requests,
+                    # so this task's cancellation must not cancel the cell
+                    record = await asyncio.shield(item.future)
+                else:
+                    record = item
+                if state.cancelled:
+                    break
+                async with state.cond:
+                    state.records.append(record)
+                    state.cond.notify_all()
+        except asyncio.CancelledError:
+            if not state.cancelled:
+                state.error = state.error or "interrupted by service shutdown"
+        except Exception as exc:  # a cell raised while computing
+            state.error = f"{type(exc).__name__}: {exc}"
+        finally:
+            await self._finish(state)
+
+    async def _dispatch_loop(self) -> None:
+        """Pull cells off the global priority queue into worker slots."""
+        while True:
+            _, _, job = await self._queue.get()
+            await self._unpaused.wait()
+            if job.started or job.future.done():
+                continue
+            if job.waiters <= 0:
+                self._drop(job)
+                continue
+            await self._slots.acquire()
+            # re-check: waiters may have cancelled while we held no slot
+            if job.started or job.future.done() or job.waiters <= 0:
+                self._slots.release()
+                if not job.started:
+                    self._drop(job)
+                continue
+            job.started = True
+            self.dispatch_log.append(job.key)
+            self._track(asyncio.create_task(self._run_cell(job)))
+
+    def _drop(self, job: _CellJob) -> None:
+        """Abandon a queued cell nobody wants any more."""
+        self._inflight.pop(job.key, None)
+        if not job.future.done():
+            job.future.cancel()
+
+    async def _run_cell(self, job: _CellJob) -> None:
+        loop = asyncio.get_running_loop()
+        try:
+            record = await loop.run_in_executor(self._executor, run_scenario, job.spec)
+        except asyncio.CancelledError:
+            self._inflight.pop(job.key, None)
+            if not job.future.done():
+                job.future.cancel()
+            raise
+        except Exception as exc:
+            self._inflight.pop(job.key, None)
+            if not job.future.done():
+                job.future.set_exception(exc)
+                job.future.exception()  # mark retrieved even if abandoned
+        else:
+            self.cache.put(job.spec, record)
+            self.computed += 1
+            self._inflight.pop(job.key, None)
+            if not job.future.done():
+                job.future.set_result(record)
+        finally:
+            self._slots.release()
+
+    # -- transport ------------------------------------------------------
+
+    async def handle_connection(self, reader, writer) -> None:
+        """Serve one JSONL client connection (TCP or stdio).
+
+        Each incoming message is handled independently; ``stream``
+        subscriptions run as their own tasks so status/cancel/submit stay
+        responsive mid-stream.  Dropping the connection abandons its
+        streams but **not** its submitted requests - they keep computing
+        (into the shared cache), which is what lets a killed client
+        reconnect and resume.
+        """
+        lock = asyncio.Lock()
+        conn_tasks: set[asyncio.Task] = set()
+
+        async def send(payload: dict) -> None:
+            async with lock:
+                writer.write(encode_message(payload))
+                await writer.drain()
+
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    msg = decode_message(line)
+                except CampaignServiceError as exc:
+                    await send(error_payload(exc.code, exc.detail))
+                    continue
+                seq = msg.get("seq")
+                try:
+                    await self._handle_message(msg, seq, send, conn_tasks)
+                except CampaignServiceError as exc:
+                    await send(error_payload(exc.code, exc.detail, seq=seq, rid=msg.get("id")))
+                except Exception as exc:  # never kill the connection loop
+                    await send(error_payload("internal", f"{type(exc).__name__}: {exc}", seq=seq))
+        finally:
+            for task in conn_tasks:
+                task.cancel()
+            if conn_tasks:
+                await asyncio.gather(*conn_tasks, return_exceptions=True)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _handle_message(self, msg, seq, send, conn_tasks) -> None:
+        op = msg.get("op")
+        if op == "submit":
+            try:
+                request = CampaignRequest.from_obj(msg.get("request"))
+            except (TypeError, ValueError) as exc:
+                raise CampaignServiceError("bad-request", str(exc)) from exc
+            state = self.submit(request, rid=msg.get("id"), priority=msg.get("priority"))
+            reply = {
+                "op": "submitted",
+                "seq": seq,
+                "id": state.rid,
+                "cells": len(state.specs),
+                "priority": state.priority,
+            }
+            await send(reply)
+        elif op == "stream":
+            state = self._get(msg.get("id"))
+            task = asyncio.create_task(self._stream_to(state, seq, send))
+            conn_tasks.add(task)
+            task.add_done_callback(conn_tasks.discard)
+        elif op == "status":
+            payload = self.status()
+            payload["seq"] = seq
+            await send(payload)
+        elif op == "cancel":
+            summary = await self.cancel(msg.get("id"))
+            await send({"op": "cancelled", "seq": seq, **summary})
+        else:
+            raise CampaignServiceError("unknown-op", f"unknown op {op!r}")
+
+    async def _stream_to(self, state: _RequestState, seq, send) -> None:
+        async for index, record in self.stream_records(state):
+            push = {
+                "op": "record",
+                "seq": seq,
+                "id": state.rid,
+                "index": index,
+                "record": vars(record),
+            }
+            await send(push)
+        await send({"op": "done", "seq": seq, **state.summary()})
+
+
+async def serve_tcp(service: CampaignService, host: str = "127.0.0.1", port: int = 0):
+    """Listen on TCP; ``port=0`` picks an ephemeral port (see
+    ``server.sockets[0].getsockname()``)."""
+    return await asyncio.start_server(service.handle_connection, host, port)
+
+
+async def serve_stdio(service: CampaignService) -> None:
+    """Serve exactly one client over this process's stdin/stdout."""
+    import sys
+
+    loop = asyncio.get_running_loop()
+    reader = asyncio.StreamReader()
+    protocol = asyncio.StreamReaderProtocol(reader)
+    await loop.connect_read_pipe(lambda: protocol, sys.stdin)
+    transport, writer_protocol = await loop.connect_write_pipe(
+        asyncio.streams.FlowControlMixin,
+        sys.stdout,
+    )
+    writer = asyncio.StreamWriter(transport, writer_protocol, reader, loop)
+    await service.handle_connection(reader, writer)

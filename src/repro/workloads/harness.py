@@ -145,11 +145,12 @@ def table1(seed: int = 2005, scale: int = 1,
                           machine_kwargs=machine_kwargs)
                 for label, core, isa in TABLE1_CONFIGS]
 
-    from repro.sim.campaign import run_campaign, table1_matrix
+    from repro.sim.campaign import CampaignRequest, execute_request, table1_matrix
 
     kwargs_tuple = tuple(sorted((machine_kwargs or {}).items()))
     specs = table1_matrix(seed=seed, scale=scale, machine_kwargs=kwargs_tuple)
-    campaign = run_campaign(specs, workers=workers)
+    campaign = execute_request(
+        CampaignRequest(specs=tuple(specs), workers=workers))
     results: list[SuiteResult] = []
     records = iter(campaign.records)
     for label, core, isa in TABLE1_CONFIGS:

@@ -16,9 +16,11 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.sim.campaign import (
+    CampaignRequest,
     CampaignStreamError,
     ScenarioSpec,
     available_matrices,
+    execute_request,
     main,
     read_campaign_stream,
     run_campaign,
@@ -235,7 +237,8 @@ def _cheap_pool() -> list[ScenarioSpec]:
 
 def _stream_bytes(tmp_path, specs, name, shard=None) -> bytes:
     path = tmp_path / f"{name}.jsonl"
-    run_campaign(specs, workers=1, stream_path=path, shard=shard)
+    request = CampaignRequest(specs=tuple(specs), workers=1, shard=shard)
+    execute_request(request, stream_path=path)
     return path.read_bytes()
 
 

@@ -1,0 +1,443 @@
+"""The campaign service: dedup, ordering, back-pressure, resume.
+
+Covers the acceptance claims of the campaign-as-a-service redesign: two
+concurrent clients with overlapping sweeps stream byte-identical records
+while the server computes the union of cells exactly once (asserted via
+the dedup counters), cancellation frees bounded-queue slots, back-
+pressure rejects with a typed ``queue-full`` error, priorities reorder
+the global dispatch queue, and a service killed mid-sweep resumes from
+its disk cache.  Most tests drive :class:`CampaignService` in process
+(with ``pause()``/``resume()`` making scheduling deterministic); the
+transport tests run a real TCP server and the packaged CLI.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.sim.campaign import CampaignRequest, ScenarioSpec, execute_request
+from repro.sim.service import (
+    CampaignClient,
+    CampaignService,
+    CampaignServiceError,
+    decode_message,
+    encode_message,
+    serve_tcp,
+)
+
+
+def cheap_specs() -> list[ScenarioSpec]:
+    """Fast pure-Python cells (no CPU model) across two domains."""
+    return [
+        ScenarioSpec(label="o0", domain="osek",
+                     params=(("tasks", 3), ("utilisation", 0.5),
+                             ("horizon_us", 200_000))),
+        ScenarioSpec(label="o1", domain="osek", seed=9,
+                     params=(("tasks", 4), ("utilisation", 0.7),
+                             ("horizon_us", 200_000))),
+        ScenarioSpec(label="c0", domain="can",
+                     params=(("messages", 4), ("load", 0.3),
+                             ("horizon_us", 200_000))),
+        ScenarioSpec(label="c1", domain="can", seed=13,
+                     params=(("messages", 5), ("load", 0.5),
+                             ("error_rate", 0.05), ("horizon_us", 200_000))),
+    ]
+
+
+async def wait_done(state) -> None:
+    async with state.cond:
+        await state.cond.wait_for(lambda: state.done)
+
+
+def pooled_bytes(tmp_path, specs, name) -> bytes:
+    path = tmp_path / f"{name}.jsonl"
+    execute_request(CampaignRequest(specs=tuple(specs)), stream_path=path)
+    return path.read_bytes()
+
+
+# ----------------------------------------------------------------------
+# dedup and byte-identity (the tentpole acceptance claim)
+# ----------------------------------------------------------------------
+
+def test_concurrent_overlapping_clients_compute_the_union_once(tmp_path):
+    """Two TCP clients, overlapping sweeps: byte-identical streams, and
+    the overlapping cells are computed exactly once (counter-asserted)."""
+    pool = cheap_specs()
+    specs_a = [pool[0], pool[2], pool[3]]            # o0 c0 c1
+    specs_b = [pool[2], pool[3], pool[1]]            # c0 c1 o1  (2 shared)
+    path_a = tmp_path / "a.jsonl"
+    path_b = tmp_path / "b.jsonl"
+
+    async def go():
+        service = CampaignService(workers=1)
+        await service.start()
+        server = await serve_tcp(service)
+        port = server.sockets[0].getsockname()[1]
+        try:
+            one = await CampaignClient.connect(port=port)
+            two = await CampaignClient.connect(port=port)
+            try:
+                # pause so both submits land before any cell starts: the
+                # overlap must go down the in-flight *join* path, not the
+                # cache-replay path
+                service.pause()
+                rid_a = await one.submit(
+                    CampaignRequest(specs=tuple(specs_a)))
+                rid_b = await two.submit(
+                    CampaignRequest(specs=tuple(specs_b)))
+                service.resume()
+                done_a, done_b = await asyncio.gather(
+                    one.stream(rid_a, stream_path=path_a),
+                    two.stream(rid_b, stream_path=path_b))
+            finally:
+                await one.close()
+                await two.close()
+        finally:
+            server.close()
+            await server.wait_closed()
+            await service.shutdown()
+        return done_a, done_b, service
+
+    done_a, done_b, service = asyncio.run(go())
+    union = {s.key() for s in specs_a + specs_b}
+    assert service.computed == len(union) == 4      # shared cells ran once
+    assert done_a["computed"] == 3 and done_a["joined"] == 0
+    assert done_b["joined"] == 2 and done_b["computed"] == 1
+    assert done_a["status"] == done_b["status"] == "ok"
+    assert done_a["verified"] == done_b["verified"] == 3
+    assert path_a.read_bytes() == pooled_bytes(tmp_path, specs_a, "la")
+    assert path_b.read_bytes() == pooled_bytes(tmp_path, specs_b, "lb")
+
+
+def test_second_request_replays_from_the_service_cache(tmp_path):
+    """Sequential overlap takes the cache path: replayed, not recomputed."""
+
+    async def go():
+        service = CampaignService(workers=1)
+        await service.start()
+        try:
+            specs = cheap_specs()[:2]
+            first = service.submit(CampaignRequest(specs=tuple(specs)))
+            await wait_done(first)
+            second = service.submit(CampaignRequest(specs=tuple(specs)))
+            await wait_done(second)
+            return first.summary(), second.summary(), service.computed
+        finally:
+            await service.shutdown()
+
+    first, second, computed = asyncio.run(go())
+    assert first["computed"] == 2 and first["replayed"] == 0
+    assert second["replayed"] == 2 and second["computed"] == 0
+    assert computed == 2
+
+
+def test_stream_reattaches_gapless_after_late_subscribe():
+    """A streamer attaching after completion still sees every record in
+    spec order (the killed-client resume guarantee)."""
+
+    async def go():
+        service = CampaignService(workers=1)
+        await service.start()
+        try:
+            specs = cheap_specs()
+            state = service.submit(CampaignRequest(specs=tuple(specs)))
+            await wait_done(state)
+            seen = [record async for record in _drain(service, state)]
+            again = [record async for record in _drain(service, state)]
+            return specs, seen, again
+        finally:
+            await service.shutdown()
+
+    async def _drain(service, state):
+        async for _, record in service.stream_records(state):
+            yield record
+
+    specs, seen, again = asyncio.run(go())
+    assert [r.label for r in seen] == [s.label for s in specs]
+    assert [vars(r) for r in again] == [vars(r) for r in seen]
+
+
+# ----------------------------------------------------------------------
+# back-pressure, cancellation, priorities
+# ----------------------------------------------------------------------
+
+def test_backpressure_rejects_typed_and_cancel_frees_the_slot():
+    specs = cheap_specs()
+
+    async def go():
+        service = CampaignService(workers=1, max_pending=1)
+        await service.start()
+        service.pause()                       # nothing computes; pure queueing
+        try:
+            first = service.submit(CampaignRequest(specs=(specs[0],)))
+            with pytest.raises(CampaignServiceError) as rejected:
+                service.submit(CampaignRequest(specs=(specs[1],)))
+            assert rejected.value.code == "queue-full"
+            await service.cancel(first.rid)   # frees the slot immediately
+            assert first.summary()["status"] == "cancelled"
+            second = service.submit(CampaignRequest(specs=(specs[1],)))
+            service.resume()
+            await wait_done(second)
+            return second.summary()
+        finally:
+            await service.shutdown()
+
+    summary = asyncio.run(go())
+    assert summary["status"] == "ok" and summary["ran"] == 1
+
+
+def test_backpressure_bounds_total_active_cells():
+    specs = cheap_specs()
+
+    async def go():
+        service = CampaignService(workers=1, max_active_cells=2)
+        await service.start()
+        try:
+            with pytest.raises(CampaignServiceError) as rejected:
+                service.submit(CampaignRequest(specs=tuple(specs[:3])))
+            assert rejected.value.code == "queue-full"
+            state = service.submit(CampaignRequest(specs=tuple(specs[:2])))
+            await wait_done(state)
+            return state.summary()
+        finally:
+            await service.shutdown()
+
+    assert asyncio.run(go())["status"] == "ok"
+
+
+def test_priorities_reorder_the_global_dispatch_queue():
+    specs = cheap_specs()
+    low_specs, high_specs = specs[:2], specs[2:]
+
+    async def go():
+        service = CampaignService(workers=1)
+        await service.start()
+        try:
+            service.pause()
+            low = service.submit(CampaignRequest(specs=tuple(low_specs)),
+                                 priority=0)
+            high = service.submit(CampaignRequest(specs=tuple(high_specs)),
+                                  priority=5)
+            service.resume()
+            await asyncio.gather(wait_done(low), wait_done(high))
+            return list(service.dispatch_log)
+        finally:
+            await service.shutdown()
+
+    log = asyncio.run(go())
+    expected = [s.key() for s in high_specs] + [s.key() for s in low_specs]
+    assert log == expected                   # high overtook, FIFO within each
+
+
+def test_cancelled_cells_nobody_wants_are_never_dispatched():
+    specs = cheap_specs()
+
+    async def go():
+        service = CampaignService(workers=1)
+        await service.start()
+        try:
+            service.pause()
+            doomed = service.submit(CampaignRequest(specs=tuple(specs[:2])))
+            keeper = service.submit(CampaignRequest(specs=(specs[2],)))
+            await service.cancel(doomed.rid)
+            service.resume()
+            await wait_done(keeper)
+            while service._inflight:          # let the dispatcher drain drops
+                await asyncio.sleep(0.01)
+            return list(service.dispatch_log), service.computed
+        finally:
+            await service.shutdown()
+
+    log, computed = asyncio.run(go())
+    assert log == [specs[2].key()]           # the doomed cells never started
+    assert computed == 1
+
+
+# ----------------------------------------------------------------------
+# typed errors
+# ----------------------------------------------------------------------
+
+def test_submit_rejects_bad_duplicate_and_unknown():
+    async def go():
+        service = CampaignService(workers=1)
+        await service.start()
+        service.pause()
+        codes = {}
+        try:
+            with pytest.raises(CampaignServiceError) as exc:
+                service.submit(CampaignRequest(matrix="no-such-matrix"))
+            codes["bad"] = exc.value.code
+            service.submit(CampaignRequest(specs=(cheap_specs()[0],)),
+                           rid="sweep")
+            with pytest.raises(CampaignServiceError) as exc:
+                service.submit(CampaignRequest(specs=(cheap_specs()[1],)),
+                               rid="sweep")
+            codes["dupe"] = exc.value.code
+            with pytest.raises(CampaignServiceError) as exc:
+                await service.cancel("never-submitted")
+            codes["unknown"] = exc.value.code
+        finally:
+            await service.shutdown()
+        with pytest.raises(CampaignServiceError) as exc:
+            service.submit(CampaignRequest(specs=(cheap_specs()[0],)))
+        codes["closing"] = exc.value.code
+        return codes
+
+    codes = asyncio.run(go())
+    assert codes == {"bad": "bad-request", "dupe": "duplicate-request",
+                     "unknown": "unknown-request",
+                     "closing": "shutting-down"}
+
+
+def test_wire_protocol_rejects_garbage_and_unknown_ops():
+    with pytest.raises(CampaignServiceError) as exc:
+        decode_message(b"{not json}\n")
+    assert exc.value.code == "bad-message"
+    with pytest.raises(CampaignServiceError) as exc:
+        decode_message(b"[1, 2]\n")
+    assert exc.value.code == "bad-message"
+    assert decode_message(encode_message({"op": "status"})) == {"op": "status"}
+
+    async def go():
+        service = CampaignService(workers=1)
+        await service.start()
+        server = await serve_tcp(service)
+        port = server.sockets[0].getsockname()[1]
+        try:
+            client = await CampaignClient.connect(port=port)
+            try:
+                with pytest.raises(CampaignServiceError) as exc:
+                    await client._call({"op": "warp"})
+                unknown_op = exc.value.code
+                with pytest.raises(CampaignServiceError) as exc:
+                    await client.cancel("ghost")
+                unknown_request = exc.value.code
+                status = await client.status()
+            finally:
+                await client.close()
+        finally:
+            server.close()
+            await server.wait_closed()
+            await service.shutdown()
+        return unknown_op, unknown_request, status
+
+    unknown_op, unknown_request, status = asyncio.run(go())
+    assert unknown_op == "unknown-op"
+    assert unknown_request == "unknown-request"
+    assert status["active"] == 0 and status["workers"] == 1
+
+
+def test_status_counters_track_dedup():
+    async def go():
+        service = CampaignService(workers=1)
+        await service.start()
+        try:
+            specs = cheap_specs()[:2]
+            state = service.submit(CampaignRequest(specs=tuple(specs)))
+            await wait_done(state)
+            again = service.submit(CampaignRequest(specs=tuple(specs)))
+            await wait_done(again)
+            return service.status()
+        finally:
+            await service.shutdown()
+
+    status = asyncio.run(go())
+    assert status["computed"] == 2
+    assert status["cache_hits"] == 2          # the second sweep replayed
+    assert status["active"] == 0 and status["active_cells"] == 0
+    assert len(status["requests"]) == 2
+    assert all(s["status"] == "ok" for s in status["requests"].values())
+
+
+# ----------------------------------------------------------------------
+# crash resume from the shared cache
+# ----------------------------------------------------------------------
+
+def test_killed_service_resumes_the_sweep_from_its_cache(tmp_path):
+    """Kill the service mid-sweep; a new one on the same cache directory
+    replays the finished cells and completes - byte-identical."""
+    specs = cheap_specs()
+    cache_dir = tmp_path / "cache"
+
+    async def first_life():
+        service = CampaignService(workers=1, cache=str(cache_dir))
+        await service.start()
+        state = service.submit(CampaignRequest(specs=tuple(specs)))
+        while len(state.records) < 2:         # let part of the sweep finish
+            await asyncio.sleep(0.005)
+        await service.shutdown()              # kill-like: abandons the rest
+        return state.summary()
+
+    async def second_life():
+        service = CampaignService(workers=1, cache=str(cache_dir))
+        await service.start()
+        try:
+            state = service.submit(CampaignRequest(specs=tuple(specs)))
+            await wait_done(state)
+            path = tmp_path / "resumed.jsonl"
+            out = open(path, "a", encoding="utf-8")
+            from repro.sim.campaign import _record_json
+            try:
+                async for _, record in service.stream_records(state):
+                    out.write(_record_json(record) + "\n")
+            finally:
+                out.close()
+            return state.summary(), path.read_bytes()
+        finally:
+            await service.shutdown()
+
+    interrupted = asyncio.run(first_life())
+    assert interrupted["status"] in ("running", "error")   # it never finished
+    summary, resumed = asyncio.run(second_life())
+    assert summary["status"] == "ok"
+    assert summary["replayed"] >= 2           # the first life's cells held
+    assert summary["replayed"] + summary["computed"] == len(specs)
+    assert resumed == pooled_bytes(tmp_path, specs, "pooled")
+
+
+# ----------------------------------------------------------------------
+# the packaged transports: python -m repro.sim.service + CLI --connect
+# ----------------------------------------------------------------------
+
+def test_cli_connect_round_trip_through_a_real_server(tmp_path):
+    """Server subprocess + two CLI clients: the second replays everything
+    and both streams are byte-identical to a local run."""
+    from repro.sim.campaign import main
+
+    env = dict(os.environ)
+    root = Path(__file__).resolve().parents[1]
+    env["PYTHONPATH"] = str(root / "src")
+    port_file = tmp_path / "port.txt"
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro.sim.service", "--port", "0",
+         "--port-file", str(port_file), "--cache", str(tmp_path / "cache")],
+        env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+    try:
+        deadline = time.monotonic() + 30
+        while not port_file.exists():
+            assert server.poll() is None, "service died before listening"
+            assert time.monotonic() < deadline, "service never wrote its port"
+            time.sleep(0.05)
+        port = int(port_file.read_text())
+
+        local = tmp_path / "local.jsonl"
+        args = ["--matrix", "smoke", "--shard", "0/4", "--seed", "2005"]
+        assert main([*args, "--stream", str(local)]) == 0
+        first = tmp_path / "first.jsonl"
+        assert main([*args, "--stream", str(first),
+                     "--connect", f"127.0.0.1:{port}"]) == 0
+        second = tmp_path / "second.jsonl"
+        assert main([*args, "--stream", str(second),
+                     "--connect", f"127.0.0.1:{port}"]) == 0
+    finally:
+        server.terminate()
+        server.wait(timeout=10)
+    assert first.read_bytes() == local.read_bytes()
+    assert second.read_bytes() == local.read_bytes()
