@@ -1,0 +1,69 @@
+"""Fault campaigns: injected failures judged by per-claim safety verdicts.
+
+Every other sweep in this repo runs *healthy* vehicles; real automotive
+qualification is about behavior under faults.  The ``vehicle_fault``
+domain arms one classic failure mode per cell - a babbling idiot, a
+bus-off storm, a gateway RX overload, a wedged or dead LIN slave, a
+firmware soft error - onto a co-simulated body network, runs the same
+cell's fault-free twin alongside, and judges four safety claims:
+latency bounds held, frame conservation, fail-silence of the faulted
+node, recovery within the scenario deadline.
+
+A cell *verifies* when the verdicts match what fault confinement
+specifies for that kind: the babbling idiot is EXPECTED to break a
+latency bound its twin meets (that's the demonstration), the bus-off
+storm is expected to confine its victim, the soft error is expected to
+trip the checksum mirror.  The same matrix is available from the CLI::
+
+    python -m repro.sim.campaign --matrix vehicle-fault --stream faults.jsonl
+
+Run:  python examples/fault_campaign.py
+"""
+
+from repro.sim.campaign import run_scenario
+from repro.sim.domains.vehicle_fault import vehicle_fault_matrix
+from repro.vehicle import VERDICT_CLAIMS
+
+
+def main() -> None:
+    specs = vehicle_fault_matrix(seed=2005)
+    print(f"fault matrix: {len(specs)} cells, claims: "
+          f"{', '.join(VERDICT_CLAIMS)}\n")
+
+    header = (f"{'cell':34} {'window':>15} "
+              + " ".join(f"{claim[:7]:>7}" for claim in VERDICT_CLAIMS)
+              + f" {'verified':>8}")
+    print(header)
+    records = []
+    for spec in specs:
+        record = run_scenario(spec)
+        records.append(record)
+        window = f"{record.fault_start_us}-{record.fault_end_us}us"
+        cells = " ".join(
+            f"{'PASS' if record.verdicts[claim] else 'FAIL':>7}"
+            for claim in VERDICT_CLAIMS)
+        print(f"{record.label:34} {window:>15} {cells} "
+              f"{str(record.verified):>8}")
+
+    babbler = next(r for r in records if r.fault_kind == "babbling-idiot")
+    print(f"\nthe babbling idiot's demonstration: worst latency "
+          f"{babbler.worst_latency_us}us > bound {babbler.worst_bound_us}us "
+          f"while its fault-free twin stayed at "
+          f"{babbler.twin_worst_latency_us}us "
+          f"({babbler.twin_bound_violations} twin violations)")
+    storm = next(r for r in records if r.fault_kind == "bus-off-storm")
+    print(f"the storm's confinement: {storm.errors_injected} forced errors "
+          f"drove {storm.fault_node!r} through {storm.bus_off_events} "
+          f"bus-off event(s), and it recovered in deadline")
+    soft = next(r for r in records if r.fault_kind == "soft-error")
+    print(f"the soft error: one SRAM flip at a WFI boundary, detected "
+          f"(checksum_ok={soft.checksum_ok}) with zero latency violations")
+
+    verified = sum(1 for r in records if r.verified)
+    print(f"\n{verified}/{len(records)} cells verified: every fault's "
+          "consequences were bounded, specified, and demonstrated - "
+          "FAIL verdicts above are expected outcomes, not failures.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,10 +1,36 @@
-"""Discrete-event CAN bus: identifier arbitration, queueing, error retries.
+"""Discrete-event CAN bus: arbitration, queueing, error confinement.
 
 Time is in microseconds.  Transmission is non-preemptive: once a frame
 wins arbitration it occupies the bus for its full wire time; pending
 frames re-arbitrate at the next bus-idle point, lowest identifier first -
 exactly the fixed-priority non-preemptive model the schedulability
 analysis in :mod:`repro.network.can_analysis` assumes.
+
+Error confinement (CAN 2.0 fault confinement, OSEK-era timing)
+--------------------------------------------------------------
+Every transmitting node carries the classic error counters: a transmit
+error raises its TEC by 8 (and every other known node's REC by 1), a
+successful transmission lowers TEC by 1 (and the other nodes' RECs).
+Either counter reaching 128 moves the node to *error-passive*: it still
+transmits, but waits a suspend-transmission window (8 bit times) before
+re-entering arbitration, so healthy nodes get the bus first.  A TEC of
+256 takes the node *bus-off*: its in-flight and queued frames are parked,
+and the node rejoins - counters reset, parked frames re-queued with their
+original queue times - after the fixed recovery window of 128 x 11
+recessive bit times.  All consequences of an injected error are therefore
+bounded and specified, not just "some retries happen": the fault-campaign
+layer (:mod:`repro.vehicle.faults`) asserts them per cell.
+
+Errors come from two deterministic sources: the per-frame ``error_rate``
+draw (from the bus's own RNG stream) and *forced error windows*
+(:meth:`CanBus.force_error_window`), which fail every attempt a node
+starts inside a time window - the bus-off-storm fault primitive.
+
+Accounting is coherent by construction: every injected error is counted
+on ``errors_injected``, on the suffering message (surfacing in its
+:class:`DeliveryRecord` as ``errors`` and ``retry_latency_us``), and as
+an ``error_frame`` trace event; :meth:`CanBus.error_accounting` checks
+the three agree, and frame-conservation checks fold it in.
 """
 
 from __future__ import annotations
@@ -19,6 +45,27 @@ from repro.sim.trace import TraceRecorder
 #: error frame + retransmission gap, in bit times (form error worst case)
 ERROR_FRAME_BITS = 31
 
+#: TEC/REC threshold for the error-active -> error-passive transition
+ERROR_PASSIVE_THRESHOLD = 128
+
+#: TEC threshold for bus-off
+BUS_OFF_THRESHOLD = 256
+
+#: TEC increment per transmit error (CAN 2.0 rule 3)
+TEC_ERROR_INCREMENT = 8
+
+#: bus-off recovery: 128 occurrences of 11 recessive bits, modelled as a
+#: fixed window (a quiet OSEK-era bus makes the occurrences back-to-back)
+BUS_OFF_RECOVERY_BITS = 128 * 11
+
+#: suspend transmission: an error-passive node waits this long after a
+#: transmission (or an error flag) before re-entering arbitration
+SUSPEND_TRANSMISSION_BITS = 8
+
+ERROR_ACTIVE = "error-active"
+ERROR_PASSIVE = "error-passive"
+BUS_OFF = "bus-off"
+
 
 @dataclass
 class QueuedMessage:
@@ -26,6 +73,8 @@ class QueuedMessage:
     queued_at: int
     node: str
     attempts: int = 0
+    errors: int = 0             # error frames this message suffered
+    error_latency_us: int = 0   # bus time its failed attempts occupied
 
 
 @dataclass
@@ -35,14 +84,40 @@ class DeliveryRecord:
     queued_at: int
     completed_at: int
     attempts: int
+    errors: int = 0
+    retry_latency_us: int = 0
 
     @property
     def response_time(self) -> int:
         return self.completed_at - self.queued_at
 
 
+@dataclass
+class NodeErrorState:
+    """Per-node fault-confinement state (TEC/REC and the derived mode)."""
+
+    node: str
+    tec: int = 0
+    rec: int = 0
+    state: str = ERROR_ACTIVE
+    suspend_until_us: int = 0
+    bus_off_events: int = 0
+    #: (went_off_at_us, recovered_at_us) per bus-off episode
+    bus_off_log: list = field(default_factory=list)
+    #: frames parked while the node is bus-off (original queue times kept)
+    held: list = field(default_factory=list)
+
+    @property
+    def error_passive(self) -> bool:
+        return self.state == ERROR_PASSIVE
+
+    @property
+    def bus_off(self) -> bool:
+        return self.state == BUS_OFF
+
+
 class CanBus:
-    """Single shared bus with ideal arbitration and optional bit errors."""
+    """Single shared bus with ideal arbitration and fault confinement."""
 
     def __init__(self, scheduler: EventScheduler | None = None,
                  bitrate_bps: int = 500_000,
@@ -62,15 +137,58 @@ class CanBus:
         self.listeners: list = []   # callables(frame, record)
         self.errors_injected = 0
         self.busy_us = 0
+        self.frames_injected = 0    # fault-layer submissions (no controller)
+        self._states: dict[str, NodeErrorState] = {}
+        self._forced: dict[str, list[tuple[int, int]]] = {}
 
     # ------------------------------------------------------------------
     def bit_time_us(self, bits: int) -> int:
         """Microseconds (rounded up) for a number of bit times."""
         return -(-bits * 1_000_000 // self.bitrate)
 
-    def submit(self, frame: CanFrame, node: str = "?") -> QueuedMessage:
-        """Queue a frame for transmission (from a node's TX mailbox)."""
+    def node_state(self, node: str) -> NodeErrorState:
+        """This node's confinement state (created error-active on demand)."""
+        state = self._states.get(node)
+        if state is None:
+            state = self._states[node] = NodeErrorState(node=node)
+        return state
+
+    def force_error_window(self, node: str, start_us: int,
+                           end_us: int) -> None:
+        """Fail every attempt ``node`` starts in ``[start_us, end_us)``.
+
+        The deterministic fault primitive behind bus-off storms: unlike
+        ``error_rate`` it consumes no RNG, targets one node, and drives
+        its TEC through error-passive to bus-off in bounded time.
+        """
+        if end_us <= start_us:
+            raise ValueError(f"empty forced-error window [{start_us}, {end_us})")
+        self.node_state(node)   # make the node visible to probes
+        self._forced.setdefault(node, []).append((start_us, end_us))
+
+    def _forced_error(self, node: str, now: int) -> bool:
+        return any(start <= now < end
+                   for start, end in self._forced.get(node, ()))
+
+    def submit(self, frame: CanFrame, node: str = "?",
+               injected: bool = False) -> QueuedMessage:
+        """Queue a frame for transmission (from a node's TX mailbox).
+
+        ``injected=True`` marks fault-layer traffic that bypasses any
+        controller TX path (a babbling-idiot sender, a spoofed frame);
+        it is counted separately so frame-conservation checks stay exact.
+        """
         message = QueuedMessage(frame=frame, queued_at=self.scheduler.now, node=node)
+        if injected:
+            self.frames_injected += 1
+        state = self._states.get(node)
+        if state is not None and state.bus_off:
+            # the node's controller is off the bus: park the frame, it
+            # re-enters arbitration at recovery with its queue time kept
+            state.held.append(message)
+            self.trace.emit(self.scheduler.now, "can", "held",
+                            can_id=frame.can_id, node=node)
+            return message
         self.pending.append(message)
         self.trace.emit(self.scheduler.now, "can", "queued",
                         can_id=frame.can_id, node=node)
@@ -85,45 +203,139 @@ class CanBus:
     def _try_start(self) -> None:
         if self.transmitting is not None or not self.pending:
             return
-        if self.scheduler.now < self.busy_until:
+        now = self.scheduler.now
+        if now < self.busy_until:
             self.scheduler.at(self.busy_until, self._try_start)
             return
+        # suspend transmission: error-passive nodes sit out their window
+        eligible = [m for m in self.pending
+                    if self.node_state(m.node).suspend_until_us <= now]
+        if not eligible:
+            wake = min(self.node_state(m.node).suspend_until_us
+                       for m in self.pending)
+            self.scheduler.at(wake, self._try_start)
+            return
         # arbitration: lowest identifier wins (FIFO among equal IDs)
-        winner = min(self.pending, key=lambda m: (m.frame.can_id, m.queued_at))
+        winner = min(eligible, key=lambda m: (m.frame.can_id, m.queued_at))
         self.pending.remove(winner)
         self.transmitting = winner
         winner.attempts += 1
         duration = self.bit_time_us(winner.frame.wire_bits)
         corrupted = self.error_rate > 0 and self.rng.random() < self.error_rate
-        if corrupted:
+        forced = self._forced_error(winner.node, now)
+        if corrupted or forced:
             self.errors_injected += 1
+            winner.errors += 1
             # error detected mid-frame: error frame + retransmission
             penalty = self.bit_time_us(ERROR_FRAME_BITS)
-            self.scheduler.after(duration // 2 + penalty,
-                                 lambda: self._transmission_failed(winner))
+            lost = duration // 2 + penalty
+            winner.error_latency_us += lost
+            self.scheduler.after(lost,
+                                 lambda: self._transmission_failed(winner, forced))
         else:
             self.scheduler.after(duration, lambda: self._transmission_done(winner))
         self.trace.emit(self.scheduler.now, "can", "arbitration_won",
                         can_id=winner.frame.can_id, attempt=winner.attempts)
 
-    def _transmission_failed(self, message: QueuedMessage) -> None:
+    # ------------------------------------------------------------------
+    # fault confinement
+    # ------------------------------------------------------------------
+    def _bump_receivers(self, transmitter: str, now: int) -> None:
+        for state in self._states.values():
+            if state.node == transmitter or state.bus_off:
+                continue
+            state.rec += 1
+            self._check_passive(state, now)
+
+    def _check_passive(self, state: NodeErrorState, now: int) -> None:
+        if (state.state == ERROR_ACTIVE
+                and (state.tec >= ERROR_PASSIVE_THRESHOLD
+                     or state.rec >= ERROR_PASSIVE_THRESHOLD)):
+            state.state = ERROR_PASSIVE
+            self.trace.emit(now, "can", "error_passive", node=state.node,
+                            tec=state.tec, rec=state.rec)
+
+    def _check_active(self, state: NodeErrorState) -> None:
+        if (state.state == ERROR_PASSIVE
+                and state.tec < ERROR_PASSIVE_THRESHOLD
+                and state.rec < ERROR_PASSIVE_THRESHOLD):
+            state.state = ERROR_ACTIVE
+
+    def _transmission_failed(self, message: QueuedMessage,
+                             forced: bool) -> None:
+        now = self.scheduler.now
         self.transmitting = None
-        self.busy_until = self.scheduler.now
-        self.pending.append(message)  # automatic retransmission
-        self.trace.emit(self.scheduler.now, "can", "error_frame",
-                        can_id=message.frame.can_id)
+        self.busy_until = now
+        state = self.node_state(message.node)
+        state.tec += TEC_ERROR_INCREMENT
+        self._bump_receivers(message.node, now)
+        self.trace.emit(now, "can", "error_frame",
+                        can_id=message.frame.can_id, node=message.node,
+                        tec=state.tec, forced=forced)
+        if state.tec >= BUS_OFF_THRESHOLD:
+            self._enter_bus_off(state, message)
+        else:
+            self._check_passive(state, now)
+            if state.error_passive:
+                state.suspend_until_us = now + self.bit_time_us(
+                    SUSPEND_TRANSMISSION_BITS)
+            self.pending.append(message)  # automatic retransmission
+        self._try_start()
+
+    def _enter_bus_off(self, state: NodeErrorState,
+                       message: QueuedMessage) -> None:
+        now = self.scheduler.now
+        recover_at = now + self.bit_time_us(BUS_OFF_RECOVERY_BITS)
+        state.state = BUS_OFF
+        state.bus_off_events += 1
+        state.bus_off_log.append((now, recover_at))
+        state.held.append(message)
+        # park the node's other queued frames too: its controller is off
+        for parked in [m for m in self.pending if m.node == state.node]:
+            self.pending.remove(parked)
+            state.held.append(parked)
+        self.trace.emit(now, "can", "bus_off", node=state.node,
+                        tec=state.tec, recover_at=recover_at,
+                        held=len(state.held))
+        self.scheduler.at(recover_at, lambda: self._recover(state))
+
+    def _recover(self, state: NodeErrorState) -> None:
+        now = self.scheduler.now
+        state.tec = 0
+        state.rec = 0
+        state.state = ERROR_ACTIVE
+        state.suspend_until_us = 0
+        state.bus_off_log[-1] = (state.bus_off_log[-1][0], now)
+        released, state.held = state.held, []
+        self.pending.extend(released)
+        self.trace.emit(now, "can", "bus_off_recovered", node=state.node,
+                        released=len(released))
         self._try_start()
 
     def _transmission_done(self, message: QueuedMessage) -> None:
+        now = self.scheduler.now
         self.transmitting = None
-        self.busy_until = self.scheduler.now
+        self.busy_until = now
         self.busy_us += self.bit_time_us(message.frame.wire_bits)
+        state = self._states.get(message.node)
+        if state is not None:
+            state.tec = max(state.tec - 1, 0)
+            for other in self._states.values():
+                if other.node != message.node and not other.bus_off:
+                    other.rec = max(other.rec - 1, 0)
+                    self._check_active(other)
+            self._check_active(state)
+            if state.error_passive:
+                state.suspend_until_us = now + self.bit_time_us(
+                    SUSPEND_TRANSMISSION_BITS)
         record = DeliveryRecord(can_id=message.frame.can_id, node=message.node,
                                 queued_at=message.queued_at,
-                                completed_at=self.scheduler.now,
-                                attempts=message.attempts)
+                                completed_at=now,
+                                attempts=message.attempts,
+                                errors=message.errors,
+                                retry_latency_us=message.error_latency_us)
         self.deliveries.append(record)
-        self.trace.emit(self.scheduler.now, "can", "delivered",
+        self.trace.emit(now, "can", "delivered",
                         can_id=message.frame.can_id,
                         response=record.response_time)
         for listener in self.listeners:
@@ -131,6 +343,31 @@ class CanBus:
         self._try_start()
 
     # ------------------------------------------------------------------
+    @property
+    def backlog(self) -> int:
+        """Frames accepted but not yet delivered: queued, on the wire,
+        or parked behind a bus-off node."""
+        held = sum(len(state.held) for state in self._states.values())
+        return len(self.pending) + (1 if self.transmitting else 0) + held
+
+    @property
+    def bus_off_events(self) -> int:
+        return sum(state.bus_off_events for state in self._states.values())
+
+    def error_accounting(self) -> dict:
+        """Injected errors vs errors attributed to messages (must agree)."""
+        on_messages = sum(d.errors for d in self.deliveries)
+        on_messages += sum(m.errors for m in self.pending)
+        if self.transmitting is not None:
+            on_messages += self.transmitting.errors
+        for state in self._states.values():
+            on_messages += sum(m.errors for m in state.held)
+        return {
+            "errors_injected": self.errors_injected,
+            "errors_on_messages": on_messages,
+            "coherent": self.errors_injected == on_messages,
+        }
+
     def worst_response(self, can_id: int) -> int:
         times = [d.response_time for d in self.deliveries if d.can_id == can_id]
         return max(times, default=0)

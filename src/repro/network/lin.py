@@ -118,6 +118,13 @@ class LinMaster:
         self.deliveries: list[LinDelivery] = []
         self.listeners: list = []   # callables(delivery), at frame completion
         self.no_response: int = 0
+        #: fault hook: callable ``(frame_id, now_us) -> None|"drop"|"stuck"``
+        #: consulted per slot.  ``"drop"`` models a dead slave (header goes
+        #: out, no response - counted in ``no_response``); ``"stuck"``
+        #: replays the slave's previous response bytes (a wedged
+        #: transceiver repeating its last buffer).
+        self.slot_fault = None
+        self._last_data: dict[int, bytes] = {}
         self._position = 0
 
     def attach_slave(self, frame_id: int, responder) -> None:
@@ -139,25 +146,39 @@ class LinMaster:
         self._position = (self._position + 1) % len(self.schedule)
         responder = self.slaves.get(slot.frame_id)
         finish = self.scheduler.now + slot.frame_time_us(self.baud)
+        fault = (self.slot_fault(slot.frame_id, self.scheduler.now)
+                 if self.slot_fault is not None else None)
+        if fault == "drop":
+            responder = None
         if responder is None:
             self.no_response += 1
+        elif fault == "stuck":
+            stale = self._last_data.get(slot.frame_id)
+            if stale is None:
+                self.no_response += 1   # nothing latched to repeat yet
+            else:
+                self._deliver(slot, stale, finish)
         else:
             data = bytes(responder())[:slot.payload_bytes]
-            pid = protected_id(slot.frame_id)
-            checksum = (enhanced_checksum(pid, data) if self.enhanced
-                        else classic_checksum(data))
-            verify = (enhanced_checksum(pid, data) if self.enhanced
-                      else classic_checksum(data))
-            delivery = LinDelivery(
-                frame_id=slot.frame_id, data=data,
-                checksum_ok=checksum == verify, at_us=finish)
-            self.deliveries.append(delivery)
-            if self.listeners:
-                # receivers see the frame when its last byte lands on the
-                # wire, not at the slot's header time
-                self.scheduler.at(finish, lambda d=delivery: [
-                    listener(d) for listener in self.listeners])
+            self._last_data[slot.frame_id] = data
+            self._deliver(slot, data, finish)
         self.scheduler.after(slot.slot_us, self._run_slot)
+
+    def _deliver(self, slot: ScheduleSlot, data: bytes, finish: int) -> None:
+        pid = protected_id(slot.frame_id)
+        checksum = (enhanced_checksum(pid, data) if self.enhanced
+                    else classic_checksum(data))
+        verify = (enhanced_checksum(pid, data) if self.enhanced
+                  else classic_checksum(data))
+        delivery = LinDelivery(
+            frame_id=slot.frame_id, data=data,
+            checksum_ok=checksum == verify, at_us=finish)
+        self.deliveries.append(delivery)
+        if self.listeners:
+            # receivers see the frame when its last byte lands on the
+            # wire, not at the slot's header time
+            self.scheduler.at(finish, lambda d=delivery: [
+                listener(d) for listener in self.listeners])
 
     # ------------------------------------------------------------------
     def worst_case_latency_us(self, frame_id: int) -> int:

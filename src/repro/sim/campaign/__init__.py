@@ -15,7 +15,22 @@ domain** (see :mod:`repro.sim.domains`):
 * ``can`` - CAN traffic matrices on the discrete-event bus
   (:mod:`repro.network.can_bus`) against the Tindell/Davis bounds;
 * ``soft_error`` - cosmic-ray upset sweeps (:mod:`repro.memory.faults`)
-  into an ECC TCM feeding real CPU runs.
+  into an ECC TCM feeding real CPU runs;
+* ``vehicle`` / ``vehicle_fault`` - whole virtual vehicles as cells: the
+  healthy co-simulated body network verified against composed analytic
+  bounds, and the same network under injected faults (babbling-idiot
+  senders, bus-off storms, gateway RX overload, stuck/dropped LIN slots,
+  firmware soft errors) with a **verdict per safety claim** - latency
+  bound held, frame conservation, fail-silence of the faulted node,
+  recovery within deadline - judged against the cell's fault-free twin.
+  A fault cell verifies when each verdict matches its *expected*
+  outcome (a babbling idiot is supposed to break the latency bound;
+  confinement is supposed to hold everything else), so demonstrated
+  violations are assertions, not failures.  Faulted runs keep the full
+  determinism guarantee below: injected traffic and forced error
+  windows are scheduled in bus time, and mid-run memory flips settle to
+  the guest's next WFI boundary, so records are byte-identical across
+  engine tiers, quantum sizes, workers, and shards.
 
 Determinism is the hard guarantee that makes campaigns distributable:
 
@@ -242,7 +257,10 @@ def _parse_stream_line(path, lineno: int, line: str):
             f"{path}:{lineno}: unknown scenario domain {domain!r}") from exc
     try:
         return record_class(**payload)
-    except TypeError as exc:
+    except (TypeError, ValueError) as exc:
+        # TypeError: fields missing/unknown; ValueError: a record class
+        # rejected field *content* (e.g. a vehicle_fault record carrying
+        # an unknown verdict claim)
         raise CampaignStreamError(
             f"{path}:{lineno}: corrupt {domain!r} record "
             f"(fields do not match {record_class.__name__}: {exc})") from exc
@@ -468,6 +486,7 @@ def available_matrices() -> dict:
     from repro.sim.domains.osek import osek_matrix
     from repro.sim.domains.soft_error import soft_error_matrix
     from repro.sim.domains.vehicle import vehicle_matrix
+    from repro.sim.domains.vehicle_fault import vehicle_fault_matrix
     from repro.sim.domains.wcet import wcet_matrix
 
     return {
@@ -478,6 +497,7 @@ def available_matrices() -> dict:
         "can": can_matrix,
         "soft-error": soft_error_matrix,
         "vehicle": vehicle_matrix,
+        "vehicle-fault": vehicle_fault_matrix,
         "lin": lin_matrix,
         "wcet": wcet_matrix,
         "vehicle-smoke": vehicle_smoke_matrix,

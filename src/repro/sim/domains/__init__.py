@@ -82,9 +82,11 @@ from repro.sim.domains import lin as _lin            # noqa: E402
 from repro.sim.domains import osek as _osek          # noqa: E402
 from repro.sim.domains import soft_error as _soft    # noqa: E402
 from repro.sim.domains import vehicle as _vehicle    # noqa: E402
+from repro.sim.domains import vehicle_fault as _vfault  # noqa: E402
 from repro.sim.domains import wcet as _wcet          # noqa: E402
 
-for _module in (_kernel, _osek, _can, _soft, _vehicle, _lin, _wcet):
+for _module in (_kernel, _osek, _can, _soft, _vehicle, _lin, _wcet,
+                _vfault):
     register_domain(_module.DOMAIN)
 
 __all__ = [

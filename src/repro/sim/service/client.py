@@ -11,6 +11,23 @@ operation carries a ``seq`` the server echoes on its replies).
 :func:`submit_and_stream` is the blocking convenience wrapper the CLI
 uses (``python -m repro.sim.campaign --connect HOST:PORT``): one request
 in, records to a file and/or callback, the ``done`` summary out.
+
+Degrading gracefully
+--------------------
+A ``--connect`` client neither hangs nor dies on a flaky service:
+
+* :meth:`CampaignClient.connect` bounds each attempt with a connect
+  timeout and retries connection failures with exponential backoff
+  (``connect-failed`` after the budget is spent);
+* one-shot calls (submit/status/cancel) bound their reply wait with a
+  read timeout (``timeout``);
+* ``queue-full`` back-pressure on submit is retried with the same
+  exponential backoff - the server's bounded queues drain as requests
+  finish - and surfaces as the typed error only once the retry budget
+  is exhausted.
+
+All failures stay typed (:class:`CampaignServiceError`), so callers
+match on ``exc.code``, never on transport exception zoo.
 """
 
 from __future__ import annotations
@@ -28,21 +45,62 @@ from repro.sim.service.protocol import (
 )
 
 
+#: default per-attempt connect timeout (seconds)
+CONNECT_TIMEOUT = 5.0
+#: default reply timeout for one-shot calls (seconds); streams are
+#: unbounded - a long sweep legitimately stays quiet between records
+READ_TIMEOUT = 30.0
+#: default retry budget for connection failures and queue-full submits
+RETRIES = 3
+#: first backoff delay (seconds); doubles per retry
+BACKOFF = 0.2
+
+
 class CampaignClient:
     """Async client for one connection to a campaign service."""
 
-    def __init__(self, reader, writer):
+    def __init__(self, reader, writer, *, read_timeout: float = READ_TIMEOUT,
+                 retries: int = RETRIES, backoff: float = BACKOFF):
         self._reader = reader
         self._writer = writer
+        self._read_timeout = read_timeout
+        self._retries = retries
+        self._backoff = backoff
         self._seq = itertools.count(1)
         self._pending: dict[int, asyncio.Future] = {}
         self._streams: dict[int, asyncio.Queue] = {}
         self._reader_task = asyncio.create_task(self._read_loop())
 
     @classmethod
-    async def connect(cls, host: str = "127.0.0.1", port: int = 0) -> CampaignClient:
-        reader, writer = await asyncio.open_connection(host, port)
-        return cls(reader, writer)
+    async def connect(cls, host: str = "127.0.0.1", port: int = 0, *,
+                      connect_timeout: float = CONNECT_TIMEOUT,
+                      retries: int = RETRIES,
+                      backoff: float = BACKOFF,
+                      read_timeout: float = READ_TIMEOUT) -> CampaignClient:
+        """Connect with a per-attempt timeout and bounded retry.
+
+        Each attempt is bounded by ``connect_timeout``; connection
+        refusals and timeouts retry up to ``retries`` times with
+        exponential backoff (``backoff``, doubling).  Exhaustion raises
+        :class:`CampaignServiceError` with code ``connect-failed``.
+        """
+        delay = backoff
+        last: Exception | None = None
+        for attempt in range(retries + 1):
+            if attempt:
+                await asyncio.sleep(delay)
+                delay *= 2
+            try:
+                reader, writer = await asyncio.wait_for(
+                    asyncio.open_connection(host, port), connect_timeout)
+                return cls(reader, writer, read_timeout=read_timeout,
+                           retries=retries, backoff=backoff)
+            except (ConnectionError, OSError, asyncio.TimeoutError) as exc:
+                last = exc
+        raise CampaignServiceError(
+            "connect-failed",
+            f"{host}:{port} unreachable after {retries + 1} attempts: "
+            f"{last!r}")
 
     async def _read_loop(self) -> None:
         """Route every incoming frame by its echoed ``seq``: stream
@@ -73,24 +131,49 @@ class CampaignClient:
                 queue.put_nowait(error_payload("connection-closed", "service connection closed"))
 
     async def _call(self, payload: dict) -> dict:
-        """Send one message, await the ``seq``-matched reply."""
+        """Send one message, await the ``seq``-matched reply (bounded by
+        the read timeout; ``timeout`` is raised typed, never hangs)."""
         seq = next(self._seq)
         payload["seq"] = seq
         future = asyncio.get_running_loop().create_future()
         self._pending[seq] = future
         self._writer.write(encode_message(payload))
         await self._writer.drain()
-        return raise_on_error(await future)
+        try:
+            reply = await asyncio.wait_for(future, self._read_timeout)
+        except asyncio.TimeoutError:
+            self._pending.pop(seq, None)
+            raise CampaignServiceError(
+                "timeout",
+                f"no reply to {payload.get('op')!r} (seq {seq}) within "
+                f"{self._read_timeout}s") from None
+        return raise_on_error(reply)
 
     async def submit(self, request, *, rid: str | None = None, priority: int | None = None) -> str:
-        """Register a sweep; returns the request id for stream/cancel."""
+        """Register a sweep; returns the request id for stream/cancel.
+
+        ``queue-full`` back-pressure retries with exponential backoff up
+        to the client's retry budget (the server's bounded queues drain
+        as requests complete), then surfaces typed.
+        """
         payload: dict = {"op": "submit", "request": request.to_obj()}
         if rid is not None:
             payload["id"] = rid
         if priority is not None:
             payload["priority"] = priority
-        reply = await self._call(payload)
-        return reply["id"]
+        delay = self._backoff
+        for attempt in range(self._retries + 1):
+            if attempt:
+                await asyncio.sleep(delay)
+                delay *= 2
+            try:
+                reply = await self._call(dict(payload))
+            except CampaignServiceError as exc:
+                if exc.code == "queue-full" and attempt < self._retries:
+                    continue
+                raise
+            return reply["id"]
+        raise AssertionError("unreachable")  # loop always returns/raises
 
     async def stream(self, rid: str, *, on_record=None, stream_path=None) -> dict:
         """Consume a request's records in spec order; return the ``done``
@@ -154,15 +237,24 @@ def submit_and_stream(
     priority: int | None = None,
     stream_path=None,
     on_record=None,
+    connect_timeout: float = CONNECT_TIMEOUT,
+    retries: int = RETRIES,
+    backoff: float = BACKOFF,
+    read_timeout: float = READ_TIMEOUT,
 ) -> dict:
     """Blocking one-shot: connect, submit, stream to completion.
 
     The CLI's ``--connect`` path; also the simplest way to use a service
-    from synchronous code.  Returns the ``done`` summary dict.
+    from synchronous code.  Returns the ``done`` summary dict.  Inherits
+    the client's graceful degradation: bounded connect retries with
+    backoff, read timeouts on the submit acknowledgement, and
+    ``queue-full`` retry.
     """
 
     async def go() -> dict:
-        client = await CampaignClient.connect(host, port)
+        client = await CampaignClient.connect(
+            host, port, connect_timeout=connect_timeout, retries=retries,
+            backoff=backoff, read_timeout=read_timeout)
         try:
             actual = await client.submit(request, rid=rid, priority=priority)
             return await client.stream(actual, on_record=on_record, stream_path=stream_path)

@@ -24,6 +24,10 @@ message, it answers ``{"op": "error", "ok": false, "error": <code>,
                        with ``status: "error"``)
 ``shutting-down``  the service is draining and takes no new work
 ``connection-closed``  client-side: the transport dropped mid-operation
+``connect-failed``     client-side: the service could not be reached
+                       within the connect timeout and retry budget
+``timeout``            client-side: a reply did not arrive within the
+                       read timeout
 =================  =====================================================
 
 :class:`CampaignServiceError` is the client-facing exception carrying the

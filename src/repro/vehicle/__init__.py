@@ -19,6 +19,19 @@ from repro.vehicle.ecu import (
     CosimDeterminismError,
     Ecu,
 )
+from repro.vehicle.faults import (
+    FAULT_KINDS,
+    VERDICT_CLAIMS,
+    BabblingIdiot,
+    BusOffStorm,
+    FaultScenario,
+    FaultSpec,
+    FirmwareSoftError,
+    GatewayOverload,
+    LinSlotFault,
+    scenario_for,
+    synthesize_fault,
+)
 from repro.vehicle.vehicle import (
     BodyNetwork,
     BodyNetworkReport,
@@ -38,6 +51,9 @@ __all__ = [
     "ActuatorDevice", "CanController", "LinController", "MmioDevice",
     "SensorDevice",
     "IRQ_DELIVERY_CYCLES", "TX_DELAY_US", "CosimDeterminismError", "Ecu",
+    "FAULT_KINDS", "VERDICT_CLAIMS", "BabblingIdiot", "BusOffStorm",
+    "FaultScenario", "FaultSpec", "FirmwareSoftError", "GatewayOverload",
+    "LinSlotFault", "scenario_for", "synthesize_fault",
     "BodyNetwork", "BodyNetworkReport", "BodyNetworkSpec", "RoundTrip",
     "RoundTripSpec", "SensorNode", "SignalObservation", "VirtualVehicle",
     "build_body_network", "build_guest_machine", "build_round_trip",

@@ -143,6 +143,12 @@ class CanController(MmioDevice):
         self.node = "ecu"
         self.accept: frozenset[int] = frozenset()
         self.irq: tuple[int, int, int] | None = None  # (number, handler, prio)
+        #: (start_us, end_us) windows in which the RX interrupt is NOT
+        #: raised although frames still enter the FIFO - the fault
+        #: layer's model of a starved/overloaded drain path.  Frames
+        #: arriving faster than the FIFO holds are then dropped and
+        #: counted, exactly as on a controller whose ISR is stalled.
+        self.irq_blackouts: tuple = ()
         self.fifo = _RxFifo(capacity)
         self.tx_id = 0
         self.tx_data = 0
@@ -224,10 +230,13 @@ class CanController(MmioDevice):
         now_us = self.can_bus.scheduler.now
         visible = self.ecu.cycle_of_us(now_us) + self.ecu.irq_latency
         self.fifo.push(frame.can_id, word, visible)
-        if self.irq is not None:
+        if self.irq is not None and not self._irq_suppressed(now_us):
             number, handler, priority = self.irq
             self.ecu.raise_irq(number, handler, at_us=now_us,
                                priority=priority)
+
+    def _irq_suppressed(self, now_us: int) -> bool:
+        return any(start <= now_us < end for start, end in self.irq_blackouts)
 
 
 class LinController(MmioDevice):

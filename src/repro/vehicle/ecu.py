@@ -140,6 +140,45 @@ class Ecu:
             cpu.run_until_cycle(target,
                                 max_instructions=self.max_instructions)
 
+    def advance_for_event(self, at_us: int,
+                          settle_instructions: int = 1_000_000) -> int:
+        """Advance the guest to the exact architectural point for a
+        direct state mutation (e.g. a soft-error flip) at bus time
+        ``at_us``, and return the cycle the mutation lands at.
+
+        An IRQ needs no such care - the engine delivers it cycle-exactly
+        wherever the host paused - but a raw memory write is only
+        quantum- and engine-invariant if it lands at a *unique*
+        architectural point.  Busy execution stops at engine-dependent
+        boundaries (a fused loop iteration may overrun where the
+        reference tier would pause), so after advancing to the event
+        cycle we *settle*: run until the guest parks on WFI (or halts).
+        No engine tier can overrun past a WFI, and cycle accounting is
+        bit-identical across tiers, so every tier reaches the same sleep
+        point - the mutation is then a pure function of the instruction
+        stream.  Raises :class:`CosimDeterminismError` if the core has
+        already executed past the event cycle, and ``RuntimeError`` if
+        the firmware never sleeps within ``settle_instructions``.
+        """
+        target = self.cycle_of_us(at_us) + self.irq_latency
+        cpu = self.cpu
+        if target < cpu.cycles:
+            raise CosimDeterminismError(
+                f"{self.name}: state mutation for bus time {at_us}us would "
+                f"land at cycle {target}, but the core has already reached "
+                f"cycle {cpu.cycles}")
+        self.advance_to_cycle(target)
+        executed = cpu.instructions_executed
+        while not cpu.halted and not cpu.sleeping:
+            if cpu.instructions_executed - executed > settle_instructions:
+                raise RuntimeError(
+                    f"{self.name}: firmware never reached WFI within "
+                    f"{settle_instructions} instructions of the event at "
+                    f"{at_us}us; cannot place a deterministic mutation")
+            cpu.run_until_cycle(cpu.cycles + self.mhz * 1_000,
+                                max_instructions=self.max_instructions)
+        return cpu.cycles
+
     def _sleep_until(self, target: int) -> None:
         """Fast-forward WFI sleep: the reference loop charges one cycle
         per poll, and below the earliest eligible assert every poll is

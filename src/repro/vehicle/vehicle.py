@@ -200,7 +200,13 @@ class VirtualVehicle:
 
     # ------------------------------------------------------------------
     def frame_conservation(self) -> dict:
-        """CAN frame accounting across controllers, scheduler, and wire."""
+        """CAN frame accounting across controllers, scheduler, and wire.
+
+        Exactly-once under faults too: frames injected by the fault layer
+        (no controller TX path) and frames parked behind a bus-off node
+        are both in the ledger, and injected-error accounting must be
+        coherent (every error frame attributed to exactly one message).
+        """
         queued = submitted = 0
         for ecu in self.ecus:
             for device in ecu.devices:
@@ -208,13 +214,17 @@ class VirtualVehicle:
                     queued += device.frames_queued
                     submitted += device.frames_submitted
         delivered = len(self.can.deliveries)
-        on_wire = len(self.can.pending) + (1 if self.can.transmitting else 0)
         in_tx_path = queued - submitted
+        sourced = queued + self.can.frames_injected
+        errors = self.can.error_accounting()
         return {
             "queued": queued,
+            "injected": self.can.frames_injected,
             "delivered": delivered,
-            "backlog": on_wire + in_tx_path,
-            "conserved": queued == delivered + on_wire + in_tx_path,
+            "backlog": self.can.backlog + in_tx_path,
+            "errors_injected": errors["errors_injected"],
+            "conserved": (sourced == delivered + self.can.backlog + in_tx_path
+                          and errors["coherent"]),
         }
 
 

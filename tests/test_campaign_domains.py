@@ -43,7 +43,7 @@ from repro.sim.domains import (
 
 def test_registry_knows_all_builtin_domains():
     assert domain_names() == ["can", "kernel", "lin", "osek", "soft_error",
-                              "vehicle", "wcet"]
+                              "vehicle", "vehicle_fault", "wcet"]
     for name in domain_names():
         domain = get_domain(name)
         assert domain.name == name
@@ -349,7 +349,7 @@ def test_builtin_matrices_cover_all_domains():
     matrices = available_matrices()
     assert set(matrices) == {"table1", "irq-sweep", "osek", "can",
                              "soft-error", "smoke", "vehicle", "lin",
-                             "wcet", "vehicle-smoke"}
+                             "wcet", "vehicle-smoke", "vehicle-fault"}
     smoke = smoke_matrix()
     assert {s.domain for s in smoke} == {"kernel", "osek", "can",
                                          "soft_error", "vehicle", "lin",
