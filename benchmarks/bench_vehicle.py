@@ -74,3 +74,43 @@ def test_body_network_cosim_throughput(benchmark):
     benchmark.extra_info["bus_seconds_per_second"] = round(
         bus_seconds / seconds, 2)
     benchmark.extra_info["guest_instructions"] = instructions
+
+
+def test_body_network_cosim_throughput_parallel(benchmark):
+    """The same network with every ECU quantum advanced concurrently
+    (``parallel=3``, one worker per ECU) - identical output bytes by the
+    lookahead/merge contract, so the only question is the rate."""
+    built = {}
+
+    def run():
+        network = build_body_network(SPEC)
+        network.run(horizon_us=HORIZON_US, parallel=3)
+        built["network"] = network
+        return network
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    network = built["network"]
+    report_data = network.report()
+    assert report_data.healthy, "benchmark network must verify end to end"
+
+    seconds = benchmark.stats["mean"]
+    instructions = sum(ecu.cpu.instructions_executed
+                      for ecu in network.vehicle.ecus)
+    bus_seconds = HORIZON_US / 1e6
+    ns_per_instruction = seconds * 1e9 / instructions
+
+    record_summary("cosim", "body-network-3ecu-parallel", ns_per_instruction)
+    report(
+        "virtual vehicle co-simulation, parallel ECU advance"
+        + (" [reduced]" if REDUCED else ""),
+        [
+            f"horizon {bus_seconds:.2f} simulated bus-seconds, "
+            f"{len(network.vehicle.ecus)} ECUs on 3 workers under "
+            f"declared TX lookahead",
+            f"{bus_seconds / seconds:8.1f} simulated-bus-seconds / wall-second",
+            f"{instructions:8d} guest instructions "
+            f"({ns_per_instruction:.0f} ns/instruction under co-sim)",
+        ])
+    benchmark.extra_info["bus_seconds_per_second"] = round(
+        bus_seconds / seconds, 2)
+    benchmark.extra_info["parallel"] = 3

@@ -147,6 +147,25 @@ class Arm1156Core(BaseCpu):
     # ------------------------------------------------------------------
     # cycle model: 9-stage, 64-bit datapath, static prediction
     # ------------------------------------------------------------------
+    #: the only dynamic cycle model is the early-exit divider:
+    #: 1 + min(11, ...) = 12 core cycles worst case, +2 on a taken branch
+    WORST_DYNAMIC_CYCLES = 14
+
+    def worst_access_stall(self) -> int:
+        """Fold the optional cache ports into the bus's declared bound.
+
+        Fetches go through the I-cache and data through the D-cache when
+        configured; either can stall worse than the raw bus (a fill or a
+        parity-recovery refill), so the block cycle cap must honour the
+        caches' own declared contracts too.
+        """
+        worst = self.bus.worst_stall
+        if self.icache is not None:
+            worst = max(worst, self.icache.worst_stall)
+        if self.dcache is not None:
+            worst = max(worst, self.dcache.worst_stall)
+        return worst
+
     def instruction_cycles(self, ins: Instruction, outcome: Outcome) -> int:
         if outcome.skipped:
             return 1

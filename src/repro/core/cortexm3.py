@@ -107,6 +107,10 @@ class CortexM3Core(BaseCpu):
     # ------------------------------------------------------------------
     # Cortex-M3 cycle counts
     # ------------------------------------------------------------------
+    #: the only dynamic cycle model is the early-exit divider:
+    #: 1 + min(11, ...) = 12 core cycles worst case, +1 if it branches
+    WORST_DYNAMIC_CYCLES = 13
+
     def instruction_cycles(self, ins: Instruction, outcome: Outcome) -> int:
         if outcome.skipped:
             return 1

@@ -875,38 +875,61 @@ class BaseCpu:
             fast_step()
         return self.instructions_executed - start
 
-    #: flat per-block allowance folded into every cycle cap: covers the
-    #: dynamic parts a static walk cannot see (flash stream breaks, cache
-    #: fills, div worst cases) without inspecting the memory system
-    _CAP_SLACK = 128
+    #: extra per-block allowance folded into every cycle cap.  With the
+    #: device-declared ``worst_stall`` protocol the caps are sound on
+    #: their own, so the default is 0; it remains as a widening knob for
+    #: experiments (a larger value only trades fused dispatch near the
+    #: quantum edge for slack, never correctness).
+    _CAP_SLACK = 0
+
+    #: upper bound on the *core-side* cycles of any instruction whose
+    #: compiled cycle model is dynamic (no ``static_taken`` attached).
+    #: Cores with outcome-dependent costs (early-exit dividers) override
+    #: this with their declared worst case; the base value is a
+    #: conservative ceiling for cores that do not declare.
+    WORST_DYNAMIC_CYCLES = 16
+
+    def worst_access_stall(self) -> int:
+        """Worst stall any single bus access can impose on this core.
+
+        Delegates to the bus's device-declared ``worst_stall`` contract;
+        cores with private memory ports (TCM, caches) fold those in.
+        """
+        return self.bus.worst_stall
 
     def _block_cycle_cap(self, uops) -> int:
-        """A worst-case cycle estimate for one superblock execution.
+        """A sound worst-case cycle bound for one superblock execution.
 
         Used only by the cycle-coupled engine to decide whether a whole
         block (or one more fused-loop iteration) fits under the quantum
         ceiling - and only while the interrupt queue is empty, so an IRQ
-        can never be serviced late because of it.  The estimate is
-        heuristic, not proven: an underestimate merely lets the block
-        overrun the *quantum* by the shortfall, which the fixed interrupt
-        delivery latency absorbs and :meth:`repro.vehicle.Ecu.raise_irq`
-        guards loudly.  An overestimate only means per-step dispatch near
-        the boundary.
+        can never be serviced late because of it.  The bound is built
+        from *declared* interfaces rather than heuristics: each uop
+        contributes its static taken-path cost (the maximum over outcome
+        shapes; :attr:`WORST_DYNAMIC_CYCLES` covers the few dynamic
+        cycle models) plus the memory system's declared
+        :meth:`worst_access_stall` per access (the fetch, plus one data
+        access for mem uops or one per transferred register).  An
+        overestimate only means per-step dispatch near the boundary; the
+        declared protocol keeps the estimate tight enough that fused
+        blocks run close to the quantum edge.
         """
+        stall = self.worst_access_stall()
+        worst_dynamic = self.WORST_DYNAMIC_CYCLES
         total = self._CAP_SLACK
         for uop in uops:
             cycle_fn = self.compile_cycles(uop.ins)
             static = (getattr(cycle_fn, "static_taken", None)
                       if cycle_fn is not None else None)
             if static is None:
-                static = 16
+                static = worst_dynamic
             accesses = 1  # the instruction fetch
             reglist = getattr(uop.ins, "reglist", ())
             if reglist:
                 accesses += len(reglist)
             elif uop.kind == "mem":
                 accesses += 1
-            total += static + 4 * accesses
+            total += static + stall * accesses
         return total
 
     def _run_superblocks_until(self, start: int, max_instructions: int,

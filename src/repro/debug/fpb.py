@@ -91,6 +91,11 @@ class PatchedFlash:
         self.base = flash.base
         self.size = flash.size
 
+    @property
+    def worst_stall(self) -> int:
+        """Patching is free; the wrapped flash's declared bound carries."""
+        return self.flash.worst_stall
+
     def read(self, addr: int, size: int, side: str = "D") -> tuple[int, int]:
         value, stalls = self.flash.read(addr, size, side)
         patched = self.fpb.intercept_read(addr, size)

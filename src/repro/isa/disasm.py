@@ -7,7 +7,7 @@ property tests.
 
 from __future__ import annotations
 
-from repro.isa.arm32 import decode_arm
+from repro.isa.arm32 import EncodingError, decode_arm
 from repro.isa.instructions import ISA_ARM, Instruction
 from repro.isa.thumb import is_wide
 from repro.isa.thumb_decode import decode_thumb
@@ -36,7 +36,9 @@ def disassemble_image(image: bytes, isa: str, base: int = 0) -> list[Instruction
             word = int.from_bytes(image[offset:offset + 4], "little")
             try:
                 out.append(decode_arm(word, base + offset))
-            except Exception:
+            except EncodingError:
+                # an undecodable word (e.g. a literal pool) ends the
+                # sweep; anything else is a decoder bug and propagates
                 break
             offset += 4
         return out
@@ -51,7 +53,9 @@ def disassemble_image(image: bytes, isa: str, base: int = 0) -> list[Instruction
             width = 4
         try:
             out.append(decode_thumb(halfwords, base + offset))
-        except Exception:
+        except EncodingError:
+            # same contract as the ARM sweep: only a genuine encoding
+            # failure stops disassembly; decoder bugs propagate
             break
         offset += width
     return out

@@ -38,6 +38,12 @@ class BitBandAlias:
         self.bit_writes = 0
         self.bit_reads = 0
 
+    @property
+    def worst_stall(self) -> int:
+        """Declared timing contract: an alias write is a read-modify-write
+        against the target, paying its worst stall at most twice."""
+        return 2 * getattr(self.target, "worst_stall", 0)
+
     def _locate(self, addr: int) -> tuple[int, int]:
         """Map an alias address to (target byte address, bit number)."""
         offset = addr - self.base

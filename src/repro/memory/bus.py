@@ -22,10 +22,19 @@ class BusFault(Exception):
 
 
 class MemoryDevice(Protocol):
-    """What the bus needs from a memory-mapped device."""
+    """What the bus needs from a memory-mapped device.
+
+    ``worst_stall`` is the device's *declared* timing contract: an upper
+    bound on the stall cycles any single access (at most one bus word)
+    can return.  The per-block cycle caps that bound speculative
+    superblock execution are summed from these declarations, so a device
+    that can stall MUST declare; a device without the attribute is taken
+    as stall-free (the MMIO default).
+    """
 
     base: int
     size: int
+    worst_stall: int
 
     def read(self, addr: int, size: int, side: str) -> tuple[int, int]: ...
     def write(self, addr: int, size: int, value: int, side: str) -> tuple[None, int] | int: ...
@@ -81,6 +90,18 @@ class SystemBus:
         self._devices.sort(key=lambda d: d.base)
         self._bases = [d.base for d in self._devices]
         self._span_d = self._span_i = _NO_SPAN
+
+    @property
+    def worst_stall(self) -> int:
+        """Worst per-access stall any attached device declares.
+
+        The aggregate of the device-declared ``worst_stall`` contract
+        (see :class:`MemoryDevice`): core cycle-cap computations ask the
+        bus once instead of guessing.  Devices without a declaration are
+        assumed stall-free - every stalling device in the tree declares.
+        """
+        return max((getattr(device, "worst_stall", 0)
+                    for device in self._devices), default=0)
 
     def _lookup(self, addr: int):
         """Bisect the sorted device list; None when unmapped."""

@@ -86,6 +86,20 @@ class Cache:
     def size_bytes(self) -> int:
         return self.sets * self.ways * self.line_bytes
 
+    @property
+    def worst_stall(self) -> int:
+        """Declared timing contract for one cache access.
+
+        A straddling access splits into two sub-reads; each costs at most
+        one line fill (either a miss, or a hit whose parity recovery
+        invalidates and refetches the line).  A fill pays ``fill_penalty``
+        plus, per beat, one bus cycle and the backing store's own worst
+        stall - asked for, not guessed, via the same declared protocol.
+        """
+        backing = getattr(self.backing, "worst_stall", 0)
+        fill = self.fill_penalty + (self.line_bytes // 4) * (backing + 1)
+        return 2 * fill
+
     def _split(self, addr: int) -> tuple[int, int, int]:
         offset = addr & (self.line_bytes - 1)
         set_index = (addr // self.line_bytes) % self.sets

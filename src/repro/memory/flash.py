@@ -49,6 +49,12 @@ class Flash(RamBackedDevice):
         self.sequential_hits = 0
         self.stream_breaks = 0
 
+    @property
+    def worst_stall(self) -> int:
+        """Declared timing contract: an access can straddle two lines and
+        break the stream on both, paying the array latency twice."""
+        return 2 * self.access_cycles
+
     def _line_of(self, addr: int) -> int:
         return addr & ~(self.line_bytes - 1)
 

@@ -21,6 +21,11 @@ class Sram(RamBackedDevice):
         self.reads = 0
         self.writes = 0
 
+    @property
+    def worst_stall(self) -> int:
+        """Declared timing contract: every access stalls ``wait_states``."""
+        return self.wait_states
+
     def read(self, addr: int, size: int, side: str = "D") -> tuple[int, int]:
         offset = addr - self.base
         if offset < 0 or offset > self.size - size:

@@ -96,6 +96,12 @@ class Tcm(RamBackedDevice):
         self.silent_corruptions = 0
         self.hold_cycles = 0
 
+    @property
+    def worst_stall(self) -> int:
+        """Declared timing contract: a bus access (at most one word) can
+        span two ECC words, each holding ``repair_cycles`` for repair."""
+        return 2 * self.repair_cycles if self.fault_tolerant else 0
+
     # ------------------------------------------------------------------
     def _word_index(self, addr: int) -> int:
         return (addr - self.base) // 4

@@ -330,11 +330,17 @@ class CampaignResult:
         return json.dumps(payload, sort_keys=True, separators=(",", ":"))
 
 
-def run_scenario(spec: ScenarioSpec):
-    """Run one scenario through its domain (also the worker entry point)."""
+def run_scenario(spec: ScenarioSpec, parallel: int | None = None):
+    """Run one scenario through its domain (also the worker entry point).
+
+    ``parallel`` asks domains that support it (co-simulations) to advance
+    their ECUs on that many worker threads.  It is an execution-level
+    knob like ``workers`` - never part of the spec, its cache key, or the
+    record, because output is byte-identical for every value.
+    """
     from repro.sim.domains import get_domain
 
-    return get_domain(spec.domain).run(spec)
+    return get_domain(spec.domain).run(spec, parallel=parallel)
 
 
 # The request core lives in its own module; import it here (after the
@@ -603,6 +609,11 @@ def build_parser():
     parser.add_argument("--retries", type=int, default=2,
                         help="retry budget per failed shard under --launch")
     parser.add_argument("--workers", type=int, default=None)
+    parser.add_argument("--parallel", type=int, default=None, metavar="N",
+                        help="advance each co-simulation cell's ECUs on N "
+                             "worker threads (vehicle domains; ignored "
+                             "elsewhere) - records are byte-identical to "
+                             "a serial run for every N")
     parser.add_argument("--stream", default=None, metavar="PATH",
                         help="write records to PATH as canonical JSONL "
                              "(truncated first: shard retries must replace, "
@@ -627,8 +638,8 @@ def request_from_args(args) -> CampaignRequest:
     """The parsed CLI flags as a :class:`CampaignRequest`."""
     return CampaignRequest(matrix=args.matrix, seed=args.seed,
                            scale=args.scale, shard=args.shard,
-                           workers=args.workers, cache=args.cache,
-                           priority=args.priority)
+                           workers=args.workers, parallel=args.parallel,
+                           cache=args.cache, priority=args.priority)
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -468,7 +468,7 @@ class CampaignService:
             await send(reply)
         elif op == "stream":
             state = self._get(msg.get("id"))
-            task = asyncio.create_task(self._stream_to(state, seq, send))
+            task = asyncio.create_task(self._stream_guarded(state, seq, send))
             conn_tasks.add(task)
             task.add_done_callback(conn_tasks.discard)
         elif op == "status":
@@ -480,6 +480,26 @@ class CampaignService:
             await send({"op": "cancelled", "seq": seq, **summary})
         else:
             raise CampaignServiceError("unknown-op", f"unknown op {op!r}")
+
+    async def _stream_guarded(self, state: _RequestState, seq, send) -> None:
+        """Run a stream subscription with the connection-loop error
+        contract: a failure inside the (fire-and-forget) stream task must
+        reach the client as a typed ``internal`` error with the request's
+        ``seq`` echoed - not vanish into a dropped task result.  The
+        request's compute side is untouched: its queue slots are freed by
+        ``_serve_request``'s own finally, streamed or not.
+        """
+        try:
+            await self._stream_to(state, seq, send)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            try:
+                await send(error_payload(
+                    "internal", f"{type(exc).__name__}: {exc}",
+                    seq=seq, rid=state.rid))
+            except (ConnectionError, OSError):
+                pass  # client went away mid-report; nothing left to tell
 
     async def _stream_to(self, state: _RequestState, seq, send) -> None:
         async for index, record in self.stream_records(state):

@@ -3,7 +3,10 @@
 Real CPU-core models running real assembled firmware, wired to the
 discrete-event CAN bus and the LIN sub-bus through memory-mapped network
 controllers, all on one shared clock - see :mod:`repro.vehicle.vehicle`
-for the composition model and determinism contract.
+for the composition model, the determinism contract, and the parallel
+lookahead/merge contract (``run(parallel=N)`` advances every ECU's
+quantum concurrently under the declared TX lookahead, byte-identical
+to the serial pump).
 """
 
 from repro.vehicle.controllers import (

@@ -77,6 +77,10 @@ class Ecu:
         self.cpu.regs.lr = HALT_ADDRESS
         self.cpu.regs.pc = program.symbols[entry]
         self.devices: list = []
+        #: open TX window: when not None, doorbell submissions buffer
+        #: here as (at_us, action) instead of going to the scheduler -
+        #: the parallel pump's merge step drains them at the barrier
+        self.tx_buffer: list | None = None
 
     # ------------------------------------------------------------------
     # clock-domain conversion (exact integer arithmetic)
@@ -118,6 +122,35 @@ class Ecu:
         self.controller.raise_irq(number, handler=handler,
                                   at_cycle=assert_cycle, priority=priority,
                                   nmi=nmi)
+
+    # ------------------------------------------------------------------
+    # parallel TX windows
+    # ------------------------------------------------------------------
+    def begin_tx_window(self) -> None:
+        """Open a buffered TX window for one parallel quantum.
+
+        While the window is open, the ECU's controllers park outbound bus
+        traffic in :attr:`tx_buffer` instead of touching the (thread-
+        unsafe) scheduler heap.  The scheduler itself is the *only* piece
+        of shared state a guest advance can mutate, so with windows open
+        every ECU's quantum is free of cross-ECU writes and can run on a
+        worker thread.
+        """
+        self.tx_buffer = []
+
+    def end_tx_window(self, scheduler) -> None:
+        """Close the window and merge its traffic into the scheduler.
+
+        Called at the barrier, on the main thread, in the vehicle's fixed
+        ECU order: each buffered doorbell reaches ``scheduler.at`` in
+        exactly the order the serial pump would have produced (ECUs in
+        list order, each in its own program order), so event sequence
+        numbers - and therefore every downstream tie-break - are
+        byte-identical to the serial run.
+        """
+        buffered, self.tx_buffer = self.tx_buffer, None
+        for at_us, action in buffered:
+            scheduler.at(at_us, action)
 
     # ------------------------------------------------------------------
     # bounded advancement

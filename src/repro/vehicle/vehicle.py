@@ -27,6 +27,46 @@ All cross-domain timestamps are pure functions of bus times and guest
 instruction streams - never of quantum placement - which makes whole
 runs byte-identical across quantum sizes (property-tested).
 
+Parallel execution: the lookahead/merge contract
+------------------------------------------------
+``run(..., parallel=N)`` executes every ECU's quantum concurrently on a
+worker pool, byte-identically to the serial pump.  The scheme is a
+conservative parallel discrete-event simulation whose lookahead is the
+*declared* cross-ECU latency floor:
+
+* **Lookahead.** The only ways one ECU affects another are bus
+  deliveries (which assert IRQs ``irq_latency_cycles`` after the bus
+  time) and doorbell transmissions (which enter arbitration
+  ``tx_delay_us`` after the store's guest time).  Both delays are fixed,
+  declared per ECU, and already enforced at runtime by
+  :class:`~repro.vehicle.ecu.CosimDeterminismError` guards.  A quantum
+  no wider than ``min(ecu.tx_delay_us)`` therefore cannot carry a
+  within-window cross-ECU effect: every effect lands at a strictly
+  later bus event, after the barrier.  ``run`` validates this
+  precondition eagerly.
+* **Window.** At each pump the main thread opens a TX window per ECU
+  (:meth:`~repro.vehicle.ecu.Ecu.begin_tx_window`), dispatches every
+  ``advance_to_us(now)`` to the pool, and joins.  During the window a
+  guest advance mutates only its own machine; the scheduler heap - the
+  single piece of shared state a doorbell would touch - is off-limits,
+  with submissions parked in the ECU's buffer instead.
+* **Merge.** At the barrier the main thread drains the buffers in the
+  vehicle's fixed ECU order (each in its own program order), replaying
+  the exact ``scheduler.at`` call sequence of the serial pump.  Event
+  sequence numbers, and with them every same-timestamp tie-break, are
+  identical - so records, traces, and golden fingerprints are
+  byte-identical for every worker count (property-tested and
+  ``cmp``-checked in CI, like quantum sizes and shards).
+
+The quantum edge itself is sound because the per-block cycle caps that
+bound speculative superblock execution are built from *declared* device
+timing: every memory device states its worst per-access stall
+(``worst_stall`` - see :class:`repro.memory.bus.MemoryDevice`), the bus
+aggregates the declarations, and each core folds in its declared worst
+dynamic instruction cost (``WORST_DYNAMIC_CYCLES``) - no heuristic
+slack anywhere in the bound (:meth:`repro.core.cpu.BaseCpu.
+_block_cycle_cap`).
+
 :func:`build_body_network` assembles the canonical three-ECU topology
 (sensor ECUs -> CAN -> gateway ECU -> LIN -> window-lift actuator ECU)
 and cross-checks every observed end-to-end signal latency against the
@@ -173,17 +213,66 @@ class VirtualVehicle:
         self.scheduler.at(self.scheduler.now + offset_us, fire,
                           priority=priority)
 
-    def run(self, horizon_us: int, quantum_us: int = 200) -> None:
-        """Advance the whole network deterministically to the horizon."""
+    def run(self, horizon_us: int, quantum_us: int = 200,
+            parallel: int | None = None) -> None:
+        """Advance the whole network deterministically to the horizon.
+
+        With ``parallel=N`` (N >= 2), each pump dispatches every ECU's
+        quantum to a worker pool and merges the buffered bus traffic at
+        the barrier - byte-identical to the serial run (see the module
+        docstring's lookahead/merge contract).  The quantum must fit
+        under the declared TX lookahead (``min(ecu.tx_delay_us)``); a
+        wider window could outrun a cross-ECU effect and is rejected
+        eagerly instead of failing deep inside a campaign.
+        """
         if quantum_us <= 0:
             raise ValueError("quantum_us must be positive")
+        workers = 0
+        if parallel is not None and int(parallel) >= 2 and len(self.ecus) >= 2:
+            workers = min(int(parallel), len(self.ecus))
+            lookahead = min(ecu.tx_delay_us for ecu in self.ecus)
+            if quantum_us > lookahead:
+                raise ValueError(
+                    f"parallel co-simulation needs quantum_us "
+                    f"({quantum_us}) <= the declared TX lookahead "
+                    f"({lookahead}us, min over ecu.tx_delay_us): a "
+                    f"window may not outrun the earliest cross-ECU "
+                    f"effect")
         self.horizon_us = horizon_us
         scheduler = self.scheduler
+        pool = None
+        if workers:
+            from concurrent.futures import ThreadPoolExecutor
+
+            pool = ThreadPoolExecutor(max_workers=workers)
+
+        def advance_all(now: int) -> None:
+            if pool is None:
+                for ecu in self.ecus:
+                    ecu.advance_to_us(now)
+                return
+            # one barrier-synchronized window: every ECU advances on a
+            # worker with its TX buffered, then the main thread merges
+            # buffers in ECU order - the scheduler sees the serial
+            # pump's exact call sequence (see the module docstring)
+            for ecu in self.ecus:
+                ecu.begin_tx_window()
+            try:
+                futures = [pool.submit(ecu.advance_to_us, now)
+                           for ecu in self.ecus]
+                # collect every outcome before touching shared state:
+                # no worker may still be running when buffers drain
+                errors = [exc for exc in (f.exception() for f in futures)
+                          if exc is not None]
+            finally:
+                for ecu in self.ecus:
+                    ecu.end_tx_window(scheduler)
+            if errors:
+                raise errors[0]
 
         def pump() -> None:
             now = scheduler.now
-            for ecu in self.ecus:
-                ecu.advance_to_us(now)
+            advance_all(now)
             if now < horizon_us:
                 scheduler.at(min(now + quantum_us, horizon_us), pump,
                              priority=9)
@@ -191,12 +280,15 @@ class VirtualVehicle:
         # priority 9: at any shared timestamp, bus events (deliveries,
         # LIN slots) run first - ECU advancement is order-independent
         # anyway, but keeping one canonical order aids debugging
-        scheduler.at(min(quantum_us, horizon_us), pump, priority=9)
-        if self.lin is not None:
-            self.lin.start(offset_us=0)
-        scheduler.run(until=horizon_us)
-        for ecu in self.ecus:
-            ecu.advance_to_us(horizon_us)
+        try:
+            scheduler.at(min(quantum_us, horizon_us), pump, priority=9)
+            if self.lin is not None:
+                self.lin.start(offset_us=0)
+            scheduler.run(until=horizon_us)
+            advance_all(horizon_us)
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=True)
 
     # ------------------------------------------------------------------
     def frame_conservation(self) -> dict:
@@ -414,9 +506,11 @@ class BodyNetwork:
             self.vehicle.every(node.period_us, sample,
                                offset_us=node.offset_us)
 
-    def run(self, horizon_us: int, quantum_us: int | None = None) -> None:
+    def run(self, horizon_us: int, quantum_us: int | None = None,
+            parallel: int | None = None) -> None:
         self.vehicle.run(horizon_us,
-                         quantum_us=quantum_us or self.spec.quantum_us)
+                         quantum_us=quantum_us or self.spec.quantum_us,
+                         parallel=parallel)
 
     # ------------------------------------------------------------------
     # analytic bounds (calibration twin + RTA + CAN + LIN composition)
@@ -698,9 +792,11 @@ class RoundTrip:
                 1, self._timer_handler, at_us=self.vehicle.scheduler.now),
             offset_us=spec.offset_us)
 
-    def run(self, horizon_us: int, quantum_us: int | None = None) -> None:
+    def run(self, horizon_us: int, quantum_us: int | None = None,
+            parallel: int | None = None) -> None:
         self.vehicle.run(horizon_us,
-                         quantum_us=quantum_us or self.spec.quantum_us)
+                         quantum_us=quantum_us or self.spec.quantum_us,
+                         parallel=parallel)
 
     # ------------------------------------------------------------------
     def expected_state(self) -> tuple[int, int, int]:

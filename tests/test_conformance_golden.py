@@ -373,6 +373,66 @@ def test_corpus_covers_all_cores_and_isas(golden):
         assert sorted(corpus["programs"]) == sorted(corpus_programs(core, isa))
 
 
+def _corpus_instructions(core: str, isa: str):
+    """Every (machine, instruction) the golden corpus executes on a core."""
+    for name in corpus_programs(core, isa):
+        if name in ASM_PROGRAMS:
+            spec = ASM_PROGRAMS[name]
+            program = assemble(spec["source"], isa, base=FLASH_BASE)
+            kwargs = {"mpu": spec["mpu"]()} if "mpu" in spec else {}
+        else:
+            fn = WORKLOADS_BY_NAME[name].build()
+            program = compile_program([fn], isa, base=FLASH_BASE)
+            kwargs = {}
+        machine = build_machine(core, program, **kwargs)
+        for ins in program.instructions:
+            yield machine, ins
+
+
+@pytest.mark.parametrize("core,isa", CONFIGS,
+                         ids=[f"{c}-{i}" for c, i in CONFIGS])
+def test_block_cap_covers_golden_corpus(core, isa):
+    """The ``_block_cycle_cap`` protocol covers the whole golden corpus:
+    every instruction's compiled cycle model either declares its static
+    taken-path cost (``static_taken``), or - for the few dynamic models -
+    its worst outcome stays within the core's declared
+    ``WORST_DYNAMIC_CYCLES``.  A new dynamic cycle model without a raised
+    declaration fails here before it can under-cap a fused block."""
+    from repro.isa.semantics import Outcome
+
+    static_seen = 0
+    dynamic_mnemonics = set()
+    for machine, ins in _corpus_instructions(core, isa):
+        cpu = machine.cpu
+        cycle_fn = cpu.compile_cycles(ins)
+        if cycle_fn is not None and getattr(cycle_fn, "static_taken", None) is not None:
+            static_seen += 1
+            continue
+        dynamic_mnemonics.add(ins.mnemonic)
+        regs = len(ins.reglist) if getattr(ins, "reglist", None) else 0
+        worst = max(
+            cpu.instruction_cycles(ins, Outcome(
+                taken=taken, regs_transferred=regs, div_early_exit=width))
+            for taken in (False, True)
+            for width in range(33))
+        assert worst <= cpu.WORST_DYNAMIC_CYCLES, (
+            f"{core}/{isa}: dynamic cycle model for {ins.mnemonic} can cost "
+            f"{worst} cycles but WORST_DYNAMIC_CYCLES declares only "
+            f"{cpu.WORST_DYNAMIC_CYCLES}")
+        if cycle_fn is not None:
+            closure_worst = max(
+                cycle_fn(Outcome(taken=taken, regs_transferred=regs,
+                                 div_early_exit=width))
+                for taken in (False, True)
+                for width in range(33))
+            assert closure_worst <= cpu.WORST_DYNAMIC_CYCLES
+    assert static_seen > 0, f"{core}/{isa}: corpus exercised no static models"
+    # only the early-exit dividers lack a static declaration today; any
+    # new dynamic model must raise the core's declared worst case too
+    assert dynamic_mnemonics <= {"SDIV", "UDIV"}, (
+        f"{core}/{isa}: unexpected dynamic cycle models {dynamic_mnemonics}")
+
+
 def regenerate() -> None:
     """Recompute the corpus from the reference interpreter and write it."""
     GOLDEN_DIR.mkdir(exist_ok=True)

@@ -176,6 +176,25 @@ def test_disassemble_image_all_isas():
             [program.instructions[0].mnemonic, program.instructions[1].mnemonic]
 
 
+def test_disassemble_image_propagates_decoder_bugs(monkeypatch):
+    """The sweep stops only on EncodingError (a genuine undecodable word);
+    a decoder *bug* - any other exception - must propagate, not be
+    silently treated as end-of-program."""
+    import repro.isa.disasm as disasm_mod
+
+    def buggy(*args, **kwargs):
+        raise TypeError("decoder bug")
+
+    monkeypatch.setattr(disasm_mod, "decode_arm", buggy)
+    monkeypatch.setattr(disasm_mod, "decode_thumb", buggy)
+    arm = assemble("mov r0, #1\nbx lr", ISA_ARM, base=0)
+    with pytest.raises(TypeError, match="decoder bug"):
+        disassemble_image(arm.image(), ISA_ARM)
+    thumb = assemble("movs r0, #1\nbx lr", ISA_THUMB, base=0)
+    with pytest.raises(TypeError, match="decoder bug"):
+        disassemble_image(thumb.image(), ISA_THUMB)
+
+
 # ----------------------------------------------------------------------
 # IT block end-to-end behaviour
 # ----------------------------------------------------------------------

@@ -441,3 +441,98 @@ def test_cli_connect_round_trip_through_a_real_server(tmp_path):
         server.wait(timeout=10)
     assert first.read_bytes() == local.read_bytes()
     assert second.read_bytes() == local.read_bytes()
+
+
+# ----------------------------------------------------------------------
+# swallowed-exception regressions: poisoned handlers must surface as
+# typed errors, never vanish into a dropped task result
+# ----------------------------------------------------------------------
+
+def test_poisoned_stream_replies_typed_internal_with_seq():
+    """A stream handler that raises must answer the *stream's* seq with a
+    typed ``internal`` error frame - and leave the connection loop alive
+    for further operations on the same socket."""
+
+    async def go():
+        service = CampaignService(workers=1)
+        await service.start()
+
+        async def poisoned(state, seq, send):
+            raise RuntimeError("poisoned stream handler")
+
+        service._stream_to = poisoned
+        server = await serve_tcp(service)
+        port = server.sockets[0].getsockname()[1]
+        try:
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            try:
+                request = CampaignRequest(specs=(cheap_specs()[0],))
+                writer.write(encode_message(
+                    {"op": "submit", "seq": 7, "request": request.to_obj()}))
+                await writer.drain()
+                submitted = decode_message(await reader.readline())
+                writer.write(encode_message(
+                    {"op": "stream", "seq": 42, "id": submitted["id"]}))
+                await writer.drain()
+                error = decode_message(await reader.readline())
+                writer.write(encode_message({"op": "status", "seq": 43}))
+                await writer.drain()
+                status = decode_message(await reader.readline())
+            finally:
+                writer.close()
+                await writer.wait_closed()
+        finally:
+            server.close()
+            await server.wait_closed()
+            await service.shutdown()
+        return submitted, error, status
+
+    submitted, error, status = asyncio.run(go())
+    assert submitted["op"] == "submitted" and submitted["seq"] == 7
+    assert error["op"] == "error" and error["ok"] is False
+    assert error["error"] == "internal"
+    assert error["seq"] == 42 and error["id"] == submitted["id"]
+    assert "poisoned stream handler" in error["message"]
+    # the connection loop survived the poisoned task
+    assert status["op"] == "status" and status["seq"] == 43
+
+
+def test_poisoned_cell_reports_error_and_frees_queue_slots(monkeypatch):
+    """A cell handler that raises must turn into a typed ``error`` summary
+    (not a hang, not a silent drop) and release its bounded-queue slots so
+    the next submit is accepted and runs clean."""
+    import repro.sim.service.server as server_mod
+
+    real_run_scenario = server_mod.run_scenario
+
+    def poisoned(spec):
+        raise TypeError("poisoned compute handler")
+
+    async def go():
+        service = CampaignService(workers=1, max_pending=1)
+        await service.start()
+        try:
+            monkeypatch.setattr(server_mod, "run_scenario", poisoned)
+            state = service.submit(CampaignRequest(specs=(cheap_specs()[0],)))
+            await wait_done(state)
+            poisoned_summary = state.summary()
+            poisoned_status = service.status()
+
+            # the slot is free again: a second submit on max_pending=1
+            # must be accepted, and with the real handler it runs clean
+            monkeypatch.setattr(server_mod, "run_scenario", real_run_scenario)
+            healthy = service.submit(CampaignRequest(specs=(cheap_specs()[1],)))
+            await wait_done(healthy)
+            healthy_summary = healthy.summary()
+            final_status = service.status()
+        finally:
+            await service.shutdown()
+        return poisoned_summary, poisoned_status, healthy_summary, final_status
+
+    poisoned_summary, poisoned_status, healthy_summary, final_status = \
+        asyncio.run(go())
+    assert poisoned_summary["status"] == "error"
+    assert "poisoned compute handler" in poisoned_summary["message"]
+    assert poisoned_status["active"] == 0 and poisoned_status["active_cells"] == 0
+    assert healthy_summary["status"] == "ok" and healthy_summary["ran"] == 1
+    assert final_status["active"] == 0 and final_status["active_cells"] == 0

@@ -26,7 +26,13 @@ from hypothesis import strategies as st
 
 from repro.codegen import compile_program
 from repro.core import FLASH_BASE, SRAM_BASE, build_machine
-from repro.sim.campaign import ScenarioSpec, run_campaign
+from repro.sim.campaign import (
+    CampaignRequest,
+    ScenarioSpec,
+    execute_request,
+    run_campaign,
+    run_scenario,
+)
 from repro.sim.domains.vehicle import vehicle_matrix
 from repro.sim.rng import DeterministicRng
 from repro.vehicle import (
@@ -46,12 +52,13 @@ ENGINES = (
 )
 
 
-def _round_trip_fingerprint(quantum_us: int, engine=(True, True, True)) -> str:
+def _round_trip_fingerprint(quantum_us: int, engine=(True, True, True),
+                            parallel: int | None = None) -> str:
     rt = build_round_trip(RoundTripSpec())
     for ecu in rt.vehicle.ecus:
         (ecu.cpu.fastpath, ecu.cpu.superblocks,
          ecu.cpu.trace_superblocks) = engine
-    rt.run(horizon_us=45_000, quantum_us=quantum_us)
+    rt.run(horizon_us=45_000, quantum_us=quantum_us, parallel=parallel)
     return json.dumps(rt.fingerprint(), sort_keys=True)
 
 
@@ -71,14 +78,14 @@ def test_round_trip_byte_identical_across_engines(name, fastpath,
     assert _round_trip_fingerprint(333, engine) == reference, name
 
 
-def _body_fingerprint(quantum_us: int) -> str:
+def _body_fingerprint(quantum_us: int, parallel: int | None = None) -> str:
     spec = BodyNetworkSpec(sensors=(
         SensorNode("wheel", "m3", 80, 0x120, 20_000),
         SensorNode("seat", "arm1156", 160, 0x180, 25_000, raw_salt=7),
         SensorNode("door", "arm7", 48, 0x200, 50_000, raw_salt=3),
     ))
     net = build_body_network(spec)
-    net.run(horizon_us=180_000, quantum_us=quantum_us)
+    net.run(horizon_us=180_000, quantum_us=quantum_us, parallel=parallel)
     state = {
         "frames": [(d.can_id, d.node, d.queued_at, d.completed_at,
                     d.attempts) for d in net.vehicle.can.deliveries],
@@ -102,6 +109,99 @@ def test_body_network_byte_identical_across_quantum_sizes():
     reference = _body_fingerprint(200)
     for quantum in (37, 100, 433):
         assert _body_fingerprint(quantum) == reference, quantum
+
+
+# ----------------------------------------------------------------------
+# parallel invariance: concurrent ECU advance under declared lookahead
+# ----------------------------------------------------------------------
+
+def test_round_trip_byte_identical_parallel_vs_serial():
+    """Concurrent ECU advance is unobservable: every worker count yields
+    the serial run's bytes (split points, doorbell merge order, and
+    scheduler seq allocation all replicate the serial pump)."""
+    reference = _round_trip_fingerprint(100)
+    for parallel in (2, 3, 4):
+        assert _round_trip_fingerprint(100, parallel=parallel) == reference, \
+            parallel
+
+
+def test_body_network_byte_identical_parallel_vs_serial():
+    reference = _body_fingerprint(200)
+    for parallel in (2, 3, 5):  # 5 clamps to the 5-ECU network's width
+        assert _body_fingerprint(200, parallel=parallel) == reference, parallel
+
+
+def test_parallel_campaign_records_byte_identical():
+    """``run_scenario(spec, parallel=N)`` emits the identical record JSON
+    for both co-simulation domains - the knob can never leak into a
+    record, a cache key, or a stream byte."""
+    from repro.sim.campaign import _record_json
+
+    specs = [
+        ScenarioSpec(label="pp vehicle", domain="vehicle", seed=5,
+                     params=(("sensors", 2), ("horizon_us", 90_000))),
+        ScenarioSpec(label="pp fault", domain="vehicle_fault", seed=5,
+                     params=(("kind", "babbling-idiot"), ("sensors", 2),
+                             ("horizon_us", 120_000))),
+    ]
+    for spec in specs:
+        serial = _record_json(run_scenario(spec))
+        for parallel in (2, 3):
+            assert _record_json(run_scenario(spec, parallel=parallel)) \
+                == serial, (spec.label, parallel)
+
+
+def test_parallel_rejects_quantum_beyond_lookahead():
+    """A quantum wider than the declared TX lookahead could carry a frame
+    into the window it was computed in - parallel runs must refuse it
+    eagerly (serial runs are unaffected: their pump needs no lookahead)."""
+    spec = BodyNetworkSpec(sensors=(
+        SensorNode("wheel", "m3", 80, 0x120, 20_000),
+        SensorNode("door", "arm7", 48, 0x200, 50_000, raw_salt=3),
+    ))
+    net = build_body_network(spec)
+    with pytest.raises(ValueError, match="lookahead"):
+        net.run(horizon_us=10_000, quantum_us=600, parallel=2)
+
+
+def test_parallel_request_round_trips_and_streams_identically(tmp_path):
+    """``parallel`` rides every request encoding (JSON, argv) and leaves
+    ``execute_request`` stream bytes untouched."""
+    request = CampaignRequest(matrix="vehicle-smoke", parallel=3)
+    assert CampaignRequest.from_obj(request.to_obj()) == request
+    argv = request.cli_argv()
+    assert argv[argv.index("--parallel") + 1] == "3"
+
+    specs = tuple(_vehicle_specs())
+
+    def stream_bytes(name: str, parallel=None) -> bytes:
+        path = tmp_path / f"{name}.jsonl"
+        execute_request(CampaignRequest(specs=specs, parallel=parallel),
+                        stream_path=path)
+        return path.read_bytes()
+
+    serial = stream_bytes("serial")
+    assert serial
+    assert stream_bytes("parallel", parallel=2) == serial
+
+
+# ----------------------------------------------------------------------
+# quantum-edge exactness under a starved block-cycle cap
+# ----------------------------------------------------------------------
+
+def test_quantum_edges_exact_under_starved_cycle_cap(monkeypatch):
+    """With the cap starved (no block ever 'fits' under the quantum) the
+    engine falls back to per-step dispatch with an exact cycle test at
+    every quantum edge - and the co-simulated network must not move by a
+    byte.  This pins the contract that the cap only ever trades fused
+    dispatch for slack, never correctness."""
+    from repro.core.cpu import BaseCpu
+
+    reference = _body_fingerprint(200)
+    monkeypatch.setattr(BaseCpu, "_block_cycle_cap",
+                        lambda self, uops: 10**9)
+    assert _body_fingerprint(200) == reference
+    assert _body_fingerprint(200, parallel=3) == reference
 
 
 # ----------------------------------------------------------------------
