@@ -10,6 +10,12 @@ equals the size of the union, not the sum, of the requests.
 
 ``REPRO_BENCH_REDUCED=1`` shrinks the pool and client count (CI smoke);
 ``REPRO_BENCH_WORKERS`` sizes the service's worker pool.
+
+The supervised-fleet benchmarks run the same sweep through worker
+*subprocesses* (``workers_proc``) twice - fault-free, then with one
+chaos-injected worker kill - and report supervised cells/sec plus the
+recovery overhead of losing and respawning a worker mid-sweep (the
+streams are asserted byte-identical, faulted or not).
 """
 
 from __future__ import annotations
@@ -19,8 +25,14 @@ import os
 
 from conftest import record_summary, report
 
-from repro.sim.campaign import CampaignRequest, ScenarioSpec
-from repro.sim.service import CampaignClient, CampaignService, serve_tcp
+from repro.sim.campaign import CampaignRequest, ScenarioSpec, _record_json, execute_request
+from repro.sim.service import (
+    CampaignClient,
+    CampaignService,
+    ChaosSchedule,
+    WorkerFaultPlan,
+    serve_tcp,
+)
 
 REDUCED = os.environ.get("REPRO_BENCH_REDUCED") == "1"
 WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "2"))
@@ -112,3 +124,60 @@ def test_service_concurrent_overlapping_load(benchmark):
     benchmark.extra_info["clients"] = CLIENTS
     benchmark.extra_info["cells"] = requested
     benchmark.extra_info["unique_cells"] = len(unique)
+
+
+def test_supervised_pool_throughput_and_kill_recovery(benchmark):
+    """One sweep through the supervised worker fleet, fault-free and with
+    one injected worker kill: supervised cells/sec, recovery overhead."""
+    specs = spec_pool()
+    request = CampaignRequest(specs=tuple(specs))
+    baseline = "".join(
+        _record_json(r) + "\n" for r in execute_request(request).records)
+    kill = ChaosSchedule(plans=(
+        (0, WorkerFaultPlan(kill_at_cell=1, kill_phase="report")),))
+
+    async def sweep(chaos) -> tuple[float, str, dict]:
+        service = CampaignService(workers_proc=WORKERS, chaos=chaos,
+                                  supervisor_options={"heartbeat": 0.2})
+        await service.start()
+        loop = asyncio.get_running_loop()
+        try:
+            # time only the sweep, not fleet spawn/teardown
+            start = loop.time()
+            state = service.submit(request)
+            records = []
+            async for _, record in service.stream_records(state):
+                records.append(record)
+            elapsed = loop.time() - start
+            stream = "".join(_record_json(r) + "\n" for r in records)
+            return elapsed, stream, service.status()["supervisor"]
+        finally:
+            await service.shutdown()
+
+    async def both() -> tuple:
+        clean = await sweep(None)
+        faulted = await sweep(kill)
+        return clean, faulted
+
+    (clean, faulted) = benchmark.pedantic(
+        lambda: asyncio.run(both()), rounds=1, iterations=1)
+    clean_s, clean_stream, clean_sup = clean
+    faulted_s, faulted_stream, faulted_sup = faulted
+    assert clean_stream == baseline          # supervised == local, bytes
+    assert faulted_stream == baseline        # ...even across a worker kill
+    assert clean_sup["lost"] == 0
+    assert faulted_sup["lost"] >= 1 and faulted_sup["respawns"] >= 1
+
+    cells_per_sec = len(specs) / clean_s
+    recovery_overhead_s = max(0.0, faulted_s - clean_s)
+    report(f"supervised worker fleet ({WORKERS} workers)"
+           + (" [reduced]" if REDUCED else ""),
+           [f"{len(specs)} cells fault-free in {clean_s:.2f}s "
+            f"({cells_per_sec:.1f} cells/s through subprocess workers)",
+            f"same sweep with one report-phase worker kill: {faulted_s:.2f}s "
+            f"(+{recovery_overhead_s:.2f}s to detect, requeue, respawn)",
+            "both streams byte-identical to the local pooled run"])
+    record_summary("service", "supervised_cells_per_sec", cells_per_sec)
+    record_summary("service", "kill_recovery_overhead_s", recovery_overhead_s)
+    benchmark.extra_info["workers_proc"] = WORKERS
+    benchmark.extra_info["cells"] = len(specs)

@@ -102,6 +102,17 @@ clients sweeping overlapping matrices pay for the union once: a cell
 finished earlier replays from the cache (``replayed``), a cell currently
 in flight for another request is joined, not recomputed (``joined``), and
 only the remainder is computed (``computed``).
+
+Run with ``--workers-proc N`` the service executes cells on a
+*supervised fleet* of worker subprocesses and the guarantees above
+survive worker crashes, hangs, and kills: a lost cell is requeued onto a
+healthy worker (see :mod:`repro.sim.service.supervisor` for the full
+failure model) and the stream stays byte-identical to a fault-free run.
+A spec the fleet cannot compute surfaces *in the stream* as a
+:class:`CellErrorRecord` - a typed per-cell ``status="error"`` record at
+the cell's spec position (domain tag ``cell_error``) - never as a
+transport error, and the ``done`` summary counts such cells in
+``failed``.
 """
 
 from __future__ import annotations
@@ -225,6 +236,33 @@ class ScenarioRecord:
             instructions=self.instructions, code_bytes=self.code_bytes,
             total_bytes=self.total_bytes,
         )
+
+
+@dataclass
+class CellErrorRecord:
+    """A cell the service could not compute, surfaced *in the stream*.
+
+    The supervised worker fleet quarantines a spec that kills two
+    workers in a row (and reports a spec that raises cleanly in-worker)
+    as one of these instead of failing the whole request: the client
+    sees a typed per-cell ``status="error"`` record at the cell's spec
+    position, every other cell streams normally, and ``verified`` is
+    False so sweep exit codes stay honest.  ``error`` is the failure
+    kind (``"quarantined"`` or ``"compute-error"``); ``key`` is the
+    failed cell's ``spec.key()`` so the cell can be re-run alone.  Error
+    records are never cached: a restarted service retries the spec.
+    """
+
+    label: str
+    key: str
+    error: str
+    message: str
+    status: str = "error"
+    domain: str = "cell_error"
+
+    @property
+    def verified(self) -> bool:
+        return False
 
 
 def _record_json(record) -> str:

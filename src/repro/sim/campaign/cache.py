@@ -71,6 +71,26 @@ class RecordCache:
             json.dump(payload, stream, sort_keys=True, separators=(",", ":"))
         os.replace(tmp, path)
 
+    def flush(self) -> None:
+        """Make every ``put`` so far durable (fsync the cache directory).
+
+        Record files are written atomically, but the *directory entries*
+        from the renames may still sit in the page cache; a graceful
+        service shutdown calls this so a machine crash right after cannot
+        lose finished cells.  Best effort - filesystems without directory
+        fsync just no-op.
+        """
+        try:
+            fd = os.open(self.root, os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(fd)
+        except OSError:
+            pass
+        finally:
+            os.close(fd)
+
 
 class MemoryRecordCache(RecordCache):
     """The same cache contract held in a plain dict - no disk at all.
@@ -102,3 +122,6 @@ class MemoryRecordCache(RecordCache):
 
     def put(self, spec, record) -> None:
         self._records[spec.key()] = record
+
+    def flush(self) -> None:
+        pass  # nothing on disk to make durable

@@ -64,6 +64,17 @@ def spec_from_obj(obj: dict):
     return ScenarioSpec(**data)
 
 
+def record_to_obj(record) -> dict:
+    """One domain record as a JSON-able dict (the cell wire format).
+
+    The inverse of :func:`record_from_obj`; the service's record pushes
+    and the supervised worker's result frames both use it, so a record
+    round-trips through any number of pipe/socket hops byte-identically
+    once re-serialised canonically.
+    """
+    return dict(vars(record))
+
+
 def record_from_obj(payload: dict):
     """Rebuild a domain record from its JSON dict (``domain``-tag dispatch)."""
     from repro.sim.domains import record_class_for

@@ -81,7 +81,24 @@ def domain_names() -> list[str]:
     return sorted(_REGISTRY)
 
 
+#: record classes with no runnable domain behind them (e.g. the campaign
+#: service's per-cell ``cell_error`` records): the stream reader must
+#: rebuild them, but no spec may name them as a scenario family
+_RECORD_ONLY: dict[str, type] = {}
+
+
+def register_record_class(name: str, record_class: type) -> None:
+    """Register a stream-reconstructible record with no scenario domain."""
+    if not name:
+        raise ValueError("record class registration needs a non-empty name")
+    if name in _REGISTRY or name in _RECORD_ONLY:
+        raise ValueError(f"record domain {name!r} already registered")
+    _RECORD_ONLY[name] = record_class
+
+
 def record_class_for(name: str) -> type:
+    if name in _RECORD_ONLY:
+        return _RECORD_ONLY[name]
     return get_domain(name).record_class
 
 
@@ -100,9 +117,17 @@ for _module in (_kernel, _osek, _can, _soft, _vehicle, _lin, _wcet,
                 _vfault):
     register_domain(_module.DOMAIN)
 
+# The service's per-cell failure records ride the same streams as domain
+# records (same JSONL framing, same ``domain`` tag dispatch) but no spec
+# can name them: record-only registration.
+from repro.sim.campaign import CellErrorRecord as _cell_error  # noqa: E402
+
+register_record_class("cell_error", _cell_error)
+
 __all__ = [
     "ScenarioDomain",
     "register_domain",
+    "register_record_class",
     "get_domain",
     "domain_names",
     "record_class_for",

@@ -19,6 +19,39 @@ client).  Talk to it: ``python -m repro.sim.campaign --matrix smoke
 --connect 127.0.0.1:PORT --stream out.jsonl``, or programmatically via
 :class:`CampaignClient` / :func:`submit_and_stream`.
 
+**The failure model** (``--workers-proc N``): cells execute on a
+supervised fleet of worker *subprocesses* (:class:`WorkerSupervisor`
+over :mod:`repro.sim.service.worker`), so a segfault, OOM kill, wedged
+cell, or plain SIGKILL takes out one worker, never the service.  The
+supervisor observes exactly three failure signals - a closed pipe
+(death), heartbeat silence (hang), and the per-cell deadline
+``max(timeout_floor, cell_timeout * spec.scale)`` (livelock) - and
+responds the same way to each: kill and reap the worker, requeue its
+cell with bounded exponential backoff, respawn a replacement while the
+respawn budget lasts.  Compute is therefore **at-most-once per
+attempt**, and because records are pure functions of their specs and
+dedup is content-addressed (``spec.key()``), any recomputation resolves
+to the same bytes: **at-most-once compute + dedup = exactly-once
+records**, and the client-visible stream is byte-identical to a
+fault-free run.  A spec that kills two workers in a row is
+**quarantined** - streamed as a typed per-cell
+:class:`~repro.sim.campaign.CellErrorRecord` (``domain: "cell_error"``,
+``status: "error"``) instead of retried forever, and never cached, so a
+restarted service retries it fresh.  :meth:`CampaignService.shutdown`
+drains gracefully: executing cells finish into the cache, the rest fail
+typed, every open stream gets a ``shutting-down`` frame (``seq``
+echoed), and the disk cache is flushed before the fleet stops.
+
+All of this is proven reproducibly by the deterministic chaos harness
+(:mod:`repro.sim.service.chaos`): :meth:`ChaosSchedule.seeded` derives a
+fault schedule (worker kills in the recv or report phase, silent or
+heartbeating stalls, poisoned specs) from one integer seed, the worker
+executes its own faults from the ``REPRO_WORKER_CHAOS`` environment
+variable, and the property suite (``tests/test_service_chaos.py``) plus
+the CI ``chaos-smoke`` job assert stream bytes and slot accounting match
+an undisturbed run - ``--chaos "seed=7,kills=2,stalls=1"`` replays any
+schedule from the command line.
+
 The wire protocol (line-oriented JSON) is specified in
 :mod:`repro.sim.service.protocol` and in the campaign module docstring;
 the server design invariants are documented in
@@ -31,14 +64,25 @@ from repro.sim.service.protocol import (
     decode_message,
     encode_message,
 )
+from repro.sim.service.chaos import ChaosSchedule, WorkerFaultPlan
 from repro.sim.service.client import CampaignClient, submit_and_stream
 from repro.sim.service.server import CampaignService, serve_stdio, serve_tcp
+from repro.sim.service.supervisor import (
+    CellFailed,
+    WorkerPoolError,
+    WorkerSupervisor,
+)
 
 __all__ = [
     "PROTOCOL_VERSION",
     "CampaignService",
     "CampaignServiceError",
     "CampaignClient",
+    "CellFailed",
+    "ChaosSchedule",
+    "WorkerFaultPlan",
+    "WorkerPoolError",
+    "WorkerSupervisor",
     "decode_message",
     "encode_message",
     "serve_stdio",

@@ -42,6 +42,57 @@ def build_parser() -> argparse.ArgumentParser:
         help="cell worker pool size (2+ uses a process pool; default serial)",
     )
     parser.add_argument(
+        "--workers-proc",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run cells on a supervised fleet of N worker subprocesses "
+        "instead of --workers: crashes/hangs are detected, lost cells "
+        "requeue with backoff, dead workers respawn up to a budget",
+    )
+    parser.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="supervised fleet: per-cell hard deadline per unit of spec "
+        "scale (a deadline overrun kills the worker and requeues the cell)",
+    )
+    parser.add_argument(
+        "--respawn-budget",
+        type=int,
+        default=None,
+        metavar="N",
+        help="supervised fleet: total worker respawns before the pool "
+        "declares itself failed",
+    )
+    parser.add_argument(
+        "--quarantine-strikes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="supervised fleet: worker-fatal attempts on one spec before "
+        "it is quarantined as a per-cell error record (default 2; chaos "
+        "runs set it above the scheduled fault count so injected faults "
+        "can never quarantine a healthy spec)",
+    )
+    parser.add_argument(
+        "--heartbeat",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="supervised fleet: worker heartbeat interval (hang detection "
+        "window is 4x this)",
+    )
+    parser.add_argument(
+        "--chaos",
+        default=None,
+        metavar="SPEC",
+        help="inject a deterministic fault schedule into the supervised "
+        "fleet, e.g. 'seed=7,kills=2,stalls=1' (testing/CI only; see "
+        "repro.sim.service.chaos)",
+    )
+    parser.add_argument(
         "--cache",
         default=None,
         metavar="DIR",
@@ -66,11 +117,26 @@ def build_parser() -> argparse.ArgumentParser:
 async def _amain(args) -> int:
     from repro.sim.service.server import CampaignService, serve_stdio, serve_tcp
 
+    chaos = None
+    if args.chaos is not None:
+        from repro.sim.service.chaos import ChaosSchedule
+
+        chaos = ChaosSchedule.from_spec(args.chaos, workers=args.workers_proc or 1)
+    supervisor_options = {}
+    if args.heartbeat is not None:
+        supervisor_options["heartbeat"] = args.heartbeat
+    if args.quarantine_strikes is not None:
+        supervisor_options["quarantine_strikes"] = args.quarantine_strikes
     service = CampaignService(
         workers=args.workers,
         cache=args.cache,
         max_pending=args.max_pending,
         max_active_cells=args.max_cells,
+        workers_proc=args.workers_proc,
+        cell_timeout=args.cell_timeout,
+        respawn_budget=args.respawn_budget,
+        chaos=chaos,
+        supervisor_options=supervisor_options or None,
     )
     await service.start()
     try:

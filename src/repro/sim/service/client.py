@@ -28,6 +28,14 @@ A ``--connect`` client neither hangs nor dies on a flaky service:
 
 All failures stay typed (:class:`CampaignServiceError`), so callers
 match on ``exc.code``, never on transport exception zoo.
+
+Per-cell failure is **data, not a transport error**: a cell the
+supervised worker fleet quarantined (it killed two workers in a row, or
+raised cleanly in-worker) arrives through :meth:`CampaignClient.stream`
+as an ordinary record with ``domain: "cell_error"`` and ``status:
+"error"`` - the stream completes normally and the ``done`` summary
+counts it under ``failed``.  Only request-level problems (the whole
+request errored, the service is draining) raise.
 """
 
 from __future__ import annotations

@@ -22,7 +22,10 @@ message, it answers ``{"op": "error", "ok": false, "error": <code>,
 ``unknown-request``    no request with that id
 ``request-failed``     a cell raised while computing (stream ``done``
                        with ``status: "error"``)
-``shutting-down``  the service is draining and takes no new work
+``shutting-down``  the service is draining: new submits are refused, and
+                   every stream left open when the drain started is
+                   answered with this frame (its ``seq`` echoed) after
+                   the last drained record - never a bare closed socket
 ``connection-closed``  client-side: the transport dropped mid-operation
 ``connect-failed``     client-side: the service could not be reached
                        within the connect timeout and retry budget
@@ -32,6 +35,20 @@ message, it answers ``{"op": "error", "ok": false, "error": <code>,
 
 :class:`CampaignServiceError` is the client-facing exception carrying the
 code; tests match on ``exc.code``, not message text.
+
+A cell the supervised worker fleet gave up on (quarantined after killing
+two workers in a row, or raising cleanly in-worker) is **not** a
+transport error: it streams as an ordinary ``record`` push whose record
+has ``domain: "cell_error"`` and ``status: "error"`` - per-cell failure
+is data, request-level failure is an error frame.
+
+**Worker wire** (supervisor <-> worker subprocess, same line-JSON
+framing over the worker's stdin/stdout; internal to
+:mod:`repro.sim.service.supervisor` / ``.worker``): the supervisor sends
+``{"op": "cell", "job": J, "spec": ...}`` and ``{"op": "exit"}``; the
+worker answers ``{"op": "ready"}`` once booted, ``{"op": "heartbeat",
+"job": J}`` while computing, and one ``result`` or ``cell-error`` frame
+per cell.
 """
 
 from __future__ import annotations

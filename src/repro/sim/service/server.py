@@ -25,6 +25,27 @@ directly).  The design invariants:
 * **Crash resume.**  Every computed cell is ``put`` into the cache as it
   completes, so a service killed mid-sweep and restarted on the same
   cache directory replays the finished cells and computes only the rest.
+* **Supervised workers.**  With ``workers_proc=N`` cells execute on a
+  supervised fleet of worker *subprocesses*
+  (:mod:`repro.sim.service.supervisor`): worker death (SIGKILL, crash,
+  closed pipe), hangs (heartbeat silence), and per-cell deadline
+  overruns are detected and the lost cell is requeued onto a healthy
+  worker with bounded exponential backoff, with dead workers respawned
+  up to a budget.  **At-most-once compute + content-addressed dedup =
+  exactly-once records**: a cell computed twice because its worker died
+  after finishing but before reporting resolves to the same bytes, so
+  the client-visible stream is byte-identical to a fault-free run - the
+  property the deterministic chaos harness
+  (:mod:`repro.sim.service.chaos`) asserts under seeded kill/stall/
+  sever/poison schedules.  A spec that kills two workers in a row is
+  quarantined as a typed per-cell ``status="error"`` record
+  (:class:`~repro.sim.campaign.CellErrorRecord`) instead of retried
+  forever; so is a spec that raises cleanly in-worker.
+* **Graceful drain.**  :meth:`CampaignService.shutdown` finishes the
+  cells already executing (they land in the cache), fails the rest
+  typed, answers every open stream with a ``shutting-down`` error frame
+  (its ``seq`` echoed) instead of a bare closed socket, flushes the disk
+  cache, and only then stops the pool.
 """
 
 from __future__ import annotations
@@ -33,15 +54,16 @@ import asyncio
 import itertools
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 
-from repro.sim.campaign import run_scenario
+from repro.sim.campaign import CellErrorRecord, run_scenario
 from repro.sim.campaign.cache import MemoryRecordCache, RecordCache
-from repro.sim.campaign.request import CampaignRequest
+from repro.sim.campaign.request import CampaignRequest, record_to_obj
 from repro.sim.service.protocol import (
     CampaignServiceError,
     decode_message,
     encode_message,
     error_payload,
 )
+from repro.sim.service.supervisor import CellFailed, WorkerSupervisor
 
 
 class _CellJob:
@@ -98,6 +120,8 @@ class _RequestState:
             "cells": len(self.specs),
             "ran": len(self.records),
             "verified": sum(1 for r in self.records if r.verified),
+            "failed": sum(1 for r in self.records
+                          if getattr(r, "status", "ok") == "error"),
             "replayed": self.replayed,
             "joined": self.joined,
             "computed": self.computed,
@@ -123,13 +147,29 @@ class CampaignService:
         cache=None,
         max_pending: int = 8,
         max_active_cells: int = 100_000,
+        workers_proc: int | None = None,
+        cell_timeout: float | None = None,
+        respawn_budget: int | None = None,
+        chaos=None,
+        supervisor_options: dict | None = None,
     ):
         if cache is None:
             cache = MemoryRecordCache()
         elif not isinstance(cache, RecordCache):
             cache = RecordCache(cache)
         self.cache = cache
-        self.workers = max(1, workers or 1)
+        if workers_proc is not None and workers is not None:
+            raise ValueError("pick one pool: workers (in-process) or "
+                             "workers_proc (supervised subprocesses)")
+        self.workers_proc = workers_proc
+        self.workers = max(1, workers_proc or workers or 1)
+        self._supervisor_kwargs = dict(supervisor_options or {})
+        if cell_timeout is not None:
+            self._supervisor_kwargs.setdefault("cell_timeout", cell_timeout)
+        if respawn_budget is not None:
+            self._supervisor_kwargs.setdefault("respawn_budget", respawn_budget)
+        if chaos is not None:
+            self._supervisor_kwargs.setdefault("chaos", chaos)
         self.max_pending = max_pending
         self.max_active_cells = max_active_cells
         self.requests: dict[str, _RequestState] = {}
@@ -141,8 +181,11 @@ class CampaignService:
         self._active_cells = 0  # their total cells
         self._closing = False
         self._executor = None
+        self._supervisor: WorkerSupervisor | None = None
         self._dispatcher: asyncio.Task | None = None
-        self._tasks: set[asyncio.Task] = set()
+        self._request_tasks: set[asyncio.Task] = set()
+        self._cell_tasks: set[asyncio.Task] = set()
+        self._stream_tasks: set[asyncio.Task] = set()
         self._queue: asyncio.PriorityQueue | None = None
         self._slots: asyncio.Semaphore | None = None
         self._unpaused: asyncio.Event | None = None
@@ -151,7 +194,11 @@ class CampaignService:
 
     async def start(self) -> None:
         """Create the worker pool and start the cell dispatcher."""
-        if self.workers >= 2:
+        if self.workers_proc is not None:
+            self._supervisor = WorkerSupervisor(self.workers_proc,
+                                                **self._supervisor_kwargs)
+            await self._supervisor.start()
+        elif self.workers >= 2:
             self._executor = ProcessPoolExecutor(max_workers=self.workers)
         else:
             self._executor = ThreadPoolExecutor(max_workers=1, thread_name_prefix="campaign-cell")
@@ -161,26 +208,54 @@ class CampaignService:
         self._unpaused.set()
         self._dispatcher = asyncio.create_task(self._dispatch_loop())
 
-    async def shutdown(self) -> None:
-        """Stop abruptly: cancel everything, abandon queued cells.
+    async def shutdown(self, *, drain: bool = True) -> None:
+        """Stop the service without stranding anyone mid-socket.
 
-        Deliberately kill-like (the resume tests depend on it): cells
-        already cached stay cached, everything else is dropped.  A new
-        service started on the same cache directory completes the sweep
-        from there.
+        ``drain=True`` (default): cells already *executing* run to
+        completion and land in the cache; queued-but-unstarted cells are
+        abandoned, their requests finish with a shutdown error, and
+        every open stream is answered with a typed ``shutting-down``
+        error frame (its ``seq`` echoed) - no client ever sees a bare
+        closed socket.  The disk cache is flushed before the pool stops,
+        so a new service started on the same cache directory completes
+        interrupted sweeps from where this one stopped (the crash-resume
+        recipe; a SIGKILL'd service resumes the same way, it just drains
+        nothing first).
+
+        ``drain=False`` is kill-like: running cells are cancelled too.
         """
         self._closing = True
-        tasks = [t for t in self._tasks if not t.done()]
+        # nothing new starts: stop the dispatcher first
         if self._dispatcher is not None:
-            tasks.append(self._dispatcher)
-        for task in tasks:
-            task.cancel()
-        if tasks:
-            await asyncio.gather(*tasks, return_exceptions=True)
+            self._dispatcher.cancel()
+            await asyncio.gather(self._dispatcher, return_exceptions=True)
+        cell_tasks = [t for t in self._cell_tasks if not t.done()]
+        if not drain:
+            for task in cell_tasks:
+                task.cancel()
+        if cell_tasks:
+            await asyncio.gather(*cell_tasks, return_exceptions=True)
+        # queued cells nobody will ever run: fail their joiners typed
         for job in list(self._inflight.values()):
             if not job.future.done():
                 job.future.cancel()
         self._inflight.clear()
+        # requests observe the cancellations, finish, and wake streamers
+        request_tasks = [t for t in self._request_tasks if not t.done()]
+        if request_tasks:
+            await asyncio.gather(*request_tasks, return_exceptions=True)
+        # every open stream sends its final typed frame (bounded: the
+        # requests are finished, so streams only flush and say goodbye)
+        stream_tasks = [t for t in self._stream_tasks if not t.done()]
+        if stream_tasks:
+            _, pending = await asyncio.wait(stream_tasks, timeout=5.0)
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+        self.cache.flush()
+        if self._supervisor is not None:
+            await self._supervisor.stop()
         if self._executor is not None:
             self._executor.shutdown(wait=False, cancel_futures=True)
 
@@ -192,9 +267,10 @@ class CampaignService:
     def resume(self) -> None:
         self._unpaused.set()
 
-    def _track(self, task: asyncio.Task) -> None:
-        self._tasks.add(task)
-        task.add_done_callback(self._tasks.discard)
+    @staticmethod
+    def _track(tasks: set, task: asyncio.Task) -> None:
+        tasks.add(task)
+        task.add_done_callback(tasks.discard)
 
     # -- the core API (transport-free) ----------------------------------
 
@@ -236,7 +312,7 @@ class CampaignService:
         self.requests[rid] = state
         self._active += 1
         self._active_cells += len(specs)
-        self._track(asyncio.create_task(self._serve_request(state)))
+        self._track(self._request_tasks, asyncio.create_task(self._serve_request(state)))
         return state
 
     async def cancel(self, rid: str) -> dict:
@@ -252,7 +328,7 @@ class CampaignService:
 
     def status(self) -> dict:
         """Global and per-request counters (the ``status`` op payload)."""
-        return {
+        payload = {
             "op": "status",
             "active": self._active,
             "active_cells": self._active_cells,
@@ -261,10 +337,14 @@ class CampaignService:
             "cache_misses": self.cache.misses,
             "inflight": len(self._inflight),
             "workers": self.workers,
+            "supervised": self._supervisor is not None,
             "max_pending": self.max_pending,
             "max_active_cells": self.max_active_cells,
             "requests": {rid: state.summary() for rid, state in self.requests.items()},
         }
+        if self._supervisor is not None:
+            payload["supervisor"] = self._supervisor.summary()
+        return payload
 
     def _get(self, rid) -> _RequestState:
         state = self.requests.get(rid)
@@ -371,7 +451,7 @@ class CampaignService:
                 continue
             job.started = True
             self.dispatch_log.append(job.key)
-            self._track(asyncio.create_task(self._run_cell(job)))
+            self._track(self._cell_tasks, asyncio.create_task(self._run_cell(job)))
 
     def _drop(self, job: _CellJob) -> None:
         """Abandon a queued cell nobody wants any more."""
@@ -382,12 +462,24 @@ class CampaignService:
     async def _run_cell(self, job: _CellJob) -> None:
         loop = asyncio.get_running_loop()
         try:
-            record = await loop.run_in_executor(self._executor, run_scenario, job.spec)
+            if self._supervisor is not None:
+                record = await self._supervisor.run_cell(job.spec)
+            else:
+                record = await loop.run_in_executor(self._executor, run_scenario, job.spec)
         except asyncio.CancelledError:
             self._inflight.pop(job.key, None)
             if not job.future.done():
                 job.future.cancel()
             raise
+        except CellFailed as exc:
+            # the fleet gave up on this spec (quarantined, or it raised
+            # in-worker): surface a typed per-cell error *record* in the
+            # stream, never cached - a restarted service retries it
+            record = CellErrorRecord(label=job.spec.label, key=job.key,
+                                     error=exc.kind, message=exc.detail)
+            self._inflight.pop(job.key, None)
+            if not job.future.done():
+                job.future.set_result(record)
         except Exception as exc:
             self._inflight.pop(job.key, None)
             if not job.future.done():
@@ -471,6 +563,7 @@ class CampaignService:
             task = asyncio.create_task(self._stream_guarded(state, seq, send))
             conn_tasks.add(task)
             task.add_done_callback(conn_tasks.discard)
+            self._track(self._stream_tasks, task)  # shutdown waits on these
         elif op == "status":
             payload = self.status()
             payload["seq"] = seq
@@ -508,9 +601,15 @@ class CampaignService:
                 "seq": seq,
                 "id": state.rid,
                 "index": index,
-                "record": vars(record),
+                "record": record_to_obj(record),
             }
             await send(push)
+        if self._closing and state.error and not state.cancelled:
+            # drained away mid-sweep: the client gets a typed goodbye with
+            # its stream seq echoed, never a bare closed socket
+            await send(error_payload("shutting-down", state.error,
+                                     seq=seq, rid=state.rid))
+            return
         await send({"op": "done", "seq": seq, **state.summary()})
 
 

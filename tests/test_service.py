@@ -403,6 +403,105 @@ def test_killed_service_resumes_the_sweep_from_its_cache(tmp_path):
 
 
 # ----------------------------------------------------------------------
+# graceful shutdown: typed goodbyes, drained cells, flushed cache
+# ----------------------------------------------------------------------
+
+def test_graceful_shutdown_answers_open_streams_typed(tmp_path):
+    """Shutting down with a stream open and cells queued must (a) answer
+    the stream with a typed ``shutting-down`` error frame echoing its
+    ``seq`` - never a bare closed socket - (b) refuse a late submit with
+    the same typed code, and (c) leave the drained cells' cache files on
+    disk for the next life."""
+    specs = cheap_specs()
+    cache_dir = tmp_path / "cache"
+
+    async def go():
+        service = CampaignService(workers=1, cache=str(cache_dir))
+        await service.start()
+        server = await serve_tcp(service)
+        port = server.sockets[0].getsockname()[1]
+        try:
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            try:
+                request = CampaignRequest(specs=tuple(specs))
+                writer.write(encode_message(
+                    {"op": "submit", "seq": 1, "request": request.to_obj()}))
+                await writer.drain()
+                submitted = decode_message(await reader.readline())
+                writer.write(encode_message(
+                    {"op": "stream", "seq": 2, "id": submitted["id"]}))
+                await writer.drain()
+                # one record proves the stream is live, then freeze the
+                # dispatcher so the remaining cells are queued, not running
+                first = decode_message(await reader.readline())
+                service.pause()
+                await service.shutdown()
+                # the connection itself stays usable; the stream must end
+                # with the typed goodbye (a bare EOF here fails the test
+                # via the read timeout)
+                frames = []
+                while True:
+                    line = await asyncio.wait_for(reader.readline(), 10)
+                    assert line, "stream died with a bare closed socket"
+                    frames.append(decode_message(line))
+                    if frames[-1].get("op") == "error":
+                        break
+                return submitted, first, frames
+            finally:
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionError, OSError):
+                    pass
+        finally:
+            server.close()
+            await server.wait_closed()
+
+    submitted, first, frames = asyncio.run(go())
+    assert submitted["op"] == "submitted"
+    assert first["op"] == "record" and first["seq"] == 2
+    # records the drain finished may still arrive; the *last* frame must
+    # be the typed goodbye with the stream's seq and request id echoed
+    goodbye = frames[-1]
+    assert goodbye["op"] == "error" and goodbye["ok"] is False
+    assert goodbye["error"] == "shutting-down"
+    assert goodbye["seq"] == 2 and goodbye["id"] == submitted["id"]
+    assert all(f["op"] == "record" for f in frames[:-1])
+    # the drained cells were flushed to disk for the next life
+    assert list(cache_dir.glob("*.json"))
+
+
+def test_submit_after_shutdown_refused_typed_over_the_wire():
+    async def go():
+        service = CampaignService(workers=1)
+        await service.start()
+        server = await serve_tcp(service)
+        port = server.sockets[0].getsockname()[1]
+        try:
+            await service.shutdown()
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            try:
+                request = CampaignRequest(specs=(cheap_specs()[0],))
+                writer.write(encode_message(
+                    {"op": "submit", "seq": 9, "request": request.to_obj()}))
+                await writer.drain()
+                return decode_message(await reader.readline())
+            finally:
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionError, OSError):
+                    pass
+        finally:
+            server.close()
+            await server.wait_closed()
+
+    refused = asyncio.run(go())
+    assert refused["op"] == "error" and refused["error"] == "shutting-down"
+    assert refused["seq"] == 9
+
+
+# ----------------------------------------------------------------------
 # the packaged transports: python -m repro.sim.service + CLI --connect
 # ----------------------------------------------------------------------
 

@@ -1,0 +1,130 @@
+"""Whole-server crash resume: SIGKILL mid-request, restart, resubmit.
+
+The hardest fault the service's crash-resume recipe must survive: the
+*entire* server process is SIGKILL'd (no drain, no flush, no goodbye)
+while a supervised sweep is streaming.  Because every computed cell was
+``put`` into the disk cache atomically as it finished, a fresh server
+started on the same ``--cache`` directory replays the finished cells
+and computes only the rest - and the resubmitted request's stream is
+byte-identical to a local pooled run.  The orphaned worker subprocesses
+exit on their own: the supervisor's death closes their stdin pipes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.sim.campaign import CampaignRequest, ScenarioSpec, execute_request
+from repro.sim.service import CampaignClient
+from repro.sim.service.protocol import decode_message, encode_message
+
+
+def resume_specs() -> list[ScenarioSpec]:
+    """Enough cheap cells that a kill after the first record is mid-sweep."""
+    pool = []
+    for i in range(10):
+        pool.append(ScenarioSpec(
+            label=f"osek {i}", domain="osek", seed=i,
+            params=(("tasks", 3 + i % 3), ("utilisation", 0.5),
+                    ("horizon_us", 200_000))))
+    return pool
+
+
+def start_server(tmp_path: Path, cache_dir: Path, name: str) -> tuple:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(__file__).resolve().parents[1] / "src")
+    port_file = tmp_path / f"{name}.port"
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.sim.service", "--port", "0",
+         "--port-file", str(port_file), "--cache", str(cache_dir),
+         "--workers-proc", "2", "--heartbeat", "0.2"],
+        env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+    deadline = time.monotonic() + 30
+    while not port_file.exists():
+        assert proc.poll() is None, "service died before listening"
+        assert time.monotonic() < deadline, "service never wrote its port"
+        time.sleep(0.05)
+    return proc, int(port_file.read_text())
+
+
+def test_sigkilled_server_resumes_byte_identical_on_its_cache(tmp_path):
+    specs = resume_specs()
+    request = CampaignRequest(specs=tuple(specs))
+    cache_dir = tmp_path / "cache"
+
+    # first life: stream until the first record lands, then SIGKILL the
+    # whole server - no drain, no cache flush, pipes just vanish
+    first, port = start_server(tmp_path, cache_dir, "first")
+    try:
+        async def interrupted() -> int:
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            try:
+                writer.write(encode_message(
+                    {"op": "submit", "seq": 1, "request": request.to_obj()}))
+                await writer.drain()
+                submitted = decode_message(await reader.readline())
+                assert submitted["op"] == "submitted"
+                writer.write(encode_message(
+                    {"op": "stream", "seq": 2, "id": submitted["id"]}))
+                await writer.drain()
+                streamed = 0
+                while streamed < 1:
+                    frame = decode_message(await reader.readline())
+                    if frame.get("op") == "record":
+                        streamed += 1
+                first.send_signal(signal.SIGKILL)
+                # the socket dies with the server: EOF, not a clean done
+                while True:
+                    line = await asyncio.wait_for(reader.readline(), 30)
+                    if not line:
+                        return streamed
+                    frame = decode_message(line)
+                    if frame.get("op") == "record":
+                        streamed += 1
+            finally:
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionError, OSError):
+                    pass
+
+        streamed = asyncio.run(interrupted())
+        first.wait(timeout=10)
+    finally:
+        if first.poll() is None:
+            first.kill()
+            first.wait(timeout=10)
+    assert streamed >= 1
+    cached = list(cache_dir.glob("*.json"))
+    assert cached, "the killed server's finished cells must be on disk"
+
+    # second life: same cache directory, same request, full stream
+    second, port = start_server(tmp_path, cache_dir, "second")
+    try:
+        async def resumed() -> dict:
+            client = await CampaignClient.connect(port=port)
+            try:
+                rid = await client.submit(request)
+                return await client.stream(
+                    rid, stream_path=tmp_path / "resumed.jsonl")
+            finally:
+                await client.close()
+
+        done = asyncio.run(resumed())
+    finally:
+        second.terminate()
+        second.wait(timeout=10)
+
+    assert done["status"] == "ok" and done["ran"] == len(specs)
+    assert done["replayed"] >= len(cached)     # the first life's cells held
+    assert done["replayed"] + done["computed"] == len(specs)
+
+    local = tmp_path / "local.jsonl"
+    execute_request(request, stream_path=local)
+    assert (tmp_path / "resumed.jsonl").read_bytes() == local.read_bytes()
