@@ -86,6 +86,30 @@ from repro.isa.registers import MASK32, Apsr, RegisterFile
 from repro.isa.semantics import Outcome, execute
 from repro.core.exceptions import ExecutionError
 from repro.sim.trace import TraceRecorder
+from repro import obs
+
+# Out-of-band engine telemetry (repro.obs).  Series handles are prebound
+# at import so hot paths pay one enabled-flag check per event; every
+# site observes execution and never alters it - architectural results
+# stay bit-identical with telemetry on or off.
+_RUNS = obs.counter("engine.runs", "run()/run_until_cycle() entries by tier")
+_RUNS_REFERENCE = _RUNS.labels(tier="reference")
+_RUNS_UOPS = _RUNS.labels(tier="uops")
+_RUNS_SUPERBLOCK = _RUNS.labels(tier="superblock")
+_DISPATCHES = obs.counter(
+    "engine.superblock.dispatches",
+    "Superblock-engine dispatches by mode: fused generated code, "
+    "list-of-steps, poll-per-instruction (at the event horizon), or "
+    "guarded per-step prefix (horizon/budget boundary)")
+_DISPATCH_FUSED = _DISPATCHES.labels(mode="fused")
+_DISPATCH_LIST = _DISPATCHES.labels(mode="list")
+_DISPATCH_POLL = _DISPATCHES.labels(mode="poll")
+_DISPATCH_STEP = _DISPATCHES.labels(mode="step")
+_SB_BUILT = obs.counter(
+    "engine.superblocks.built", "Superblocks built (lazily, per entry pc)")
+_SB_INVALIDATED = obs.counter(
+    "engine.superblocks.invalidated",
+    "Superblock cache invalidations (bound configuration changed)")
 
 #: Branching here halts the simulation (the reset value of LR).
 HALT_ADDRESS = 0xFFFFFFFE
@@ -651,6 +675,7 @@ class BaseCpu:
                 f"no instruction at pc={pc:#010x} ({self.name})")
         entry = [steps, uops, FUSE_THRESHOLD, None]
         self._sb_blocks[pc] = entry
+        _SB_BUILT.add()
         return entry
 
     def run(self, max_instructions: int = 1_000_000) -> int:
@@ -664,6 +689,7 @@ class BaseCpu:
         traces) are identical for all three."""
         start = self.instructions_executed
         if not self.fastpath:
+            _RUNS_REFERENCE.add()
             while not self.halted:
                 if self.instructions_executed - start >= max_instructions:
                     raise ExecutionError(
@@ -671,7 +697,9 @@ class BaseCpu:
                 self.step()
             return self.instructions_executed - start
         if self.superblocks:
+            _RUNS_SUPERBLOCK.add()
             return self._run_superblocks(start, max_instructions)
+        _RUNS_UOPS.add()
         return self._run_uops(start, max_instructions)
 
     def _run_loop_env(self):
@@ -730,6 +758,7 @@ class BaseCpu:
                 or self._sb_trace_mode != mode):
             if self._sb_blocks:
                 self._sb_blocks = {}
+                _SB_INVALIDATED.add()
             self._sb_caps = {}
             self._sb_bound_queue = irq_queue
             self._sb_trace_mode = mode
@@ -780,6 +809,7 @@ class BaseCpu:
                 if fast_step is None:
                     fast_step = self._predecode_missing(table, pc_slot[15])
                 fast_step()
+                _DISPATCH_POLL.add()
                 continue
             pc = pc_slot[15]
             entry = blocks_get(pc)
@@ -790,9 +820,11 @@ class BaseCpu:
                 fused = entry[3]
                 if fused is not None:
                     fused()
+                    _DISPATCH_FUSED.add()
                     continue
                 for fast_step in steps:
                     fast_step()
+                _DISPATCH_LIST.add()
                 entry[2] -= 1
                 if entry[2] <= 0:
                     entry[3] = fuse_block(self, entry[1], steps)
@@ -800,6 +832,7 @@ class BaseCpu:
             if len(steps) > limit - executed:
                 # budget guard: run the allowed prefix, then raise above
                 steps = steps[:limit - executed]
+            _DISPATCH_STEP.add()
             if horizon is None:
                 for fast_step in steps:
                     fast_step()
@@ -837,6 +870,7 @@ class BaseCpu:
         """
         start = self.instructions_executed
         if not self.fastpath:
+            _RUNS_REFERENCE.add()
             while (not self.halted and not self.sleeping
                    and self.cycles < until):
                 if self.instructions_executed - start >= max_instructions:
@@ -846,7 +880,9 @@ class BaseCpu:
                 self.step()
             return self.instructions_executed - start
         if self.superblocks:
+            _RUNS_SUPERBLOCK.add()
             return self._run_superblocks_until(start, max_instructions, until)
+        _RUNS_UOPS.add()
         return self._run_uops_until(start, max_instructions, until)
 
     def _run_uops_until(self, start: int, max_instructions: int,
@@ -980,6 +1016,7 @@ class BaseCpu:
                 if fast_step is None:
                     fast_step = self._predecode_missing(table, pc_slot[15])
                 fast_step()
+                _DISPATCH_POLL.add()
                 continue
             bound = until if horizon is None or horizon > until else horizon
             pc = pc_slot[15]
@@ -1003,9 +1040,11 @@ class BaseCpu:
                     fused = entry[3]
                     if fused is not None:
                         fused()
+                        _DISPATCH_FUSED.add()
                         continue
                     for fast_step in steps:
                         fast_step()
+                    _DISPATCH_LIST.add()
                     entry[2] -= 1
                     if entry[2] <= 0:
                         entry[3] = fuse_block(self, entry[1], steps)
@@ -1013,6 +1052,7 @@ class BaseCpu:
             if len(steps) > limit - executed:
                 # budget guard: run the allowed prefix, then raise above
                 steps = steps[:limit - executed]
+            _DISPATCH_STEP.add()
             for fast_step in steps:
                 if self.cycles >= bound:
                     break

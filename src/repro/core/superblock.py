@@ -46,6 +46,9 @@ micro-op table they were generated from.
 
 from __future__ import annotations
 
+from time import perf_counter as _perf_counter
+
+from repro import obs
 from repro.isa.registers import MASK32, PC
 from repro.isa.semantics import _LOAD_SIZES, _SIGNED_LOADS, _STORE_SIZES, Outcome
 from repro.memory.bus import AccessRecord
@@ -1559,7 +1562,29 @@ def _flush_span(span, lines):
     span.clear()
 
 
+_SB_FUSED = obs.counter(
+    "engine.superblocks.fused",
+    "Superblocks compiled into a single fused callable")
+_COMPILE_SECONDS = obs.histogram(
+    "engine.superblock.compile_seconds",
+    "Wall time to emit + compile one fused superblock (code-cache hits "
+    "included; they land in the lowest buckets)",
+    buckets=obs.FAST_SECONDS_BUCKETS)
+
+
 def fuse_block(cpu, uops, steps):
+    """Compile one superblock into a single callable (see
+    :func:`_fuse_block`; this wrapper only adds out-of-band telemetry)."""
+    if not obs.REGISTRY.enabled:
+        return _fuse_block(cpu, uops, steps)
+    start = _perf_counter()
+    fused = _fuse_block(cpu, uops, steps)
+    _SB_FUSED.add()
+    _COMPILE_SECONDS.observe(_perf_counter() - start)
+    return fused
+
+
+def _fuse_block(cpu, uops, steps):
     """Compile one superblock into a single callable.
 
     ``uops`` are the block's micro-ops and ``steps`` the matching bound

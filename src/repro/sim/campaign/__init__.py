@@ -121,7 +121,12 @@ import json
 import zlib
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.sim.rng import DeterministicRng
+
+#: cell wall-time by domain - observed out-of-band in :func:`run_scenario`
+_CELL_SECONDS = obs.histogram(
+    "campaign.cell_seconds", "Cell wall time by scenario domain")
 
 #: SRAM address of the irq_tick counter: far above workload input blobs
 #: (loaded at SRAM_BASE) and far below the stack (which grows down from
@@ -201,8 +206,13 @@ class ScenarioRecord:
     """Outcome of one kernel-domain scenario (KernelRun fields + IRQ stats).
 
     Other domains define their own record dataclasses (same contract: flat
-    JSON-able fields, a ``domain`` tag, and a ``verified`` property); the
+    JSON-able fields, a ``domain`` tag, a ``verified`` property, and a
+    ``status`` property that is ``"ok"`` on every computed record); the
     stream reader dispatches on the ``domain`` field to rebuild them.
+    ``status`` is a *property*, never a field: properties stay out of
+    ``vars(record)`` and therefore out of the canonical stream bytes.
+    Only :class:`CellErrorRecord` carries a real ``status`` field
+    (``"error"``) - the one place the status must ride the wire.
     """
 
     label: str
@@ -221,6 +231,11 @@ class ScenarioRecord:
     irqs_tail_chained: int = 0
     irq_ticks: int = 0
     domain: str = "kernel"
+
+    @property
+    def status(self) -> str:
+        """Typed cell status: a computed record is always ``"ok"``."""
+        return "ok"
 
     @property
     def verified(self) -> bool:
@@ -375,10 +390,22 @@ def run_scenario(spec: ScenarioSpec, parallel: int | None = None):
     their ECUs on that many worker threads.  It is an execution-level
     knob like ``workers`` - never part of the spec, its cache key, or the
     record, because output is byte-identical for every value.
+
+    Telemetry (when :mod:`repro.obs` is enabled) is strictly out-of-band:
+    the span and latency histogram observe the run, never influence it.
     """
     from repro.sim.domains import get_domain
 
-    return get_domain(spec.domain).run(spec, parallel=parallel)
+    if not obs.REGISTRY.enabled:
+        return get_domain(spec.domain).run(spec, parallel=parallel)
+    import time
+
+    with obs.span("cell", domain=spec.domain, label=spec.label):
+        start = time.perf_counter()
+        record = get_domain(spec.domain).run(spec, parallel=parallel)
+        _CELL_SECONDS.labels(domain=spec.domain).observe(
+            time.perf_counter() - start)
+    return record
 
 
 # The request core lives in its own module; import it here (after the
@@ -577,7 +604,14 @@ def launch_shards(request: CampaignRequest, count: int, stream_path: str,
     Each child's command line is derived from the request itself
     (:meth:`CampaignRequest.cli_argv`), not rebuilt flag by flag - so a
     request field added tomorrow flows through the launcher automatically.
+
+    When the request carries a ``metrics`` path, each child dumps its own
+    snapshot to ``<path>.shardK`` and the launcher merges them into
+    ``<path>`` (counters and histograms sum, gauges take the max) -
+    telemetry is observational only, so a shard retried without a dump
+    just contributes nothing to the merge.
     """
+    import dataclasses
     import subprocess
     import sys
 
@@ -585,9 +619,13 @@ def launch_shards(request: CampaignRequest, count: int, stream_path: str,
         raise ValueError("launch_shards partitions the whole request; "
                          "it cannot start from an already-sharded one")
     shard_paths = [f"{stream_path}.shard{k}" for k in range(count)]
+    metric_paths = ([f"{request.metrics}.shard{k}" for k in range(count)]
+                    if request.metrics else None)
     commands = [
         [sys.executable, "-m", "repro.sim.campaign",
-         *request.with_shard((k, count)).cli_argv(),
+         *dataclasses.replace(
+             request.with_shard((k, count)),
+             metrics=metric_paths[k] if metric_paths else None).cli_argv(),
          "--stream", shard_paths[k]]
         for k in range(count)
     ]
@@ -616,6 +654,19 @@ def launch_shards(request: CampaignRequest, count: int, stream_path: str,
 
     for path in shard_paths:
         os.remove(path)
+    if metric_paths:
+        snapshots = []
+        for path in metric_paths:
+            try:
+                with open(path, encoding="utf-8") as dump_file:
+                    snapshots.append(json.load(dump_file))
+                os.remove(path)
+            except (OSError, json.JSONDecodeError):
+                continue  # observational: a missing dump loses no records
+        merged = obs.merge_snapshots(snapshots)
+        with open(request.metrics, "w", encoding="utf-8") as out:
+            json.dump(merged, out, indent=1, sort_keys=True)
+            out.write("\n")
     echo(f"launched {count} shards -> {stream_path} "
          f"(exit codes {exit_codes})")
     return worst
@@ -661,6 +712,14 @@ def build_parser():
                              "computed by any earlier run are replayed "
                              "instead of re-run (output stays byte-"
                              "identical to a cold run)")
+    parser.add_argument("--metrics", default=None, metavar="PATH",
+                        help="dump a telemetry snapshot (repro.obs "
+                             "registry JSON) to PATH after the run; "
+                             "implies REPRO_OBS=1 for this process and, "
+                             "under --launch, per-shard dumps merged "
+                             "into PATH.  Purely observational: record "
+                             "streams are byte-identical with or "
+                             "without it")
     parser.add_argument("--priority", type=int, default=0,
                         help="service-side scheduling priority (higher "
                              "runs first; only meaningful with --connect)")
@@ -677,7 +736,8 @@ def request_from_args(args) -> CampaignRequest:
     return CampaignRequest(matrix=args.matrix, seed=args.seed,
                            scale=args.scale, shard=args.shard,
                            workers=args.workers, parallel=args.parallel,
-                           cache=args.cache, priority=args.priority)
+                           cache=args.cache, priority=args.priority,
+                           metrics=args.metrics)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -710,6 +770,10 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(f"unknown matrix {args.matrix!r}; "
                      f"pick from {', '.join(sorted(matrices))}")
     request = mod.request_from_args(args)
+    if args.metrics:
+        # Telemetry on for this process; the record stream is unaffected
+        # (property-tested: bytes identical with REPRO_OBS on and off).
+        obs.enable()
 
     if args.launch is not None:
         if args.launch < 1:
@@ -788,4 +852,7 @@ def main(argv: list[str] | None = None) -> int:
             return 2
     if args.stream:
         print(f"stream: {args.stream}")
+    if args.metrics:
+        obs.dump(args.metrics)
+        print(f"metrics: {args.metrics}")
     return 0 if verified == ran else 2

@@ -97,7 +97,10 @@ class CampaignRequest:
     part of a spec, its cache key, or a record, because output is
     byte-identical for every value.  ``priority`` orders the request
     against other clients' sweeps on a service (higher runs first); local
-    execution ignores it.
+    execution ignores it.  ``metrics`` asks the CLI front ends to dump a
+    :mod:`repro.obs` telemetry snapshot to that path after the run (the
+    launcher merges per-shard dumps); like every telemetry knob it is
+    out-of-band - record streams are byte-identical with or without it.
     """
 
     matrix: str | None = None
@@ -109,6 +112,7 @@ class CampaignRequest:
     parallel: int | None = None
     cache: str | None = None
     priority: int = 0
+    metrics: str | None = None
 
     def __post_init__(self):
         object.__setattr__(self, "specs", tuple(self.specs))
@@ -165,6 +169,8 @@ class CampaignRequest:
             argv += ["--cache", self.cache]
         if self.priority:
             argv += ["--priority", str(self.priority)]
+        if self.metrics:
+            argv += ["--metrics", self.metrics]
         return argv
 
     def to_obj(self) -> dict:
@@ -179,6 +185,7 @@ class CampaignRequest:
             "parallel": self.parallel,
             "cache": self.cache,
             "priority": self.priority,
+            "metrics": self.metrics,
         }
 
     @classmethod
@@ -197,6 +204,7 @@ class CampaignRequest:
             parallel=obj.get("parallel"),
             cache=obj.get("cache"),
             priority=obj.get("priority", 0),
+            metrics=obj.get("metrics"),
         )
 
 
@@ -219,6 +227,7 @@ def execute_request(request: CampaignRequest, *, stream_path=None,
     """
     import functools
 
+    from repro import obs
     from repro.sim.campaign import CampaignResult, _record_json, run_scenario
     from repro.sim.campaign.cache import RecordCache
 
@@ -246,9 +255,26 @@ def execute_request(request: CampaignRequest, *, stream_path=None,
     cached = [None] * len(specs) if cache is None else [cache.get(s) for s in specs]
     misses = [s for s, hit in zip(specs, cached) if hit is None]
 
+    # Out-of-band telemetry, counted parent-side so pool children (whose
+    # process-local registries die with them) still show up: every cell
+    # requested, every cache replay, every freshly computed record.
+    if obs.REGISTRY.enabled:
+        requested = obs.counter("campaign.cells.requested",
+                                "Cells resolved into this run, by domain")
+        replayed = obs.counter("campaign.cells.cached",
+                               "Cells replayed from the record cache")
+        for spec in specs:
+            requested.inc(domain=spec.domain)
+        for spec, hit in zip(specs, cached):
+            if hit is not None:
+                replayed.inc(domain=spec.domain)
+
     def computed(record, spec) -> object:
         if cache is not None:
             cache.put(spec, record)
+        if obs.REGISTRY.enabled:
+            obs.counter("campaign.cells.computed",
+                        "Cells computed by this run").inc(domain=spec.domain)
         return record
 
     try:

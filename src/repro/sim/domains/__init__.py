@@ -9,8 +9,11 @@ shard, and stream any mix of them:
   traffic matrices, compiled programs); all randomness comes from
   ``spec.rng()``, so the built scenario is a pure function of the spec;
 * ``execute(spec, built)`` runs it and returns the domain's record - a
-  flat dataclass of JSON-able fields carrying a ``domain`` tag and a
-  ``verified`` property;
+  flat dataclass of JSON-able fields carrying a ``domain`` tag, a
+  ``verified`` property, and a ``status`` property (``"ok"`` on every
+  computed record; only the service's :class:`~repro.sim.campaign.
+  CellErrorRecord` carries ``status`` as a real ``"error"`` field,
+  because that is the one status that must ride the stream);
 * ``run(spec)`` is build + execute (the campaign worker entry).
 
 Domains register here by name; :func:`record_class_for` lets the stream
@@ -57,6 +60,17 @@ class ScenarioDomain:
 _REGISTRY: dict[str, ScenarioDomain] = {}
 
 
+def _check_record_contract(name: str, record_class: type) -> None:
+    """Record classes must expose the typed accessors the service and
+    stream readers rely on.  ``hasattr`` sees properties on the class
+    without instantiating, so field-less contracts validate for free."""
+    for accessor in ("status", "verified"):
+        if not hasattr(record_class, accessor):
+            raise ValueError(
+                f"record class {record_class.__name__!r} for {name!r} "
+                f"must define a {accessor!r} property (or field)")
+
+
 def register_domain(domain: ScenarioDomain) -> ScenarioDomain:
     """Add a domain to the registry (name must be new and non-empty)."""
     if not domain.name:
@@ -65,6 +79,7 @@ def register_domain(domain: ScenarioDomain) -> ScenarioDomain:
         raise ValueError(f"domain {domain.name!r} needs a record_class")
     if domain.name in _REGISTRY:
         raise ValueError(f"scenario domain {domain.name!r} already registered")
+    _check_record_contract(domain.name, domain.record_class)
     _REGISTRY[domain.name] = domain
     return domain
 
@@ -93,6 +108,7 @@ def register_record_class(name: str, record_class: type) -> None:
         raise ValueError("record class registration needs a non-empty name")
     if name in _REGISTRY or name in _RECORD_ONLY:
         raise ValueError(f"record domain {name!r} already registered")
+    _check_record_contract(name, record_class)
     _RECORD_ONLY[name] = record_class
 
 

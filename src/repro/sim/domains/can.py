@@ -57,6 +57,11 @@ class CanRecord:
     domain: str = "can"
 
     @property
+    def status(self) -> str:
+        """Typed cell status: a computed record is always ``"ok"``."""
+        return "ok"
+
+    @property
     def verified(self) -> bool:
         """Frames are conserved (delivered + still-queued == sent, so
         error retries never lose traffic), and error-free traffic must

@@ -53,6 +53,11 @@ class LinRecord:
     domain: str = "lin"
 
     @property
+    def status(self) -> str:
+        """Typed cell status: a computed record is always ``"ok"``."""
+        return "ok"
+
+    @property
     def verified(self) -> bool:
         """The deterministic schedule keeps its promise: every observed
         update latency is at or under the table bound, checksums hold,

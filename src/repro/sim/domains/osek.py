@@ -56,6 +56,11 @@ class OsekRecord:
     domain: str = "osek"
 
     @property
+    def status(self) -> str:
+        """Typed cell status: a computed record is always ``"ok"``."""
+        return "ok"
+
+    @property
     def verified(self) -> bool:
         """Analysis must bound reality wherever it converged."""
         return self.bound_violations == 0

@@ -59,6 +59,11 @@ class SoftErrorRecord:
     domain: str = "soft_error"
 
     @property
+    def status(self) -> str:
+        """Typed cell status: a computed record is always ``"ok"``."""
+        return "ok"
+
+    @property
     def verified(self) -> bool:
         if self.protected:
             # every upset either corrected or *detected*; never silent

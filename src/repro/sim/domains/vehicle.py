@@ -66,6 +66,11 @@ class VehicleRecord:
     domain: str = "vehicle"
 
     @property
+    def status(self) -> str:
+        """Typed cell status: a computed record is always ``"ok"``."""
+        return "ok"
+
+    @property
     def verified(self) -> bool:
         """The executed network respects every analytic bound, conserves
         frames and signal sequences, reproduces the mirrored values, and

@@ -127,6 +127,11 @@ class VehicleFaultRecord:
         _validated_claims("expected", self.expected)
 
     @property
+    def status(self) -> str:
+        """Typed cell status: a computed record is always ``"ok"``."""
+        return "ok"
+
+    @property
     def verified(self) -> bool:
         """Fault confinement behaved exactly as specified: every claim's
         verdict matches the cell's expectation, the (possibly negative)

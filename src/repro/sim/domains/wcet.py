@@ -46,6 +46,11 @@ class WcetRecord:
     domain: str = "wcet"
 
     @property
+    def status(self) -> str:
+        """Typed cell status: a computed record is always ``"ok"``."""
+        return "ok"
+
+    @property
     def verified(self) -> bool:
         """Every measured run verified against the reference (or
         measure_wcet would have raised), and the estimate is coherent."""

@@ -52,6 +52,34 @@ the CI ``chaos-smoke`` job assert stream bytes and slot accounting match
 an undisturbed run - ``--chaos "seed=7,kills=2,stalls=1"`` replays any
 schedule from the command line.
 
+Observability
+-------------
+
+The service is instrumented end to end with :mod:`repro.obs` - a
+process-local metrics registry (counters, gauges, histograms) plus a
+span tracer - under one hard rule: **telemetry is out-of-band**.  No
+metric or span ever enters a spec, a cache key, record bytes, or stream
+order; the property suite diffs streams with ``REPRO_OBS=1`` vs ``0``
+and requires byte identity.  With telemetry enabled (``--obs`` or
+``REPRO_OBS=1``) the server counts submits, per-domain cell
+resolutions (replayed/joined/computed), dedup hits, stream first-record
+and drain latencies, and the supervised fleet's spawns, losses,
+respawns, requeues, and quarantines, plus lazily-read gauges for queue
+depth, in-flight cells, worker liveness, and heartbeat age.
+
+Three ways to look at it:
+
+* the ``metrics`` protocol op (:meth:`CampaignClient.metrics`) returns
+  a registry snapshot plus recent spans, ``seq``-echoed like any other
+  reply - and answers empty series, not an error, when telemetry is off;
+* ``python -m repro.sim.campaign --metrics out.json`` dumps a snapshot
+  after a CLI or ``--launch`` run (shard dumps are merged);
+* ``python -m repro.sim.service.dashboard HOST:PORT`` renders a live
+  terminal dashboard - queue depth, fleet health, cells/sec, dedup
+  rate, per-domain progress - by polling ``status`` + ``metrics``
+  (``examples/dashboard_demo.py`` drives it against a chaos-injected
+  fleet).
+
 The wire protocol (line-oriented JSON) is specified in
 :mod:`repro.sim.service.protocol` and in the campaign module docstring;
 the server design invariants are documented in

@@ -111,12 +111,24 @@ def build_parser() -> argparse.ArgumentParser:
         default=100_000,
         help="bounded queue: max total cells across active requests",
     )
+    parser.add_argument(
+        "--obs",
+        action="store_true",
+        help="enable repro.obs telemetry for this server (same as "
+        "REPRO_OBS=1): the 'metrics' op then reports live counters, "
+        "gauges, and histograms.  Out-of-band: record streams are "
+        "byte-identical with or without it",
+    )
     return parser
 
 
 async def _amain(args) -> int:
     from repro.sim.service.server import CampaignService, serve_stdio, serve_tcp
 
+    if args.obs:
+        from repro import obs
+
+        obs.enable()
     chaos = None
     if args.chaos is not None:
         from repro.sim.service.chaos import ChaosSchedule

@@ -223,6 +223,13 @@ class CampaignClient:
     async def status(self) -> dict:
         return await self._call({"op": "status"})
 
+    async def metrics(self) -> dict:
+        """The server's telemetry snapshot (``metrics`` op): a dict with
+        ``metrics`` (the :mod:`repro.obs` registry snapshot) and
+        ``spans`` (recent tracer spans).  Empty series - not an error -
+        when the server runs with telemetry disabled."""
+        return await self._call({"op": "metrics"})
+
     async def cancel(self, rid: str) -> dict:
         return await self._call({"op": "cancel", "id": rid})
 

@@ -1,0 +1,222 @@
+"""Live terminal dashboard for a running campaign service.
+
+``python -m repro.sim.service.dashboard HOST:PORT`` polls the service's
+``status`` and ``metrics`` ops and redraws one compact frame per
+interval: uptime and pool mode, queue depth against its bounds, fleet
+health (alive workers, respawns, requeues, quarantines, heartbeat age),
+throughput (cells/sec from the delta between polls), dedup rate, and a
+per-domain progress breakdown from the ``service.cells.resolved``
+counter.  It is a *read-only* client - polling never perturbs record
+streams (telemetry is out-of-band by construction) - and works equally
+against a server running with telemetry disabled, where the metrics
+sections simply render as idle.
+
+The frame is produced by the pure function :func:`render` (status dict
++ metrics dict + previous sample in, list of lines out), so tests drive
+it without a terminal, and ``--once --json`` emits the raw sample for
+scripts (the CI smoke job uses it to cross-check counter consistency).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import time
+
+from repro.sim.service.client import CampaignClient
+
+
+def _counter_total(metrics: dict, name: str) -> int:
+    """Sum of one counter across its label series (0 when absent)."""
+    return sum((metrics.get("counters", {}).get(name) or {}).values())
+
+
+def _counter_series(metrics: dict, name: str) -> dict:
+    return metrics.get("counters", {}).get(name) or {}
+
+
+def _gauge(metrics: dict, name: str, default=None):
+    series = metrics.get("gauges", {}).get(name) or {}
+    return next(iter(series.values()), default)
+
+
+def _bar(value: float, limit: float, width: int = 20) -> str:
+    """A bounded ASCII meter: ``[####----------------]``."""
+    if limit <= 0:
+        return "[" + "-" * width + "]"
+    filled = min(width, round(width * min(value, limit) / limit))
+    return "[" + "#" * filled + "-" * (width - filled) + "]"
+
+
+def sample(status: dict, metrics: dict) -> dict:
+    """The derived quantities one poll contributes (JSON-able).
+
+    ``cells_resolved``/``records_streamed`` are cumulative counters, so
+    rates come from differencing two samples; everything else is
+    point-in-time.
+    """
+    resolved = _counter_series(metrics, "service.cells.resolved")
+    by_domain: dict = {}
+    for key, count in resolved.items():
+        labels = dict(part.split("=", 1) for part in key.split(",") if "=" in part)
+        domain = labels.get("domain", "?")
+        by_domain[domain] = by_domain.get(domain, 0) + count
+    return {
+        "time": time.time(),
+        "uptime_s": status.get("uptime_s", 0.0),
+        "pool": status.get("pool", "?"),
+        "protocol": status.get("protocol"),
+        "active": status.get("active", 0),
+        "active_cells": status.get("active_cells", 0),
+        "max_pending": status.get("max_pending", 0),
+        "max_active_cells": status.get("max_active_cells", 0),
+        "inflight": status.get("inflight", 0),
+        "cache_hits": status.get("cache_hits", 0),
+        "cache_misses": status.get("cache_misses", 0),
+        "requests": {
+            rid: {k: summary.get(k) for k in ("status", "cells", "ran", "failed")}
+            for rid, summary in (status.get("requests") or {}).items()
+        },
+        "supervisor": status.get("supervisor"),
+        "cells_resolved": _counter_total(metrics, "service.cells.resolved"),
+        "cells_by_domain": by_domain,
+        "records_streamed": _counter_total(metrics, "service.records.streamed"),
+        "dedup_hits": _counter_total(metrics, "service.dedup.hits"),
+        "cells_failed": _counter_total(metrics, "service.cells.failed"),
+        "requests_submitted": _counter_total(metrics, "service.requests.submitted"),
+        "heartbeat_age_s": _gauge(metrics, "service.workers.heartbeat_age_s"),
+        "workers_alive": _gauge(metrics, "service.workers.alive"),
+    }
+
+
+def render(status: dict, metrics: dict, prev: dict | None = None,
+           elapsed: float | None = None) -> list[str]:
+    """One dashboard frame as a list of lines (pure; no I/O, no clock).
+
+    ``prev`` is the previous :func:`sample` and ``elapsed`` the seconds
+    between the two polls; both may be omitted (rates then show ``-``).
+    """
+    cur = sample(status, metrics)
+    lines = [
+        f"campaign service  up {cur['uptime_s']:.1f}s  pool={cur['pool']}"
+        f"  protocol={cur['protocol']}",
+    ]
+
+    queue = _bar(cur["active"], cur["max_pending"])
+    cells = _bar(cur["active_cells"], cur["max_active_cells"])
+    lines.append(
+        f"queue   {queue} {cur['active']}/{cur['max_pending']} requests"
+        f"   cells {cells} {cur['active_cells']}/{cur['max_active_cells']}")
+
+    if elapsed and elapsed > 0 and prev is not None:
+        rate = (cur["cells_resolved"] - prev.get("cells_resolved", 0)) / elapsed
+        stream_rate = (cur["records_streamed"]
+                       - prev.get("records_streamed", 0)) / elapsed
+        rate_text = f"{rate:6.1f} cells/s  {stream_rate:6.1f} records/s"
+    else:
+        rate_text = "     - cells/s       - records/s"
+    lookups = cur["cache_hits"] + cur["cache_misses"]
+    dedup = (f"{100.0 * cur['cache_hits'] / lookups:5.1f}%"
+             if lookups else "    -")
+    lines.append(
+        f"rate    {rate_text}   dedup {dedup}"
+        f"  inflight {cur['inflight']}  failed {cur['cells_failed']}")
+
+    fleet = cur["supervisor"]
+    if fleet:
+        age = cur["heartbeat_age_s"]
+        age_text = f"{age:.2f}s" if isinstance(age, (int, float)) and age >= 0 else "-"
+        lines.append(
+            f"fleet   {fleet['alive']}/{fleet['workers']} alive"
+            f"  lost {fleet['lost']}  respawns {fleet['respawns']}"
+            f"/{fleet['respawn_budget']}  requeues {fleet['requeues']}"
+            f"  quarantined {fleet['quarantined']}  heartbeat {age_text}")
+
+    if cur["cells_by_domain"]:
+        total = sum(cur["cells_by_domain"].values())
+        parts = [f"{domain}:{count}" for domain, count
+                 in sorted(cur["cells_by_domain"].items())]
+        lines.append(f"domains {total} resolved  " + "  ".join(parts))
+
+    for rid, summary in sorted(cur["requests"].items()):
+        done = summary.get("ran") or 0
+        cells_total = summary.get("cells") or 0
+        progress = _bar(done, cells_total, width=12)
+        lines.append(
+            f"  {rid:<12} {summary.get('status', '?'):<9} {progress}"
+            f" {done}/{cells_total}"
+            + (f"  failed {summary['failed']}" if summary.get("failed") else ""))
+    if not cur["requests"]:
+        lines.append("  (no requests)")
+    return lines
+
+
+async def _poll(host: str, port: int, *, interval: float, frames: int | None,
+                as_json: bool, out=None) -> int:
+    out = out or sys.stdout
+    client = await CampaignClient.connect(host, port)
+    prev = None
+    prev_time = None
+    count = 0
+    try:
+        while True:
+            status = await client.status()
+            metrics_reply = await client.metrics()
+            metrics = metrics_reply.get("metrics") or {}
+            now = time.monotonic()
+            elapsed = (now - prev_time) if prev_time is not None else None
+            if as_json:
+                print(json.dumps(sample(status, metrics), sort_keys=True),
+                      file=out, flush=True)
+            else:
+                frame = render(status, metrics, prev, elapsed)
+                print("\n".join(frame) + "\n", file=out, flush=True)
+            prev = sample(status, metrics)
+            prev_time = now
+            count += 1
+            if frames is not None and count >= frames:
+                return 0
+            await asyncio.sleep(interval)
+    finally:
+        await client.close()
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sim.service.dashboard",
+        description="Live terminal dashboard for a campaign service: "
+        "polls the status and metrics ops and renders queue depth, "
+        "fleet health, throughput, dedup rate, and per-domain progress.")
+    parser.add_argument("address", metavar="HOST:PORT",
+                        help="service address, e.g. 127.0.0.1:7321")
+    parser.add_argument("--interval", type=float, default=1.0,
+                        help="seconds between polls (default 1.0)")
+    parser.add_argument("--frames", type=int, default=None, metavar="N",
+                        help="exit after N frames (default: run until ^C)")
+    parser.add_argument("--once", action="store_true",
+                        help="poll exactly once and exit (same as --frames 1)")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit one JSON sample per poll instead of the "
+                        "rendered frame (for scripts and CI checks)")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    host, _, port_text = args.address.rpartition(":")
+    if not host or not port_text.isdigit():
+        print(f"bad address {args.address!r}: expected HOST:PORT",
+              file=sys.stderr)
+        return 2
+    frames = 1 if args.once else args.frames
+    try:
+        return asyncio.run(_poll(host, int(port_text), interval=args.interval,
+                                 frames=frames, as_json=args.as_json))
+    except KeyboardInterrupt:
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

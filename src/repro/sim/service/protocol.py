@@ -13,7 +13,8 @@ message, it answers ``{"op": "error", "ok": false, "error": <code>,
 
 =================  =====================================================
 ``bad-message``    the line was not a JSON object with an ``op``
-``unknown-op``     the ``op`` is not one of submit/stream/status/cancel
+``unknown-op``     the ``op`` is not one of
+                   submit/stream/status/cancel/metrics
 ``bad-request``    the submit payload is not a valid CampaignRequest
 ``queue-full``     back-pressure: the bounded request/cell queues are at
                    capacity; retry after a request finishes or is
@@ -36,6 +37,43 @@ message, it answers ``{"op": "error", "ok": false, "error": <code>,
 :class:`CampaignServiceError` is the client-facing exception carrying the
 code; tests match on ``exc.code``, not message text.
 
+**status** (``{"op": "status", "seq": S}``) answers with one frame whose
+payload schema is stable and additive (new keys may appear; existing
+keys keep their meaning):
+
+=====================  ================================================
+``op``                 ``"status"`` (the ``seq`` is echoed alongside)
+``protocol``           :data:`PROTOCOL_VERSION` of the serving process
+``uptime_s``           seconds since :meth:`CampaignService.start`
+                       (monotonic clock, rounded to milliseconds)
+``pool``               worker-pool mode: ``"workers-proc"`` (supervised
+                       worker-subprocess fleet), ``"process-pool"``
+                       (multiprocessing pool), or ``"in-proc"``
+``active``             requests not yet finished or cancelled
+``active_cells``       cells belonging to active requests
+``computed``           cells computed since start (global)
+``cache_hits`` /       shared record-cache outcomes since start
+``cache_misses``
+``inflight``           cells currently being computed
+``workers``            configured worker count
+``supervised``         true under the supervised fleet
+``max_pending`` /      the bounded queue capacities (back-pressure)
+``max_active_cells``
+``requests``           per-request objects: ``id``, ``state``,
+                       ``cells``, ``streamed``, ``priority``
+``supervisor``         (supervised fleet only) the supervisor summary:
+                       spawned/lost/respawns/requeues/quarantined plus
+                       per-worker state
+=====================  ================================================
+
+**metrics** (``{"op": "metrics", "seq": S}``) answers ``{"op":
+"metrics", "seq": S, "metrics": <registry snapshot>, "spans": [...]}``
+- the server's :mod:`repro.obs` registry snapshot (counters, gauges,
+histograms keyed by name then label set) plus recent spans.  Telemetry
+is strictly out-of-band: the snapshot never influences scheduling,
+caching, or record bytes, and a server running with telemetry disabled
+answers with empty series rather than an error.
+
 A cell the supervised worker fleet gave up on (quarantined after killing
 two workers in a row, or raising cleanly in-worker) is **not** a
 transport error: it streams as an ordinary ``record`` push whose record
@@ -55,11 +93,12 @@ from __future__ import annotations
 
 import json
 
-#: protocol revision carried nowhere yet; bump on incompatible change
+#: protocol revision, reported in every ``status`` payload; bump on
+#: incompatible change (adding an op or a status key is compatible)
 PROTOCOL_VERSION = 1
 
 #: client -> server operations
-OPS = ("submit", "stream", "status", "cancel")
+OPS = ("submit", "stream", "status", "cancel", "metrics")
 
 
 class CampaignServiceError(Exception):

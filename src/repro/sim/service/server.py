@@ -52,18 +52,48 @@ from __future__ import annotations
 
 import asyncio
 import itertools
+import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 
+from repro import obs
 from repro.sim.campaign import CellErrorRecord, run_scenario
 from repro.sim.campaign.cache import MemoryRecordCache, RecordCache
 from repro.sim.campaign.request import CampaignRequest, record_to_obj
 from repro.sim.service.protocol import (
+    PROTOCOL_VERSION,
     CampaignServiceError,
     decode_message,
     encode_message,
     error_payload,
 )
 from repro.sim.service.supervisor import CellFailed, WorkerSupervisor
+
+# Out-of-band telemetry (repro.obs).  Every series here observes the
+# service; none may influence scheduling, caching, or record bytes -
+# the property the telemetry-on/off stream-diff tests enforce.
+_REQUESTS_SUBMITTED = obs.counter(
+    "service.requests.submitted", "Requests accepted by submit()")
+_REQUESTS_FINISHED = obs.counter(
+    "service.requests.finished", "Requests finished, by final status")
+_CELLS_REQUESTED = obs.counter(
+    "service.cells.requested", "Cells across submitted requests, by domain")
+_CELLS_RESOLVED = obs.counter(
+    "service.cells.resolved",
+    "Cells resolved per request: how=replayed|joined|computed")
+_DEDUP_HITS = obs.counter(
+    "service.dedup.hits",
+    "Cells deduplicated across requests (cache replays + in-flight joins)")
+_CELLS_FAILED = obs.counter(
+    "service.cells.failed", "Cells surfaced as error records, by kind")
+_RECORDS_STREAMED = obs.counter(
+    "service.records.streamed", "Record frames pushed to stream subscribers")
+_CELL_SECONDS = obs.histogram(
+    "service.cell_seconds", "Cell compute wall time by domain")
+_STREAM_FIRST = obs.histogram(
+    "service.stream.first_record_seconds",
+    "Subscribe-to-first-record latency per stream")
+_STREAM_DRAIN = obs.histogram(
+    "service.stream.drain_seconds", "Subscribe-to-done latency per stream")
 
 
 class _CellJob:
@@ -120,8 +150,10 @@ class _RequestState:
             "cells": len(self.specs),
             "ran": len(self.records),
             "verified": sum(1 for r in self.records if r.verified),
-            "failed": sum(1 for r in self.records
-                          if getattr(r, "status", "ok") == "error"),
+            # every record class exposes a typed ``status`` accessor
+            # (enforced at domain registration) - no getattr probing:
+            # quarantined/compute-error cells count exactly
+            "failed": sum(1 for r in self.records if r.status == "error"),
             "replayed": self.replayed,
             "joined": self.joined,
             "computed": self.computed,
@@ -189,6 +221,7 @@ class CampaignService:
         self._queue: asyncio.PriorityQueue | None = None
         self._slots: asyncio.Semaphore | None = None
         self._unpaused: asyncio.Event | None = None
+        self._started: float | None = None  # monotonic, set by start()
 
     # -- lifecycle ------------------------------------------------------
 
@@ -206,7 +239,29 @@ class CampaignService:
         self._slots = asyncio.Semaphore(self.workers)
         self._unpaused = asyncio.Event()
         self._unpaused.set()
+        self._started = time.monotonic()
+        self._register_gauges()
         self._dispatcher = asyncio.create_task(self._dispatch_loop())
+
+    def _register_gauges(self) -> None:
+        """Lazily-read gauges: evaluated at snapshot time, so they cost
+        nothing between scrapes.  Last started service wins the series -
+        fine, because a process hosts one live service at a time."""
+        obs.gauge("service.queue.depth",
+                  "Cells waiting in the dispatch queue").set_fn(
+            lambda: self._queue.qsize() if self._queue is not None else 0)
+        obs.gauge("service.requests.active",
+                  "Unfinished requests").set_fn(lambda: self._active)
+        obs.gauge("service.cells.active",
+                  "Cells belonging to active requests").set_fn(
+            lambda: self._active_cells)
+        obs.gauge("service.cells.inflight",
+                  "Cells being computed right now").set_fn(
+            lambda: len(self._inflight))
+        obs.gauge("service.uptime_s",
+                  "Seconds since the service started").set_fn(
+            lambda: round(time.monotonic() - self._started, 3)
+            if self._started is not None else 0.0)
 
     async def shutdown(self, *, drain: bool = True) -> None:
         """Stop the service without stranding anyone mid-socket.
@@ -312,6 +367,10 @@ class CampaignService:
         self.requests[rid] = state
         self._active += 1
         self._active_cells += len(specs)
+        _REQUESTS_SUBMITTED.inc()
+        if obs.REGISTRY.enabled:
+            for spec in specs:
+                _CELLS_REQUESTED.inc(domain=spec.domain)
         self._track(self._request_tasks, asyncio.create_task(self._serve_request(state)))
         return state
 
@@ -326,10 +385,28 @@ class CampaignService:
             await self._finish(state)
         return state.summary()
 
+    @property
+    def pool_mode(self) -> str:
+        """The worker-pool flavour: ``"workers-proc"`` (supervised
+        subprocess fleet), ``"process-pool"``, or ``"in-proc"``."""
+        if self.workers_proc is not None:
+            return "workers-proc"
+        if self.workers >= 2:
+            return "process-pool"
+        return "in-proc"
+
     def status(self) -> dict:
-        """Global and per-request counters (the ``status`` op payload)."""
+        """Global and per-request counters (the ``status`` op payload).
+
+        The full payload schema is documented in
+        :mod:`repro.sim.service.protocol`.
+        """
         payload = {
             "op": "status",
+            "protocol": PROTOCOL_VERSION,
+            "uptime_s": (round(time.monotonic() - self._started, 3)
+                         if self._started is not None else 0.0),
+            "pool": self.pool_mode,
             "active": self._active,
             "active_cells": self._active_cells,
             "computed": self.computed,
@@ -378,6 +455,7 @@ class CampaignService:
         state.finished = True
         self._active -= 1
         self._active_cells -= len(state.specs)
+        _REQUESTS_FINISHED.inc(status=state.status)
         async with state.cond:
             state.done = True
             state.cond.notify_all()
@@ -395,6 +473,8 @@ class CampaignService:
             record = self.cache.get(spec)
             if record is not None:
                 state.replayed += 1
+                _CELLS_RESOLVED.inc(how="replayed", domain=spec.domain)
+                _DEDUP_HITS.inc()
                 pending.append(record)
                 continue
             key = spec.key()
@@ -404,8 +484,11 @@ class CampaignService:
                 self._inflight[key] = job
                 self._queue.put_nowait((-state.priority, next(self._seq), job))
                 state.computed += 1
+                _CELLS_RESOLVED.inc(how="computed", domain=spec.domain)
             else:
                 state.joined += 1
+                _CELLS_RESOLVED.inc(how="joined", domain=spec.domain)
+                _DEDUP_HITS.inc()
             job.waiters += 1
             state.jobs.append(job)
             pending.append(job)
@@ -461,6 +544,7 @@ class CampaignService:
 
     async def _run_cell(self, job: _CellJob) -> None:
         loop = asyncio.get_running_loop()
+        started = time.perf_counter()
         try:
             if self._supervisor is not None:
                 record = await self._supervisor.run_cell(job.spec)
@@ -477,6 +561,7 @@ class CampaignService:
             # stream, never cached - a restarted service retries it
             record = CellErrorRecord(label=job.spec.label, key=job.key,
                                      error=exc.kind, message=exc.detail)
+            _CELLS_FAILED.inc(kind=exc.kind)
             self._inflight.pop(job.key, None)
             if not job.future.done():
                 job.future.set_result(record)
@@ -488,6 +573,8 @@ class CampaignService:
         else:
             self.cache.put(job.spec, record)
             self.computed += 1
+            _CELL_SECONDS.labels(domain=job.spec.domain).observe(
+                time.perf_counter() - started)
             self._inflight.pop(job.key, None)
             if not job.future.done():
                 job.future.set_result(record)
@@ -568,6 +655,12 @@ class CampaignService:
             payload = self.status()
             payload["seq"] = seq
             await send(payload)
+        elif op == "metrics":
+            # a telemetry-disabled server answers with empty series, not
+            # an error: scrapers need no knowledge of REPRO_OBS
+            await send({"op": "metrics", "seq": seq,
+                        "metrics": obs.snapshot(),
+                        "spans": obs.TRACER.snapshot()})
         elif op == "cancel":
             summary = await self.cancel(msg.get("id"))
             await send({"op": "cancelled", "seq": seq, **summary})
@@ -595,6 +688,8 @@ class CampaignService:
                 pass  # client went away mid-report; nothing left to tell
 
     async def _stream_to(self, state: _RequestState, seq, send) -> None:
+        subscribed = time.perf_counter()
+        first_pushed = False
         async for index, record in self.stream_records(state):
             push = {
                 "op": "record",
@@ -604,6 +699,11 @@ class CampaignService:
                 "record": record_to_obj(record),
             }
             await send(push)
+            _RECORDS_STREAMED.inc()
+            if not first_pushed:
+                first_pushed = True
+                _STREAM_FIRST.observe(time.perf_counter() - subscribed)
+        _STREAM_DRAIN.observe(time.perf_counter() - subscribed)
         if self._closing and state.error and not state.cancelled:
             # drained away mid-sweep: the client gets a typed goodbye with
             # its stream seq echoed, never a bare closed socket

@@ -43,8 +43,10 @@ import itertools
 import json
 import os
 import sys
+import time
 from pathlib import Path
 
+from repro import obs
 from repro.sim.campaign.request import record_from_obj, spec_to_obj
 from repro.sim.service.chaos import CHAOS_ENV, ChaosSchedule
 from repro.sim.service.protocol import encode_message
@@ -66,6 +68,19 @@ QUARANTINE_STRIKES = 2
 #: liveness slack for a just-spawned worker (interpreter boot + imports
 #: happen before its first frame; only then does the normal window apply)
 SPAWN_GRACE = 15.0
+
+# Out-of-band fleet telemetry (repro.obs): counters mirror the summary()
+# fields but accumulate across supervisor lifetimes in one process.
+_WORKERS_SPAWNED = obs.counter(
+    "service.workers.spawned", "Worker subprocesses spawned (incl. respawns)")
+_WORKERS_LOST = obs.counter(
+    "service.workers.lost", "Workers declared dead (crash, hang, deadline)")
+_WORKERS_RESPAWNED = obs.counter(
+    "service.workers.respawned", "Replacement workers spawned after a loss")
+_CELLS_REQUEUED = obs.counter(
+    "service.cells.requeued", "Lost cells requeued onto a healthy worker")
+_CELLS_QUARANTINED = obs.counter(
+    "service.cells.quarantined", "Specs given up on after repeated kills")
 
 
 class WorkerLost(Exception):
@@ -157,12 +172,21 @@ class WorkerSupervisor:
         self._jobs = itertools.count()
         self._closing = False
         self._failed: str | None = None
+        self._last_frame: float | None = None  # monotonic, newest worker frame
 
     # -- lifecycle ------------------------------------------------------
 
     async def start(self) -> None:
         for _ in range(self.size):
             await self._spawn()
+        # lazily-read fleet gauges (evaluated only at snapshot time)
+        obs.gauge("service.workers.alive",
+                  "Live worker subprocesses").set_fn(
+            lambda: len(self._alive))
+        obs.gauge("service.workers.heartbeat_age_s",
+                  "Seconds since the newest frame from any worker").set_fn(
+            lambda: (round(time.monotonic() - self._last_frame, 3)
+                     if self._last_frame is not None else -1.0))
 
     async def stop(self) -> None:
         """Drain gracefully: ask workers to exit, then kill stragglers."""
@@ -207,12 +231,14 @@ class WorkerSupervisor:
         )
         worker = _Worker(self._spawned, proc)
         self._spawned += 1
+        _WORKERS_SPAWNED.inc()
         self._alive.add(worker)
         self._idle.put_nowait(worker)
 
     async def _bury(self, worker: _Worker) -> None:
         """A worker is lost: kill, reap, and respawn within budget."""
         self.lost += 1
+        _WORKERS_LOST.inc()
         worker.kill()
         self._alive.discard(worker)
         await worker.proc.wait()
@@ -220,6 +246,7 @@ class WorkerSupervisor:
             return
         if self.respawns < self.respawn_budget:
             self.respawns += 1
+            _WORKERS_RESPAWNED.inc()
             await self._spawn()
         elif not self._alive:
             self._failed = (
@@ -253,12 +280,14 @@ class WorkerSupervisor:
                 if strikes >= self.quarantine_strikes:
                     self._strikes.pop(key, None)
                     self.quarantined += 1
+                    _CELLS_QUARANTINED.inc()
                     raise CellFailed(
                         "quarantined",
                         f"cell killed {strikes} workers in a row; not retrying ({lost})",
                     ) from lost
                 attempt += 1
                 self.requeues += 1
+                _CELLS_REQUEUED.inc()
                 await asyncio.sleep(min(self.backoff * (2 ** (attempt - 1)), BACKOFF_CAP))
                 continue
             self._strikes.pop(key, None)
@@ -311,6 +340,7 @@ class WorkerSupervisor:
             except json.JSONDecodeError:
                 raise WorkerLost("garbled frame from worker") from None
             worker.ready = True
+            self._last_frame = time.monotonic()
             if msg.get("op") in ("heartbeat", "ready"):
                 continue  # alive; the hard deadline still stands
             if msg.get("job") != job:

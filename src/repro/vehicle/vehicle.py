@@ -81,7 +81,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from time import perf_counter
 
+from repro import obs
 from repro.core.arm1156 import Arm1156Core
 from repro.core.machines import (
     DEFAULT_FLASH_SIZE,
@@ -120,6 +122,19 @@ ENTRY_EXIT_ALLOWANCE = 64
 
 #: measured-WCET safety margin (certification-style padding)
 WCET_MARGIN = 0.5
+
+_COSIM_WINDOWS = obs.counter(
+    "cosim.windows",
+    "Barrier-synchronized parallel co-simulation windows executed")
+_BARRIER_WAIT = obs.histogram(
+    "cosim.window.barrier_wait_seconds",
+    "Per window, total worker idle time at the merge barrier: "
+    "sum over ECUs of (slowest ECU's busy time - this ECU's busy time)",
+    buckets=obs.FAST_SECONDS_BUCKETS)
+_PARALLEL_EFFICIENCY = obs.gauge(
+    "cosim.parallel_efficiency",
+    "Cumulative ECU busy seconds / (workers x window wall seconds) for "
+    "this run: 1.0 is perfect scaling, 1/workers is serial")
 
 
 def guest_isa(core: str) -> str:
@@ -246,11 +261,23 @@ class VirtualVehicle:
 
             pool = ThreadPoolExecutor(max_workers=workers)
 
+        # telemetry accumulators for this run (out-of-band: the merge
+        # order and every simulated outcome are identical without them)
+        cosim_busy = 0.0
+        cosim_wall = 0.0
+
+        def timed_advance(ecu, now: int) -> float:
+            t0 = perf_counter()
+            ecu.advance_to_us(now)
+            return perf_counter() - t0
+
         def advance_all(now: int) -> None:
+            nonlocal cosim_busy, cosim_wall
             if pool is None:
                 for ecu in self.ecus:
                     ecu.advance_to_us(now)
                 return
+            observing = obs.REGISTRY.enabled
             # one barrier-synchronized window: every ECU advances on a
             # worker with its TX buffered, then the main thread merges
             # buffers in ECU order - the scheduler sees the serial
@@ -258,12 +285,35 @@ class VirtualVehicle:
             for ecu in self.ecus:
                 ecu.begin_tx_window()
             try:
-                futures = [pool.submit(ecu.advance_to_us, now)
-                           for ecu in self.ecus]
-                # collect every outcome before touching shared state:
-                # no worker may still be running when buffers drain
-                errors = [exc for exc in (f.exception() for f in futures)
-                          if exc is not None]
+                if not observing:
+                    futures = [pool.submit(ecu.advance_to_us, now)
+                               for ecu in self.ecus]
+                    # collect every outcome before touching shared state:
+                    # no worker may still be running when buffers drain
+                    errors = [exc for exc in (f.exception() for f in futures)
+                              if exc is not None]
+                else:
+                    start = perf_counter()
+                    futures = [pool.submit(timed_advance, ecu, now)
+                               for ecu in self.ecus]
+                    errors, busy = [], []
+                    for future in futures:
+                        exc = future.exception()
+                        if exc is not None:
+                            errors.append(exc)
+                        else:
+                            busy.append(future.result())
+                    wall = perf_counter() - start
+                    _COSIM_WINDOWS.add()
+                    if busy:
+                        slowest = max(busy)
+                        _BARRIER_WAIT.observe(
+                            sum(slowest - b for b in busy))
+                    cosim_busy += sum(busy)
+                    cosim_wall += wall
+                    if cosim_wall > 0.0:
+                        _PARALLEL_EFFICIENCY.set(
+                            round(cosim_busy / (workers * cosim_wall), 4))
             finally:
                 for ecu in self.ecus:
                     ecu.end_tx_window(scheduler)

@@ -635,3 +635,117 @@ def test_poisoned_cell_reports_error_and_frees_queue_slots(monkeypatch):
     assert poisoned_status["active"] == 0 and poisoned_status["active_cells"] == 0
     assert healthy_summary["status"] == "ok" and healthy_summary["ran"] == 1
     assert final_status["active"] == 0 and final_status["active_cells"] == 0
+
+
+# ----------------------------------------------------------------------
+# observability: status schema, typed failed counts, the metrics op
+# ----------------------------------------------------------------------
+
+def test_status_reports_uptime_protocol_and_pool_mode():
+    """Satellite claim: the status payload identifies the server (wire
+    protocol version, worker-pool mode, uptime) so operators and the
+    dashboard need no out-of-band knowledge."""
+    assert CampaignService(workers=1).pool_mode == "in-proc"
+    assert CampaignService(workers=4).pool_mode == "process-pool"
+    assert CampaignService(workers_proc=2).pool_mode == "workers-proc"
+
+    async def go():
+        service = CampaignService(workers=1)
+        await service.start()
+        try:
+            await asyncio.sleep(0.01)
+            return service.status()
+        finally:
+            await service.shutdown()
+
+    status = asyncio.run(go())
+    assert status["protocol"] == 1
+    assert status["pool"] == "in-proc"
+    assert status["uptime_s"] > 0
+    # uptime is wall-clock since start(), not a counter anyone resets
+    assert status["uptime_s"] < 60
+
+
+def test_quarantined_cell_counts_exactly_once_in_failed():
+    """Regression: ``failed`` used to probe records with ``getattr``;
+    now every record class carries a typed ``status`` accessor, so one
+    quarantined cell counts exactly one ``failed`` - and the healthy
+    cells count zero."""
+    from repro.sim.campaign import CellErrorRecord
+    from repro.sim.service import ChaosSchedule
+
+    specs = cheap_specs()
+    poisoned = specs[2]
+    chaos = ChaosSchedule(poison=(poisoned.key(),))
+
+    async def go():
+        service = CampaignService(
+            workers_proc=2, chaos=chaos,
+            supervisor_options={"heartbeat": 0.2})
+        await service.start()
+        try:
+            state = service.submit(CampaignRequest(specs=tuple(specs)))
+            records = []
+            async for _, record in service.stream_records(state):
+                records.append(record)
+            return state.summary(), records
+        finally:
+            await service.shutdown()
+
+    summary, records = asyncio.run(go())
+    errors = [r for r in records if isinstance(r, CellErrorRecord)]
+    assert len(errors) == 1 and errors[0].key == poisoned.key()
+    assert summary["failed"] == 1
+    assert summary["ran"] == len(specs)
+    assert summary["status"] == "ok"  # per-cell failure is data, not error
+    # the typed accessor, not probing: healthy records answer "ok"
+    assert all(r.status == "ok" for r in records if r not in errors)
+
+
+def test_metrics_op_counts_only_while_telemetry_is_enabled(tmp_path):
+    """The ``metrics`` op always answers (seq-echoed), but with
+    telemetry disabled the counters never move - the op is a window,
+    not a switch."""
+    from repro import obs
+
+    async def sweep(port, specs, name):
+        client = await CampaignClient.connect(port=port)
+        try:
+            rid = await client.submit(CampaignRequest(specs=tuple(specs)))
+            await client.stream(rid, stream_path=tmp_path / f"{name}.jsonl")
+            return await client.metrics()
+        finally:
+            await client.close()
+
+    async def go():
+        service = CampaignService(workers=1)
+        await service.start()
+        server = await serve_tcp(service)
+        port = server.sockets[0].getsockname()[1]
+        try:
+            obs.disable()
+            dark = await sweep(port, cheap_specs()[:2], "dark")
+            obs.enable()
+            lit = await sweep(port, cheap_specs()[2:], "lit")
+        finally:
+            server.close()
+            await server.wait_closed()
+            await service.shutdown()
+        return dark, lit
+
+    was = obs.enabled()
+    try:
+        dark, lit = asyncio.run(go())
+    finally:
+        (obs.enable if was else obs.disable)()
+
+    def streamed(reply) -> int:
+        return sum(reply["metrics"]["counters"]
+                   .get("service.records.streamed", {}).values())
+
+    assert "metrics" in dark and "spans" in dark
+    # the second sweep streamed 2 records with telemetry on; the first
+    # contributed nothing while disabled
+    assert streamed(lit) - streamed(dark) == 2
+    resolved = lit["metrics"]["counters"]["service.cells.resolved"]
+    assert sum(v for k, v in resolved.items() if "how=computed" in k) >= 2
